@@ -1,0 +1,57 @@
+"""Ablation bench (DESIGN.md Sec. 5): routing iterations & the Sec. V-A
+separated-temporal-capsules extension.
+
+Not a paper table — it probes the design choices DESIGN.md calls out:
+how many routing iterations are worth their cost, and what the stability
+extension changes.
+"""
+
+import numpy as np
+
+from repro.baselines.bikecap_adapter import BikeCAPForecaster
+from repro.metrics import evaluate_forecaster
+
+
+def _train_and_eval(context, profile, **config_overrides):
+    dataset = context.dataset(profile.ablation_horizon)
+    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
+    overrides.update(config_overrides)
+    forecaster = BikeCAPForecaster(
+        dataset.history,
+        dataset.horizon,
+        dataset.grid_shape,
+        dataset.num_features,
+        seed=0,
+        **overrides,
+    )
+    forecaster.fit(dataset, epochs=profile.epochs)
+    return evaluate_forecaster(forecaster, dataset)
+
+
+def test_ablation_routing_iterations(run_once, profile, context):
+    def sweep():
+        return {
+            iterations: _train_and_eval(context, profile, routing_iterations=iterations)
+            for iterations in (1, 3)
+        }
+
+    results = run_once(sweep)
+    print()
+    for iterations, metrics in results.items():
+        print(f"routing iterations={iterations}: MAE={metrics['MAE']:.3f} RMSE={metrics['RMSE']:.3f}")
+    assert all(np.isfinite(m["MAE"]) for m in results.values())
+
+
+def test_ablation_separated_temporal_capsules(run_once, profile, context):
+    def sweep():
+        return {
+            flag: _train_and_eval(context, profile, separate_temporal_capsules=flag)
+            for flag in (False, True)
+        }
+
+    results = run_once(sweep)
+    print()
+    for flag, metrics in results.items():
+        label = "separated" if flag else "joint"
+        print(f"temporal capsules={label}: MAE={metrics['MAE']:.3f} RMSE={metrics['RMSE']:.3f}")
+    assert all(np.isfinite(m["MAE"]) for m in results.values())

@@ -1,0 +1,21 @@
+"""Accumulated-error bench (the mechanism behind paper Fig. 2 / Table III).
+
+Measures, for a trained recursive baseline, the per-step gap between
+deployment rollout (predictions fed back) and teacher forcing (true frames
+fed in). The gap *is* the accumulated error; it must be zero at step 1 and
+non-decreasing in tendency afterwards.
+"""
+
+import numpy as np
+
+from repro.experiments import run_error_propagation
+
+
+def test_error_propagation_convlstm(run_once, profile, context):
+    result = run_once(
+        lambda: run_error_propagation("convLSTM", profile=profile, context=context)
+    )
+    print()
+    print(result.render())
+    assert result.accumulated_error[0] == 0.0
+    assert np.all(np.isfinite(result.accumulated_error))

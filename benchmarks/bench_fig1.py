@@ -1,0 +1,19 @@
+"""Fig. 1 — the motivating upstream→downstream correlation analysis.
+
+Regenerates the paper's lead-lag structure: subway entries at the
+residential station precede exits at the CBD station; bike pick-ups near
+the CBD station track its exits; the evening reverses the direction.
+"""
+
+from repro.experiments import run_fig1
+
+
+def test_fig1_upstream_downstream_correlation(run_once, profile, context):
+    result = run_once(lambda: run_fig1(profile=profile, city=context.city))
+    print()
+    print(result.render())
+    # Shape assertions: the causal chain must be visible.
+    assert max(result.morning_subway_lag.values()) > 0.3
+    assert max(result.morning_bike_lag.values()) > 0.3
+    assert max(result.evening_subway_lag.values()) > 0.3
+    assert max(result.evening_bike_lag.values()) > 0.3

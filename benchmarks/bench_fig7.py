@@ -1,0 +1,19 @@
+"""Fig. 7 — component-importance ablations.
+
+Prints the regenerated comparison and checks the paper's headline ordering:
+the full model should not lose to the fully-stripped DeepCaps-style
+variant (BikeCap-3D-Pyra).
+"""
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_ablations(run_once, profile, context):
+    result = run_once(lambda: run_fig7(profile=profile, context=context))
+    print()
+    print(result.render())
+
+    mae = {name: metrics["MAE"].mean for name, metrics in result.results.items()}
+    # Directional check (paper Fig. 7): removing BOTH the pyramid and the 3-D
+    # decoder should not beat the full model.
+    assert mae["BikeCAP"] <= mae["BikeCap-3D-Pyra"] * 1.25

@@ -1,0 +1,17 @@
+"""Sec. V-A stability claim: separated temporal capsules reduce variance.
+
+Not a paper table — it quantifies the limitation paragraph's claim with the
+across-seed MAE spread of both routing arrangements.
+"""
+
+from repro.experiments import run_stability
+
+
+def test_stability_separated_vs_joint(run_once, profile, context):
+    result = run_once(
+        lambda: run_stability(profile=profile, context=context)
+    )
+    print()
+    print(result.render())
+    print(f"variance reduced by separated capsules: {result.variance_reduced()}")
+    assert set(result.results) == {"joint", "separated"}

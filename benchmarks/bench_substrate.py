@@ -1,0 +1,79 @@
+"""Substrate micro-benchmarks: the hot kernels every experiment relies on.
+
+Unlike the artifact benches these run multiple rounds — they are ordinary
+performance benchmarks for the numpy deep-learning substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BikeCAP, BikeCAPConfig, SpatialTemporalRouting, squash
+from repro.nn import Tensor, ops
+from repro.nn.ops.conv import conv3d_forward
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "x3d": rng.standard_normal((8, 4, 8, 12, 12)),
+        "w3d": rng.standard_normal((8, 4, 3, 3, 3)),
+        "phi": Tensor(rng.standard_normal((4, 1, 4, 8, 10, 10))),
+        "capsules": Tensor(rng.standard_normal((16, 8, 4, 10, 10))),
+    }
+
+
+def test_conv3d_forward_kernel(benchmark, arrays):
+    pads = ((1, 1), (1, 1), (1, 1))
+    out = benchmark(conv3d_forward, arrays["x3d"], arrays["w3d"], (1, 1, 1), pads)
+    assert out.shape == (8, 8, 8, 12, 12)
+
+
+def test_conv3d_forward_backward(benchmark, arrays):
+    def step():
+        x = Tensor(arrays["x3d"], requires_grad=True)
+        w = Tensor(arrays["w3d"], requires_grad=True)
+        out = ops.conv3d(x, w, padding=1)
+        out.sum().backward()
+        return x.grad
+
+    grad = benchmark(step)
+    assert grad.shape == arrays["x3d"].shape
+
+
+def test_squash_kernel(benchmark, arrays):
+    out = benchmark(lambda: squash(arrays["capsules"], axis=2))
+    assert out.shape == arrays["capsules"].shape
+
+
+def test_spatial_temporal_routing(benchmark, arrays):
+    routing = SpatialTemporalRouting(4, 4, horizon=4, iterations=3, rng=0)
+    out = benchmark(lambda: routing(arrays["phi"]))
+    assert out.shape == (4, 4, 4, 10, 10)
+
+
+def test_bikecap_forward(benchmark):
+    rng = np.random.default_rng(0)
+    config = BikeCAPConfig(
+        grid=(10, 10), history=8, horizon=4, features=4, pyramid_size=3, seed=0
+    )
+    model = BikeCAP(config)
+    x = rng.random((8, 8, 10, 10, 4))
+    out = benchmark(lambda: model.predict(x))
+    assert out.shape == (8, 4, 10, 10)
+
+
+def test_bikecap_train_step(benchmark):
+    from repro.nn import Trainer
+
+    rng = np.random.default_rng(0)
+    config = BikeCAPConfig(
+        grid=(8, 8), history=6, horizon=3, features=4, pyramid_size=3,
+        capsule_dim=2, future_capsule_dim=2, decoder_hidden=4, seed=0,
+    )
+    model = BikeCAP(config)
+    trainer = Trainer(model, loss="l1", batch_size=8, seed=0)
+    x = rng.random((8, 6, 8, 8, 4))
+    y = rng.random((8, 3, 8, 8))
+    loss = benchmark(lambda: trainer.train_step(x, y))
+    assert np.isfinite(loss)

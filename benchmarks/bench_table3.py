@@ -1,0 +1,27 @@
+"""Table III — MAE/RMSE of all eight models across prediction horizons.
+
+Prints the regenerated table and checks the paper's *shape*: the recursive
+baselines' error must grow faster with the horizon than BikeCAP's.
+"""
+
+import numpy as np
+
+from repro.experiments import run_table3
+
+RECURSIVE = ("XGBoost", "LSTM", "convLSTM", "PredRNN", "PredRNN++")
+
+
+def test_table3_model_comparison(run_once, profile, context):
+    result = run_once(lambda: run_table3(profile=profile, context=context))
+    print()
+    print(result.render())
+
+    ratios = result.degradation("MAE")
+    print("\nMAE degradation (last/first horizon):")
+    for model, ratio in sorted(ratios.items(), key=lambda kv: kv[1]):
+        print(f"  {model:12s} {ratio:.2f}x")
+
+    # Paper shape: recursive models accumulate error faster than BikeCAP.
+    recursive_ratios = [ratios[m] for m in RECURSIVE if m in ratios]
+    if "BikeCAP" in ratios and recursive_ratios:
+        assert ratios["BikeCAP"] <= float(np.mean(recursive_ratios)) * 1.5

@@ -1,0 +1,12 @@
+"""Table IV — BikeCAP performance with varying pyramid size."""
+
+from repro.experiments import run_table4
+
+
+def test_table4_pyramid_size_sweep(run_once, profile, context):
+    result = run_once(lambda: run_table4(profile=profile, context=context))
+    print()
+    print(result.render())
+    assert set(result.results) == set(profile.pyramid_sizes)
+    for metrics in result.results.values():
+        assert metrics["MAE"].mean >= 0

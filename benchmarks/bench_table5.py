@@ -1,0 +1,12 @@
+"""Table V — BikeCAP performance with varying capsule dimension."""
+
+from repro.experiments import run_table5
+
+
+def test_table5_capsule_dimension_sweep(run_once, profile, context):
+    result = run_once(lambda: run_table5(profile=profile, context=context))
+    print()
+    print(result.render())
+    assert set(result.results) == set(profile.capsule_dims)
+    for metrics in result.results.values():
+        assert metrics["MAE"].mean >= 0

@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+Artifact benches (one per paper table/figure) honour ``REPRO_PROFILE``
+(default ``smoke``) and run exactly once via ``benchmark.pedantic`` — they
+measure end-to-end regeneration cost and, more importantly, *print the
+regenerated artifact* so a bench run reproduces the paper's numbers.
+Substrate micro-benches run multiple rounds like ordinary benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext, get_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return get_profile()
+
+
+@pytest.fixture(scope="session")
+def context(profile):
+    """Shared simulated city + datasets across all artifact benches."""
+    return ExperimentContext(profile)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Time a callable exactly once (artifact regeneration is minutes-scale)."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,75 @@
+"""Head-to-head: BikeCAP vs a recursive and a graph baseline.
+
+A miniature Table III: trains three representative models from the paper's
+comparison on the same synthetic city and reports denormalized MAE/RMSE at
+a multi-step horizon, plus the per-step error growth that reveals the
+recursive model's accumulated error.
+
+    python examples/compare_baselines.py
+"""
+
+import numpy as np
+
+from repro.baselines import make_forecaster
+from repro.city import CityConfig
+from repro.data import build_dataset
+from repro.metrics import evaluate_forecaster, mae_per_step
+
+
+def main():
+    horizon = 6
+    # Robust quantile scaling keeps the hub cell's peak from crushing the
+    # rest of the grid's signal (docs/REPRODUCTION_NOTES.md §1).
+    dataset = build_dataset(
+        CityConfig(rows=6, cols=6, num_lines=2, num_commuters=800, days=7, seed=5),
+        history=8,
+        horizon=horizon,
+        normalization_quantile=0.99,
+    )
+    print(f"train/val/test windows: {dataset.split.sizes}\n")
+
+    contenders = {
+        "convLSTM": {"hidden_channels": 4, "kernel_size": 3},  # recursive
+        "STSGCN": {"hidden_channels": 8},  # direct, graph
+        "BikeCAP": {"pyramid_size": 3, "loss": "mse", "lr": 3e-3},  # direct, capsule
+    }
+
+    rows = []
+    for name, overrides in contenders.items():
+        forecaster = make_forecaster(
+            name,
+            dataset.history,
+            horizon,
+            dataset.grid_shape,
+            dataset.num_features,
+            seed=0,
+            **overrides,
+        )
+        forecaster.fit(dataset, epochs=8 if name == "BikeCAP" else 4)
+        metrics = evaluate_forecaster(forecaster, dataset)
+
+        prediction = dataset.denormalize_target(forecaster.predict(dataset.split.test_x))
+        truth = dataset.denormalize_target(dataset.split.test_y)
+        steps = mae_per_step(truth, prediction)
+        growth = steps[-1] / max(steps[0], 1e-9)
+        rows.append((name, metrics["MAE"], metrics["RMSE"], steps, growth))
+        print(f"trained {name}")
+
+    print(f"\n{'model':10s} {'MAE':>7s} {'RMSE':>7s} {'step-1':>7s} {'step-' + str(horizon):>7s} {'growth':>7s}")
+    for name, mae_value, rmse_value, steps, growth in rows:
+        print(
+            f"{name:10s} {mae_value:7.3f} {rmse_value:7.3f} "
+            f"{steps[0]:7.3f} {steps[-1]:7.3f} {growth:6.2f}x"
+        )
+    print(
+        "\n'growth' is MAE at the last step over MAE at the first step:"
+        "\nrecursive models degrade with the horizon; direct multi-step"
+        "\nmodels (BikeCAP, STSGCN) hold flatter — paper Table III's shape."
+        "\nAt this toy scale the models stay close; the full comparison"
+        "\n(where BikeCAP clearly wins long horizons) is the Table III"
+        "\nexperiment: python -m repro.experiments.run_all --profile default"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Quickstart: simulate a city, train BikeCAP, predict multi-step demand.
+
+Runs in well under a minute on a laptop::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.city import CityConfig
+from repro.core import BikeCAP, BikeCAPConfig
+from repro.data import build_dataset
+from repro.metrics import mae, rmse
+from repro.nn import Trainer, load_weights, save_weights
+
+
+def main():
+    # 1. Simulate a small multimodal city (subway upstream, bikes downstream)
+    #    and aggregate trips into 15-minute grid demand tensors.
+    city = CityConfig(
+        rows=6,
+        cols=6,
+        num_lines=2,
+        num_commuters=500,
+        days=6,
+        seed=7,
+    )
+    dataset = build_dataset(city, history=8, horizon=4)
+    print(f"dataset: train/val/test = {dataset.split.sizes}, grid = {dataset.grid_shape}")
+
+    # 2. Build BikeCAP: pyramid historical capsules -> spatial-temporal
+    #    routing -> 3D deconvolution decoder (paper Fig. 4).
+    config = BikeCAPConfig(
+        grid=dataset.grid_shape,
+        history=dataset.history,
+        horizon=dataset.horizon,
+        features=dataset.num_features,
+        pyramid_size=3,
+        capsule_dim=4,
+        seed=0,
+    )
+    model = BikeCAP(config)
+    print(f"model: {model.num_parameters()} parameters")
+
+    # 3. Train with the paper's recipe: Adam(1e-3), batch 32, L1 loss.
+    trainer = Trainer(model, loss="l1", lr=1e-3, batch_size=32, seed=0)
+    history = trainer.fit(
+        dataset.split.train_x,
+        dataset.split.train_y,
+        epochs=5,
+        val_x=dataset.split.val_x,
+        val_y=dataset.split.val_y,
+        verbose=True,
+    )
+
+    # 4. Evaluate on the held-out test windows, denormalized to raw counts.
+    prediction = model.predict(dataset.split.test_x)
+    truth = dataset.denormalize_target(dataset.split.test_y)
+    predicted = dataset.denormalize_target(prediction)
+    print(f"test MAE  = {mae(truth, predicted):.3f} bikes/slot/grid")
+    print(f"test RMSE = {rmse(truth, predicted):.3f} bikes/slot/grid")
+
+    # 5. Inspect the learned spatial-temporal coupling: how strongly each
+    #    historical slot contributes to each future slot at each grid.
+    coupling = model.coupling_coefficients
+    per_step = coupling.mean(axis=(0, 1, 3, 4))
+    print("mean routing mass per future step:", np.round(per_step, 4))
+
+    # 6. Persist and restore weights.
+    save_weights(model, "/tmp/bikecap_quickstart.npz")
+    clone = BikeCAP(config)
+    load_weights(clone, "/tmp/bikecap_quickstart.npz")
+    assert np.allclose(clone.predict(dataset.split.test_x[:4]), prediction[:4])
+    print("weights round-trip OK -> /tmp/bikecap_quickstart.npz")
+
+
+if __name__ == "__main__":
+    main()

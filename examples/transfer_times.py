@@ -1,0 +1,56 @@
+"""Station-level transfer-time analysis — the paper's Sec. V-D proposal.
+
+Estimates, per subway station, how long passengers take between exiting the
+station and picking up a shared bike (by joining anonymized trip records),
+then flags stations whose transfer time warrants a timetable reschedule,
+and visualizes where bike demand concentrates.
+
+    python examples/transfer_times.py
+"""
+
+import numpy as np
+
+from repro.city import CityConfig, simulate_city
+from repro.data import aggregate_city
+from repro.transfer import estimate_transfer_times, stations_exceeding_threshold
+from repro.viz import heatmap, side_by_side
+
+
+def main():
+    city = simulate_city(
+        CityConfig(rows=8, cols=8, num_lines=3, num_commuters=1200, days=7, seed=9)
+    )
+    stats = estimate_transfer_times(city, min_transfers=10)
+
+    print("per-station subway→bike transfer times (matched on anonymized user ids):\n")
+    print(f"{'station':10s} {'cell':>8s} {'transfers':>10s} {'mean':>7s} {'median':>7s} {'p90':>7s}")
+    for station_id, stat in sorted(stats.items()):
+        station = city.subway.stations[station_id]
+        print(
+            f"{station.name:10s} {str(station.cell):>8s} {stat.transfers:10d} "
+            f"{stat.mean_seconds / 60:6.1f}m {stat.median_seconds / 60:6.1f}m "
+            f"{stat.p90_seconds / 60:6.1f}m"
+        )
+
+    threshold = 6 * 60.0
+    flagged = stations_exceeding_threshold(stats, threshold)
+    names = [city.subway.stations[s].name for s in flagged]
+    print(f"\nstations over the {threshold / 60:.0f}-minute reschedule threshold: {names or 'none'}")
+
+    # Where does bike demand concentrate, relative to the subway exits?
+    tensor = aggregate_city(city)
+    pickups = tensor[..., 0].sum(axis=0)
+    exits = tensor[..., 3].sum(axis=0)
+    print("\nspatial structure (totals over the whole period):\n")
+    print(side_by_side(
+        [heatmap(exits), heatmap(pickups)],
+        ["subway exits", "bike pick-ups"],
+    ))
+    print(
+        "\nBike pick-ups cluster around high-exit stations — the spatial half"
+        "\nof the correlation BikeCAP's pyramid kernel is designed to capture."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Reproduce the paper's Fig. 1 motivation on synthetic data.
+
+Shows, with ASCII sparklines, that (a) subway entries at a residential
+station lead exits at a CBD station, (b) bike pick-ups near the CBD station
+track its exits in the morning, and (c) the whole pattern reverses in the
+evening — the time-specific upstream→downstream correlation BikeCAP
+exploits.
+
+    python examples/upstream_analysis.py
+"""
+
+import numpy as np
+
+from repro.city import CityConfig, simulate_city
+from repro.experiments import best_lag, run_fig1
+from repro.experiments.profiles import get_profile
+
+BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(series: np.ndarray) -> str:
+    """Render a series as a unicode sparkline."""
+    series = np.asarray(series, dtype=float)
+    top = series.max()
+    if top == 0:
+        return " " * len(series)
+    levels = np.minimum((series / top * (len(BLOCKS) - 1)).astype(int), len(BLOCKS) - 1)
+    return "".join(BLOCKS[level] for level in levels)
+
+
+def main():
+    config = CityConfig(
+        rows=8,
+        cols=8,
+        num_lines=3,
+        num_commuters=1200,
+        days=7,
+        seed=7,
+    )
+    city = simulate_city(config)
+    result = run_fig1(profile=get_profile("smoke"), city=city, day=1)
+
+    station_a = city.subway.stations[result.residential_station]
+    station_b = city.subway.stations[result.cbd_station]
+    print(f"station A (residential): {station_a.name} at cell {station_a.cell}")
+    print(f"station B (CBD):         {station_b.name} at cell {station_b.cell}\n")
+
+    print("MORNING (06:00–12:00, one weekday, 15-min slots)")
+    print(f"  entries at A : {sparkline(result.morning_entries_at_a)}")
+    print(f"  exits at B   : {sparkline(result.morning_exits_at_b)}")
+    print(f"  bikes near B : {sparkline(result.morning_bikes_near_b)}\n")
+
+    print("EVENING (14:00–22:00)")
+    print(f"  entries at B : {sparkline(result.evening_entries_at_b)}")
+    print(f"  exits at A   : {sparkline(result.evening_exits_at_a)}")
+    print(f"  bikes near A : {sparkline(result.evening_bikes_near_a)}\n")
+
+    print("lead-lag cross-correlations (lag in 15-min slots):")
+    for label, correlations in (
+        ("in(A) -> out(B), morning chain", result.morning_subway_lag),
+        ("out(B) -> bikes near B", result.morning_bike_lag),
+        ("in(B) -> out(A), evening chain", result.evening_subway_lag),
+        ("out(A) -> bikes near A", result.evening_bike_lag),
+    ):
+        lag = best_lag(correlations)
+        print(f"  {label:32s} best lag={lag} r={correlations[lag]:.3f}")
+
+    print(
+        "\nInterpretation: upstream subway demand precedes downstream bike"
+        "\ndemand by a measurable lag — which is exactly why feeding subway"
+        "\ndata into a multi-step bike predictor (BikeCAP) works."
+    )
+
+
+if __name__ == "__main__":
+    main()

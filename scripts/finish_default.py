@@ -1,0 +1,66 @@
+"""Regenerate the default-profile artifacts after the scaling fix.
+
+Run as two parallel processes (one per core):
+
+    python scripts/finish_default.py table3
+    python scripts/finish_default.py ablations
+
+Single-seed variant of the default profile to fit a CPU time budget; the
+full multi-seed run is `python -m repro.experiments.run_all --profile default`.
+"""
+
+import dataclasses
+import os
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentContext,
+    get_profile,
+    run_fig1,
+    run_fig7,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+OUTPUT = "results/default"
+
+
+def main():
+    which = sys.argv[1] if len(sys.argv) > 1 else "table3"
+    profile = dataclasses.replace(get_profile("default"), seeds=(0,))
+    context = ExperimentContext(profile)
+    os.makedirs(OUTPUT, exist_ok=True)
+
+    if which == "table3":
+        started = time.time()
+        fig1 = run_fig1(profile=profile, city=context.city)
+        with open(os.path.join(OUTPUT, "fig1.txt"), "w") as handle:
+            handle.write(fig1.render() + "\n")
+        result = run_table3(profile=profile, context=context, verbose=True)
+        with open(os.path.join(OUTPUT, "table3.txt"), "w") as handle:
+            handle.write(result.render() + "\n")
+            handle.write("\nMAE degradation (last/first horizon):\n")
+            for model, ratio in sorted(result.degradation("MAE").items(), key=lambda kv: kv[1]):
+                handle.write(f"  {model:12s} {ratio:.2f}x\n")
+        print(result.render(), flush=True)
+        print(f"[table3 {time.time() - started:.0f}s]", flush=True)
+    elif which == "ablations":
+        for name, runner, epochs in (
+            ("fig7", run_fig7, 16),
+            ("table4", run_table4, 16),
+            ("table5", run_table5, 16),
+        ):
+            started = time.time()
+            result = runner(profile=profile, context=context, verbose=True, epochs=epochs)
+            with open(os.path.join(OUTPUT, f"{name}.txt"), "w") as handle:
+                handle.write(result.render() + "\n")
+            print(result.render(), flush=True)
+            print(f"[{name} {time.time() - started:.0f}s]", flush=True)
+    else:
+        raise SystemExit(f"unknown target {which!r}")
+
+
+if __name__ == "__main__":
+    main()

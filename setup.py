@@ -1,0 +1,10 @@
+"""Classic setup shim.
+
+This offline environment lacks the ``wheel`` package that modern
+``pip install -e .`` requires, so ``python setup.py develop`` provides the
+editable install instead. Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""BikeCAP reproduction.
+
+A full-stack reproduction of "BikeCAP: Deep Spatial-temporal Capsule
+Network for Multi-step Bike Demand Prediction" (ICDCS 2022), including a
+from-scratch numpy deep-learning substrate (:mod:`repro.nn`), a synthetic
+multimodal city simulator (:mod:`repro.city`), the paper's seven baselines
+(:mod:`repro.baselines`) and every table/figure of its evaluation
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.city import CityConfig
+    from repro.data import build_dataset
+    from repro.core import BikeCAP, BikeCAPConfig
+    from repro.nn import Trainer
+
+    dataset = build_dataset(CityConfig(rows=8, cols=8, days=7), history=8, horizon=4)
+    model = BikeCAP(BikeCAPConfig(grid=dataset.grid_shape, history=8, horizon=4, seed=0))
+    Trainer(model, loss="l1").fit(dataset.split.train_x, dataset.split.train_y, epochs=10)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import BikeCAP, BikeCAPConfig
+
+__all__ = ["BikeCAP", "BikeCAPConfig", "__version__"]

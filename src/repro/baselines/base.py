@@ -1,0 +1,97 @@
+"""Shared interface for all comparison models.
+
+Every forecaster consumes normalized history windows ``(N, h, G1, G2, F)``
+and produces normalized multi-step bike pick-up demand ``(N, p, G1, G2)``.
+
+The paper's protocol (Sec. IV-B) distinguishes two families:
+
+- *autoregressive* models (XGBoost, LSTM, convLSTM, PredRNN, PredRNN++)
+  predict a single next step and are rolled forward recursively, feeding
+  their own predictions back as inputs — the source of accumulated error;
+- *direct* models (STGCN, STSGCN, BikeCAP) emit all ``p`` steps at once.
+
+``RecursiveFrameForecaster`` implements the roll-forward loop for any model
+that predicts the full next feature frame.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.datasets import BikeDemandDataset
+
+
+class Forecaster(abc.ABC):
+    """Abstract multi-step forecaster."""
+
+    name: str = "forecaster"
+
+    def __init__(self, history: int, horizon: int, grid_shape, num_features: int):
+        self.history = history
+        self.horizon = horizon
+        self.grid_shape = tuple(grid_shape)
+        self.num_features = num_features
+
+    @abc.abstractmethod
+    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
+        """Train on the dataset's train split; returns a history dict."""
+
+    @abc.abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Map ``(N, h, G1, G2, F)`` windows to ``(N, p, G1, G2)`` pick-ups."""
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        expected = (self.history,) + self.grid_shape + (self.num_features,)
+        if x.shape[1:] != expected:
+            raise ValueError(f"{self.name}: expected windows of shape (N, {expected}), got {x.shape}")
+        return x
+
+
+class RecursiveFrameForecaster(Forecaster):
+    """Autoregressive multi-step protocol over single-step frame predictors.
+
+    Subclasses implement :meth:`predict_next_frame`, which maps a history
+    window to the *entire* next feature frame ``(N, G1, G2, F)``. Multi-step
+    prediction slides the window: drop the oldest slot, append the predicted
+    frame, repeat — exactly the recursion the paper describes for its
+    baselines, and exactly where their errors accumulate.
+    """
+
+    @abc.abstractmethod
+    def predict_next_frame(self, x: np.ndarray) -> np.ndarray:
+        """Predict the full feature frame at ``t+1`` from ``(N, h, G1, G2, F)``."""
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        window = x.copy()
+        steps = []
+        for _step in range(self.horizon):
+            frame = self.predict_next_frame(window)
+            steps.append(frame[..., self.target_feature])
+            window = np.concatenate([window[:, 1:], frame[:, None]], axis=1)
+        return np.stack(steps, axis=1)
+
+    @property
+    def target_feature(self) -> int:
+        return 0  # bike pick-ups, by the FEATURE_NAMES convention
+
+
+def training_targets_next_frame(dataset: BikeDemandDataset) -> np.ndarray:
+    """Next-frame targets for single-step training: x shifted by one slot.
+
+    For window ``x = [t-h+1 … t]`` the target frame is the full feature map
+    at ``t+1``. We reconstruct it from the *next* window's last slot; the
+    final window (which has no successor inside the split) is dropped by the
+    caller.
+    """
+    x = dataset.split.train_x
+    return x[1:, -1]
+
+
+def clip_normalized(frame: np.ndarray) -> np.ndarray:
+    """Clamp rolled-forward predictions to the normalized demand range."""
+    return np.clip(frame, 0.0, 1.5)

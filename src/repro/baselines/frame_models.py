@@ -1,0 +1,98 @@
+"""Shared machinery for frame-sequence baselines (convLSTM, PredRNN, ++).
+
+These models consume windows frame-by-frame and emit a prediction of the
+*next* frame at every step (teacher forcing during training). Multi-step
+inference uses the recursive protocol from :mod:`repro.baselines.base`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.base import RecursiveFrameForecaster, clip_normalized
+from repro.data.datasets import BikeDemandDataset
+from repro.nn import Module, Trainer, ops
+from repro.nn import config as nn_config
+from repro.nn.tensor import Tensor
+
+
+class FrameSequenceModel(Module):
+    """Base: step through frames, predicting the successor of each.
+
+    ``forward`` maps ``(N, h, G1, G2, F)`` to ``(N, h, G1, G2, F)`` where
+    output slot ``t`` is the model's prediction of frame ``t+1``.
+    Subclasses implement :meth:`begin_state` and :meth:`step`.
+    """
+
+    @abc.abstractmethod
+    def begin_state(self, batch: int, height: int, width: int):
+        """Initial recurrent state."""
+
+    @abc.abstractmethod
+    def step(self, frame, state):
+        """Consume one channels-first frame; return (prediction, new_state)."""
+
+    def forward(self, x):
+        batch, steps, height, width, _features = x.shape
+        state = self.begin_state(batch, height, width)
+        predictions = []
+        for t in range(steps):
+            frame = ops.transpose(x[:, t], (0, 3, 1, 2))  # (N, F, G1, G2)
+            prediction, state = self.step(frame, state)
+            predictions.append(ops.transpose(prediction, (0, 2, 3, 1)))
+        return ops.stack(predictions, axis=1)
+
+
+def next_frame_targets(x: np.ndarray) -> np.ndarray:
+    """Per-step next-frame targets for windows ``x``.
+
+    For window ``i`` the target at step ``t`` is frame ``t+1`` of the same
+    window; the final step's target is the first frame of window ``i+1``'s
+    tail — i.e. the true successor frame. The last window is dropped.
+    """
+    shifted_within = x[:-1, 1:]
+    successor = x[1:, -1][:, None]
+    return np.concatenate([shifted_within, successor], axis=1)
+
+
+class FrameSequenceForecaster(RecursiveFrameForecaster):
+    """Wrap a FrameSequenceModel in the recursive multi-step protocol."""
+
+    def __init__(
+        self,
+        model: FrameSequenceModel,
+        history: int,
+        horizon: int,
+        grid_shape,
+        num_features: int,
+        lr: float = 1e-3,
+        batch_size: int = 16,
+        seed: int = 0,
+    ):
+        super().__init__(history, horizon, grid_shape, num_features)
+        self.model = model
+        self.batch_size = batch_size
+        self.trainer = Trainer(model, loss="l1", lr=lr, batch_size=batch_size, seed=seed)
+
+    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
+        x = dataset.split.train_x
+        if len(x) < 2:
+            raise ValueError(f"{self.name} needs at least 2 training windows")
+        inputs = x[:-1]
+        targets = next_frame_targets(x)
+        history = self.trainer.fit(inputs, targets, epochs=epochs, verbose=verbose)
+        return history.as_dict()
+
+    def predict_next_frame(self, x: np.ndarray) -> np.ndarray:
+        self.model.eval()
+        outputs = []
+        with nn_config.no_grad():
+            for start in range(0, len(x), self.batch_size):
+                batch = Tensor(x[start : start + self.batch_size])
+                frames = self.model(batch)
+                outputs.append(frames.data[:, -1])
+        self.model.train()
+        return clip_normalized(np.concatenate(outputs, axis=0))

@@ -1,0 +1,101 @@
+"""Naive reference forecasters: persistence and seasonal (historical) average.
+
+Not part of the paper's Table III, but standard sanity anchors for any
+demand-forecasting repository: a learned model that cannot beat persistence
+is not learning, and the seasonal average exposes how much of the signal is
+pure diurnal periodicity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.base import Forecaster
+from repro.data.datasets import BikeDemandDataset
+
+
+class PersistenceForecaster(Forecaster):
+    """Repeat the last observed pick-up frame for every future slot."""
+
+    name = "Persistence"
+
+    def __init__(self, history, horizon, grid_shape, num_features, seed: int = 0):
+        super().__init__(history, horizon, grid_shape, num_features)
+
+    def fit(self, dataset: BikeDemandDataset, epochs: int = 0, verbose: bool = False) -> Dict:
+        return {}
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        last = x[:, -1, :, :, 0]
+        return np.repeat(last[:, None], self.horizon, axis=1)
+
+
+class SeasonalAverageForecaster(Forecaster):
+    """Predict the training-set average pick-up map for each slot-of-day.
+
+    Captures the repeating diurnal pattern and nothing else. Requires the
+    caller to provide the slot-of-day of each window's first future slot,
+    which we recover from the window index under the standard chronological
+    windowing (window ``i`` predicts slots ``i+h … i+h+p−1``).
+    """
+
+    name = "SeasonalAverage"
+
+    def __init__(
+        self,
+        history,
+        horizon,
+        grid_shape,
+        num_features,
+        slots_per_day: int = 96,
+        seed: int = 0,
+    ):
+        super().__init__(history, horizon, grid_shape, num_features)
+        self.slots_per_day = slots_per_day
+        self.profile: np.ndarray = np.zeros((slots_per_day,) + tuple(grid_shape))
+        self._train_offset = 0
+
+    def fit(self, dataset: BikeDemandDataset, epochs: int = 0, verbose: bool = False) -> Dict:
+        y = dataset.split.train_y  # (N, p, G1, G2), window i starts at slot i+h
+        totals = np.zeros((self.slots_per_day,) + tuple(self.grid_shape))
+        counts = np.zeros(self.slots_per_day)
+        for index in range(len(y)):
+            for step in range(y.shape[1]):
+                slot = (index + dataset.history + step) % self.slots_per_day
+                totals[slot] += y[index, step]
+                counts[slot] += 1
+        safe = np.maximum(counts, 1)[:, None, None]
+        self.profile = totals / safe
+        self._train_offset = dataset.history
+        return {"slots_seen": int((counts > 0).sum())}
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predict from each window's *observed phase*.
+
+        The window's slot-of-day is inferred by matching the mean activity
+        level of its recent history against the learned profile; with the
+        chronological test windows this equals aligning on the global
+        phase, which we approximate by carrying a rolling counter.
+        """
+        x = self._check_input(x)
+        predictions = np.empty((len(x), self.horizon) + tuple(self.grid_shape))
+        for index in range(len(x)):
+            slot0 = self._best_phase(x[index])
+            for step in range(self.horizon):
+                predictions[index, step] = self.profile[(slot0 + step) % self.slots_per_day]
+        return predictions
+
+    def _best_phase(self, window: np.ndarray) -> int:
+        """Phase whose profile best matches the window's recent history."""
+        history_maps = window[:, :, :, 0]  # (h, G1, G2)
+        h = history_maps.shape[0]
+        best_slot, best_error = 0, np.inf
+        for candidate in range(self.slots_per_day):
+            slots = [(candidate - h + offset) % self.slots_per_day for offset in range(h)]
+            error = float(np.abs(self.profile[slots] - history_maps).sum())
+            if error < best_error:
+                best_slot, best_error = candidate, error
+        return best_slot

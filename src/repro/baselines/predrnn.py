@@ -1,0 +1,81 @@
+"""PredRNN baseline (Wang et al., NeurIPS 2017; paper Sec. IV-B).
+
+Spatiotemporal LSTM cells with a shared memory ``M`` that zig-zags through
+the layer stack: it rises through the layers within a time step and returns
+from the top layer to the bottom layer of the next step, memorizing spatial
+appearances and temporal variations in one pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.frame_models import FrameSequenceForecaster, FrameSequenceModel
+from repro.nn import Conv2D, ModuleList, STLSTMCell, init
+
+
+class PredRNNModel(FrameSequenceModel):
+    """Stacked ST-LSTM cells with zig-zag spatiotemporal memory."""
+
+    def __init__(
+        self,
+        num_features: int,
+        hidden_channels: int = 8,
+        num_layers: int = 2,
+        kernel_size: int = 3,
+        rng=None,
+    ):
+        super().__init__()
+        rng = init.default_rng(rng)
+        cells = []
+        for layer in range(num_layers):
+            in_channels = num_features if layer == 0 else hidden_channels
+            cells.append(STLSTMCell(in_channels, hidden_channels, kernel_size, rng=rng))
+        self.cells = ModuleList(cells)
+        self.head = Conv2D(hidden_channels, num_features, 1, rng=rng)
+
+    def begin_state(self, batch, height, width):
+        layer_states = [cell.initial_state(batch, height, width) for cell in self.cells]
+        hidden = [(h, c) for h, c, _m in layer_states]
+        memory = layer_states[0][2]  # the shared M starts at the bottom
+        return {"hidden": hidden, "memory": memory}
+
+    def step(self, frame, state):
+        hidden = state["hidden"]
+        memory = state["memory"]
+        new_hidden = []
+        current = frame
+        for cell, (h, c) in zip(self.cells, hidden):
+            h, c, memory = cell(current, h, c, memory)
+            new_hidden.append((h, c))
+            current = h
+        # M returned by the top layer feeds the bottom layer next step.
+        return self.head(current), {"hidden": new_hidden, "memory": memory}
+
+
+class PredRNNForecaster(FrameSequenceForecaster):
+    """PredRNN in the recursive multi-step protocol."""
+
+    name = "PredRNN"
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        grid_shape,
+        num_features: int,
+        hidden_channels: int = 8,
+        num_layers: int = 2,
+        kernel_size: int = 3,
+        lr: float = 1e-3,
+        batch_size: int = 16,
+        seed: int = 0,
+    ):
+        model = PredRNNModel(
+            num_features,
+            hidden_channels=hidden_channels,
+            num_layers=num_layers,
+            kernel_size=kernel_size,
+            rng=np.random.default_rng(seed),
+        )
+        super().__init__(model, history, horizon, grid_shape, num_features, lr=lr, batch_size=batch_size, seed=seed)

@@ -1,0 +1,171 @@
+"""STSGCN baseline (Song et al., AAAI 2020; paper Sec. IV-B).
+
+Spatial-Temporal Synchronous GCN: a localized graph connects each node to
+its spatial neighbours *and* to itself in the adjacent time slices, so one
+graph convolution captures localized synchronous spatial-temporal
+correlations. Sliding the 3-slice module over the window, then cropping the
+middle slice, differentiates individual nodes at different time slots. The
+output uses one small head per future step (direct multi-step).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.baselines.base import Forecaster
+from repro.data.datasets import BikeDemandDataset
+from repro.graph import (
+    DenseGraphConv,
+    grid_adjacency,
+    localized_spatial_temporal_adjacency,
+)
+from repro.nn import Linear, Module, ModuleList, Trainer, init, ops
+from repro.nn import config as nn_config
+from repro.nn.tensor import Tensor
+
+
+def _random_walk_normalize(adjacency: np.ndarray) -> np.ndarray:
+    """Row-normalized propagation matrix ``D^{-1}(A + I)``."""
+    augmented = adjacency + np.eye(len(adjacency))
+    degree = augmented.sum(axis=1, keepdims=True)
+    return augmented / np.maximum(degree, 1e-12)
+
+
+class STSGCModule(Module):
+    """One synchronous module: GCN layers over a 3-slice localized graph,
+    cropping back to the middle slice."""
+
+    def __init__(self, adjacency: np.ndarray, channels: int, num_gcn_layers: int = 2, rng=None):
+        super().__init__()
+        localized = localized_spatial_temporal_adjacency(adjacency, steps=3)
+        propagation = _random_walk_normalize(localized)
+        self.nodes = adjacency.shape[0]
+        layers = []
+        for _ in range(num_gcn_layers):
+            layers.append(DenseGraphConv(propagation, channels, channels, rng=rng))
+        self.layers = ModuleList(layers)
+
+    def forward(self, x):
+        # x: (N, 3, V, C) -> (N, 3V, C)
+        batch, steps, nodes, channels = x.shape
+        stacked = ops.reshape(x, (batch, steps * nodes, channels))
+        hidden = stacked
+        for layer in self.layers:
+            hidden = ops.relu(layer(hidden))
+        # Crop the middle slice (the localized representation of slot t+1).
+        return hidden[:, nodes : 2 * nodes, :]
+
+
+class STSGCNModel(Module):
+    """Input embedding → stacked synchronous modules → per-step heads."""
+
+    def __init__(
+        self,
+        grid_shape,
+        history: int,
+        horizon: int,
+        num_features: int,
+        hidden_channels: int = 16,
+        hops: int = 1,
+        num_gcn_layers: int = 2,
+        rng=None,
+    ):
+        super().__init__()
+        if history < 3:
+            raise ValueError(f"STSGCN needs history >= 3, got {history}")
+        rng = init.default_rng(rng)
+        self.grid_shape = tuple(grid_shape)
+        self.horizon = horizon
+        rows, cols = self.grid_shape
+        adjacency = grid_adjacency(rows, cols, hops=hops)
+
+        self.embed = Linear(num_features, hidden_channels, rng=rng)
+        # Two stacked sweeps of the 3-slice module (when history allows).
+        self.num_sweeps = 2 if history >= 5 else 1
+        sweeps = []
+        length = history
+        for _ in range(self.num_sweeps):
+            sweeps.append(STSGCModule(adjacency, hidden_channels, num_gcn_layers, rng=rng))
+            length -= 2
+        self.sweeps = ModuleList(sweeps)
+        self.final_steps = length
+        heads = []
+        for _ in range(horizon):
+            heads.append(Linear(self.final_steps * hidden_channels, 1, rng=rng))
+        self.heads = ModuleList(heads)
+
+    def forward(self, x):
+        batch = x.shape[0]
+        history = x.shape[1]
+        rows, cols = self.grid_shape
+        nodes = rows * cols
+        x = ops.reshape(x, (batch, history, nodes, x.shape[4]))
+        hidden = self.embed(x)  # (N, h, V, C)
+        for sweep in self.sweeps:
+            length = hidden.shape[1]
+            slices = []
+            for t in range(length - 2):
+                window = hidden[:, t : t + 3]
+                slices.append(sweep(window))
+            hidden = ops.stack(slices, axis=1)  # (N, length-2, V, C)
+        # (N, T', V, C) -> (N, V, T'*C)
+        hidden = ops.transpose(hidden, (0, 2, 1, 3))
+        hidden = ops.reshape(hidden, (batch, nodes, -1))
+        steps = [head(hidden) for head in self.heads]  # each (N, V, 1)
+        out = ops.concat(steps, axis=2)  # (N, V, p)
+        out = ops.transpose(out, (0, 2, 1))
+        return ops.reshape(out, (batch, self.horizon, rows, cols))
+
+
+class STSGCNForecaster(Forecaster):
+    """Direct multi-step STSGCN."""
+
+    name = "STSGCN"
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        grid_shape,
+        num_features: int,
+        hidden_channels: int = 16,
+        hops: int = 1,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        seed: int = 0,
+    ):
+        super().__init__(history, horizon, grid_shape, num_features)
+        self.batch_size = batch_size
+        self.model = STSGCNModel(
+            grid_shape,
+            history,
+            horizon,
+            num_features,
+            hidden_channels=hidden_channels,
+            hops=hops,
+            rng=np.random.default_rng(seed),
+        )
+        self.trainer = Trainer(self.model, loss="l1", lr=lr, batch_size=batch_size, seed=seed)
+
+    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
+        history = self.trainer.fit(
+            dataset.split.train_x,
+            dataset.split.train_y,
+            epochs=epochs,
+            val_x=dataset.split.val_x,
+            val_y=dataset.split.val_y,
+            verbose=verbose,
+        )
+        return history.as_dict()
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = self._check_input(x)
+        self.model.eval()
+        outputs = []
+        with nn_config.no_grad():
+            for start in range(0, len(x), self.batch_size):
+                outputs.append(self.model(Tensor(x[start : start + self.batch_size])).data)
+        self.model.train()
+        return np.concatenate(outputs, axis=0)

@@ -1,0 +1,6 @@
+"""From-scratch gradient boosting (the XGBoost baseline's substrate)."""
+
+from repro.boosting.gbm import GradientBoostedTrees
+from repro.boosting.tree import RegressionTree, quantile_bins
+
+__all__ = ["GradientBoostedTrees", "RegressionTree", "quantile_bins"]

@@ -1,0 +1,59 @@
+"""Synthetic multimodal city: the substitute for the Shenzhen datasets."""
+
+from repro.city.grid import GridPartition
+from repro.city.profiles import (
+    SECONDS_PER_DAY,
+    CommutePeaks,
+    background_rate,
+    is_weekend,
+    sample_background_times,
+)
+from repro.city.records import (
+    BOARDING,
+    DISEMBARKING,
+    DROP_OFF,
+    PICK_UP,
+    BikeRecord,
+    BikeRecordBatch,
+    SubwayRecord,
+    SubwayRecordBatch,
+    format_time,
+)
+from repro.city.simulator import (
+    CityConfig,
+    CitySimulator,
+    SyntheticCity,
+    simulate_city,
+)
+from repro.city.subway import Station, SubwayNetwork, generate_subway
+from repro.city.zones import CBD, MIXED, RESIDENTIAL, ZoneMap, generate_zones
+
+__all__ = [
+    "BOARDING",
+    "BikeRecord",
+    "BikeRecordBatch",
+    "CBD",
+    "CityConfig",
+    "CitySimulator",
+    "CommutePeaks",
+    "DISEMBARKING",
+    "DROP_OFF",
+    "GridPartition",
+    "MIXED",
+    "PICK_UP",
+    "RESIDENTIAL",
+    "SECONDS_PER_DAY",
+    "Station",
+    "SubwayNetwork",
+    "SubwayRecord",
+    "SubwayRecordBatch",
+    "SyntheticCity",
+    "ZoneMap",
+    "background_rate",
+    "format_time",
+    "generate_subway",
+    "generate_zones",
+    "is_weekend",
+    "sample_background_times",
+    "simulate_city",
+]

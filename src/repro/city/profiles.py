@@ -1,0 +1,69 @@
+"""Diurnal demand profiles.
+
+Encodes the temporal structure visible in the paper's Fig. 1: a morning
+rush (residential→CBD) around 7–9 AM, an evening rush (CBD→residential)
+around 5–8 PM, low overnight activity, and weekend flattening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SECONDS_PER_DAY = 24 * 3600
+SECONDS_PER_HOUR = 3600
+
+
+@dataclass(frozen=True)
+class CommutePeaks:
+    """Gaussian departure-time peaks for the two commute directions."""
+
+    morning_mean_hour: float = 8.0
+    morning_std_hour: float = 0.8
+    evening_mean_hour: float = 18.0
+    evening_std_hour: float = 1.1
+
+    def sample_morning(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Departure seconds-into-day for morning commutes."""
+        hours = rng.normal(self.morning_mean_hour, self.morning_std_hour, size=count)
+        return np.clip(hours, 4.5, 12.0) * SECONDS_PER_HOUR
+
+    def sample_evening(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        hours = rng.normal(self.evening_mean_hour, self.evening_std_hour, size=count)
+        return np.clip(hours, 13.0, 23.0) * SECONDS_PER_HOUR
+
+
+def is_weekend(day: int, first_weekday: int = 0) -> bool:
+    """Whether simulated ``day`` (0-based) falls on a weekend.
+
+    2018-10-01 was a Monday, so the default ``first_weekday=0`` matches the
+    paper's data month.
+    """
+    return (first_weekday + day) % 7 >= 5
+
+
+def background_rate(seconds_into_day: np.ndarray) -> np.ndarray:
+    """Relative intensity of non-commute trips across the day.
+
+    A smooth double-hump curve: quiet overnight, busy midday through
+    evening. Normalized to peak 1.0.
+    """
+    hours = np.asarray(seconds_into_day) / SECONDS_PER_HOUR
+    midday = np.exp(-((hours - 13.0) ** 2) / (2 * 3.0**2))
+    evening = 0.8 * np.exp(-((hours - 20.0) ** 2) / (2 * 2.0**2))
+    overnight = 0.05
+    return np.clip(midday + evening + overnight, 0.0, 1.0)
+
+
+def sample_background_times(
+    rng: np.random.Generator, count: int, day: int
+) -> np.ndarray:
+    """Rejection-sample ``count`` trip start times (absolute seconds) in ``day``."""
+    times = np.empty(0)
+    while len(times) < count:
+        need = (count - len(times)) * 2 + 8
+        candidates = rng.random(need) * SECONDS_PER_DAY
+        accepted = candidates[rng.random(need) < background_rate(candidates)]
+        times = np.concatenate([times, accepted])
+    return np.sort(times[:count]) + day * SECONDS_PER_DAY

@@ -1,0 +1,202 @@
+"""Trip-record formats matching the paper's Tables I and II.
+
+The simulator produces records in two layouts:
+
+- :class:`SubwayRecord` / :class:`BikeRecord` — one dataclass per row,
+  mirroring the paper's tables field-for-field (SZT ID, time, line, status,
+  station / user ID, GPS point, bike ID).
+- :class:`SubwayRecordBatch` / :class:`BikeRecordBatch` — column-oriented
+  numpy batches, the fast path the aggregation pipeline consumes. Batches
+  convert losslessly to row records for inspection and tests.
+
+Times are seconds since the start of the simulated period; formatting
+helpers render them as timestamps in the dataset's month (2018-10, as in
+the paper).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+BOARDING = "Boarding"
+DISEMBARKING = "Disembarking"
+PICK_UP = "Pick-up"
+DROP_OFF = "Drop-off"
+
+EPOCH = dt.datetime(2018, 10, 1)
+
+
+def format_time(seconds: float) -> str:
+    """Render simulation seconds as the paper's timestamp format."""
+    moment = EPOCH + dt.timedelta(seconds=float(seconds))
+    return moment.strftime("%Y-%m-%d %H:%M:%S")
+
+
+@dataclass(frozen=True)
+class SubwayRecord:
+    """One subway-trip row (paper Table I)."""
+
+    record_id: int
+    szt_id: int
+    time_seconds: float
+    line: int
+    status: str  # BOARDING or DISEMBARKING
+    station_id: int
+    station_name: str
+
+    @property
+    def transportation(self) -> str:
+        return f"Subway Line No.{self.line + 1}"
+
+    @property
+    def time(self) -> str:
+        return format_time(self.time_seconds)
+
+
+@dataclass(frozen=True)
+class BikeRecord:
+    """One bike-trip row (paper Table II)."""
+
+    record_id: int
+    user_id: int
+    time_seconds: float
+    latitude: float
+    longitude: float
+    status: str  # PICK_UP or DROP_OFF
+    bike_id: int
+
+    @property
+    def location(self) -> Tuple[float, float]:
+        return (self.latitude, self.longitude)
+
+    @property
+    def time(self) -> str:
+        return format_time(self.time_seconds)
+
+
+class SubwayRecordBatch:
+    """Column-oriented subway records."""
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        station_ids: np.ndarray,
+        lines: np.ndarray,
+        boarding: np.ndarray,
+        user_ids: np.ndarray,
+    ):
+        self.times = np.asarray(times, dtype=float)
+        self.station_ids = np.asarray(station_ids, dtype=int)
+        self.lines = np.asarray(lines, dtype=int)
+        self.boarding = np.asarray(boarding, dtype=bool)
+        self.user_ids = np.asarray(user_ids, dtype=int)
+        lengths = {len(self.times), len(self.station_ids), len(self.lines), len(self.boarding), len(self.user_ids)}
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent column lengths: {sorted(lengths)}")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def sorted_by_time(self) -> "SubwayRecordBatch":
+        order = np.argsort(self.times, kind="stable")
+        return SubwayRecordBatch(
+            self.times[order],
+            self.station_ids[order],
+            self.lines[order],
+            self.boarding[order],
+            self.user_ids[order],
+        )
+
+    def to_records(self, station_names: List[str]) -> Iterator[SubwayRecord]:
+        for index in range(len(self)):
+            station = int(self.station_ids[index])
+            yield SubwayRecord(
+                record_id=index,
+                szt_id=int(self.user_ids[index]),
+                time_seconds=float(self.times[index]),
+                line=int(self.lines[index]),
+                status=BOARDING if self.boarding[index] else DISEMBARKING,
+                station_id=station,
+                station_name=station_names[station],
+            )
+
+    @staticmethod
+    def concatenate(batches: List["SubwayRecordBatch"]) -> "SubwayRecordBatch":
+        return SubwayRecordBatch(
+            np.concatenate([b.times for b in batches]) if batches else np.empty(0),
+            np.concatenate([b.station_ids for b in batches]) if batches else np.empty(0, int),
+            np.concatenate([b.lines for b in batches]) if batches else np.empty(0, int),
+            np.concatenate([b.boarding for b in batches]) if batches else np.empty(0, bool),
+            np.concatenate([b.user_ids for b in batches]) if batches else np.empty(0, int),
+        )
+
+
+class BikeRecordBatch:
+    """Column-oriented bike records (locations as GPS fixes)."""
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        latitudes: np.ndarray,
+        longitudes: np.ndarray,
+        pickup: np.ndarray,
+        user_ids: np.ndarray,
+        bike_ids: np.ndarray,
+    ):
+        self.times = np.asarray(times, dtype=float)
+        self.latitudes = np.asarray(latitudes, dtype=float)
+        self.longitudes = np.asarray(longitudes, dtype=float)
+        self.pickup = np.asarray(pickup, dtype=bool)
+        self.user_ids = np.asarray(user_ids, dtype=int)
+        self.bike_ids = np.asarray(bike_ids, dtype=int)
+        lengths = {
+            len(self.times),
+            len(self.latitudes),
+            len(self.longitudes),
+            len(self.pickup),
+            len(self.user_ids),
+            len(self.bike_ids),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent column lengths: {sorted(lengths)}")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def sorted_by_time(self) -> "BikeRecordBatch":
+        order = np.argsort(self.times, kind="stable")
+        return BikeRecordBatch(
+            self.times[order],
+            self.latitudes[order],
+            self.longitudes[order],
+            self.pickup[order],
+            self.user_ids[order],
+            self.bike_ids[order],
+        )
+
+    def to_records(self) -> Iterator[BikeRecord]:
+        for index in range(len(self)):
+            yield BikeRecord(
+                record_id=index,
+                user_id=int(self.user_ids[index]),
+                time_seconds=float(self.times[index]),
+                latitude=float(self.latitudes[index]),
+                longitude=float(self.longitudes[index]),
+                status=PICK_UP if self.pickup[index] else DROP_OFF,
+                bike_id=int(self.bike_ids[index]),
+            )
+
+    @staticmethod
+    def concatenate(batches: List["BikeRecordBatch"]) -> "BikeRecordBatch":
+        return BikeRecordBatch(
+            np.concatenate([b.times for b in batches]) if batches else np.empty(0),
+            np.concatenate([b.latitudes for b in batches]) if batches else np.empty(0),
+            np.concatenate([b.longitudes for b in batches]) if batches else np.empty(0),
+            np.concatenate([b.pickup for b in batches]) if batches else np.empty(0, bool),
+            np.concatenate([b.user_ids for b in batches]) if batches else np.empty(0, int),
+            np.concatenate([b.bike_ids for b in batches]) if batches else np.empty(0, int),
+        )

@@ -1,0 +1,396 @@
+"""End-to-end synthetic multimodal mobility simulator.
+
+This is the stand-in for the paper's proprietary Shenzhen datasets
+(30,000 bikes, 7 subway lines, one month). It generates *causally*
+structured trips:
+
+- commuters live in residential cells and work in CBD cells;
+- the long commute leg rides the subway (upstream system);
+- commuters whose workplace is a few cells from the exit station take a
+  shared bike for the last mile, with a stochastic transfer lag —
+  producing the upstream→downstream lagged correlation of paper Fig. 1;
+- evening flows reverse direction, making the correlation *time-specific*
+  (the property BikeCAP's routing is designed to capture);
+- background (non-commute) subway and bike trips add realistic noise.
+
+Everything is seeded and vectorized with numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.city.grid import GridPartition
+from repro.city.profiles import (
+    SECONDS_PER_DAY,
+    CommutePeaks,
+    is_weekend,
+    sample_background_times,
+)
+from repro.city.records import BikeRecordBatch, SubwayRecordBatch
+from repro.city.subway import SubwayNetwork, generate_subway
+from repro.city.zones import ZoneMap, generate_zones
+
+BIKE_SPEED_M_PER_MIN = 200.0  # ~12 km/h
+WALK_SPEED_M_PER_MIN = 80.0  # ~4.8 km/h
+
+
+@dataclass
+class CityConfig:
+    """Scale knobs for the synthetic city.
+
+    Defaults target laptop-scale training; tests shrink them further and
+    ``REPRO_PROFILE=paper`` benchmarks scale them up.
+    """
+
+    rows: int = 16
+    cols: int = 12
+    cell_meters: float = 500.0
+    num_lines: int = 4
+    station_spacing_cells: int = 2
+    num_commuters: int = 1500
+    num_bikes: int = 600
+    days: int = 14
+    background_subway_per_day: int = 400
+    background_bike_per_day: int = 300
+    weekend_participation: float = 0.25
+    last_mile_bike_probability: float = 0.8
+    transfer_lag_minutes: Tuple[float, float] = (2.0, 8.0)
+    day_variation_std: float = 0.08
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.days < 1:
+            raise ValueError("simulation needs at least one day")
+        if self.num_commuters < 1:
+            raise ValueError("simulation needs at least one commuter")
+        if not 0.0 <= self.last_mile_bike_probability <= 1.0:
+            raise ValueError("last_mile_bike_probability must be a probability")
+
+
+@dataclass
+class SyntheticCity:
+    """The simulator's output bundle."""
+
+    config: CityConfig
+    grid: GridPartition
+    zones: ZoneMap
+    subway: SubwayNetwork
+    subway_records: SubwayRecordBatch
+    bike_records: BikeRecordBatch
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.config.days * SECONDS_PER_DAY
+
+    @property
+    def station_names(self) -> List[str]:
+        return [station.name for station in self.subway.stations]
+
+
+@dataclass
+class _Commuters:
+    """Column-oriented commuter population."""
+
+    home_rows: np.ndarray
+    home_cols: np.ndarray
+    work_rows: np.ndarray
+    work_cols: np.ndarray
+    home_station: np.ndarray
+    work_station: np.ndarray
+    ride_minutes: np.ndarray  # subway leg, precomputed
+    bike_last_mile: np.ndarray  # bool
+    last_mile_minutes: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.home_rows)
+
+
+class CitySimulator:
+    """Generates a :class:`SyntheticCity` from a :class:`CityConfig`."""
+
+    def __init__(self, config: Optional[CityConfig] = None):
+        self.config = config or CityConfig()
+        self.rng = np.random.default_rng(self.config.seed)
+        self.grid = GridPartition(self.config.rows, self.config.cols, self.config.cell_meters)
+        self.zones = generate_zones(self.grid, self.rng)
+        self.subway = generate_subway(
+            self.grid,
+            num_lines=self.config.num_lines,
+            station_spacing_cells=self.config.station_spacing_cells,
+            rng=self.rng,
+        )
+        self.peaks = CommutePeaks()
+
+    # ------------------------------------------------------------------
+    def generate(self) -> SyntheticCity:
+        """Run the full simulation."""
+        commuters = self._sample_commuters()
+        subway_parts: List[SubwayRecordBatch] = []
+        bike_parts: List[BikeRecordBatch] = []
+        for day in range(self.config.days):
+            weekend = is_weekend(day)
+            active = self._active_mask(commuters, weekend)
+            for morning in (True, False):
+                subway_batch, bike_batch = self._commute_wave(commuters, active, day, morning)
+                subway_parts.append(subway_batch)
+                bike_parts.append(bike_batch)
+            subway_parts.append(self._background_subway(day, weekend))
+            bike_parts.append(self._background_bike(day, weekend))
+
+        subway_records = SubwayRecordBatch.concatenate(subway_parts).sorted_by_time()
+        bike_records = BikeRecordBatch.concatenate(bike_parts).sorted_by_time()
+        return SyntheticCity(
+            config=self.config,
+            grid=self.grid,
+            zones=self.zones,
+            subway=self.subway,
+            subway_records=subway_records,
+            bike_records=bike_records,
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_commuters(self) -> _Commuters:
+        count = self.config.num_commuters
+        flat_population = self.zones.population.ravel()
+        flat_jobs = self.zones.jobs.ravel()
+        home_flat = self.rng.choice(self.grid.num_cells, size=count, p=flat_population)
+        work_flat = self.rng.choice(self.grid.num_cells, size=count, p=flat_jobs)
+        home_rows, home_cols = np.unravel_index(home_flat, self.grid.shape)
+        work_rows, work_cols = np.unravel_index(work_flat, self.grid.shape)
+
+        home_station = np.array(
+            [self.subway.nearest_station((r, c)) for r, c in zip(home_rows, home_cols)]
+        )
+        work_station = np.array(
+            [self.subway.nearest_station((r, c)) for r, c in zip(work_rows, work_cols)]
+        )
+        ride_minutes = np.array(
+            [
+                self.subway.travel_minutes(int(o), int(d)) if o != d else 0.0
+                for o, d in zip(home_station, work_station)
+            ]
+        )
+        # Last-mile: bike is attractive when the workplace is 1+ cells from
+        # the exit station but still bikeable (< ~5 cells).
+        station_cells = np.array([self.subway.stations[int(s)].cell for s in work_station])
+        exit_distance_m = (
+            np.hypot(
+                station_cells[:, 0] - work_rows,
+                station_cells[:, 1] - work_cols,
+            )
+            * self.grid.cell_meters
+        )
+        bikeable = (exit_distance_m >= 0.8 * self.grid.cell_meters) & (
+            exit_distance_m <= 5.0 * self.grid.cell_meters
+        )
+        bike_last_mile = bikeable & (
+            self.rng.random(count) < self.config.last_mile_bike_probability
+        )
+        last_mile_minutes = np.maximum(exit_distance_m / BIKE_SPEED_M_PER_MIN, 1.0)
+        return _Commuters(
+            home_rows=home_rows,
+            home_cols=home_cols,
+            work_rows=work_rows,
+            work_cols=work_cols,
+            home_station=home_station,
+            work_station=work_station,
+            ride_minutes=ride_minutes,
+            bike_last_mile=bike_last_mile,
+            last_mile_minutes=last_mile_minutes,
+        )
+
+    def _active_mask(self, commuters: _Commuters, weekend: bool) -> np.ndarray:
+        count = len(commuters)
+        if weekend:
+            return self.rng.random(count) < self.config.weekend_participation
+        # Day-to-day variation: most people commute, some stay home.
+        day_scale = 1.0 + self.rng.normal(0.0, self.config.day_variation_std)
+        probability = np.clip(0.92 * day_scale, 0.0, 1.0)
+        return self.rng.random(count) < probability
+
+    def _commute_wave(
+        self,
+        commuters: _Commuters,
+        active: np.ndarray,
+        day: int,
+        morning: bool,
+    ) -> Tuple[SubwayRecordBatch, BikeRecordBatch]:
+        """One direction of the daily commute for all active commuters."""
+        index = np.flatnonzero(active)
+        count = len(index)
+        if count == 0:
+            return _empty_subway(), _empty_bike()
+        if morning:
+            departures = self.peaks.sample_morning(self.rng, count)
+            origin_station = commuters.home_station[index]
+            destination_station = commuters.work_station[index]
+        else:
+            departures = self.peaks.sample_evening(self.rng, count)
+            origin_station = commuters.work_station[index]
+            destination_station = commuters.home_station[index]
+        departures = departures + day * SECONDS_PER_DAY
+
+        # Walk from origin cell to origin station (1-6 min), then board.
+        walk_minutes = self.rng.uniform(1.0, 6.0, size=count)
+        board_times = departures + walk_minutes * 60.0
+        ride = commuters.ride_minutes[index] + self.rng.uniform(-1.0, 1.0, size=count)
+        alight_times = board_times + np.maximum(ride, 1.0) * 60.0
+
+        rides_subway = origin_station != destination_station
+        lines = np.array([self.subway.stations[int(s)].line for s in origin_station])
+        dest_lines = np.array([self.subway.stations[int(s)].line for s in destination_station])
+
+        subway_times = np.concatenate([board_times[rides_subway], alight_times[rides_subway]])
+        subway_stations = np.concatenate(
+            [origin_station[rides_subway], destination_station[rides_subway]]
+        )
+        subway_lines = np.concatenate([lines[rides_subway], dest_lines[rides_subway]])
+        subway_boarding = np.concatenate(
+            [np.ones(rides_subway.sum(), bool), np.zeros(rides_subway.sum(), bool)]
+        )
+        subway_users = np.concatenate([index[rides_subway], index[rides_subway]])
+        subway_batch = SubwayRecordBatch(
+            subway_times, subway_stations, subway_lines, subway_boarding, subway_users
+        )
+
+        # Last-mile bike leg: only on the *destination* side, after the
+        # transfer lag — this is the upstream→downstream propagation.
+        bike_mask = commuters.bike_last_mile[index] & rides_subway if morning else (
+            commuters.bike_last_mile[index] & rides_subway
+        )
+        bike_index = index[bike_mask]
+        bike_count = len(bike_index)
+        if bike_count == 0:
+            return subway_batch, _empty_bike()
+
+        low, high = self.config.transfer_lag_minutes
+        lag = self.rng.uniform(low, high, size=bike_count) * 60.0
+        pickup_times = alight_times[bike_mask] + lag
+        ride_seconds = (
+            commuters.last_mile_minutes[bike_index]
+            + self.rng.uniform(-0.5, 0.5, size=bike_count)
+        ).clip(min=1.0) * 60.0
+        dropoff_times = pickup_times + ride_seconds
+
+        if morning:
+            # Pick up near the work-side exit station, drop at the workplace.
+            station_ids = commuters.work_station[bike_index]
+            end_rows = commuters.work_rows[bike_index]
+            end_cols = commuters.work_cols[bike_index]
+        else:
+            # Evening: pick up near the home-side exit station, drop at home.
+            station_ids = commuters.home_station[bike_index]
+            end_rows = commuters.home_rows[bike_index]
+            end_cols = commuters.home_cols[bike_index]
+        station_cells = np.array([self.subway.stations[int(s)].cell for s in station_ids])
+        pickup_x, pickup_y = self.grid.random_point_in(
+            station_cells[:, 0], station_cells[:, 1], self.rng
+        )
+        drop_x, drop_y = self.grid.random_point_in(end_rows, end_cols, self.rng)
+        pickup_lat, pickup_lon = self.grid.to_gps(pickup_x, pickup_y)
+        drop_lat, drop_lon = self.grid.to_gps(drop_x, drop_y)
+
+        bike_ids = self.rng.integers(0, self.config.num_bikes, size=bike_count)
+        bike_batch = BikeRecordBatch(
+            np.concatenate([pickup_times, dropoff_times]),
+            np.concatenate([pickup_lat, drop_lat]),
+            np.concatenate([pickup_lon, drop_lon]),
+            np.concatenate([np.ones(bike_count, bool), np.zeros(bike_count, bool)]),
+            np.concatenate([bike_index, bike_index]),
+            np.concatenate([bike_ids, bike_ids]),
+        )
+        return subway_batch, bike_batch
+
+    # ------------------------------------------------------------------
+    def _background_subway(self, day: int, weekend: bool) -> SubwayRecordBatch:
+        base = self.config.background_subway_per_day
+        count = int(self.rng.poisson(base * (1.3 if weekend else 1.0)))
+        if count == 0:
+            return _empty_subway()
+        times = sample_background_times(self.rng, count, day)
+        mass = self.zones.population + self.zones.jobs
+        station_weights = np.array(
+            [mass[s.cell] for s in self.subway.stations], dtype=float
+        )
+        station_weights /= station_weights.sum()
+        origins = self.rng.choice(self.subway.num_stations, size=count, p=station_weights)
+        destinations = self.rng.choice(self.subway.num_stations, size=count, p=station_weights)
+        valid = origins != destinations
+        origins, destinations, times = origins[valid], destinations[valid], times[valid]
+        count = len(times)
+        ride_minutes = np.array(
+            [self.subway.travel_minutes(int(o), int(d)) for o, d in zip(origins, destinations)]
+        )
+        alight_times = times + ride_minutes * 60.0
+        lines = np.array([self.subway.stations[int(s)].line for s in origins])
+        dest_lines = np.array([self.subway.stations[int(s)].line for s in destinations])
+        users = self.rng.integers(
+            self.config.num_commuters, self.config.num_commuters * 10, size=count
+        )
+        return SubwayRecordBatch(
+            np.concatenate([times, alight_times]),
+            np.concatenate([origins, destinations]),
+            np.concatenate([lines, dest_lines]),
+            np.concatenate([np.ones(count, bool), np.zeros(count, bool)]),
+            np.concatenate([users, users]),
+        )
+
+    def _background_bike(self, day: int, weekend: bool) -> BikeRecordBatch:
+        base = self.config.background_bike_per_day
+        count = int(self.rng.poisson(base * (1.4 if weekend else 1.0)))
+        if count == 0:
+            return _empty_bike()
+        times = sample_background_times(self.rng, count, day)
+        mass = (self.zones.population + self.zones.jobs).ravel()
+        mass = mass / mass.sum()
+        start_flat = self.rng.choice(self.grid.num_cells, size=count, p=mass)
+        start_rows, start_cols = np.unravel_index(start_flat, self.grid.shape)
+        # Short random hops (bikes are for short trips).
+        end_rows = np.clip(start_rows + self.rng.integers(-2, 3, size=count), 0, self.grid.rows - 1)
+        end_cols = np.clip(start_cols + self.rng.integers(-2, 3, size=count), 0, self.grid.cols - 1)
+        distance_m = (
+            np.hypot(end_rows - start_rows, end_cols - start_cols) * self.grid.cell_meters
+        )
+        ride_seconds = np.maximum(distance_m / BIKE_SPEED_M_PER_MIN, 2.0) * 60.0
+        start_x, start_y = self.grid.random_point_in(start_rows, start_cols, self.rng)
+        end_x, end_y = self.grid.random_point_in(end_rows, end_cols, self.rng)
+        start_lat, start_lon = self.grid.to_gps(start_x, start_y)
+        end_lat, end_lon = self.grid.to_gps(end_x, end_y)
+        users = self.rng.integers(
+            self.config.num_commuters, self.config.num_commuters * 10, size=count
+        )
+        bikes = self.rng.integers(0, self.config.num_bikes, size=count)
+        return BikeRecordBatch(
+            np.concatenate([times, times + ride_seconds]),
+            np.concatenate([start_lat, end_lat]),
+            np.concatenate([start_lon, end_lon]),
+            np.concatenate([np.ones(count, bool), np.zeros(count, bool)]),
+            np.concatenate([users, users]),
+            np.concatenate([bikes, bikes]),
+        )
+
+
+def _empty_subway() -> SubwayRecordBatch:
+    return SubwayRecordBatch(
+        np.empty(0), np.empty(0, int), np.empty(0, int), np.empty(0, bool), np.empty(0, int)
+    )
+
+
+def _empty_bike() -> BikeRecordBatch:
+    return BikeRecordBatch(
+        np.empty(0),
+        np.empty(0),
+        np.empty(0),
+        np.empty(0, bool),
+        np.empty(0, int),
+        np.empty(0, int),
+    )
+
+
+def simulate_city(config: Optional[CityConfig] = None) -> SyntheticCity:
+    """One-call convenience wrapper."""
+    return CitySimulator(config).generate()

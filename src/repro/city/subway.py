@@ -1,0 +1,194 @@
+"""Synthetic subway network: the upstream transportation system.
+
+Lines are generated as monotone paths across the grid (mimicking how real
+lines connect residential belts to CBD cores), with stations every few
+cells. The network is a :mod:`networkx` graph whose edge weights are
+inter-station travel times; interchanges happen where lines share a cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.city.grid import GridPartition
+
+
+@dataclass(frozen=True)
+class Station:
+    """A subway station pinned to one grid cell."""
+
+    station_id: int
+    name: str
+    line: int
+    cell: Tuple[int, int]
+
+    @property
+    def row(self) -> int:
+        return self.cell[0]
+
+    @property
+    def col(self) -> int:
+        return self.cell[1]
+
+
+@dataclass
+class SubwayNetwork:
+    """Stations, lines and a travel-time graph over them."""
+
+    grid: GridPartition
+    stations: List[Station]
+    lines: Dict[int, List[int]]  # line -> ordered station ids
+    graph: nx.Graph = field(repr=False)
+    minutes_per_hop: float = 3.0
+
+    def __post_init__(self):
+        self._by_cell: Dict[Tuple[int, int], List[int]] = {}
+        for station in self.stations:
+            self._by_cell.setdefault(station.cell, []).append(station.station_id)
+        self._station_cells = np.array([s.cell for s in self.stations])
+        self._travel_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def num_lines(self) -> int:
+        return len(self.lines)
+
+    @property
+    def num_stations(self) -> int:
+        return len(self.stations)
+
+    def station(self, station_id: int) -> Station:
+        return self.stations[station_id]
+
+    def stations_in_cell(self, cell: Tuple[int, int]) -> List[int]:
+        return list(self._by_cell.get(tuple(cell), []))
+
+    def nearest_station(self, cell: Tuple[int, int]) -> int:
+        """Station id closest (in cell space) to ``cell``."""
+        deltas = self._station_cells - np.asarray(cell)
+        return int(np.argmin((deltas**2).sum(axis=1)))
+
+    def nearest_station_distance_cells(self, cell: Tuple[int, int]) -> float:
+        deltas = self._station_cells - np.asarray(cell)
+        return float(np.sqrt((deltas**2).sum(axis=1).min()))
+
+    def travel_minutes(self, origin: int, destination: int) -> float:
+        """Shortest-path ride time between two stations (minutes)."""
+        if origin not in self._travel_cache:
+            lengths = nx.single_source_dijkstra_path_length(self.graph, origin, weight="minutes")
+            table = np.full(self.num_stations, np.inf)
+            for node, minutes in lengths.items():
+                table[node] = minutes
+            self._travel_cache[origin] = table
+        return float(self._travel_cache[origin][destination])
+
+
+def _line_path(
+    grid: GridPartition,
+    rng: np.random.Generator,
+    start: Tuple[int, int],
+    end: Tuple[int, int],
+) -> List[Tuple[int, int]]:
+    """A jittered monotone lattice path from ``start`` to ``end``."""
+    path = [start]
+    row, col = start
+    while (row, col) != end:
+        row_step = int(np.sign(end[0] - row))
+        col_step = int(np.sign(end[1] - col))
+        if row_step and col_step:
+            if rng.random() < 0.5:
+                row += row_step
+            else:
+                col += col_step
+        elif row_step:
+            row += row_step
+        else:
+            col += col_step
+        path.append((row, col))
+    return path
+
+
+def generate_subway(
+    grid: GridPartition,
+    num_lines: int = 4,
+    station_spacing_cells: int = 2,
+    rng: Optional[np.random.Generator] = None,
+    minutes_per_hop: float = 3.0,
+) -> SubwayNetwork:
+    """Generate a west↔east subway network with ``num_lines`` lines.
+
+    Each line starts in the residential (west) margin and ends in the CBD
+    (east) margin, so subway rides embody the long-distance commute legs
+    whose demand precedes downstream bike demand.
+    """
+    if num_lines < 1:
+        raise ValueError("need at least one subway line")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    stations: List[Station] = []
+    lines: Dict[int, List[int]] = {}
+    graph = nx.Graph()
+
+    for line in range(num_lines):
+        start = (int(rng.integers(0, grid.rows)), 0)
+        end = (int(rng.integers(0, grid.rows)), grid.cols - 1)
+        path = _line_path(grid, rng, start, end)
+        cells = path[::station_spacing_cells]
+        if cells[-1] != path[-1]:
+            cells.append(path[-1])
+        line_station_ids: List[int] = []
+        for cell in cells:
+            station_id = len(stations)
+            station = Station(
+                station_id=station_id,
+                name=f"L{line + 1}-S{len(line_station_ids) + 1}",
+                line=line,
+                cell=cell,
+            )
+            stations.append(station)
+            graph.add_node(station_id)
+            line_station_ids.append(station_id)
+        for previous, current in zip(line_station_ids, line_station_ids[1:]):
+            hops = abs(stations[previous].row - stations[current].row) + abs(
+                stations[previous].col - stations[current].col
+            )
+            graph.add_edge(previous, current, minutes=minutes_per_hop * max(1, hops))
+        lines[line] = line_station_ids
+
+    # Interchange: stations of different lines sharing a cell get a cheap
+    # transfer edge (walk across the platform).
+    by_cell: Dict[Tuple[int, int], List[int]] = {}
+    for station in stations:
+        by_cell.setdefault(station.cell, []).append(station.station_id)
+    for cell_stations in by_cell.values():
+        for i, a in enumerate(cell_stations):
+            for b in cell_stations[i + 1 :]:
+                graph.add_edge(a, b, minutes=2.0)
+
+    # Guarantee connectivity across lines so any commute is feasible: link
+    # the closest station pairs between consecutive components.
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    while len(components) > 1:
+        base, other = components[0], components[1]
+        best = None
+        for a in base:
+            for b in other:
+                distance = abs(stations[a].row - stations[b].row) + abs(
+                    stations[a].col - stations[b].col
+                )
+                if best is None or distance < best[0]:
+                    best = (distance, a, b)
+        _, a, b = best
+        graph.add_edge(a, b, minutes=minutes_per_hop * max(1, best[0]) + 5.0)
+        components = [sorted(c) for c in nx.connected_components(graph)]
+
+    return SubwayNetwork(
+        grid=grid,
+        stations=stations,
+        lines=lines,
+        graph=graph,
+        minutes_per_hop=minutes_per_hop,
+    )

@@ -1,0 +1,43 @@
+"""The paper's primary contribution: the BikeCAP capsule network."""
+
+from repro.core.capsules import FutureCapsules, HistoricalCapsules
+from repro.core.decoder import Decoder3D, ReshapeDecoder
+from repro.core.model import BikeCAP, BikeCAPConfig
+from repro.core.pyramid import PyramidConv3D, pyramid_cell_count, pyramid_mask
+from repro.core.routing import SpatialTemporalRouting, softmax_3d, squash_np
+from repro.core.squash import capsule_length, squash
+from repro.core.variants import (
+    DOWNSTREAM_FEATURES,
+    VARIANTS,
+    make_bikecap,
+    make_bikecap_3d,
+    make_bikecap_3d_pyra,
+    make_bikecap_pyra,
+    make_bikecap_sub,
+    make_variant,
+)
+
+__all__ = [
+    "BikeCAP",
+    "BikeCAPConfig",
+    "DOWNSTREAM_FEATURES",
+    "Decoder3D",
+    "FutureCapsules",
+    "HistoricalCapsules",
+    "PyramidConv3D",
+    "ReshapeDecoder",
+    "SpatialTemporalRouting",
+    "VARIANTS",
+    "capsule_length",
+    "make_bikecap",
+    "make_bikecap_3d",
+    "make_bikecap_3d_pyra",
+    "make_bikecap_pyra",
+    "make_bikecap_sub",
+    "make_variant",
+    "pyramid_cell_count",
+    "pyramid_mask",
+    "softmax_3d",
+    "squash",
+    "squash_np",
+]

@@ -1,0 +1,90 @@
+"""Historical and future capsule layers (paper Sec. III-C/III-D)."""
+
+from __future__ import annotations
+
+from repro.nn import ops
+from repro.nn.layers.base import Module
+from repro.nn.layers.conv import Conv3D
+from repro.core.pyramid import PyramidConv3D
+from repro.core.routing import SpatialTemporalRouting
+from repro.core.squash import squash
+
+
+class HistoricalCapsules(Module):
+    """Convert demand series into the capsule domain.
+
+    Input ``(N, f, h, G1, G2)`` (channels-first demand features, f covers
+    upstream *and* downstream systems); output
+    ``(N, c_hist, n_l, h, G1, G2)`` — ``c_hist`` capsule types per (grid,
+    historical slot), each a squashed ``n_l``-dim vector.
+
+    ``use_pyramid=False`` swaps the pyramid convolution for a standard cube
+    kernel of the same temporal depth — the BikeCap-Pyra ablation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        capsule_channels: int,
+        capsule_dim: int,
+        pyramid_size: int,
+        use_pyramid: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        self.capsule_channels = capsule_channels
+        self.capsule_dim = capsule_dim
+        self.use_pyramid = use_pyramid
+        out_channels = capsule_channels * capsule_dim
+        if use_pyramid:
+            self.conv = PyramidConv3D(in_features, out_channels, pyramid_size, rng=rng)
+        else:
+            # Same temporal depth and causal padding, ordinary dense kernel
+            # with a conventional 3x3 spatial extent.
+            self.conv = Conv3D(
+                in_features,
+                out_channels,
+                kernel_size=(pyramid_size, 3, 3),
+                stride=1,
+                padding=((pyramid_size - 1, 0), (1, 1), (1, 1)),
+                rng=rng,
+            )
+
+    def forward(self, x):
+        batch, _features, history, g1, g2 = x.shape
+        features = self.conv(x)  # (N, c*n, h, G1, G2)
+        features = ops.reshape(
+            features, (batch, self.capsule_channels, self.capsule_dim, history, g1, g2)
+        )
+        return squash(features, axis=2)
+
+
+class FutureCapsules(Module):
+    """Reconstruct one capsule per future time slot via spatial-temporal routing."""
+
+    def __init__(
+        self,
+        in_capsule_dim: int,
+        out_capsule_dim: int,
+        horizon: int,
+        iterations: int = 3,
+        separate_temporal_capsules: bool = False,
+        rng=None,
+    ):
+        super().__init__()
+        self.routing = SpatialTemporalRouting(
+            in_capsule_dim,
+            out_capsule_dim,
+            horizon,
+            iterations=iterations,
+            separate_temporal_capsules=separate_temporal_capsules,
+            rng=rng,
+        )
+
+    def forward(self, phi):
+        return self.routing(phi)
+
+    @property
+    def last_coupling(self):
+        """Coupling coefficients from the most recent forward pass."""
+        return self.routing.last_coupling

@@ -1,0 +1,56 @@
+"""Output decoders (paper Sec. III-E).
+
+``Decoder3D`` is the paper's decoder: two 3-D *deconvolution* layers that
+exploit similar bike-demand patterns in neighbouring grids and adjacent time
+slots. ``ReshapeDecoder`` is the BikeCap-3D ablation's replacement: a
+per-grid, per-slot map on the capsule vector alone (1×1×1 kernels), which
+treats every grid cell in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.nn import ops
+from repro.nn.layers.base import Module
+from repro.nn.layers.common import Activation
+from repro.nn.layers.conv import Conv3D, ConvTranspose3D
+
+
+class Decoder3D(Module):
+    """Two 3-D deconvolution layers mapping future capsules to demand maps.
+
+    Input ``(N, p, n_cap, G1, G2)`` → output ``(N, p, G1, G2)``.
+    """
+
+    def __init__(self, capsule_dim: int, hidden_channels: int = 8, rng=None):
+        super().__init__()
+        self.deconv1 = ConvTranspose3D(capsule_dim, hidden_channels, 3, stride=1, padding=1, rng=rng)
+        self.activation = Activation("relu")
+        self.deconv2 = ConvTranspose3D(hidden_channels, 1, 3, stride=1, padding=1, rng=rng)
+
+    def forward(self, capsules):
+        # (N, p, n, G1, G2) -> channels-first (N, n, p, G1, G2)
+        hidden = ops.transpose(capsules, (0, 2, 1, 3, 4))
+        hidden = self.activation(self.deconv1(hidden))
+        out = self.deconv2(hidden)  # (N, 1, p, G1, G2)
+        return ops.squeeze(out, 1)
+
+
+class ReshapeDecoder(Module):
+    """Pointwise decoder: each capsule vector maps to its own grid's demand.
+
+    Uses 1×1×1 convolutions, so no information is shared between
+    neighbouring grids or adjacent time slots — the contrast the BikeCap-3D
+    ablation is designed to expose.
+    """
+
+    def __init__(self, capsule_dim: int, hidden_channels: int = 8, rng=None):
+        super().__init__()
+        self.dense1 = Conv3D(capsule_dim, hidden_channels, 1, rng=rng)
+        self.activation = Activation("relu")
+        self.dense2 = Conv3D(hidden_channels, 1, 1, rng=rng)
+
+    def forward(self, capsules):
+        hidden = ops.transpose(capsules, (0, 2, 1, 3, 4))
+        hidden = self.activation(self.dense1(hidden))
+        out = self.dense2(hidden)
+        return ops.squeeze(out, 1)

@@ -1,0 +1,66 @@
+"""Pyramid convolution (paper Sec. II-A and III-C).
+
+The pyramid kernel stacks per-time-slot spatial kernels whose extent grows
+the further back in time they look: 1×1 at the current slot ``t``, 3×3 at
+``t−1``, …, ``(2k−1)×(2k−1)`` at ``t−k+1``. Passengers can travel farther in
+more time, so the receptive field widens along the flow-propagation
+direction while *uncorrelated* grids outside the pyramid are excluded.
+
+Implementation: a dense ``Conv3D`` whose kernel is gated by a fixed binary
+pyramid mask (masked weights receive zero gradient), with *causal* temporal
+padding — output slot ``t`` only sees slots ``t−k+1 … t`` — and symmetric
+'same' spatial padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv3D
+
+
+def pyramid_mask(size: int) -> np.ndarray:
+    """Binary mask of shape ``(size, 2*size-1, 2*size-1)``.
+
+    Index ``d`` along the first (temporal) axis corresponds to time offset
+    ``-(size-1-d)``; the newest slice (``d = size-1``) is the 1×1 apex and
+    the oldest (``d = 0``) the full base.
+    """
+    if size < 1:
+        raise ValueError(f"pyramid size must be >= 1, got {size}")
+    spatial = 2 * size - 1
+    center = size - 1
+    mask = np.zeros((size, spatial, spatial))
+    for d in range(size):
+        # Offset into the past: the apex (d = size-1) allows radius 0,
+        # one slot back allows radius 1, and so on.
+        radius = size - 1 - d
+        mask[d, center - radius : center + radius + 1, center - radius : center + radius + 1] = 1.0
+    return mask
+
+
+def pyramid_cell_count(size: int) -> int:
+    """Number of active cells in the pyramid kernel: sum of odd squares."""
+    return sum((2 * r + 1) ** 2 for r in range(size))
+
+
+class PyramidConv3D(Conv3D):
+    """3-D convolution with a pyramid-masked kernel and causal time padding.
+
+    Input and output are ``(N, C, h, G1, G2)``; the time length ``h`` is
+    preserved (causal left-padding of ``size-1``), as is the spatial size.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, size: int, bias: bool = True, rng=None):
+        spatial = 2 * size - 1
+        super().__init__(
+            in_channels,
+            out_channels,
+            kernel_size=(size, spatial, spatial),
+            stride=1,
+            padding=((size - 1, 0), (size - 1, size - 1), (size - 1, size - 1)),
+            bias=bias,
+            weight_mask=pyramid_mask(size),
+            rng=rng,
+        )
+        self.size = size

@@ -1,0 +1,36 @@
+"""The 3D squash non-linearity (paper Eq. 3).
+
+``squash(s) = (||s||^2 / (1 + ||s||^2)) * (s / ||s||)``
+
+applied along the capsule-dimension axis. The output length encodes demand
+intensity: long activity vectors are shrunk to just below one, short vectors
+to nearly zero (Sabour et al., 2017).
+"""
+
+from __future__ import annotations
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor, as_tensor
+
+_EPSILON = 1e-9
+
+
+def squash(tensor, axis: int = -1) -> Tensor:
+    """Squash ``tensor`` along ``axis`` so its norm lies in [0, 1).
+
+    Numerically safe at the zero vector: an ``_EPSILON`` is added under the
+    square root, which maps zero vectors to zero vectors with finite
+    gradients.
+    """
+    tensor = as_tensor(tensor)
+    squared_norm = ops.sum(ops.mul(tensor, tensor), axis=axis, keepdims=True)
+    norm = ops.sqrt(ops.add(squared_norm, _EPSILON))
+    scale = ops.div(squared_norm, ops.mul(ops.add(squared_norm, 1.0), norm))
+    return ops.mul(tensor, scale)
+
+
+def capsule_length(tensor, axis: int = -1) -> Tensor:
+    """Euclidean length of each capsule along ``axis`` (demand intensity)."""
+    tensor = as_tensor(tensor)
+    squared_norm = ops.sum(ops.mul(tensor, tensor), axis=axis, keepdims=False)
+    return ops.sqrt(ops.add(squared_norm, _EPSILON))

@@ -1,0 +1,69 @@
+"""Ablation variants of BikeCAP (paper Sec. IV-E2).
+
+The paper's naming is subtractive: ``BikeCap-X`` means "BikeCAP *without*
+component X".
+
+- **BikeCap-Sub** — no subway (upstream) data: only downstream channels.
+- **BikeCap-Pyra** — pyramid convolution replaced by a standard convolution.
+- **BikeCap-3D** — 3-D deconvolution decoder replaced by a reshape-based
+  (per-grid pointwise) decoder.
+- **BikeCap-3D-Pyra** — both replacements: essentially a simplified DeepCaps
+  (2-D-style convolution + 3-D routing + reshape decoder).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+from repro.core.model import BikeCAP, BikeCAPConfig
+
+# Channel convention established by repro.data.aggregation.FEATURE_NAMES:
+# 0=bike pick-up, 1=bike drop-off, 2=subway inbound, 3=subway outbound.
+DOWNSTREAM_FEATURES: Sequence[int] = (0, 1)
+
+
+def make_bikecap(config: BikeCAPConfig) -> BikeCAP:
+    """The full model."""
+    return BikeCAP(config)
+
+
+def make_bikecap_sub(config: BikeCAPConfig) -> BikeCAP:
+    """BikeCap-Sub: trained with bike data only (no upstream consolidation)."""
+    downstream = tuple(i for i in DOWNSTREAM_FEATURES if i < config.features)
+    return BikeCAP(dataclasses.replace(config, feature_indices=downstream))
+
+
+def make_bikecap_pyra(config: BikeCAPConfig) -> BikeCAP:
+    """BikeCap-Pyra: standard convolution instead of the pyramid kernel."""
+    return BikeCAP(dataclasses.replace(config, use_pyramid=False))
+
+
+def make_bikecap_3d(config: BikeCAPConfig) -> BikeCAP:
+    """BikeCap-3D: reshape-based decoder instead of 3-D deconvolution."""
+    return BikeCAP(dataclasses.replace(config, use_3d_decoder=False))
+
+
+def make_bikecap_3d_pyra(config: BikeCAPConfig) -> BikeCAP:
+    """BikeCap-3D-Pyra: simplified DeepCaps-style architecture."""
+    return BikeCAP(
+        dataclasses.replace(config, use_pyramid=False, use_3d_decoder=False)
+    )
+
+
+VARIANTS: Dict[str, callable] = {
+    "BikeCAP": make_bikecap,
+    "BikeCap-Sub": make_bikecap_sub,
+    "BikeCap-Pyra": make_bikecap_pyra,
+    "BikeCap-3D": make_bikecap_3d,
+    "BikeCap-3D-Pyra": make_bikecap_3d_pyra,
+}
+
+
+def make_variant(name: str, config: BikeCAPConfig) -> BikeCAP:
+    """Build an ablation variant by its paper name."""
+    try:
+        factory = VARIANTS[name]
+    except KeyError:
+        raise ValueError(f"unknown variant {name!r}; choose from {sorted(VARIANTS)}") from None
+    return factory(config)

@@ -1,0 +1,63 @@
+"""Data pipeline: aggregation, normalization, windowing, splits, datasets."""
+
+from repro.data.aggregation import (
+    BIKE_DROPOFF,
+    BIKE_PICKUP,
+    DEFAULT_SLOT_SECONDS,
+    FEATURE_NAMES,
+    SUBWAY_IN,
+    SUBWAY_OUT,
+    aggregate_bike,
+    aggregate_city,
+    aggregate_subway,
+    bike_series_near_cell,
+    num_slots,
+    station_series,
+)
+from repro.data.datasets import (
+    BikeDemandDataset,
+    build_dataset,
+    dataset_from_city,
+    dataset_from_tensor,
+)
+from repro.data.io import (
+    load_demand_tensor,
+    read_bike_csv,
+    read_subway_csv,
+    save_demand_tensor,
+    write_bike_csv,
+    write_subway_csv,
+)
+from repro.data.normalization import MinMaxScaler
+from repro.data.splits import Split, chronological_split
+from repro.data.windows import flatten_windows, make_windows
+
+__all__ = [
+    "BIKE_DROPOFF",
+    "BIKE_PICKUP",
+    "BikeDemandDataset",
+    "DEFAULT_SLOT_SECONDS",
+    "FEATURE_NAMES",
+    "MinMaxScaler",
+    "SUBWAY_IN",
+    "SUBWAY_OUT",
+    "Split",
+    "aggregate_bike",
+    "aggregate_city",
+    "aggregate_subway",
+    "bike_series_near_cell",
+    "build_dataset",
+    "chronological_split",
+    "dataset_from_city",
+    "dataset_from_tensor",
+    "flatten_windows",
+    "load_demand_tensor",
+    "make_windows",
+    "num_slots",
+    "read_bike_csv",
+    "read_subway_csv",
+    "save_demand_tensor",
+    "station_series",
+    "write_bike_csv",
+    "write_subway_csv",
+]

@@ -1,0 +1,124 @@
+"""Aggregate raw trip records into spatial-temporal demand tensors.
+
+Follows the paper's pre-processing (Sec. IV-D): 15-minute traffic data is
+aggregated into one time slot — the number of bike rentals/returns and the
+number of passengers entering/exiting each subway station, per grid cell.
+
+The resulting tensor has shape ``(T, G1, G2, 4)`` with the channel order of
+:data:`FEATURE_NAMES`: bike pick-ups (the prediction target), bike
+drop-offs, subway boardings, subway alightings.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.city.grid import GridPartition
+from repro.city.records import BikeRecordBatch, SubwayRecordBatch
+from repro.city.simulator import SyntheticCity
+from repro.city.subway import SubwayNetwork
+
+FEATURE_NAMES = ("bike_pickup", "bike_dropoff", "subway_in", "subway_out")
+BIKE_PICKUP, BIKE_DROPOFF, SUBWAY_IN, SUBWAY_OUT = range(4)
+DEFAULT_SLOT_SECONDS = 15 * 60
+
+
+def num_slots(duration_seconds: float, slot_seconds: int = DEFAULT_SLOT_SECONDS) -> int:
+    """Number of complete time slots covering ``duration_seconds``."""
+    return int(np.ceil(duration_seconds / slot_seconds))
+
+
+def _accumulate(
+    tensor: np.ndarray,
+    times: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    feature: int,
+    slot_seconds: int,
+) -> None:
+    slots = (times // slot_seconds).astype(int)
+    valid = (slots >= 0) & (slots < tensor.shape[0])
+    np.add.at(tensor, (slots[valid], rows[valid], cols[valid], feature), 1.0)
+
+
+def aggregate_bike(
+    batch: BikeRecordBatch,
+    grid: GridPartition,
+    tensor: np.ndarray,
+    slot_seconds: int = DEFAULT_SLOT_SECONDS,
+) -> None:
+    """Add bike pick-up/drop-off counts into ``tensor`` in place."""
+    rows, cols = grid.cell_of_gps(batch.latitudes, batch.longitudes)
+    pickups = batch.pickup
+    _accumulate(tensor, batch.times[pickups], rows[pickups], cols[pickups], BIKE_PICKUP, slot_seconds)
+    drops = ~pickups
+    _accumulate(tensor, batch.times[drops], rows[drops], cols[drops], BIKE_DROPOFF, slot_seconds)
+
+
+def aggregate_subway(
+    batch: SubwayRecordBatch,
+    subway: SubwayNetwork,
+    tensor: np.ndarray,
+    slot_seconds: int = DEFAULT_SLOT_SECONDS,
+) -> None:
+    """Add subway boarding/alighting counts into ``tensor`` in place."""
+    cells = np.array([subway.stations[int(s)].cell for s in batch.station_ids]).reshape(-1, 2)
+    rows = cells[:, 0] if len(cells) else np.empty(0, int)
+    cols = cells[:, 1] if len(cells) else np.empty(0, int)
+    boarding = batch.boarding
+    _accumulate(tensor, batch.times[boarding], rows[boarding], cols[boarding], SUBWAY_IN, slot_seconds)
+    alighting = ~boarding
+    _accumulate(
+        tensor, batch.times[alighting], rows[alighting], cols[alighting], SUBWAY_OUT, slot_seconds
+    )
+
+
+def aggregate_city(
+    city: SyntheticCity, slot_seconds: int = DEFAULT_SLOT_SECONDS
+) -> np.ndarray:
+    """Aggregate a simulated city into a ``(T, G1, G2, 4)`` demand tensor."""
+    slots = num_slots(city.duration_seconds, slot_seconds)
+    tensor = np.zeros((slots, city.grid.rows, city.grid.cols, len(FEATURE_NAMES)))
+    aggregate_bike(city.bike_records, city.grid, tensor, slot_seconds)
+    aggregate_subway(city.subway_records, city.subway, tensor, slot_seconds)
+    return tensor
+
+
+def station_series(
+    batch: SubwayRecordBatch,
+    station_id: int,
+    duration_seconds: float,
+    boarding: bool,
+    slot_seconds: int = DEFAULT_SLOT_SECONDS,
+) -> np.ndarray:
+    """Per-slot counts for one station — used by the Fig. 1 analysis."""
+    slots = num_slots(duration_seconds, slot_seconds)
+    series = np.zeros(slots)
+    mask = (batch.station_ids == station_id) & (batch.boarding == boarding)
+    slot_index = (batch.times[mask] // slot_seconds).astype(int)
+    valid = (slot_index >= 0) & (slot_index < slots)
+    np.add.at(series, slot_index[valid], 1.0)
+    return series
+
+
+def bike_series_near_cell(
+    batch: BikeRecordBatch,
+    grid: GridPartition,
+    cell: Tuple[int, int],
+    duration_seconds: float,
+    pickup: bool = True,
+    radius_cells: int = 0,
+    slot_seconds: int = DEFAULT_SLOT_SECONDS,
+) -> np.ndarray:
+    """Per-slot bike counts in/around a cell — used by the Fig. 1 analysis."""
+    slots = num_slots(duration_seconds, slot_seconds)
+    series = np.zeros(slots)
+    rows, cols = grid.cell_of_gps(batch.latitudes, batch.longitudes)
+    near = (np.abs(rows - cell[0]) <= radius_cells) & (np.abs(cols - cell[1]) <= radius_cells)
+    mask = near & (batch.pickup == pickup)
+    slot_index = (batch.times[mask] // slot_seconds).astype(int)
+    valid = (slot_index >= 0) & (slot_index < slots)
+    np.add.at(series, slot_index[valid], 1.0)
+    return series

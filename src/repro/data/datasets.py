@@ -1,0 +1,113 @@
+"""Dataset assembly: simulator output → ready-to-train splits.
+
+``BikeDemandDataset`` bundles normalized windows, the fitted scaler (for
+denormalized evaluation, as the paper does), and grid metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.city.simulator import CityConfig, SyntheticCity, simulate_city
+from repro.data.aggregation import BIKE_PICKUP, FEATURE_NAMES, aggregate_city
+from repro.data.normalization import MinMaxScaler
+from repro.data.splits import Split, chronological_split
+from repro.data.windows import make_windows
+
+
+@dataclass
+class BikeDemandDataset:
+    """Supervised multi-step forecasting dataset."""
+
+    split: Split
+    scaler: MinMaxScaler
+    grid_shape: Tuple[int, int]
+    history: int
+    horizon: int
+    target_feature: int = BIKE_PICKUP
+
+    @property
+    def num_features(self) -> int:
+        return self.split.train_x.shape[-1]
+
+    def denormalize_target(self, values: np.ndarray) -> np.ndarray:
+        """Map normalized target predictions back to raw demand counts."""
+        return self.scaler.inverse_transform(values, feature=self.target_feature)
+
+
+def dataset_from_tensor(
+    tensor: np.ndarray,
+    history: int = 8,
+    horizon: int = 4,
+    target_feature: int = BIKE_PICKUP,
+    ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+    normalization_quantile: Optional[float] = None,
+) -> BikeDemandDataset:
+    """Normalize an aggregated ``(T, G1, G2, F)`` tensor and window it.
+
+    The scaler is fitted on the *training* portion of the raw series only,
+    to avoid test-set leakage through the normalization constants.
+    ``normalization_quantile`` switches to robust min-max (see
+    :class:`MinMaxScaler`).
+    """
+    tensor = np.asarray(tensor, dtype=float)
+    train_slots = int(tensor.shape[0] * ratios[0])
+    scaler = MinMaxScaler(quantile=normalization_quantile).fit(tensor[: max(train_slots, 1)])
+    normalized = np.clip(scaler.transform(tensor), 0.0, None)
+    x, y = make_windows(normalized, history, horizon, target_feature=target_feature)
+    split = chronological_split(x, y, ratios)
+    return BikeDemandDataset(
+        split=split,
+        scaler=scaler,
+        grid_shape=(tensor.shape[1], tensor.shape[2]),
+        history=history,
+        horizon=horizon,
+        target_feature=target_feature,
+    )
+
+
+def build_dataset(
+    city_config: Optional[CityConfig] = None,
+    history: int = 8,
+    horizon: int = 4,
+    slot_seconds: int = 15 * 60,
+    normalization_quantile: Optional[float] = None,
+) -> BikeDemandDataset:
+    """Simulate a city and build the forecasting dataset in one call."""
+    city = simulate_city(city_config)
+    return dataset_from_city(
+        city,
+        history=history,
+        horizon=horizon,
+        slot_seconds=slot_seconds,
+        normalization_quantile=normalization_quantile,
+    )
+
+
+def dataset_from_city(
+    city: SyntheticCity,
+    history: int = 8,
+    horizon: int = 4,
+    slot_seconds: int = 15 * 60,
+    normalization_quantile: Optional[float] = None,
+) -> BikeDemandDataset:
+    """Aggregate an already-simulated city into a dataset."""
+    tensor = aggregate_city(city, slot_seconds=slot_seconds)
+    return dataset_from_tensor(
+        tensor,
+        history=history,
+        horizon=horizon,
+        normalization_quantile=normalization_quantile,
+    )
+
+
+__all__ = [
+    "BikeDemandDataset",
+    "FEATURE_NAMES",
+    "build_dataset",
+    "dataset_from_city",
+    "dataset_from_tensor",
+]

@@ -1,0 +1,134 @@
+"""CSV import/export for trip records (paper Table I/II layouts).
+
+Lets users bring their own bike/subway data: export the simulator's records
+for inspection, or load real records exported from another system into the
+same aggregation pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import List
+
+import numpy as np
+
+from repro.city.records import (
+    BOARDING,
+    PICK_UP,
+    BikeRecordBatch,
+    SubwayRecordBatch,
+    format_time,
+)
+
+_SUBWAY_HEADER = ["record", "szt_id", "time", "transportation", "status", "station"]
+_BIKE_HEADER = ["record", "user_id", "time", "latitude", "longitude", "status", "bike_id"]
+
+
+def _parse_time(text: str) -> float:
+    """Timestamp string → seconds since the dataset epoch (2018-10-01)."""
+    import datetime as dt
+
+    from repro.city.records import EPOCH
+
+    moment = dt.datetime.strptime(text, "%Y-%m-%d %H:%M:%S")
+    return (moment - EPOCH).total_seconds()
+
+
+def write_subway_csv(batch: SubwayRecordBatch, station_names: List[str], path: str) -> None:
+    """Write records in the paper's Table I layout."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_SUBWAY_HEADER)
+        for record in batch.to_records(station_names):
+            writer.writerow(
+                [
+                    record.record_id,
+                    record.szt_id,
+                    record.time,
+                    record.transportation,
+                    record.status,
+                    record.station_name,
+                ]
+            )
+
+
+def read_subway_csv(path: str, station_names: List[str]) -> SubwayRecordBatch:
+    """Read a Table I-layout CSV back into a column batch."""
+    name_to_id = {name: index for index, name in enumerate(station_names)}
+    times, stations, lines, boarding, users = [], [], [], [], []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_SUBWAY_HEADER) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"subway CSV missing columns: {sorted(missing)}")
+        for row in reader:
+            times.append(_parse_time(row["time"]))
+            stations.append(name_to_id[row["station"]])
+            lines.append(int(row["transportation"].rsplit(".", 1)[-1]) - 1)
+            boarding.append(row["status"] == BOARDING)
+            users.append(int(row["szt_id"]))
+    return SubwayRecordBatch(
+        np.asarray(times),
+        np.asarray(stations, dtype=int),
+        np.asarray(lines, dtype=int),
+        np.asarray(boarding, dtype=bool),
+        np.asarray(users, dtype=int),
+    )
+
+
+def write_bike_csv(batch: BikeRecordBatch, path: str) -> None:
+    """Write records in the paper's Table II layout."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_BIKE_HEADER)
+        for record in batch.to_records():
+            writer.writerow(
+                [
+                    record.record_id,
+                    record.user_id,
+                    record.time,
+                    f"{record.latitude:.6f}",
+                    f"{record.longitude:.6f}",
+                    record.status,
+                    record.bike_id,
+                ]
+            )
+
+
+def read_bike_csv(path: str) -> BikeRecordBatch:
+    """Read a Table II-layout CSV back into a column batch."""
+    times, lats, lons, pickup, users, bikes = [], [], [], [], [], []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_BIKE_HEADER) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"bike CSV missing columns: {sorted(missing)}")
+        for row in reader:
+            times.append(_parse_time(row["time"]))
+            lats.append(float(row["latitude"]))
+            lons.append(float(row["longitude"]))
+            pickup.append(row["status"] == PICK_UP)
+            users.append(int(row["user_id"]))
+            bikes.append(int(row["bike_id"]))
+    return BikeRecordBatch(
+        np.asarray(times),
+        np.asarray(lats),
+        np.asarray(lons),
+        np.asarray(pickup, dtype=bool),
+        np.asarray(users, dtype=int),
+        np.asarray(bikes, dtype=int),
+    )
+
+
+def save_demand_tensor(tensor: np.ndarray, path: str) -> None:
+    """Persist an aggregated ``(T, G1, G2, F)`` tensor as npz."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez_compressed(path, demand=np.asarray(tensor))
+
+
+def load_demand_tensor(path: str) -> np.ndarray:
+    with np.load(path) as archive:
+        return archive["demand"]

@@ -1,0 +1,59 @@
+"""Chronological train/validation/test splits (paper: 6:2:2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """A train/val/test partition of supervised windows."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    val_x: np.ndarray
+    val_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train_x), len(self.val_x), len(self.test_x))
+
+
+def chronological_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+) -> Split:
+    """Split windows chronologically by the given ratios.
+
+    Chronological (not shuffled) splitting avoids leakage between
+    overlapping windows of adjacent time slots.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    if any(r < 0 for r in ratios):
+        raise ValueError(f"ratios must be non-negative, got {ratios}")
+    count = len(x)
+    train_end = int(np.floor(count * ratios[0]))
+    val_end = train_end + int(np.floor(count * ratios[1]))
+    if train_end == 0 or val_end == train_end or val_end == count:
+        if count < 3:
+            raise ValueError(f"need at least 3 windows to split, got {count}")
+        # Degenerate rounding on tiny datasets: guarantee non-empty parts.
+        train_end = max(1, train_end)
+        val_end = max(train_end + 1, min(val_end, count - 1))
+    return Split(
+        train_x=x[:train_end],
+        train_y=y[:train_end],
+        val_x=x[train_end:val_end],
+        val_y=y[train_end:val_end],
+        test_x=x[val_end:],
+        test_y=y[val_end:],
+    )

@@ -1,0 +1,54 @@
+"""Sliding-window construction for multi-step forecasting.
+
+The paper uses two hours of history (h = 8 slots of 15 minutes) to predict
+the next p ∈ [2, 8] slots of bike pick-up demand.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.data.aggregation import BIKE_PICKUP
+
+
+def make_windows(
+    tensor: np.ndarray,
+    history: int,
+    horizon: int,
+    target_feature: int = BIKE_PICKUP,
+    stride: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice ``(T, G1, G2, F)`` into supervised pairs.
+
+    Returns ``X`` of shape ``(N, history, G1, G2, F)`` and ``Y`` of shape
+    ``(N, horizon, G1, G2)`` where ``Y`` holds the target feature only.
+    Windows are chronological; ``stride`` thins them.
+    """
+    tensor = np.asarray(tensor)
+    if tensor.ndim != 4:
+        raise ValueError(f"expected (T, G1, G2, F) tensor, got shape {tensor.shape}")
+    if history < 1 or horizon < 1:
+        raise ValueError("history and horizon must be positive")
+    total = tensor.shape[0]
+    count = total - history - horizon + 1
+    if count <= 0:
+        raise ValueError(
+            f"series of length {total} too short for history={history}, horizon={horizon}"
+        )
+    starts = np.arange(0, count, stride)
+    x = np.stack([tensor[s : s + history] for s in starts])
+    y = np.stack(
+        [tensor[s + history : s + history + horizon, :, :, target_feature] for s in starts]
+    )
+    return x, y
+
+
+def flatten_windows(x: np.ndarray) -> np.ndarray:
+    """Flatten ``(N, h, G1, G2, F)`` windows to ``(N, h*G1*G2*F)`` vectors.
+
+    Used by the purely-temporal baselines (XGBoost, LSTM) that consume
+    per-grid series rather than spatial tensors.
+    """
+    return x.reshape(len(x), -1)

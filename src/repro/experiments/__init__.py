@@ -1,0 +1,46 @@
+"""Experiment runners: one per reproducible table/figure (see DESIGN.md)."""
+
+from repro.experiments.error_propagation import (
+    ErrorPropagationResult,
+    run_error_propagation,
+)
+from repro.experiments.fig1 import Fig1Result, best_lag, lagged_correlation, run_fig1
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.profiles import (
+    PROFILE_ENV,
+    PROFILES,
+    ExperimentProfile,
+    get_profile,
+)
+from repro.experiments.reporting import flatten_metric, format_table
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.stability import StabilityResult, run_stability
+from repro.experiments.table3 import Table3Result, run_table3
+from repro.experiments.table4 import Table4Result, run_table4
+from repro.experiments.table5 import Table5Result, run_table5
+
+__all__ = [
+    "ErrorPropagationResult",
+    "ExperimentContext",
+    "ExperimentProfile",
+    "Fig1Result",
+    "Fig7Result",
+    "PROFILES",
+    "PROFILE_ENV",
+    "StabilityResult",
+    "Table3Result",
+    "Table4Result",
+    "Table5Result",
+    "best_lag",
+    "flatten_metric",
+    "format_table",
+    "get_profile",
+    "lagged_correlation",
+    "run_error_propagation",
+    "run_fig1",
+    "run_fig7",
+    "run_stability",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+]

@@ -1,0 +1,78 @@
+"""Fig. 7: ablation study for component importance.
+
+Compares the full BikeCAP with its subtractive variants at one multi-step
+horizon. Paper shape (lower error = better):
+
+- BikeCAP beats BikeCap-Sub → upstream subway data helps;
+- BikeCap-Pyra beats BikeCap-3D-Pyra by a large margin → pyramid
+  convolution (propagation-direction correlations) matters;
+- BikeCap-3D beats BikeCap-3D-Pyra → the 3-D deconv decoder's
+  neighbourhood sharing matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.bikecap_adapter import BikeCAPForecaster
+from repro.core.variants import VARIANTS
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+
+@dataclass
+class Fig7Result:
+    """``results[variant] = {"MAE": MeanStd, "RMSE": MeanStd}``."""
+
+    profile: str
+    horizon: int
+    results: Dict[str, Dict[str, MeanStd]]
+
+    def render(self) -> str:
+        return (
+            f"Fig. 7 (ablations, PTS={self.horizon}) — profile {self.profile}\n"
+            + format_table(self.results, ["MAE", "RMSE"], row_header="variant")
+        )
+
+
+def run_fig7(
+    profile: Optional[ExperimentProfile] = None,
+    variants: Optional[Sequence[str]] = None,
+    epochs: Optional[int] = None,
+    context: Optional[ExperimentContext] = None,
+    verbose: bool = False,
+) -> Fig7Result:
+    """Regenerate the Fig. 7 ablation comparison."""
+    profile = profile or get_profile()
+    context = context or ExperimentContext(profile)
+    variants = list(variants) if variants is not None else list(VARIANTS)
+    horizon = profile.ablation_horizon
+    dataset = context.dataset(horizon)
+    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
+    override_epochs = overrides.pop("epochs", None)
+    if epochs is None:
+        epochs = override_epochs if override_epochs is not None else profile.epochs
+
+    results: Dict[str, Dict[str, MeanStd]] = {}
+    for variant in variants:
+
+        def single_run(seed: int, variant=variant):
+            forecaster = BikeCAPForecaster(
+                dataset.history,
+                dataset.horizon,
+                dataset.grid_shape,
+                dataset.num_features,
+                variant=variant,
+                seed=seed,
+                **overrides,
+            )
+            forecaster.fit(dataset, epochs=epochs)
+            return evaluate_forecaster(forecaster, dataset)
+
+        results[variant] = repeat_runs(single_run, profile.seeds)
+        if verbose:
+            print(f"{variant}: MAE={results[variant]['MAE']} RMSE={results[variant]['RMSE']}")
+    return Fig7Result(profile=profile.name, horizon=horizon, results=results)

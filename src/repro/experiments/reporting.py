@@ -1,0 +1,39 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def format_table(
+    rows: Mapping[str, Mapping[str, object]],
+    columns: Sequence[str],
+    row_header: str = "",
+) -> str:
+    """Render nested ``{row: {column: value}}`` results as an aligned table."""
+    header_cells = [row_header] + list(columns)
+    body = []
+    for row_name, values in rows.items():
+        body.append([str(row_name)] + [str(values.get(col, "-")) for col in columns])
+    widths = [
+        max(len(header_cells[i]), *(len(line[i]) for line in body)) if body else len(header_cells[i])
+        for i in range(len(header_cells))
+    ]
+    lines = [
+        "  ".join(cell.ljust(width) for cell, width in zip(header_cells, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for line in body:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def flatten_metric(
+    results: Mapping[str, Mapping[str, Dict]],
+    metric: str,
+) -> Dict[str, Dict[str, object]]:
+    """Slice ``{row: {column: {metric: value}}}`` down to one metric."""
+    return {
+        row: {column: cell[metric] for column, cell in columns.items()}
+        for row, columns in results.items()
+    }

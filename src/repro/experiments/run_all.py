@@ -1,0 +1,96 @@
+"""Command-line entry point: regenerate every paper artifact.
+
+Usage::
+
+    python -m repro.experiments.run_all --profile smoke --output results/
+
+Writes one text file per artifact plus a combined ``summary.txt`` and a
+machine-readable ``results.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from typing import Dict
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.profiles import get_profile
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+def _mean_std_tree(results) -> Dict:
+    """Convert nested MeanStd values to JSON-friendly dicts."""
+    if hasattr(results, "mean") and hasattr(results, "std"):
+        return {"mean": results.mean, "std": results.std}
+    if isinstance(results, dict):
+        return {str(key): _mean_std_tree(value) for key, value in results.items()}
+    return results
+
+
+def run_all(profile_name: str, output_dir: str, verbose: bool = True) -> Dict:
+    """Run every artifact at the named profile; returns the JSON payload."""
+    profile = get_profile(profile_name)
+    context = ExperimentContext(profile)
+    os.makedirs(output_dir, exist_ok=True)
+    payload: Dict = {"profile": profile.name}
+    sections = []
+
+    started = time.time()
+    artifacts = (
+        ("fig1", lambda: run_fig1(profile=profile, city=context.city)),
+        ("table3", lambda: run_table3(profile=profile, context=context, verbose=verbose)),
+        ("fig7", lambda: run_fig7(profile=profile, context=context, verbose=verbose)),
+        ("table4", lambda: run_table4(profile=profile, context=context, verbose=verbose)),
+        ("table5", lambda: run_table5(profile=profile, context=context, verbose=verbose)),
+    )
+    for name, runner in artifacts:
+        artifact_start = time.time()
+        result = runner()
+        elapsed = time.time() - artifact_start
+        rendered = result.render()
+        sections.append(rendered + f"\n[{name}: {elapsed:.1f}s]")
+        with open(os.path.join(output_dir, f"{name}.txt"), "w") as handle:
+            handle.write(rendered + "\n")
+        if hasattr(result, "results"):
+            payload[name] = _mean_std_tree(result.results)
+        if name == "table3":
+            payload["table3_degradation_mae"] = result.degradation("MAE")
+            payload["table3_degradation_rmse"] = result.degradation("RMSE")
+        if name == "fig1":
+            payload[name] = {
+                "morning_subway_lag": result.morning_subway_lag,
+                "morning_bike_lag": result.morning_bike_lag,
+                "evening_subway_lag": result.evening_subway_lag,
+                "evening_bike_lag": result.evening_bike_lag,
+            }
+        if verbose:
+            print(f"[{name} done in {elapsed:.1f}s]", flush=True)
+
+    summary = "\n\n".join(sections) + f"\n\ntotal: {time.time() - started:.1f}s\n"
+    with open(os.path.join(output_dir, "summary.txt"), "w") as handle:
+        handle.write(summary)
+    with open(os.path.join(output_dir, "results.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    if verbose:
+        print(summary)
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default=None, help="smoke | default | paper (default: env REPRO_PROFILE or smoke)")
+    parser.add_argument("--output", default="results", help="output directory")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args()
+    run_all(args.profile or os.environ.get("REPRO_PROFILE", "smoke"), args.output, verbose=not args.quiet)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Shared experiment machinery: datasets per horizon, repeated-seed runs."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines import make_forecaster
+from repro.city.simulator import SyntheticCity, simulate_city
+from repro.data.aggregation import aggregate_city
+from repro.data.datasets import BikeDemandDataset, dataset_from_tensor
+from repro.experiments.profiles import ExperimentProfile
+from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+
+class ExperimentContext:
+    """Caches the simulated city and per-horizon datasets for one profile."""
+
+    def __init__(self, profile: ExperimentProfile):
+        self.profile = profile
+        self._city: Optional[SyntheticCity] = None
+        self._tensor: Optional[np.ndarray] = None
+        self._datasets: Dict[int, BikeDemandDataset] = {}
+
+    @property
+    def city(self) -> SyntheticCity:
+        if self._city is None:
+            self._city = simulate_city(self.profile.city)
+        return self._city
+
+    @property
+    def tensor(self) -> np.ndarray:
+        if self._tensor is None:
+            self._tensor = aggregate_city(self.city)
+        return self._tensor
+
+    def dataset(self, horizon: int) -> BikeDemandDataset:
+        if horizon not in self._datasets:
+            self._datasets[horizon] = dataset_from_tensor(
+                self.tensor,
+                history=self.profile.history,
+                horizon=horizon,
+                normalization_quantile=self.profile.normalization_quantile,
+            )
+        return self._datasets[horizon]
+
+    # ------------------------------------------------------------------
+    def run_model(
+        self,
+        name: str,
+        horizon: int,
+        epochs: Optional[int] = None,
+        seeds=None,
+        **overrides,
+    ) -> Dict[str, MeanStd]:
+        """Train+evaluate one model at one horizon over repeated seeds."""
+        dataset = self.dataset(horizon)
+        seeds = tuple(seeds) if seeds is not None else self.profile.seeds
+        profile_overrides = dict(self.profile.model_overrides.get(name, {}))
+        profile_overrides.update(overrides)
+        # A per-model "epochs" override wins over the profile default (some
+        # models need more optimization steps than others at equal budget).
+        override_epochs = profile_overrides.pop("epochs", None)
+        if epochs is None:
+            epochs = override_epochs if override_epochs is not None else self.profile.epochs
+
+        def single_run(seed: int) -> Dict[str, float]:
+            forecaster = make_forecaster(
+                name,
+                dataset.history,
+                dataset.horizon,
+                dataset.grid_shape,
+                dataset.num_features,
+                seed=seed,
+                **profile_overrides,
+            )
+            forecaster.fit(dataset, epochs=epochs)
+            return evaluate_forecaster(forecaster, dataset)
+
+        return repeat_runs(single_run, seeds)

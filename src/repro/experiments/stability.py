@@ -1,0 +1,96 @@
+"""Stability analysis (paper Sec. V-A "Limitations").
+
+The paper observes BikeCAP's run-to-run variance is larger than the graph
+baselines' because each time slot's representation is built from all nearby
+slots, and claims introducing *separated capsules for different time slots*
+reduces the effect. This experiment measures exactly that: the across-seed
+standard deviation of test MAE/RMSE for the joint-routing model versus the
+separated-temporal-capsules variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.bikecap_adapter import BikeCAPForecaster
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+
+@dataclass
+class StabilityResult:
+    """Across-seed spread for each routing arrangement."""
+
+    profile: str
+    horizon: int
+    seeds: int
+    results: Dict[str, Dict[str, MeanStd]]
+
+    def render(self) -> str:
+        rows = {
+            name: {
+                "MAE": metrics["MAE"],
+                "RMSE": metrics["RMSE"],
+                "MAE std": f"{metrics['MAE'].std:.3f}",
+            }
+            for name, metrics in self.results.items()
+        }
+        return (
+            f"Stability (Sec. V-A, PTS={self.horizon}, {self.seeds} seeds) — "
+            f"profile {self.profile}\n"
+            + format_table(rows, ["MAE", "RMSE", "MAE std"], row_header="routing")
+        )
+
+    def variance_reduced(self) -> bool:
+        """Whether separated capsules reduced the MAE spread."""
+        return (
+            self.results["separated"]["MAE"].std
+            <= self.results["joint"]["MAE"].std + 1e-12
+        )
+
+
+def run_stability(
+    profile: Optional[ExperimentProfile] = None,
+    seeds: Optional[Sequence[int]] = None,
+    epochs: Optional[int] = None,
+    context: Optional[ExperimentContext] = None,
+    verbose: bool = False,
+) -> StabilityResult:
+    """Compare run-to-run variance of joint vs separated temporal capsules."""
+    profile = profile or get_profile()
+    context = context or ExperimentContext(profile)
+    seeds = tuple(seeds) if seeds is not None else tuple(profile.seeds) + tuple(
+        seed + 100 for seed in profile.seeds
+    )
+    horizon = profile.ablation_horizon
+    dataset = context.dataset(horizon)
+    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
+    override_epochs = overrides.pop("epochs", None)
+    if epochs is None:
+        epochs = override_epochs if override_epochs is not None else profile.epochs
+
+    results: Dict[str, Dict[str, MeanStd]] = {}
+    for name, separated in (("joint", False), ("separated", True)):
+
+        def single_run(seed: int, separated=separated):
+            forecaster = BikeCAPForecaster(
+                dataset.history,
+                dataset.horizon,
+                dataset.grid_shape,
+                dataset.num_features,
+                seed=seed,
+                separate_temporal_capsules=separated,
+                **overrides,
+            )
+            forecaster.fit(dataset, epochs=epochs)
+            return evaluate_forecaster(forecaster, dataset)
+
+        results[name] = repeat_runs(single_run, seeds)
+        if verbose:
+            print(f"{name}: MAE={results[name]['MAE']} RMSE={results[name]['RMSE']}")
+    return StabilityResult(
+        profile=profile.name, horizon=horizon, seeds=len(seeds), results=results
+    )

@@ -1,0 +1,74 @@
+"""Table IV: performance with varying pyramid size.
+
+Paper shape: error falls as the pyramid grows (more spatial-temporal
+context) up to a sweet spot, then rises once the kernel drags in
+uncorrelated grids — a U-shaped curve with the optimum at size ≈ 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.bikecap_adapter import BikeCAPForecaster
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+
+@dataclass
+class Table4Result:
+    """``results[size] = {"MAE": MeanStd, "RMSE": MeanStd}``."""
+
+    profile: str
+    horizon: int
+    results: Dict[int, Dict[str, MeanStd]]
+
+    def render(self) -> str:
+        rows = {f"size={size}": metrics for size, metrics in self.results.items()}
+        return (
+            f"Table IV (pyramid size, PTS={self.horizon}) — profile {self.profile}\n"
+            + format_table(rows, ["MAE", "RMSE"], row_header="pyramid")
+        )
+
+
+def run_table4(
+    profile: Optional[ExperimentProfile] = None,
+    sizes: Optional[Sequence[int]] = None,
+    epochs: Optional[int] = None,
+    context: Optional[ExperimentContext] = None,
+    verbose: bool = False,
+) -> Table4Result:
+    """Regenerate the pyramid-size sweep."""
+    profile = profile or get_profile()
+    context = context or ExperimentContext(profile)
+    sizes = list(sizes) if sizes is not None else list(profile.pyramid_sizes)
+    horizon = profile.ablation_horizon
+    dataset = context.dataset(horizon)
+    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
+    override_epochs = overrides.pop("epochs", None)
+    if epochs is None:
+        epochs = override_epochs if override_epochs is not None else profile.epochs
+
+    results: Dict[int, Dict[str, MeanStd]] = {}
+    for size in sizes:
+        run_overrides = dict(overrides)
+        run_overrides["pyramid_size"] = size
+
+        def single_run(seed: int, run_overrides=run_overrides):
+            forecaster = BikeCAPForecaster(
+                dataset.history,
+                dataset.horizon,
+                dataset.grid_shape,
+                dataset.num_features,
+                seed=seed,
+                **run_overrides,
+            )
+            forecaster.fit(dataset, epochs=epochs)
+            return evaluate_forecaster(forecaster, dataset)
+
+        results[size] = repeat_runs(single_run, profile.seeds)
+        if verbose:
+            print(f"pyramid={size}: MAE={results[size]['MAE']} RMSE={results[size]['RMSE']}")
+    return Table4Result(profile=profile.name, horizon=horizon, results=results)

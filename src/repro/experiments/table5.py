@@ -1,0 +1,75 @@
+"""Table V: performance with varying capsule dimension.
+
+Paper shape: larger capsules carry more information and help up to a point
+(optimum at 8), after which the extra parameters overfit and error rises —
+another U-shaped sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.baselines.bikecap_adapter import BikeCAPForecaster
+from repro.experiments.profiles import ExperimentProfile, get_profile
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+
+@dataclass
+class Table5Result:
+    """``results[dim] = {"MAE": MeanStd, "RMSE": MeanStd}``."""
+
+    profile: str
+    horizon: int
+    results: Dict[int, Dict[str, MeanStd]]
+
+    def render(self) -> str:
+        rows = {f"dim={dim}": metrics for dim, metrics in self.results.items()}
+        return (
+            f"Table V (capsule dimension, PTS={self.horizon}) — profile {self.profile}\n"
+            + format_table(rows, ["MAE", "RMSE"], row_header="capsule")
+        )
+
+
+def run_table5(
+    profile: Optional[ExperimentProfile] = None,
+    dims: Optional[Sequence[int]] = None,
+    epochs: Optional[int] = None,
+    context: Optional[ExperimentContext] = None,
+    verbose: bool = False,
+) -> Table5Result:
+    """Regenerate the capsule-dimension sweep."""
+    profile = profile or get_profile()
+    context = context or ExperimentContext(profile)
+    dims = list(dims) if dims is not None else list(profile.capsule_dims)
+    horizon = profile.ablation_horizon
+    dataset = context.dataset(horizon)
+    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
+    override_epochs = overrides.pop("epochs", None)
+    if epochs is None:
+        epochs = override_epochs if override_epochs is not None else profile.epochs
+
+    results: Dict[int, Dict[str, MeanStd]] = {}
+    for dim in dims:
+        run_overrides = dict(overrides)
+        run_overrides["capsule_dim"] = dim
+        run_overrides["future_capsule_dim"] = dim
+
+        def single_run(seed: int, run_overrides=run_overrides):
+            forecaster = BikeCAPForecaster(
+                dataset.history,
+                dataset.horizon,
+                dataset.grid_shape,
+                dataset.num_features,
+                seed=seed,
+                **run_overrides,
+            )
+            forecaster.fit(dataset, epochs=epochs)
+            return evaluate_forecaster(forecaster, dataset)
+
+        results[dim] = repeat_runs(single_run, profile.seeds)
+        if verbose:
+            print(f"capsule_dim={dim}: MAE={results[dim]['MAE']} RMSE={results[dim]['RMSE']}")
+    return Table5Result(profile=profile.name, horizon=horizon, results=results)

@@ -1,0 +1,22 @@
+"""Graph substrate for the STGCN / STSGCN baselines."""
+
+from repro.graph.adjacency import (
+    chebyshev_polynomials,
+    grid_adjacency,
+    grid_cell_index,
+    localized_spatial_temporal_adjacency,
+    normalized_laplacian,
+    scaled_laplacian,
+)
+from repro.graph.conv import ChebGraphConv, DenseGraphConv
+
+__all__ = [
+    "ChebGraphConv",
+    "DenseGraphConv",
+    "chebyshev_polynomials",
+    "grid_adjacency",
+    "grid_cell_index",
+    "localized_spatial_temporal_adjacency",
+    "normalized_laplacian",
+    "scaled_laplacian",
+]

@@ -1,0 +1,97 @@
+"""Grid → graph conversion for the graph baselines.
+
+Per the paper's STGCN setup: "We transfer each grid as a node, and use
+h-hop neighbor grids to construct the relation matrix"; grids within h hops
+are connected.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def grid_adjacency(rows: int, cols: int, hops: int = 1) -> np.ndarray:
+    """Adjacency matrix of the ``rows×cols`` grid with ``hops``-hop links.
+
+    Nodes are cells in row-major order; two cells are connected when their
+    Chebyshev (chessboard) distance is at most ``hops``. Diagonal is zero.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError(f"grid must be at least 1x1, got {rows}x{cols}")
+    if hops < 1:
+        raise ValueError(f"hops must be >= 1, got {hops}")
+    row_index, col_index = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    row_flat = row_index.ravel()
+    col_flat = col_index.ravel()
+    row_distance = np.abs(row_flat[:, None] - row_flat[None, :])
+    col_distance = np.abs(col_flat[:, None] - col_flat[None, :])
+    adjacency = ((np.maximum(row_distance, col_distance) <= hops)).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+def normalized_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric normalized Laplacian ``L = I − D^{-1/2} A D^{-1/2}``."""
+    adjacency = np.asarray(adjacency, dtype=float)
+    degree = adjacency.sum(axis=1)
+    inv_sqrt = np.where(degree > 0, 1.0 / np.sqrt(np.maximum(degree, 1e-12)), 0.0)
+    normalized = adjacency * inv_sqrt[:, None] * inv_sqrt[None, :]
+    return np.eye(len(adjacency)) - normalized
+
+
+def scaled_laplacian(adjacency: np.ndarray) -> np.ndarray:
+    """Rescale the Laplacian to [-1, 1]: ``L̂ = 2L/λ_max − I`` (ChebNet)."""
+    laplacian = normalized_laplacian(adjacency)
+    eigenvalues = np.linalg.eigvalsh(laplacian)
+    lambda_max = float(eigenvalues[-1])
+    if lambda_max <= 0:
+        return laplacian - np.eye(len(laplacian))
+    return (2.0 / lambda_max) * laplacian - np.eye(len(laplacian))
+
+
+def chebyshev_polynomials(scaled: np.ndarray, order: int) -> np.ndarray:
+    """Stack ``T_0 … T_{K-1}`` of the scaled Laplacian, shape ``(K, N, N)``.
+
+    Chebyshev recurrence: ``T_k = 2 L̂ T_{k-1} − T_{k-2}``.
+    """
+    if order < 1:
+        raise ValueError(f"order must be >= 1, got {order}")
+    count = scaled.shape[0]
+    polynomials = [np.eye(count)]
+    if order > 1:
+        polynomials.append(scaled.copy())
+    for _ in range(2, order):
+        polynomials.append(2.0 * scaled @ polynomials[-1] - polynomials[-2])
+    return np.stack(polynomials)
+
+
+def localized_spatial_temporal_adjacency(adjacency: np.ndarray, steps: int = 3) -> np.ndarray:
+    """STSGCN's localized spatial-temporal graph over ``steps`` time slices.
+
+    Block matrix of shape ``(steps*N, steps*N)``: spatial adjacency on the
+    diagonal blocks, identity links between the same node at adjacent time
+    steps on the off-diagonal blocks — connecting each node to itself in the
+    previous/next slice (Song et al., AAAI 2020).
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    count = adjacency.shape[0]
+    size = steps * count
+    block = np.zeros((size, size))
+    identity = np.eye(count)
+    for step in range(steps):
+        start = step * count
+        block[start : start + count, start : start + count] = adjacency
+        if step + 1 < steps:
+            nxt = start + count
+            block[start : start + count, nxt : nxt + count] = identity
+            block[nxt : nxt + count, start : start + count] = identity
+    return block
+
+
+def grid_cell_index(rows: int, cols: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-major (row, col) coordinates of every node, for round-tripping."""
+    row_index, col_index = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    return row_index.ravel(), col_index.ravel()

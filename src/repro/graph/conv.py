@@ -1,0 +1,57 @@
+"""Graph convolution layers on the numpy substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init, ops
+from repro.nn.layers.base import Module, Parameter
+from repro.nn.tensor import Tensor
+from repro.graph.adjacency import chebyshev_polynomials, scaled_laplacian
+
+
+class ChebGraphConv(Module):
+    """Chebyshev-polynomial graph convolution (Defferrard et al., 2016).
+
+    ``y = Σ_k T_k(L̂) x W_k`` over node features ``x`` of shape
+    ``(..., N, C_in)``; the polynomial stack is precomputed from the fixed
+    adjacency at construction time.
+    """
+
+    def __init__(self, adjacency: np.ndarray, in_channels: int, out_channels: int, order: int = 3, rng=None):
+        super().__init__()
+        self.order = order
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        polynomials = chebyshev_polynomials(scaled_laplacian(adjacency), order)
+        self.polynomials = [Tensor(p) for p in polynomials]
+        rng = init.default_rng(rng)
+        self.weight = Parameter(init.glorot_uniform((order, in_channels, out_channels), rng))
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x):
+        output = None
+        for k, basis in enumerate(self.polynomials):
+            # (..., N, C) -> T_k applied over the node axis, then channel map.
+            diffused = ops.matmul(basis, x)
+            term = ops.matmul(diffused, self.weight[k])
+            output = term if output is None else ops.add(output, term)
+        return ops.add(output, self.bias)
+
+
+class DenseGraphConv(Module):
+    """First-order GCN layer ``y = Â x W`` with a fixed propagation matrix.
+
+    Used by the STSGCN baseline on its localized spatial-temporal graph.
+    """
+
+    def __init__(self, propagation: np.ndarray, in_channels: int, out_channels: int, rng=None):
+        super().__init__()
+        self.propagation = Tensor(np.asarray(propagation, dtype=float))
+        rng = init.default_rng(rng)
+        self.weight = Parameter(init.glorot_uniform((in_channels, out_channels), rng))
+        self.bias = Parameter(init.zeros((out_channels,)))
+
+    def forward(self, x):
+        diffused = ops.matmul(self.propagation, x)
+        return ops.add(ops.matmul(diffused, self.weight), self.bias)

@@ -1,0 +1,14 @@
+"""Metrics and evaluation utilities."""
+
+from repro.metrics.errors import mae, mae_per_step, rmse, rmse_per_step
+from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+__all__ = [
+    "MeanStd",
+    "evaluate_forecaster",
+    "mae",
+    "mae_per_step",
+    "repeat_runs",
+    "rmse",
+    "rmse_per_step",
+]

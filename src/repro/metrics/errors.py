@@ -1,0 +1,41 @@
+"""Evaluation metrics: MAE (Eq. 5) and RMSE (Eq. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mae(truth: np.ndarray, prediction: np.ndarray) -> float:
+    """Mean absolute error over all elements."""
+    truth, prediction = _validate(truth, prediction)
+    return float(np.abs(truth - prediction).mean())
+
+
+def rmse(truth: np.ndarray, prediction: np.ndarray) -> float:
+    """Root mean squared error over all elements."""
+    truth, prediction = _validate(truth, prediction)
+    return float(np.sqrt(((truth - prediction) ** 2).mean()))
+
+
+def mae_per_step(truth: np.ndarray, prediction: np.ndarray) -> np.ndarray:
+    """MAE separately for each prediction step (axis 1)."""
+    truth, prediction = _validate(truth, prediction)
+    axes = (0,) + tuple(range(2, truth.ndim))
+    return np.abs(truth - prediction).mean(axis=axes)
+
+
+def rmse_per_step(truth: np.ndarray, prediction: np.ndarray) -> np.ndarray:
+    """RMSE separately for each prediction step (axis 1)."""
+    truth, prediction = _validate(truth, prediction)
+    axes = (0,) + tuple(range(2, truth.ndim))
+    return np.sqrt(((truth - prediction) ** 2).mean(axis=axes))
+
+
+def _validate(truth, prediction):
+    truth = np.asarray(truth, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    if truth.shape != prediction.shape:
+        raise ValueError(f"shape mismatch: truth {truth.shape} vs prediction {prediction.shape}")
+    if truth.size == 0:
+        raise ValueError("cannot compute metrics on empty arrays")
+    return truth, prediction

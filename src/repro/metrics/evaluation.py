@@ -1,0 +1,66 @@
+"""Denormalized evaluation with repeated-seed aggregation.
+
+The paper evaluates on denormalized predictions and reports results as
+``mean ± standard deviation`` over 5 repeated runs; :class:`MeanStd` and
+:func:`repeat_runs` reproduce that reporting convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import BikeDemandDataset
+from repro.metrics.errors import mae, rmse
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean ± std statistic, formatted like the paper's tables."""
+
+    mean: float
+    std: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.std:.2f}"
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "MeanStd":
+        samples = np.asarray(list(samples), dtype=float)
+        if samples.size == 0:
+            raise ValueError("need at least one sample")
+        std = float(samples.std(ddof=0)) if samples.size > 1 else 0.0
+        return cls(mean=float(samples.mean()), std=std)
+
+
+def evaluate_forecaster(
+    forecaster,
+    dataset: BikeDemandDataset,
+    denormalize: bool = True,
+) -> Dict[str, float]:
+    """Test-split MAE/RMSE, denormalized to raw demand counts by default."""
+    prediction = forecaster.predict(dataset.split.test_x)
+    truth = dataset.split.test_y
+    if denormalize:
+        prediction = dataset.denormalize_target(prediction)
+        truth = dataset.denormalize_target(truth)
+    return {"MAE": mae(truth, prediction), "RMSE": rmse(truth, prediction)}
+
+
+def repeat_runs(
+    run: Callable[[int], Dict[str, float]],
+    seeds: Sequence[int],
+) -> Dict[str, MeanStd]:
+    """Run ``run(seed)`` for each seed and aggregate each metric to mean±std."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    collected: Optional[Dict[str, List[float]]] = None
+    for seed in seeds:
+        metrics = run(int(seed))
+        if collected is None:
+            collected = {key: [] for key in metrics}
+        for key, value in metrics.items():
+            collected[key].append(float(value))
+    return {key: MeanStd.from_samples(values) for key, values in collected.items()}

@@ -1,0 +1,79 @@
+"""`repro.nn` — a from-scratch numpy deep-learning substrate.
+
+Provides reverse-mode autograd tensors, convolutional/recurrent layers,
+losses, optimizers and a training loop. It exists because this reproduction
+environment ships no deep-learning framework; see DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.nn import config, init, layers, losses, ops, optim
+from repro.nn.config import no_grad, set_dtype
+from repro.nn.gradcheck import check_gradients, gradcheck_module
+from repro.nn.layers import (
+    LSTM,
+    Activation,
+    CausalLSTMCell,
+    Conv2D,
+    Conv3D,
+    ConvLSTM2DCell,
+    ConvTranspose3D,
+    Dropout,
+    GHU,
+    LayerNorm,
+    Linear,
+    LSTMCell,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    STLSTMCell,
+)
+from repro.nn.losses import get_loss, huber_loss, l1_loss, mse_loss
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_weights, save_weights
+from repro.nn.tensor import Tensor, as_tensor
+from repro.nn.training import Trainer, TrainingHistory, iterate_minibatches
+
+__all__ = [
+    "Activation",
+    "Adam",
+    "CausalLSTMCell",
+    "Conv2D",
+    "Conv3D",
+    "ConvLSTM2DCell",
+    "ConvTranspose3D",
+    "Dropout",
+    "GHU",
+    "LSTM",
+    "LSTMCell",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "SGD",
+    "STLSTMCell",
+    "Sequential",
+    "Tensor",
+    "Trainer",
+    "TrainingHistory",
+    "as_tensor",
+    "check_gradients",
+    "clip_grad_norm",
+    "config",
+    "get_loss",
+    "gradcheck_module",
+    "huber_loss",
+    "init",
+    "iterate_minibatches",
+    "l1_loss",
+    "layers",
+    "load_weights",
+    "losses",
+    "mse_loss",
+    "no_grad",
+    "ops",
+    "optim",
+    "save_weights",
+    "set_dtype",
+]

@@ -1,0 +1,55 @@
+"""Global configuration for the numpy deep-learning substrate.
+
+The substrate defaults to float64 so finite-difference gradient checks are
+reliable; callers that want speed over gradcheck-grade precision can switch
+to float32 via :func:`set_dtype`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_DTYPE = np.float64
+_GRAD_ENABLED = True
+
+
+def dtype() -> np.dtype:
+    """Return the substrate-wide floating point dtype."""
+    return _DTYPE
+
+
+def set_dtype(new_dtype) -> None:
+    """Set the substrate-wide floating point dtype (float32 or float64)."""
+    global _DTYPE
+    nd = np.dtype(new_dtype)
+    if nd not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"dtype must be float32 or float64, got {new_dtype}")
+    _DTYPE = nd.type
+
+
+def grad_enabled() -> bool:
+    """Return whether autograd graph construction is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def set_grad_enabled(enabled: bool) -> None:
+    """Globally enable or disable autograd graph construction."""
+    global _GRAD_ENABLED
+    _GRAD_ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables autograd graph construction.
+
+    Useful for evaluation loops: forward passes run faster and allocate no
+    backward closures.
+    """
+    previous = grad_enabled()
+    set_grad_enabled(False)
+    try:
+        yield
+    finally:
+        set_grad_enabled(previous)

@@ -1,0 +1,70 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the repository is fully seed-reproducible (the paper reports
+mean±std over 5 repeated runs; we reproduce that by re-seeding).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import config
+
+
+def default_rng(rng=None) -> np.random.Generator:
+    """Return ``rng`` if provided, else a fresh non-deterministic generator."""
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    return rng
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def glorot_uniform(shape, rng=None) -> np.ndarray:
+    """Glorot/Xavier uniform — Keras's default, matching the paper's stack."""
+    rng = default_rng(rng)
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(config.dtype())
+
+
+def he_normal(shape, rng=None) -> np.ndarray:
+    rng = default_rng(rng)
+    fan_in, _ = _fan_in_out(tuple(shape))
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(config.dtype())
+
+
+def orthogonal(shape, rng=None, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal init (used for recurrent kernels)."""
+    rng = default_rng(rng)
+    if len(shape) < 2:
+        raise ValueError("orthogonal init needs at least 2 dimensions")
+    rows = shape[0]
+    cols = int(np.prod(shape[1:]))
+    flat = rng.standard_normal((max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q = q * np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return (gain * q[:rows, :cols]).reshape(shape).astype(config.dtype())
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=config.dtype())
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=config.dtype())

@@ -1,0 +1,137 @@
+"""Convolution layers (channels-first layout)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import init, ops
+from repro.nn.layers.base import Module, Parameter
+from repro.nn.ops.conv import normalize_pads, normalize_stride, same_padding
+
+
+def _resolve_padding(padding, kernel_size, dims):
+    if padding == "same":
+        return normalize_pads(same_padding(kernel_size), dims)
+    if padding == "valid":
+        return normalize_pads(0, dims)
+    return normalize_pads(padding, dims)
+
+
+class Conv2D(Module):
+    """2-D convolution over ``(N, C, H, W)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding="valid",
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        kernel_size = normalize_stride(kernel_size, 2)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = normalize_stride(stride, 2)
+        self.padding = _resolve_padding(padding, kernel_size, 2)
+        self.weight = Parameter(
+            init.glorot_uniform((out_channels, in_channels) + kernel_size, rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x):
+        return ops.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class Conv3D(Module):
+    """3-D convolution over ``(N, C, D, H, W)``.
+
+    ``weight_mask`` (optional, fixed) gates kernel entries — used by the
+    pyramid convolution to zero weights outside the pyramid support.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding="valid",
+        bias: bool = True,
+        weight_mask: Optional[np.ndarray] = None,
+        rng=None,
+    ):
+        super().__init__()
+        kernel_size = normalize_stride(kernel_size, 3)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = normalize_stride(stride, 3)
+        self.padding = _resolve_padding(padding, kernel_size, 3)
+        self.weight = Parameter(
+            init.glorot_uniform((out_channels, in_channels) + kernel_size, rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+        if weight_mask is not None:
+            weight_mask = np.asarray(weight_mask, dtype=self.weight.data.dtype)
+            expected = (out_channels, in_channels) + kernel_size
+            if weight_mask.shape != kernel_size and weight_mask.shape != expected:
+                raise ValueError(
+                    f"weight_mask must have shape {kernel_size} or {expected}, got {weight_mask.shape}"
+                )
+            if weight_mask.shape == kernel_size:
+                weight_mask = np.broadcast_to(weight_mask, expected).copy()
+        self.weight_mask = weight_mask
+
+    def forward(self, x):
+        return ops.conv3d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            weight_mask=self.weight_mask,
+        )
+
+
+class ConvTranspose3D(Module):
+    """3-D transposed convolution over ``(N, C, D, H, W)``."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        stride=1,
+        padding=0,
+        output_padding=0,
+        bias: bool = True,
+        rng=None,
+    ):
+        super().__init__()
+        kernel_size = normalize_stride(kernel_size, 3)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = normalize_stride(stride, 3)
+        self.padding = _resolve_padding(padding, kernel_size, 3)
+        self.output_padding = normalize_stride(output_padding, 3)
+        self.weight = Parameter(
+            init.glorot_uniform((in_channels, out_channels) + kernel_size, rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x):
+        return ops.conv_transpose3d(
+            x,
+            self.weight,
+            self.bias,
+            stride=self.stride,
+            padding=self.padding,
+            output_padding=self.output_padding,
+        )

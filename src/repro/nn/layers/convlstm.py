@@ -1,0 +1,51 @@
+"""Convolutional LSTM cell (Shi et al., 2015) — the convLSTM baseline's core."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.layers.base import Module
+from repro.nn.layers.conv import Conv2D
+from repro.nn.tensor import Tensor
+
+
+class ConvLSTM2DCell(Module):
+    """ConvLSTM cell over ``(N, C, H, W)`` frames.
+
+    All four gates are produced by a single convolution over the
+    concatenation ``[x, h]``, matching the original formulation (peephole
+    terms omitted, as in Keras's ConvLSTM2D defaults).
+    """
+
+    def __init__(self, in_channels: int, hidden_channels: int, kernel_size: int = 3, rng=None):
+        super().__init__()
+        self.in_channels = in_channels
+        self.hidden_channels = hidden_channels
+        self.kernel_size = kernel_size
+        self.gates = Conv2D(
+            in_channels + hidden_channels,
+            4 * hidden_channels,
+            kernel_size,
+            padding="same",
+            rng=rng,
+        )
+
+    def forward(self, x, state: Tuple[Tensor, Tensor]):
+        h_prev, c_prev = state
+        combined = ops.concat([x, h_prev], axis=1)
+        gates = self.gates(combined)
+        n = self.hidden_channels
+        i = ops.sigmoid(gates[:, 0 * n : 1 * n])
+        f = ops.sigmoid(gates[:, 1 * n : 2 * n])
+        g = ops.tanh(gates[:, 2 * n : 3 * n])
+        o = ops.sigmoid(gates[:, 3 * n : 4 * n])
+        c = ops.add(ops.mul(f, c_prev), ops.mul(i, g))
+        h = ops.mul(o, ops.tanh(c))
+        return h, c
+
+    def initial_state(self, batch_size: int, height: int, width: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_channels, height, width))
+        return Tensor(zeros), Tensor(zeros.copy())

@@ -1,0 +1,26 @@
+"""Dense (fully connected) layer."""
+
+from __future__ import annotations
+
+from repro.nn import init, ops
+from repro.nn.layers.base import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W + b`` over the last axis of ``x``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, rng=None):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x):
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+    def __repr__(self):
+        return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

@@ -1,0 +1,115 @@
+"""Cells for the PredRNN and PredRNN++ baselines.
+
+``STLSTMCell`` is the Spatiotemporal LSTM of Wang et al. (NeurIPS 2017): a
+ConvLSTM augmented with a spatiotemporal memory ``M`` that zig-zags through
+the layer stack. ``CausalLSTMCell`` and ``GHU`` are the cascaded dual-memory
+cell and gradient highway unit of PredRNN++ (Wang et al., ICML 2018).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.layers.base import Module
+from repro.nn.layers.conv import Conv2D
+from repro.nn.tensor import Tensor
+
+
+def _split(gates, n: int, count: int):
+    return [gates[:, i * n : (i + 1) * n] for i in range(count)]
+
+
+class STLSTMCell(Module):
+    """Spatiotemporal LSTM cell over ``(N, C, H, W)`` frames."""
+
+    def __init__(self, in_channels: int, hidden_channels: int, kernel_size: int = 3, rng=None):
+        super().__init__()
+        self.hidden_channels = hidden_channels
+        n = hidden_channels
+        self.conv_xh = Conv2D(in_channels + n, 3 * n, kernel_size, padding="same", rng=rng)
+        self.conv_xm = Conv2D(in_channels + n, 3 * n, kernel_size, padding="same", rng=rng)
+        self.conv_o = Conv2D(in_channels + 3 * n, n, kernel_size, padding="same", rng=rng)
+        self.conv_last = Conv2D(2 * n, n, 1, padding="valid", rng=rng)
+
+    def forward(self, x, h_prev, c_prev, m_prev):
+        n = self.hidden_channels
+        temporal = self.conv_xh(ops.concat([x, h_prev], axis=1))
+        g, i, f = _split(temporal, n, 3)
+        g = ops.tanh(g)
+        i = ops.sigmoid(i)
+        f = ops.sigmoid(f)
+        c = ops.add(ops.mul(f, c_prev), ops.mul(i, g))
+
+        spatial = self.conv_xm(ops.concat([x, m_prev], axis=1))
+        g2, i2, f2 = _split(spatial, n, 3)
+        g2 = ops.tanh(g2)
+        i2 = ops.sigmoid(i2)
+        f2 = ops.sigmoid(f2)
+        m = ops.add(ops.mul(f2, m_prev), ops.mul(i2, g2))
+
+        o = ops.sigmoid(self.conv_o(ops.concat([x, c, m, h_prev], axis=1)))
+        h = ops.mul(o, ops.tanh(self.conv_last(ops.concat([c, m], axis=1))))
+        return h, c, m
+
+    def initial_state(self, batch: int, height: int, width: int):
+        zeros = np.zeros((batch, self.hidden_channels, height, width))
+        return Tensor(zeros), Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class CausalLSTMCell(Module):
+    """Causal LSTM cell (PredRNN++) with cascaded temporal/spatial memories."""
+
+    def __init__(self, in_channels: int, hidden_channels: int, kernel_size: int = 3, rng=None):
+        super().__init__()
+        self.hidden_channels = hidden_channels
+        n = hidden_channels
+        self.conv_stage1 = Conv2D(in_channels + 2 * n, 3 * n, kernel_size, padding="same", rng=rng)
+        self.conv_stage2 = Conv2D(in_channels + 2 * n, 3 * n, kernel_size, padding="same", rng=rng)
+        self.conv_m = Conv2D(n, n, kernel_size, padding="same", rng=rng)
+        self.conv_o = Conv2D(in_channels + 3 * n, n, kernel_size, padding="same", rng=rng)
+        self.conv_last = Conv2D(2 * n, n, 1, padding="valid", rng=rng)
+
+    def forward(self, x, h_prev, c_prev, m_prev):
+        n = self.hidden_channels
+        stage1 = self.conv_stage1(ops.concat([x, h_prev, c_prev], axis=1))
+        g, i, f = _split(stage1, n, 3)
+        c = ops.add(ops.mul(ops.sigmoid(f), c_prev), ops.mul(ops.sigmoid(i), ops.tanh(g)))
+
+        stage2 = self.conv_stage2(ops.concat([x, c, m_prev], axis=1))
+        g2, i2, f2 = _split(stage2, n, 3)
+        m = ops.add(
+            ops.mul(ops.sigmoid(f2), ops.tanh(self.conv_m(m_prev))),
+            ops.mul(ops.sigmoid(i2), ops.tanh(g2)),
+        )
+
+        o = ops.tanh(self.conv_o(ops.concat([x, c, m, h_prev], axis=1)))
+        h = ops.mul(o, ops.tanh(self.conv_last(ops.concat([c, m], axis=1))))
+        return h, c, m
+
+    def initial_state(self, batch: int, height: int, width: int):
+        zeros = np.zeros((batch, self.hidden_channels, height, width))
+        return Tensor(zeros), Tensor(zeros.copy()), Tensor(zeros.copy())
+
+
+class GHU(Module):
+    """Gradient Highway Unit (PredRNN++)."""
+
+    def __init__(self, channels: int, kernel_size: int = 3, rng=None):
+        super().__init__()
+        self.channels = channels
+        self.conv_x = Conv2D(channels, 2 * channels, kernel_size, padding="same", rng=rng)
+        self.conv_z = Conv2D(channels, 2 * channels, kernel_size, padding="same", rng=rng)
+
+    def forward(self, x, z_prev):
+        n = self.channels
+        combined = ops.add(self.conv_x(x), self.conv_z(z_prev))
+        p = ops.tanh(combined[:, 0 * n : 1 * n])
+        s = ops.sigmoid(combined[:, 1 * n : 2 * n])
+        one_minus_s = ops.sub(1.0, s)
+        return ops.add(ops.mul(s, p), ops.mul(one_minus_s, z_prev))
+
+    def initial_state(self, batch: int, height: int, width: int) -> Tensor:
+        return Tensor(np.zeros((batch, self.channels, height, width)))

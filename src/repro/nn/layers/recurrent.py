@@ -1,0 +1,84 @@
+"""Recurrent layers: LSTM cell and time-unrolled LSTM."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn import init, ops
+from repro.nn.layers.base import Module, Parameter
+from repro.nn.tensor import Tensor
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell (Hochreiter & Schmidhuber, 1997).
+
+    Gates are computed with one fused affine map for speed:
+    ``[i, f, g, o] = x @ W_x + h @ W_h + b``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng=None):
+        super().__init__()
+        rng = init.default_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(init.glorot_uniform((input_size, 4 * hidden_size), rng))
+        self.weight_h = Parameter(init.orthogonal((hidden_size, 4 * hidden_size), rng))
+        bias = init.zeros((4 * hidden_size,))
+        # Forget-gate bias starts at 1: the standard trick for gradient flow.
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x, state: Tuple[Tensor, Tensor]):
+        h_prev, c_prev = state
+        gates = ops.add(ops.add(ops.matmul(x, self.weight_x), ops.matmul(h_prev, self.weight_h)), self.bias)
+        n = self.hidden_size
+        i = ops.sigmoid(gates[:, 0 * n : 1 * n])
+        f = ops.sigmoid(gates[:, 1 * n : 2 * n])
+        g = ops.tanh(gates[:, 2 * n : 3 * n])
+        o = ops.sigmoid(gates[:, 3 * n : 4 * n])
+        c = ops.add(ops.mul(f, c_prev), ops.mul(i, g))
+        h = ops.mul(o, ops.tanh(c))
+        return h, c
+
+    def initial_state(self, batch_size: int) -> Tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Unrolled (possibly stacked) LSTM over ``(N, T, F)`` sequences."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1, rng=None):
+        super().__init__()
+        rng = init.default_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        from repro.nn.layers.base import ModuleList
+
+        cells = []
+        for layer in range(num_layers):
+            in_size = input_size if layer == 0 else hidden_size
+            cells.append(LSTMCell(in_size, hidden_size, rng=rng))
+        self.cells = ModuleList(cells)
+
+    def forward(self, x, state: Optional[list] = None):
+        """Run the stack over time; returns (outputs ``(N, T, H)``, final states)."""
+        batch = x.shape[0]
+        steps = x.shape[1]
+        if state is None:
+            state = [cell.initial_state(batch) for cell in self.cells]
+        outputs = []
+        for t in range(steps):
+            layer_input = x[:, t, :]
+            new_state = []
+            for cell, (h, c) in zip(self.cells, state):
+                h, c = cell(layer_input, (h, c))
+                new_state.append((h, c))
+                layer_input = h
+            state = new_state
+            outputs.append(layer_input)
+        stacked = ops.stack(outputs, axis=1)
+        return stacked, state

@@ -1,0 +1,41 @@
+"""Loss functions. The paper trains BikeCAP with L1 loss (Sec. IV-C)."""
+
+from __future__ import annotations
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor, as_tensor
+
+
+def l1_loss(prediction, target) -> Tensor:
+    """Mean absolute error — the paper's training loss."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    return ops.mean(ops.abs(ops.sub(prediction, target)))
+
+
+def mse_loss(prediction, target) -> Tensor:
+    """Mean squared error (the decoder objective described in Sec. III-E)."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = ops.sub(prediction, target)
+    return ops.mean(ops.mul(diff, diff))
+
+
+def huber_loss(prediction, target, delta: float = 1.0) -> Tensor:
+    """Huber loss — quadratic near zero, linear in the tails."""
+    prediction, target = as_tensor(prediction), as_tensor(target)
+    diff = ops.sub(prediction, target)
+    abs_diff = ops.abs(diff)
+    quadratic = ops.mul(0.5, ops.mul(diff, diff))
+    linear = ops.sub(ops.mul(delta, abs_diff), 0.5 * delta**2)
+    mask = abs_diff.data <= delta
+    return ops.mean(ops.where(mask, quadratic, linear))
+
+
+LOSSES = {"l1": l1_loss, "mse": mse_loss, "huber": huber_loss}
+
+
+def get_loss(name: str):
+    """Look up a loss function by name."""
+    try:
+        return LOSSES[name]
+    except KeyError:
+        raise ValueError(f"unknown loss {name!r}; choose from {sorted(LOSSES)}") from None

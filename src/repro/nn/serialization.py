@@ -1,0 +1,25 @@
+"""Save/load model weights as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.layers.base import Module
+
+
+def save_weights(model: Module, path: str) -> None:
+    """Serialize the model's state dict to ``path`` (npz)."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_weights(model: Module, path: str) -> None:
+    """Load weights saved by :func:`save_weights` into ``model`` in place."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)

@@ -1,0 +1,168 @@
+"""Mini-batch training loop shared by every neural model in the repo.
+
+Mirrors the paper's setup: batch size 32, Adam(lr=1e-3), L1 loss, no
+learning-rate or weight decay (Sec. IV-C). Epoch count is configurable so
+tests/benchmarks can run CI-scale while ``REPRO_PROFILE=paper`` scales up.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.nn import config
+from repro.nn.layers.base import Module
+from repro.nn.losses import get_loss
+from repro.nn.optim import Adam, Optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch loss curves plus wall-clock accounting."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def best_val_loss(self) -> float:
+        return min(self.val_loss) if self.val_loss else float("nan")
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_loss": list(self.train_loss),
+            "val_loss": list(self.val_loss),
+            "epoch_seconds": list(self.epoch_seconds),
+        }
+
+
+def iterate_minibatches(
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Yield ``(x, y)`` mini-batches, shuffled when an rng is given."""
+    count = len(inputs)
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        index = order[start : start + batch_size]
+        yield inputs[index], targets[index]
+
+
+class Trainer:
+    """Train a Module mapping input arrays to target arrays.
+
+    The model's ``forward`` must accept a Tensor batch and return a Tensor
+    batch with the same shape as the targets.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss: str = "l1",
+        optimizer: Optional[Optimizer] = None,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        max_grad_norm: Optional[float] = 5.0,
+        seed: Optional[int] = None,
+    ):
+        self.model = model
+        self.loss_fn: Callable = get_loss(loss) if isinstance(loss, str) else loss
+        self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
+        self.batch_size = batch_size
+        self.max_grad_norm = max_grad_norm
+        self.rng = np.random.default_rng(seed)
+
+    def fit(
+        self,
+        train_x: np.ndarray,
+        train_y: np.ndarray,
+        epochs: int,
+        val_x: Optional[np.ndarray] = None,
+        val_y: Optional[np.ndarray] = None,
+        verbose: bool = False,
+        patience: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Run the training loop; early-stops on validation loss if asked."""
+        history = TrainingHistory()
+        best_val = float("inf")
+        best_state = None
+        stale = 0
+        for epoch in range(epochs):
+            start = time.perf_counter()
+            epoch_losses = []
+            self.model.train()
+            for batch_x, batch_y in iterate_minibatches(
+                train_x, train_y, self.batch_size, rng=self.rng
+            ):
+                loss = self.train_step(batch_x, batch_y)
+                epoch_losses.append(loss)
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            history.epoch_seconds.append(time.perf_counter() - start)
+
+            if val_x is not None and val_y is not None:
+                val = self.evaluate(val_x, val_y)
+                history.val_loss.append(val)
+                if val < best_val - 1e-9:
+                    best_val = val
+                    stale = 0
+                    if patience is not None:
+                        best_state = self.model.state_dict()
+                else:
+                    stale += 1
+                    if patience is not None and stale > patience:
+                        if best_state is not None:
+                            self.model.load_state_dict(best_state)
+                        break
+            if verbose:
+                val_part = f" val={history.val_loss[-1]:.4f}" if history.val_loss else ""
+                print(
+                    f"epoch {epoch + 1}/{epochs} "
+                    f"loss={history.train_loss[-1]:.4f}{val_part} "
+                    f"({history.epoch_seconds[-1]:.1f}s)"
+                )
+        return history
+
+    def train_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
+        """One optimizer update; returns the batch loss."""
+        self.optimizer.zero_grad()
+        prediction = self.model(Tensor(batch_x))
+        loss = self.loss_fn(prediction, Tensor(batch_y))
+        loss.backward()
+        if self.max_grad_norm is not None:
+            clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+        self.optimizer.step()
+        return float(loss.data)
+
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Mean loss over a dataset without building autograd graphs."""
+        self.model.eval()
+        losses = []
+        weights = []
+        with config.no_grad():
+            for batch_x, batch_y in iterate_minibatches(inputs, targets, self.batch_size):
+                prediction = self.model(Tensor(batch_x))
+                loss = self.loss_fn(prediction, Tensor(batch_y))
+                losses.append(float(loss.data))
+                weights.append(len(batch_x))
+        self.model.train()
+        return float(np.average(losses, weights=weights))
+
+    def predict(self, inputs: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
+        """Batched forward pass returning a numpy array."""
+        self.model.eval()
+        batch_size = batch_size or self.batch_size
+        outputs = []
+        with config.no_grad():
+            for start in range(0, len(inputs), batch_size):
+                batch = Tensor(inputs[start : start + batch_size])
+                outputs.append(self.model(batch).data)
+        self.model.train()
+        return np.concatenate(outputs, axis=0)

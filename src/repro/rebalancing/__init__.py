@@ -1,0 +1,25 @@
+"""Bike rebalancing: the application BikeCAP's multi-step forecasts serve."""
+
+from repro.rebalancing.evaluation import (
+    PlanScore,
+    forecast_value,
+    score_plan,
+    unmet_demand,
+)
+from repro.rebalancing.planner import (
+    Move,
+    RebalancingPlan,
+    greedy_plan,
+    min_cost_flow_plan,
+)
+
+__all__ = [
+    "Move",
+    "PlanScore",
+    "RebalancingPlan",
+    "forecast_value",
+    "greedy_plan",
+    "min_cost_flow_plan",
+    "score_plan",
+    "unmet_demand",
+]

@@ -1,0 +1,66 @@
+"""Scoring rebalancing plans against realized demand."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.rebalancing.planner import RebalancingPlan
+
+
+@dataclass(frozen=True)
+class PlanScore:
+    """How a plan fared against what actually happened."""
+
+    unmet_demand: float
+    bikes_moved: int
+    transport_work: float  # bike-cells moved
+    coverage: float  # fraction of demand servable after the plan
+
+    def __str__(self) -> str:
+        return (
+            f"unmet={self.unmet_demand:.0f} moved={self.bikes_moved} "
+            f"work={self.transport_work:.1f} coverage={self.coverage:.1%}"
+        )
+
+
+def unmet_demand(stock: np.ndarray, realized_demand: np.ndarray) -> float:
+    """Demand exceeding available stock, summed over cells."""
+    stock = np.asarray(stock, dtype=float)
+    realized_demand = np.asarray(realized_demand, dtype=float)
+    return float(np.maximum(realized_demand - stock, 0.0).sum())
+
+
+def score_plan(
+    plan: RebalancingPlan,
+    stock: np.ndarray,
+    realized_demand: np.ndarray,
+) -> PlanScore:
+    """Apply the plan to the stock and score it against realized demand."""
+    adjusted = plan.apply(stock)
+    shortfall = unmet_demand(adjusted, realized_demand)
+    total = float(np.asarray(realized_demand, dtype=float).sum())
+    coverage = 1.0 - shortfall / total if total > 0 else 1.0
+    return PlanScore(
+        unmet_demand=shortfall,
+        bikes_moved=plan.total_bikes,
+        transport_work=plan.total_distance,
+        coverage=coverage,
+    )
+
+
+def forecast_value(
+    plan_from_forecast: RebalancingPlan,
+    plan_from_baseline: RebalancingPlan,
+    stock: np.ndarray,
+    realized_demand: np.ndarray,
+) -> float:
+    """Unmet demand avoided by planning on the forecast instead of the baseline.
+
+    Positive values mean the forecast-driven plan served more demand.
+    """
+    forecast_score = score_plan(plan_from_forecast, stock, realized_demand)
+    baseline_score = score_plan(plan_from_baseline, stock, realized_demand)
+    return baseline_score.unmet_demand - forecast_score.unmet_demand

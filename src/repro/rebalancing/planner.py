@@ -1,0 +1,168 @@
+"""Bike rebalancing planners — the application BikeCAP exists to serve.
+
+The paper's Sec. I motivation: rebalancing a large number of bikes takes
+operators on the order of an hour, so they need demand forecasts *that far
+ahead*. Given a multi-step forecast this module turns (current stock,
+expected demand) into a relocation plan.
+
+Two planners are provided:
+
+- :func:`greedy_plan` — nearest-surplus-first heuristic; fast, no optimality
+  guarantee.
+- :func:`min_cost_flow_plan` — optimal transport distance via
+  :func:`networkx.min_cost_flow` on a bipartite surplus→deficit graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+Cell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Move:
+    """Relocate ``count`` bikes from ``source`` to ``destination``."""
+
+    source: Cell
+    destination: Cell
+    count: int
+
+    @property
+    def distance_cells(self) -> float:
+        return float(
+            np.hypot(
+                self.source[0] - self.destination[0],
+                self.source[1] - self.destination[1],
+            )
+        )
+
+
+@dataclass
+class RebalancingPlan:
+    """A set of moves plus summary statistics."""
+
+    moves: List[Move]
+
+    @property
+    def total_bikes(self) -> int:
+        return sum(move.count for move in self.moves)
+
+    @property
+    def total_distance(self) -> float:
+        """Bike-cells of transport work: Σ count × distance."""
+        return sum(move.count * move.distance_cells for move in self.moves)
+
+    def apply(self, stock: np.ndarray) -> np.ndarray:
+        """Return the stock map after executing every move."""
+        adjusted = np.asarray(stock, dtype=float).copy()
+        for move in self.moves:
+            adjusted[move.source] -= move.count
+            adjusted[move.destination] += move.count
+        if adjusted.min() < 0:
+            raise ValueError("plan moves more bikes than a cell holds")
+        return adjusted
+
+
+def _balance(stock: np.ndarray, expected_demand: np.ndarray, reserve: float) -> np.ndarray:
+    stock = np.asarray(stock, dtype=float)
+    expected_demand = np.asarray(expected_demand, dtype=float)
+    if stock.shape != expected_demand.shape:
+        raise ValueError(
+            f"stock {stock.shape} and demand {expected_demand.shape} shapes differ"
+        )
+    return stock - expected_demand - reserve
+
+
+def greedy_plan(
+    stock: np.ndarray,
+    expected_demand: np.ndarray,
+    reserve: float = 0.0,
+) -> RebalancingPlan:
+    """Serve the largest deficits first from the nearest surplus cells."""
+    balance = _balance(stock, expected_demand, reserve)
+    surplus = {
+        tuple(cell): int(balance[tuple(cell)])
+        for cell in np.argwhere(balance >= 1.0)
+    }
+    deficits = sorted(
+        (
+            (tuple(cell), int(np.ceil(-balance[tuple(cell)])))
+            for cell in np.argwhere(balance < 0)
+        ),
+        key=lambda item: -item[1],
+    )
+    moves: List[Move] = []
+    for cell, need in deficits:
+        while need > 0 and surplus:
+            donor = min(
+                surplus,
+                key=lambda s: (s[0] - cell[0]) ** 2 + (s[1] - cell[1]) ** 2,
+            )
+            take = min(need, surplus[donor])
+            moves.append(Move(source=donor, destination=cell, count=take))
+            need -= take
+            surplus[donor] -= take
+            if surplus[donor] == 0:
+                del surplus[donor]
+    return RebalancingPlan(moves=moves)
+
+
+def min_cost_flow_plan(
+    stock: np.ndarray,
+    expected_demand: np.ndarray,
+    reserve: float = 0.0,
+    cost_scale: int = 100,
+) -> RebalancingPlan:
+    """Distance-optimal relocation via min-cost flow.
+
+    Surplus cells supply, deficit cells demand; edge cost is the rounded
+    Euclidean cell distance. When total surplus cannot cover total deficit,
+    a zero-cost slack source absorbs the shortfall, so the plan serves as
+    much demand as the fleet allows.
+    """
+    balance = _balance(stock, expected_demand, reserve)
+    surplus_cells = [tuple(cell) for cell in np.argwhere(balance >= 1.0)]
+    deficit_cells = [tuple(cell) for cell in np.argwhere(balance < 0)]
+    if not deficit_cells or not surplus_cells:
+        return RebalancingPlan(moves=[])
+
+    supply = {cell: int(balance[cell]) for cell in surplus_cells}
+    need = {cell: int(np.ceil(-balance[cell])) for cell in deficit_cells}
+    total_supply = sum(supply.values())
+    total_need = sum(need.values())
+
+    graph = nx.DiGraph()
+    for cell, amount in supply.items():
+        graph.add_node(("s", cell), demand=-amount)
+    for cell, amount in need.items():
+        graph.add_node(("d", cell), demand=amount)
+    for s_cell in surplus_cells:
+        for d_cell in deficit_cells:
+            distance = int(
+                round(np.hypot(s_cell[0] - d_cell[0], s_cell[1] - d_cell[1]) * cost_scale)
+            )
+            graph.add_edge(("s", s_cell), ("d", d_cell), weight=distance)
+    # Slack absorbs whichever side is larger so the flow is feasible.
+    if total_supply > total_need:
+        graph.add_node("sink", demand=total_supply - total_need)
+        for s_cell in surplus_cells:
+            graph.add_edge(("s", s_cell), "sink", weight=0)
+    elif total_need > total_supply:
+        graph.add_node("slack", demand=-(total_need - total_supply))
+        for d_cell in deficit_cells:
+            graph.add_edge("slack", ("d", d_cell), weight=0)
+
+    flow = nx.min_cost_flow(graph)
+    moves: List[Move] = []
+    for source, targets in flow.items():
+        if not (isinstance(source, tuple) and source[0] == "s"):
+            continue
+        for target, count in targets.items():
+            if count > 0 and isinstance(target, tuple) and target[0] == "d":
+                moves.append(Move(source=source[1], destination=target[1], count=int(count)))
+    return RebalancingPlan(moves=moves)

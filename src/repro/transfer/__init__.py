@@ -1,0 +1,15 @@
+"""Station-level transfer-time analysis (paper Sec. V-D future work)."""
+
+from repro.transfer.estimation import (
+    TransferStats,
+    estimate_transfer_times,
+    match_transfers,
+    stations_exceeding_threshold,
+)
+
+__all__ = [
+    "TransferStats",
+    "estimate_transfer_times",
+    "match_transfers",
+    "stations_exceeding_threshold",
+]

@@ -1,0 +1,119 @@
+"""Station-level transfer-time estimation (paper future work, Sec. V-D).
+
+The paper proposes estimating, per subway station, the average time between
+a passenger *exiting* the station and *picking up* a bike nearby, to drive
+timetable rescheduling. This module implements that analysis over trip
+records: it joins subway alightings with subsequent bike pick-ups of the
+same (anonymous) user id within a matching window and aggregates per
+station.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.city.records import BikeRecordBatch, SubwayRecordBatch
+from repro.city.simulator import SyntheticCity
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Transfer-time statistics for one subway station."""
+
+    station_id: int
+    transfers: int
+    mean_seconds: float
+    median_seconds: float
+    p90_seconds: float
+
+    @property
+    def mean_minutes(self) -> float:
+        return self.mean_seconds / 60.0
+
+
+def match_transfers(
+    subway: SubwayRecordBatch,
+    bikes: BikeRecordBatch,
+    max_gap_seconds: float = 30 * 60,
+) -> Dict[int, np.ndarray]:
+    """Per-station arrays of observed transfer gaps (seconds).
+
+    A transfer is a subway alighting followed by the same user's next bike
+    pick-up within ``max_gap_seconds``. User ids are the anonymized SZT/user
+    ids the paper's datasets carry.
+    """
+    gaps: Dict[int, List[float]] = {}
+
+    alight_mask = ~subway.boarding
+    alight_users = subway.user_ids[alight_mask]
+    alight_times = subway.times[alight_mask]
+    alight_stations = subway.station_ids[alight_mask]
+
+    pick_mask = bikes.pickup
+    pick_users = bikes.user_ids[pick_mask]
+    pick_times = bikes.times[pick_mask]
+
+    # Index bike pick-ups by user for O(1) lookup; times are already sorted.
+    pickup_index: Dict[int, np.ndarray] = {}
+    order = np.argsort(pick_users, kind="stable")
+    sorted_users = pick_users[order]
+    sorted_times = pick_times[order]
+    boundaries = np.flatnonzero(np.diff(sorted_users)) + 1
+    for chunk_users, chunk_times in zip(
+        np.split(sorted_users, boundaries), np.split(sorted_times, boundaries)
+    ):
+        if len(chunk_users):
+            pickup_index[int(chunk_users[0])] = np.sort(chunk_times)
+
+    for user, time, station in zip(alight_users, alight_times, alight_stations):
+        user_pickups = pickup_index.get(int(user))
+        if user_pickups is None:
+            continue
+        position = np.searchsorted(user_pickups, time, side="right")
+        if position >= len(user_pickups):
+            continue
+        gap = float(user_pickups[position] - time)
+        if gap <= max_gap_seconds:
+            gaps.setdefault(int(station), []).append(gap)
+
+    return {station: np.asarray(values) for station, values in gaps.items()}
+
+
+def estimate_transfer_times(
+    city: SyntheticCity,
+    max_gap_seconds: float = 30 * 60,
+    min_transfers: int = 5,
+) -> Dict[int, TransferStats]:
+    """Aggregate matched transfers into per-station statistics."""
+    gaps = match_transfers(city.subway_records, city.bike_records, max_gap_seconds)
+    stats: Dict[int, TransferStats] = {}
+    for station, values in gaps.items():
+        if len(values) < min_transfers:
+            continue
+        stats[station] = TransferStats(
+            station_id=station,
+            transfers=len(values),
+            mean_seconds=float(values.mean()),
+            median_seconds=float(np.median(values)),
+            p90_seconds=float(np.percentile(values, 90)),
+        )
+    return stats
+
+
+def stations_exceeding_threshold(
+    stats: Dict[int, TransferStats],
+    threshold_seconds: float,
+) -> List[int]:
+    """Stations whose mean transfer time exceeds the rescheduling threshold.
+
+    The paper's proposed use: when a station's transfer time exceeds a
+    pre-defined threshold, operators reschedule the downstream timetable.
+    """
+    return sorted(
+        station
+        for station, stat in stats.items()
+        if stat.mean_seconds > threshold_seconds
+    )

@@ -1,0 +1,21 @@
+"""Terminal-friendly visualizations (no plotting backend required)."""
+
+from repro.viz.ascii import (
+    HEAT_RAMP,
+    SPARK_BLOCKS,
+    coupling_panel,
+    demand_panel,
+    heatmap,
+    side_by_side,
+    sparkline,
+)
+
+__all__ = [
+    "HEAT_RAMP",
+    "SPARK_BLOCKS",
+    "coupling_panel",
+    "demand_panel",
+    "heatmap",
+    "side_by_side",
+    "sparkline",
+]

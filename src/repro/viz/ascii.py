@@ -1,0 +1,98 @@
+"""Terminal visualizations: demand heatmaps, sparklines, coupling maps.
+
+Matplotlib is not available in this environment, so the repository renders
+its figures as unicode text — good enough to *see* the spatial structure of
+demand, forecasts and routing coefficients in a terminal or log file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+SPARK_BLOCKS = " ▁▂▃▄▅▆▇█"
+HEAT_RAMP = " .:-=+*#%@"
+
+
+def sparkline(series, width: Optional[int] = None) -> str:
+    """Render a 1-D series as a unicode sparkline.
+
+    ``width`` (optional) downsamples by averaging into that many buckets.
+    """
+    series = np.asarray(series, dtype=float).ravel()
+    if series.size == 0:
+        return ""
+    if width is not None and width < series.size:
+        edges = np.linspace(0, series.size, width + 1).astype(int)
+        series = np.array([series[a:b].mean() for a, b in zip(edges, edges[1:])])
+    top = series.max()
+    if top <= 0:
+        return " " * series.size
+    levels = np.minimum(
+        (series / top * (len(SPARK_BLOCKS) - 1)).astype(int), len(SPARK_BLOCKS) - 1
+    )
+    return "".join(SPARK_BLOCKS[level] for level in levels)
+
+
+def heatmap(
+    grid,
+    ramp: str = HEAT_RAMP,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a 2-D array as an ASCII heatmap (one char per cell)."""
+    grid = np.asarray(grid, dtype=float)
+    if grid.ndim != 2:
+        raise ValueError(f"heatmap needs a 2-D array, got shape {grid.shape}")
+    top = vmax if vmax is not None else grid.max()
+    if top <= 0:
+        top = 1.0
+    levels = np.clip((grid / top * (len(ramp) - 1)).astype(int), 0, len(ramp) - 1)
+    return "\n".join("".join(ramp[level] for level in row) for row in levels)
+
+
+def side_by_side(blocks: Sequence[str], titles: Sequence[str], gap: int = 3) -> str:
+    """Lay out multi-line text blocks horizontally with titles."""
+    if len(blocks) != len(titles):
+        raise ValueError("blocks and titles must have equal length")
+    split_blocks = [block.splitlines() for block in blocks]
+    widths = [
+        max([len(title)] + [len(line) for line in lines])
+        for lines, title in zip(split_blocks, titles)
+    ]
+    height = max(len(lines) for lines in split_blocks)
+    rows = ["".join(title.ljust(width + gap) for title, width in zip(titles, widths))]
+    for row_index in range(height):
+        cells = []
+        for lines, width in zip(split_blocks, widths):
+            line = lines[row_index] if row_index < len(lines) else ""
+            cells.append(line.ljust(width + gap))
+        rows.append("".join(cells))
+    return "\n".join(rows)
+
+
+def demand_panel(truth: np.ndarray, prediction: np.ndarray, step: int = 0) -> str:
+    """Truth-vs-forecast heatmaps for one prediction step."""
+    truth = np.asarray(truth, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    if truth.shape != prediction.shape:
+        raise ValueError("truth and prediction shapes differ")
+    vmax = max(truth[step].max(), prediction[step].max(), 1e-9)
+    return side_by_side(
+        [heatmap(truth[step], vmax=vmax), heatmap(prediction[step], vmax=vmax)],
+        [f"truth t+{step + 1}", f"forecast t+{step + 1}"],
+    )
+
+
+def coupling_panel(coupling: np.ndarray, future_step: int = 0) -> str:
+    """Average routing mass per grid cell for one future slot.
+
+    ``coupling`` is the (N, S, p, G1, G2) tensor a BikeCAP forward exposes;
+    the panel shows where, spatially, historical capsules concentrate their
+    contribution for that future step.
+    """
+    coupling = np.asarray(coupling, dtype=float)
+    if coupling.ndim != 5:
+        raise ValueError(f"expected (N, S, p, G1, G2) coupling, got {coupling.shape}")
+    mass = coupling[:, :, future_step].mean(axis=(0, 1))
+    return heatmap(mass)

@@ -1,0 +1,96 @@
+"""The recursive multi-step protocol, exercised with a controllable stub."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import RecursiveFrameForecaster, clip_normalized
+from repro.baselines.frame_models import next_frame_targets
+
+
+class _PersistenceForecaster(RecursiveFrameForecaster):
+    """Stub: predicts the last observed frame (the persistence baseline)."""
+
+    name = "persistence"
+
+    def fit(self, dataset, epochs=10, verbose=False):
+        return {}
+
+    def predict_next_frame(self, x):
+        return x[:, -1]
+
+
+class _DriftingForecaster(RecursiveFrameForecaster):
+    """Stub: adds a constant bias each step — makes error accumulation exact."""
+
+    name = "drifting"
+
+    def __init__(self, *args, bias=0.1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bias = bias
+
+    def fit(self, dataset, epochs=10, verbose=False):
+        return {}
+
+    def predict_next_frame(self, x):
+        return x[:, -1] + self.bias
+
+
+class TestRecursiveProtocol:
+    def _window(self, rng, n=2, h=4, g=3, f=4):
+        return rng.random((n, h, g, g, f))
+
+    def test_persistence_repeats_last_frame(self, rng):
+        model = _PersistenceForecaster(history=4, horizon=3, grid_shape=(3, 3), num_features=4)
+        x = self._window(rng)
+        out = model.predict(x)
+        assert out.shape == (2, 3, 3, 3)
+        for step in range(3):
+            assert np.allclose(out[:, step], x[:, -1, :, :, 0])
+
+    def test_recursion_feeds_predictions_back(self, rng):
+        """With a drifting predictor the k-th step is biased by k*bias —
+        the accumulated-error mechanism the paper attributes to
+        autoregressive models."""
+        bias = 0.25
+        model = _DriftingForecaster(
+            history=4, horizon=4, grid_shape=(3, 3), num_features=4, bias=bias
+        )
+        x = self._window(rng)
+        out = model.predict(x)
+        for step in range(4):
+            expected = x[:, -1, :, :, 0] + (step + 1) * bias
+            assert np.allclose(out[:, step], expected)
+
+    def test_input_validation(self, rng):
+        model = _PersistenceForecaster(history=4, horizon=2, grid_shape=(3, 3), num_features=4)
+        with pytest.raises(ValueError):
+            model.predict(rng.random((2, 5, 3, 3, 4)))  # wrong history
+        with pytest.raises(ValueError):
+            model.predict(rng.random((2, 4, 3, 3, 2)))  # wrong features
+
+    def test_predict_does_not_mutate_input(self, rng):
+        model = _PersistenceForecaster(history=4, horizon=3, grid_shape=(3, 3), num_features=4)
+        x = self._window(rng)
+        original = x.copy()
+        model.predict(x)
+        assert np.array_equal(x, original)
+
+
+class TestClipNormalized:
+    def test_clips_to_range(self):
+        frame = np.array([-0.5, 0.2, 2.0])
+        assert np.allclose(clip_normalized(frame), [0.0, 0.2, 1.5])
+
+
+class TestNextFrameTargets:
+    def test_alignment(self):
+        """Target at step t of window i equals true frame i + t + 1."""
+        total, h = 6, 3
+        x = np.zeros((total, h, 2, 2, 1))
+        for i in range(total):
+            x[i] += np.arange(i, i + h)[:, None, None, None]
+        targets = next_frame_targets(x)
+        assert targets.shape == (total - 1, h, 2, 2, 1)
+        for i in range(total - 1):
+            for t in range(h):
+                assert np.all(targets[i, t] == i + t + 1)

@@ -1,0 +1,125 @@
+"""All eight Table III forecasters: construction, training, prediction."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FORECASTERS, BikeCAPForecaster, make_forecaster
+from repro.metrics import evaluate_forecaster
+
+FAST_OVERRIDES = {
+    "convLSTM": {"hidden_channels": 3, "kernel_size": 3, "num_layers": 1},
+    "PredRNN": {"hidden_channels": 3, "num_layers": 1},
+    "PredRNN++": {"hidden_channels": 3},
+    "STGCN": {"hidden_channels": 6},
+    "STSGCN": {"hidden_channels": 6},
+    "LSTM": {"hidden_size": 8, "max_train_samples": 2000},
+    "XGBoost": {"n_estimators": 5, "max_train_samples": 2000},
+    "BikeCAP": {
+        "pyramid_size": 2,
+        "capsule_dim": 2,
+        "future_capsule_dim": 2,
+        "decoder_hidden": 3,
+    },
+}
+
+
+class TestRegistry:
+    def test_contains_paper_models(self):
+        paper_models = {
+            "XGBoost",
+            "LSTM",
+            "convLSTM",
+            "PredRNN",
+            "PredRNN++",
+            "STGCN",
+            "STSGCN",
+            "BikeCAP",
+        }
+        assert paper_models <= set(FORECASTERS)
+
+    def test_contains_sanity_anchors(self):
+        assert {"Persistence", "SeasonalAverage"} <= set(FORECASTERS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_forecaster("ARIMA", 4, 2, (3, 3), 4)
+
+
+@pytest.mark.parametrize("name", sorted(FORECASTERS))
+class TestEndToEnd:
+    def test_fit_predict_evaluate(self, name, tiny_dataset):
+        forecaster = make_forecaster(
+            name,
+            tiny_dataset.history,
+            tiny_dataset.horizon,
+            tiny_dataset.grid_shape,
+            tiny_dataset.num_features,
+            seed=0,
+            **FAST_OVERRIDES.get(name, {}),
+        )
+        history = forecaster.fit(tiny_dataset, epochs=1)
+        assert isinstance(history, dict)
+        prediction = forecaster.predict(tiny_dataset.split.test_x[:6])
+        assert prediction.shape == (6,) + (tiny_dataset.horizon,) + tiny_dataset.grid_shape
+        assert np.all(np.isfinite(prediction))
+        metrics = evaluate_forecaster(forecaster, tiny_dataset)
+        assert metrics["MAE"] >= 0
+        assert metrics["RMSE"] >= metrics["MAE"]
+
+
+class TestBikeCAPAdapter:
+    def test_variant_name_propagates(self, tiny_dataset):
+        forecaster = BikeCAPForecaster(
+            tiny_dataset.history,
+            tiny_dataset.horizon,
+            tiny_dataset.grid_shape,
+            tiny_dataset.num_features,
+            variant="BikeCap-Sub",
+            pyramid_size=2,
+            capsule_dim=2,
+        )
+        assert forecaster.name == "BikeCap-Sub"
+        assert forecaster.model.config.feature_indices == (0, 1)
+
+    def test_config_overrides_apply(self, tiny_dataset):
+        forecaster = BikeCAPForecaster(
+            tiny_dataset.history,
+            tiny_dataset.horizon,
+            tiny_dataset.grid_shape,
+            tiny_dataset.num_features,
+            pyramid_size=2,
+            capsule_dim=3,
+        )
+        assert forecaster.model.config.pyramid_size == 2
+        assert forecaster.model.config.capsule_dim == 3
+
+
+class TestDirectVsRecursive:
+    def test_direct_models_emit_horizon_in_one_shot(self, tiny_dataset):
+        """Graph models and BikeCAP must not roll predictions forward."""
+        from repro.baselines import RecursiveFrameForecaster
+
+        for name in ("STGCN", "STSGCN", "BikeCAP"):
+            forecaster = make_forecaster(
+                name,
+                tiny_dataset.history,
+                tiny_dataset.horizon,
+                tiny_dataset.grid_shape,
+                tiny_dataset.num_features,
+                **FAST_OVERRIDES.get(name, {}),
+            )
+            assert not isinstance(forecaster, RecursiveFrameForecaster)
+
+    def test_autoregressive_models_are_recursive(self, tiny_dataset):
+        from repro.baselines import RecursiveFrameForecaster
+
+        for name in ("XGBoost", "LSTM", "convLSTM", "PredRNN", "PredRNN++"):
+            forecaster = make_forecaster(
+                name,
+                tiny_dataset.history,
+                tiny_dataset.horizon,
+                tiny_dataset.grid_shape,
+                tiny_dataset.num_features,
+                **FAST_OVERRIDES.get(name, {}),
+            )
+            assert isinstance(forecaster, RecursiveFrameForecaster)

@@ -1,0 +1,70 @@
+"""Persistence and seasonal-average sanity baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PersistenceForecaster, SeasonalAverageForecaster
+from repro.data import dataset_from_tensor
+
+
+def _periodic_tensor(days=4, slots_per_day=24, grid=3):
+    """Demand with a pure diurnal pattern plus a spatial gradient."""
+    total = days * slots_per_day
+    slot = np.arange(total) % slots_per_day
+    wave = 5.0 + 4.0 * np.sin(2 * np.pi * slot / slots_per_day)
+    tensor = np.zeros((total, grid, grid, 4))
+    gradient = np.linspace(0.5, 1.5, grid * grid).reshape(grid, grid)
+    tensor[..., 0] = wave[:, None, None] * gradient
+    tensor[..., 1:] = 1.0
+    return tensor
+
+
+class TestPersistence:
+    def test_repeats_last_frame(self, rng):
+        model = PersistenceForecaster(4, 3, (3, 3), 4)
+        x = rng.random((2, 4, 3, 3, 4))
+        out = model.predict(x)
+        for step in range(3):
+            assert np.allclose(out[:, step], x[:, -1, :, :, 0])
+
+    def test_fit_is_noop(self, tiny_dataset):
+        model = PersistenceForecaster(
+            tiny_dataset.history, tiny_dataset.horizon, tiny_dataset.grid_shape, 4
+        )
+        assert model.fit(tiny_dataset) == {}
+
+    def test_perfect_on_constant_series(self):
+        tensor = np.ones((40, 2, 2, 4))
+        dataset = dataset_from_tensor(tensor, history=4, horizon=2)
+        model = PersistenceForecaster(4, 2, (2, 2), 4)
+        prediction = model.predict(dataset.split.test_x)
+        assert np.allclose(prediction, dataset.split.test_y)
+
+
+class TestSeasonalAverage:
+    def test_learns_diurnal_profile(self):
+        slots_per_day = 24
+        tensor = _periodic_tensor(days=6, slots_per_day=slots_per_day)
+        dataset = dataset_from_tensor(tensor, history=6, horizon=2)
+        model = SeasonalAverageForecaster(
+            6, 2, (3, 3), 4, slots_per_day=slots_per_day
+        )
+        info = model.fit(dataset)
+        assert info["slots_seen"] > 0
+        prediction = model.predict(dataset.split.test_x)
+        error = np.abs(prediction - dataset.split.test_y).mean()
+        # A pure-periodic series is almost exactly predictable from its profile.
+        assert error < 0.05
+
+    def test_beats_persistence_on_periodic_series_at_long_horizon(self):
+        slots_per_day = 24
+        tensor = _periodic_tensor(days=6, slots_per_day=slots_per_day)
+        dataset = dataset_from_tensor(tensor, history=6, horizon=6)
+        seasonal = SeasonalAverageForecaster(6, 6, (3, 3), 4, slots_per_day=slots_per_day)
+        seasonal.fit(dataset)
+        persistence = PersistenceForecaster(6, 6, (3, 3), 4)
+        seasonal_error = np.abs(seasonal.predict(dataset.split.test_x) - dataset.split.test_y).mean()
+        persistence_error = np.abs(
+            persistence.predict(dataset.split.test_x) - dataset.split.test_y
+        ).mean()
+        assert seasonal_error < persistence_error

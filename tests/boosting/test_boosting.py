@@ -1,0 +1,120 @@
+"""Gradient-boosted trees: split quality, convergence, regularization."""
+
+import numpy as np
+import pytest
+
+from repro.boosting import GradientBoostedTrees, RegressionTree, quantile_bins
+
+
+class TestQuantileBins:
+    def test_few_uniques_returns_midpoints(self):
+        bins = quantile_bins(np.array([1.0, 1.0, 2.0, 3.0]), max_bins=10)
+        assert np.allclose(bins, [1.5, 2.5])
+
+    def test_constant_feature_has_no_bins(self):
+        assert len(quantile_bins(np.full(10, 3.0), max_bins=8)) == 0
+
+    def test_many_uniques_capped(self, rng):
+        bins = quantile_bins(rng.random(1000), max_bins=16)
+        assert len(bins) <= 16
+
+
+class TestRegressionTree:
+    def test_fits_step_function_exactly(self):
+        x = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (x[:, 0] > 0.5).astype(float) * 10.0
+        # Squared loss: gradient = pred - y with pred=0, hessian = 1.
+        tree = RegressionTree(max_depth=2, reg_lambda=0.0)
+        tree.fit(x, gradients=-y, hessians=np.ones(len(y)))
+        prediction = tree.predict(x)
+        assert np.allclose(prediction, y, atol=1e-9)
+
+    def test_depth_limit_respected(self, rng):
+        x = rng.random((200, 3))
+        y = rng.random(200)
+        tree = RegressionTree(max_depth=3)
+        tree.fit(x, -y, np.ones(200))
+        assert tree.depth() <= 3
+
+    def test_leaf_value_is_regularized_mean(self):
+        # A single leaf (depth 0): w* = -G/(H+λ) = sum(y)/(n+λ).
+        y = np.array([2.0, 4.0])
+        tree = RegressionTree(max_depth=0, reg_lambda=1.0)
+        tree.fit(np.zeros((2, 1)), -y, np.ones(2))
+        assert np.allclose(tree.predict(np.zeros((1, 1))), y.sum() / 3.0)
+
+    def test_min_child_weight_blocks_tiny_splits(self):
+        x = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 0.0, 100.0])
+        tree = RegressionTree(max_depth=3, min_child_weight=2.0)
+        tree.fit(x, -y, np.ones(4))
+        # The 1-sample split on the outlier is forbidden; leaves are coarser.
+        assert tree.num_leaves() <= 2
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 1)))
+
+    def test_input_validation(self):
+        tree = RegressionTree()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros(5), np.zeros(5), np.ones(5))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((5, 1)), np.zeros(4), np.ones(5))
+
+    def test_boundary_value_routing_consistent(self):
+        """Values exactly on a threshold route the same way in fit and predict."""
+        x = np.array([[0.0], [1.0], [1.0], [2.0]])
+        y = np.array([0.0, 5.0, 5.0, 10.0])
+        tree = RegressionTree(max_depth=2, reg_lambda=0.0)
+        tree.fit(x, -y, np.ones(4))
+        prediction = tree.predict(x)
+        assert np.allclose(prediction, y)
+
+
+class TestGradientBoostedTrees:
+    def _data(self, rng, n=400):
+        x = rng.random((n, 4))
+        y = 3.0 * x[:, 0] - 2.0 * x[:, 1] ** 2 + 0.5 * np.sin(6 * x[:, 2])
+        return x, y
+
+    def test_beats_constant_baseline(self, rng):
+        x, y = self._data(rng)
+        model = GradientBoostedTrees(n_estimators=30, max_depth=3, seed=0).fit(x, y)
+        residual = np.abs(model.predict(x) - y).mean()
+        baseline = np.abs(y.mean() - y).mean()
+        assert residual < baseline * 0.3
+
+    def test_error_decreases_with_rounds(self, rng):
+        x, y = self._data(rng)
+        model = GradientBoostedTrees(n_estimators=20, max_depth=3, seed=0).fit(x, y)
+        errors = [np.abs(stage - y).mean() for stage in model.staged_predict(x)]
+        assert errors[-1] < errors[0]
+        assert errors[-1] < errors[len(errors) // 2] + 1e-9
+
+    def test_subsampling_still_learns(self, rng):
+        x, y = self._data(rng)
+        model = GradientBoostedTrees(n_estimators=40, subsample=0.5, seed=0).fit(x, y)
+        assert np.abs(model.predict(x) - y).mean() < np.abs(y.mean() - y).mean() * 0.5
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = self._data(rng, n=100)
+        a = GradientBoostedTrees(n_estimators=5, subsample=0.7, seed=3).fit(x, y).predict(x)
+        b = GradientBoostedTrees(n_estimators=5, subsample=0.7, seed=3).fit(x, y).predict(x)
+        assert np.allclose(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(subsample=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostedTrees(n_estimators=0)
+        model = GradientBoostedTrees()
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 1)), np.zeros(4))
+
+    def test_base_score_is_target_mean(self, rng):
+        x, y = self._data(rng, n=50)
+        model = GradientBoostedTrees(n_estimators=1, seed=0).fit(x, y)
+        assert np.isclose(model.base_score, y.mean())

@@ -1,0 +1,87 @@
+"""Grid partition: planar and GPS round trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.city import GridPartition
+
+
+class TestConstruction:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            GridPartition(0, 5)
+        with pytest.raises(ValueError):
+            GridPartition(5, 5, cell_meters=0)
+
+    def test_derived_properties(self):
+        grid = GridPartition(4, 6, cell_meters=250.0)
+        assert grid.shape == (4, 6)
+        assert grid.num_cells == 24
+        assert grid.width_meters == 1500.0
+        assert grid.height_meters == 1000.0
+
+
+class TestCellMapping:
+    def test_center_round_trips(self):
+        grid = GridPartition(5, 5, cell_meters=100.0)
+        for row in range(5):
+            for col in range(5):
+                x, y = grid.center_of(row, col)
+                assert grid.cell_of(x, y) == (row, col)
+
+    def test_center_of_validates(self):
+        grid = GridPartition(3, 3)
+        with pytest.raises(ValueError):
+            grid.center_of(3, 0)
+
+    def test_out_of_bounds_points_clip_to_border(self):
+        grid = GridPartition(3, 3, cell_meters=100.0)
+        assert grid.cell_of(-50.0, -50.0) == (0, 0)
+        assert grid.cell_of(10_000.0, 10_000.0) == (2, 2)
+
+    def test_vectorized_cell_of(self):
+        grid = GridPartition(3, 3, cell_meters=100.0)
+        rows, cols = grid.cell_of(np.array([50.0, 250.0]), np.array([150.0, 50.0]))
+        assert rows.tolist() == [1, 0]
+        assert cols.tolist() == [0, 2]
+
+    def test_random_point_lands_in_cell(self, rng):
+        grid = GridPartition(4, 4, cell_meters=200.0)
+        x, y = grid.random_point_in(np.full(50, 2), np.full(50, 3), rng)
+        rows, cols = grid.cell_of(x, y)
+        assert np.all(rows == 2)
+        assert np.all(cols == 3)
+
+    def test_distance_between_centers(self):
+        grid = GridPartition(4, 4, cell_meters=100.0)
+        assert grid.distance_meters((0, 0), (0, 3)) == pytest.approx(300.0)
+        assert grid.distance_meters((0, 0), (3, 0)) == pytest.approx(300.0)
+
+
+class TestGPS:
+    @settings(max_examples=40, deadline=None)
+    @given(st.floats(0, 5000), st.floats(0, 5000))
+    def test_gps_round_trip(self, x, y):
+        grid = GridPartition(10, 10, cell_meters=500.0)
+        lat, lon = grid.to_gps(x, y)
+        x2, y2 = grid.from_gps(lat, lon)
+        assert abs(x2 - x) < 1e-6
+        assert abs(y2 - y) < 1e-6
+
+    def test_cell_of_gps_matches_planar(self, rng):
+        grid = GridPartition(8, 8, cell_meters=300.0)
+        x = rng.random(20) * grid.width_meters
+        y = rng.random(20) * grid.height_meters
+        lat, lon = grid.to_gps(x, y)
+        rows_gps, cols_gps = grid.cell_of_gps(lat, lon)
+        rows, cols = grid.cell_of(x, y)
+        assert np.array_equal(rows_gps, rows)
+        assert np.array_equal(cols_gps, cols)
+
+    def test_gps_anchored_at_shenzhen(self):
+        grid = GridPartition(4, 4)
+        lat, lon = grid.to_gps(0.0, 0.0)
+        assert 22.0 < lat < 23.0
+        assert 113.5 < lon < 114.5

@@ -1,0 +1,67 @@
+"""Demand-profile edge cases and distributional sanity."""
+
+import numpy as np
+import pytest
+
+from repro.city import CommutePeaks, background_rate, sample_background_times
+from repro.city.profiles import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+
+class TestCommutePeaks:
+    def test_morning_samples_centered(self, rng):
+        peaks = CommutePeaks()
+        times = peaks.sample_morning(rng, 5000) / SECONDS_PER_HOUR
+        assert abs(times.mean() - peaks.morning_mean_hour) < 0.1
+        assert abs(times.std() - peaks.morning_std_hour) < 0.1
+
+    def test_evening_after_morning(self, rng):
+        peaks = CommutePeaks()
+        morning = peaks.sample_morning(rng, 1000)
+        evening = peaks.sample_evening(rng, 1000)
+        assert morning.mean() < evening.mean()
+
+    def test_samples_clipped_to_sane_windows(self, rng):
+        wild = CommutePeaks(morning_mean_hour=8.0, morning_std_hour=10.0)
+        times = wild.sample_morning(rng, 2000) / SECONDS_PER_HOUR
+        assert times.min() >= 4.5
+        assert times.max() <= 12.0
+
+    def test_custom_peaks(self, rng):
+        late = CommutePeaks(morning_mean_hour=10.0, morning_std_hour=0.1)
+        times = late.sample_morning(rng, 500) / SECONDS_PER_HOUR
+        assert 9.5 < times.mean() < 10.5
+
+    def test_zero_samples(self, rng):
+        assert len(CommutePeaks().sample_morning(rng, 0)) == 0
+
+
+class TestBackgroundRate:
+    def test_bounded_in_unit_interval(self):
+        hours = np.linspace(0, 24, 200) * SECONDS_PER_HOUR
+        rates = background_rate(hours)
+        assert rates.min() >= 0.0
+        assert rates.max() <= 1.0
+
+    def test_never_exactly_zero(self):
+        rates = background_rate(np.linspace(0, 24, 200) * SECONDS_PER_HOUR)
+        assert rates.min() > 0.0
+
+    def test_scalar_input(self):
+        assert background_rate(np.array(13 * 3600.0)) > 0.5
+
+
+class TestSampleBackgroundTimes:
+    def test_sorted_output(self, rng):
+        times = sample_background_times(rng, 300, day=0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_respects_rate_shape(self, rng):
+        times = sample_background_times(rng, 5000, day=0)
+        hours = (times % SECONDS_PER_DAY) / 3600.0
+        midday = ((hours >= 11) & (hours < 15)).mean()
+        overnight = ((hours >= 1) & (hours < 5)).mean()
+        assert midday > overnight * 3
+
+    def test_exact_count(self, rng):
+        for count in (1, 7, 123):
+            assert len(sample_background_times(rng, count, day=1)) == count

@@ -1,0 +1,95 @@
+"""Trip-record formats (paper Tables I and II)."""
+
+import numpy as np
+import pytest
+
+from repro.city import (
+    BOARDING,
+    DISEMBARKING,
+    DROP_OFF,
+    PICK_UP,
+    BikeRecordBatch,
+    SubwayRecordBatch,
+    format_time,
+)
+
+
+class TestFormatTime:
+    def test_epoch_is_dataset_start(self):
+        assert format_time(0) == "2018-10-01 00:00:00"
+
+    def test_formats_like_paper_table(self):
+        # Table I example: 2018-10-01 21:32:12.
+        seconds = 21 * 3600 + 32 * 60 + 12
+        assert format_time(seconds) == "2018-10-01 21:32:12"
+
+    def test_rolls_over_days(self):
+        assert format_time(86400 + 3600) == "2018-10-02 01:00:00"
+
+
+class TestSubwayBatch:
+    def _batch(self):
+        return SubwayRecordBatch(
+            times=np.array([30.0, 10.0]),
+            station_ids=np.array([1, 0]),
+            lines=np.array([0, 0]),
+            boarding=np.array([False, True]),
+            user_ids=np.array([7, 7]),
+        )
+
+    def test_length_and_validation(self):
+        assert len(self._batch()) == 2
+        with pytest.raises(ValueError):
+            SubwayRecordBatch(
+                np.zeros(2), np.zeros(3, int), np.zeros(2, int), np.zeros(2, bool), np.zeros(2, int)
+            )
+
+    def test_sorted_by_time(self):
+        ordered = self._batch().sorted_by_time()
+        assert ordered.times.tolist() == [10.0, 30.0]
+        assert ordered.boarding.tolist() == [True, False]
+
+    def test_to_records_matches_table1_fields(self):
+        record = next(self._batch().to_records(["Guomao Station", "Window of the World"]))
+        assert record.szt_id == 7
+        assert record.status in (BOARDING, DISEMBARKING)
+        assert record.transportation == "Subway Line No.1"
+        assert record.station_name == "Window of the World"
+        assert record.time.startswith("2018-10-01")
+
+    def test_concatenate(self):
+        merged = SubwayRecordBatch.concatenate([self._batch(), self._batch()])
+        assert len(merged) == 4
+
+    def test_concatenate_empty_list(self):
+        assert len(SubwayRecordBatch.concatenate([])) == 0
+
+
+class TestBikeBatch:
+    def _batch(self):
+        return BikeRecordBatch(
+            times=np.array([100.0, 200.0]),
+            latitudes=np.array([22.5, 22.6]),
+            longitudes=np.array([114.0, 114.1]),
+            pickup=np.array([True, False]),
+            user_ids=np.array([3, 3]),
+            bike_ids=np.array([42, 42]),
+        )
+
+    def test_to_records_matches_table2_fields(self):
+        records = list(self._batch().to_records())
+        assert records[0].status == PICK_UP
+        assert records[1].status == DROP_OFF
+        assert records[0].bike_id == 42
+        assert records[0].location == (22.5, 114.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BikeRecordBatch(
+                np.zeros(2), np.zeros(2), np.zeros(1), np.zeros(2, bool), np.zeros(2, int), np.zeros(2, int)
+            )
+
+    def test_sorted_and_concatenate(self):
+        merged = BikeRecordBatch.concatenate([self._batch(), self._batch()]).sorted_by_time()
+        assert len(merged) == 4
+        assert np.all(np.diff(merged.times) >= 0)

@@ -1,0 +1,136 @@
+"""The synthetic city simulator: structural invariants of generated trips."""
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig, CitySimulator, is_weekend, simulate_city
+from repro.city.profiles import SECONDS_PER_DAY, background_rate, sample_background_times
+
+
+class TestConfigValidation:
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            CityConfig(days=0)
+
+    def test_rejects_zero_commuters(self):
+        with pytest.raises(ValueError):
+            CityConfig(num_commuters=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            CityConfig(last_mile_bike_probability=1.5)
+
+
+class TestProfiles:
+    def test_weekend_calendar_starts_monday(self):
+        # 2018-10-01 was a Monday: days 5 and 6 are the first weekend.
+        assert [is_weekend(d) for d in range(7)] == [False] * 5 + [True, True]
+
+    def test_background_rate_quiet_overnight_busy_midday(self):
+        overnight = background_rate(np.array([3 * 3600.0]))
+        midday = background_rate(np.array([13 * 3600.0]))
+        assert midday > overnight * 5
+
+    def test_sample_background_times_within_day(self, rng):
+        times = sample_background_times(rng, 200, day=2)
+        assert np.all(times >= 2 * SECONDS_PER_DAY)
+        assert np.all(times < 3 * SECONDS_PER_DAY)
+        assert len(times) == 200
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def city(self):
+        return simulate_city(
+            CityConfig(
+                rows=6,
+                cols=6,
+                num_lines=2,
+                num_commuters=250,
+                days=7,
+                background_subway_per_day=80,
+                background_bike_per_day=60,
+                seed=13,
+            )
+        )
+
+    def test_records_sorted_by_time(self, city):
+        assert np.all(np.diff(city.subway_records.times) >= 0)
+        assert np.all(np.diff(city.bike_records.times) >= 0)
+
+    def test_times_within_simulated_period(self, city):
+        assert city.subway_records.times.min() >= 0
+        assert city.subway_records.times.max() <= city.duration_seconds * 1.05
+        assert city.bike_records.times.min() >= 0
+
+    def test_boardings_balance_alightings(self, city):
+        boarding = int(city.subway_records.boarding.sum())
+        alighting = int((~city.subway_records.boarding).sum())
+        assert boarding == alighting
+
+    def test_pickups_balance_dropoffs(self, city):
+        pickups = int(city.bike_records.pickup.sum())
+        drops = int((~city.bike_records.pickup).sum())
+        assert pickups == drops
+
+    def test_bike_gps_within_city(self, city):
+        x, y = city.grid.from_gps(city.bike_records.latitudes, city.bike_records.longitudes)
+        assert np.all(x >= 0) and np.all(x <= city.grid.width_meters)
+        assert np.all(y >= 0) and np.all(y <= city.grid.height_meters)
+
+    def test_station_ids_valid(self, city):
+        assert city.subway_records.station_ids.min() >= 0
+        assert city.subway_records.station_ids.max() < city.subway.num_stations
+
+    def test_weekday_has_rush_hour_structure(self, city):
+        """Weekday subway boardings peak in the morning rush window."""
+        times = city.subway_records.times[city.subway_records.boarding]
+        day1 = times[(times >= SECONDS_PER_DAY) & (times < 2 * SECONDS_PER_DAY)] - SECONDS_PER_DAY
+        hours = day1 / 3600.0
+        rush = ((hours >= 7) & (hours < 10)).mean()
+        lull = ((hours >= 1) & (hours < 4)).mean()
+        assert rush > 5 * max(lull, 1e-6)
+
+    def test_weekend_quieter_than_weekday(self, city):
+        times = city.subway_records.times
+        per_day = [
+            int(((times >= d * SECONDS_PER_DAY) & (times < (d + 1) * SECONDS_PER_DAY)).sum())
+            for d in range(7)
+        ]
+        weekday_mean = np.mean(per_day[:5])
+        weekend_mean = np.mean(per_day[5:])
+        assert weekend_mean < weekday_mean
+
+    def test_seed_determinism(self):
+        config = CityConfig(rows=5, cols=5, num_lines=2, num_commuters=100, days=3, seed=99)
+        a = simulate_city(config)
+        b = simulate_city(config)
+        assert np.array_equal(a.subway_records.times, b.subway_records.times)
+        assert np.array_equal(a.bike_records.latitudes, b.bike_records.latitudes)
+
+    def test_station_names_property(self, city):
+        names = city.station_names
+        assert len(names) == city.subway.num_stations
+        assert all(name.startswith("L") for name in names)
+
+    def test_commuter_last_mile_follows_subway_exit(self, city):
+        """Per-user: the first bike pickup of a day must come after the
+        user's first subway alighting that day (transfer causality)."""
+        subway = city.subway_records
+        bikes = city.bike_records
+        commuter_ids = set(range(city.config.num_commuters))
+        checked = 0
+        for user in list(commuter_ids)[:50]:
+            user_alight = subway.times[(subway.user_ids == user) & (~subway.boarding)]
+            user_pick = bikes.times[(bikes.user_ids == user) & bikes.pickup]
+            if len(user_alight) == 0 or len(user_pick) == 0:
+                continue
+            day = int(user_pick[0] // SECONDS_PER_DAY)
+            day_alights = user_alight[
+                (user_alight >= day * SECONDS_PER_DAY) & (user_alight < (day + 1) * SECONDS_PER_DAY)
+            ]
+            if len(day_alights) == 0:
+                continue
+            assert user_pick[0] > day_alights.min()
+            checked += 1
+        assert checked > 0

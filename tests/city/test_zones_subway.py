@@ -1,0 +1,105 @@
+"""Zone layout and subway network generation."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.city import GridPartition, generate_subway, generate_zones
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return GridPartition(8, 10, cell_meters=400.0)
+
+
+@pytest.fixture(scope="module")
+def zones(grid):
+    return generate_zones(grid, np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def subway(grid):
+    return generate_subway(grid, num_lines=3, rng=np.random.default_rng(3))
+
+
+class TestZones:
+    def test_weights_are_distributions(self, zones):
+        assert np.isclose(zones.population.sum(), 1.0)
+        assert np.isclose(zones.jobs.sum(), 1.0)
+        assert np.all(zones.population > 0)
+        assert np.all(zones.jobs > 0)
+
+    def test_cbd_east_residential_west(self, zones, grid):
+        """Job mass concentrates east, population west (commute corridors)."""
+        _, cbd_col = zones.dominant_cbd_cell()
+        _, home_col = zones.dominant_residential_cell()
+        assert cbd_col > grid.cols / 2
+        assert home_col < grid.cols / 2
+
+    def test_labels_cover_grid(self, zones, grid):
+        assert zones.labels.shape == grid.shape
+        assert {"cbd", "residential"} <= set(zones.labels.ravel())
+
+    def test_dominant_cells_have_matching_labels(self, zones):
+        assert zones.label_of(*zones.dominant_cbd_cell()) == "cbd"
+        assert zones.label_of(*zones.dominant_residential_cell()) == "residential"
+
+    def test_rejects_zero_clusters(self, grid):
+        with pytest.raises(ValueError):
+            generate_zones(grid, np.random.default_rng(0), num_cbd_clusters=0)
+
+
+class TestSubway:
+    def test_station_cells_inside_grid(self, subway, grid):
+        for station in subway.stations:
+            assert 0 <= station.row < grid.rows
+            assert 0 <= station.col < grid.cols
+
+    def test_lines_span_west_to_east(self, subway, grid):
+        for line_stations in subway.lines.values():
+            cols = [subway.stations[s].col for s in line_stations]
+            assert cols[0] == 0
+            assert cols[-1] == grid.cols - 1
+
+    def test_graph_is_connected(self, subway):
+        assert nx.is_connected(subway.graph)
+
+    def test_travel_time_positive_and_symmetric(self, subway):
+        a, b = 0, subway.num_stations - 1
+        forward = subway.travel_minutes(a, b)
+        backward = subway.travel_minutes(b, a)
+        assert forward > 0
+        assert np.isclose(forward, backward)
+
+    def test_travel_time_to_self_is_zero(self, subway):
+        assert subway.travel_minutes(2, 2) == 0.0
+
+    def test_travel_cache_consistent(self, subway):
+        first = subway.travel_minutes(0, 3)
+        second = subway.travel_minutes(0, 3)
+        assert first == second
+
+    def test_nearest_station(self, subway):
+        station = subway.stations[0]
+        assert subway.nearest_station(station.cell) in subway.stations_in_cell(station.cell) or (
+            subway.nearest_station_distance_cells(station.cell) == 0.0
+        )
+
+    def test_nearest_station_distance_monotone(self, subway, grid):
+        station = subway.stations[0]
+        at_station = subway.nearest_station_distance_cells(station.cell)
+        assert at_station == 0.0
+
+    def test_station_names_encode_line(self, subway):
+        for line, station_ids in subway.lines.items():
+            for station_id in station_ids:
+                assert subway.stations[station_id].name.startswith(f"L{line + 1}-")
+
+    def test_rejects_zero_lines(self, grid):
+        with pytest.raises(ValueError):
+            generate_subway(grid, num_lines=0)
+
+    def test_seeded_generation_is_deterministic(self, grid):
+        a = generate_subway(grid, num_lines=2, rng=np.random.default_rng(5))
+        b = generate_subway(grid, num_lines=2, rng=np.random.default_rng(5))
+        assert [s.cell for s in a.stations] == [s.cell for s in b.stations]

@@ -1,0 +1,37 @@
+"""Shared fixtures: a tiny simulated city and dataset reused across suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig, simulate_city
+from repro.data import dataset_from_city
+
+
+@pytest.fixture(scope="session")
+def tiny_city():
+    """A seconds-scale city shared by every suite that needs records."""
+    config = CityConfig(
+        rows=6,
+        cols=6,
+        num_lines=2,
+        num_commuters=300,
+        num_bikes=120,
+        days=5,
+        background_subway_per_day=100,
+        background_bike_per_day=80,
+        seed=11,
+    )
+    return simulate_city(config)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_city):
+    """Supervised windows over the tiny city: h=6, p=3."""
+    return dataset_from_city(tiny_city, history=6, horizon=3)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,70 @@
+"""The Sec. V-A stability extension: separated temporal capsules."""
+
+import numpy as np
+import pytest
+
+from repro.core import BikeCAP, BikeCAPConfig, SpatialTemporalRouting
+from repro.nn import Tensor
+
+
+def _config(**overrides):
+    base = dict(
+        grid=(5, 5),
+        history=4,
+        horizon=3,
+        features=4,
+        capsule_dim=2,
+        future_capsule_dim=2,
+        pyramid_size=2,
+        decoder_hidden=4,
+        seed=0,
+    )
+    base.update(overrides)
+    return BikeCAPConfig(**base)
+
+
+class TestSeparatedTemporalRouting:
+    def test_shapes_match_joint_routing(self, rng):
+        phi = Tensor(rng.standard_normal((2, 1, 3, 4, 5, 4)))
+        joint = SpatialTemporalRouting(3, 4, horizon=3, rng=0)
+        separated = SpatialTemporalRouting(
+            3, 4, horizon=3, separate_temporal_capsules=True, rng=0
+        )
+        assert joint(phi).shape == separated(phi).shape
+
+    def test_separated_has_one_conv_per_step(self):
+        routing = SpatialTemporalRouting(3, 4, horizon=5, separate_temporal_capsules=True, rng=0)
+        assert routing.vote_conv is None
+        assert len(routing.vote_convs) == 5
+
+    def test_parameter_counts(self):
+        joint = SpatialTemporalRouting(3, 4, horizon=4, rng=0)
+        separated = SpatialTemporalRouting(3, 4, horizon=4, separate_temporal_capsules=True, rng=0)
+        joint_params = sum(p.size for p in joint.parameters())
+        separated_params = sum(p.size for p in separated.parameters())
+        # Same weight volume, one bias set per step instead of fused.
+        assert separated_params >= joint_params - 4 * 4
+
+    def test_gradients_reach_every_step_conv(self, rng):
+        routing = SpatialTemporalRouting(2, 2, horizon=3, separate_temporal_capsules=True, rng=0)
+        phi = Tensor(rng.standard_normal((1, 1, 2, 3, 4, 4)), requires_grad=True)
+        routing(phi).sum().backward()
+        for conv in routing.vote_convs:
+            assert conv.weight.grad is not None
+            assert np.any(conv.weight.grad)
+
+
+class TestModelFlag:
+    def test_forward_shape_unchanged(self, rng):
+        model = BikeCAP(_config(separate_temporal_capsules=True))
+        out = model(Tensor(rng.random((2, 4, 5, 5, 4))))
+        assert out.shape == (2, 3, 5, 5)
+
+    def test_flag_reaches_routing(self):
+        model = BikeCAP(_config(separate_temporal_capsules=True))
+        assert model.future.routing.separate_temporal_capsules
+        assert model.future.routing.vote_convs is not None
+
+    def test_default_is_joint(self):
+        model = BikeCAP(_config())
+        assert model.future.routing.vote_conv is not None

@@ -1,0 +1,125 @@
+"""Spatial-temporal routing (Sec. III-D) and softmax_3D (Eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SpatialTemporalRouting, softmax_3d, squash_np
+from repro.nn import Tensor
+
+
+class TestSoftmax3D:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-20, 20), min_size=24, max_size=24),
+    )
+    def test_sums_to_one_over_joint_axes(self, values):
+        logits = np.asarray(values).reshape(2, 3, 4)  # interpret as (p, G1, G2)
+        out = softmax_3d(logits, axes=(-3, -2, -1))
+        assert np.isclose(out.sum(), 1.0)
+        assert np.all(out >= 0)
+
+    def test_batched_normalization(self, rng):
+        logits = rng.standard_normal((5, 2, 3, 4))
+        out = softmax_3d(logits, axes=(-3, -2, -1))
+        assert np.allclose(out.sum(axis=(-3, -2, -1)), 1.0)
+
+    def test_stable_under_large_logits(self):
+        logits = np.array([[[1000.0, 1000.0]]])
+        out = softmax_3d(logits)
+        assert np.allclose(out, 0.5)
+
+    def test_uniform_at_zero_logits(self):
+        out = softmax_3d(np.zeros((2, 3, 4)))
+        assert np.allclose(out, 1.0 / 24)
+
+
+class TestSquashNp:
+    def test_matches_autograd_squash(self, rng):
+        from repro.core import squash
+
+        data = rng.standard_normal((3, 4, 5))
+        assert np.allclose(squash_np(data, axis=1), squash(Tensor(data), axis=1).data, atol=1e-9)
+
+
+class TestRouting:
+    def _phi(self, rng, batch=2, c=1, dim=3, history=4, g1=5, g2=4):
+        return Tensor(rng.standard_normal((batch, c, dim, history, g1, g2)))
+
+    def test_output_shape(self, rng):
+        routing = SpatialTemporalRouting(3, 4, horizon=3, iterations=3, rng=0)
+        out = routing(self._phi(rng, dim=3))
+        assert out.shape == (2, 3, 4, 5, 4)
+
+    def test_output_capsules_are_squashed(self, rng):
+        routing = SpatialTemporalRouting(3, 4, horizon=2, rng=0)
+        out = routing(self._phi(rng, dim=3)).data
+        norms = np.linalg.norm(out, axis=2)
+        assert np.all(norms < 1.0)
+
+    def test_coupling_coefficients_stored_and_normalized(self, rng):
+        routing = SpatialTemporalRouting(3, 4, horizon=2, iterations=3, rng=0)
+        phi = self._phi(rng, dim=3, history=4)
+        routing(phi)
+        coupling = routing.last_coupling
+        assert coupling.shape == (2, 4, 2, 5, 4)  # (N, S=c*h, p, G1, G2)
+        # Eq. 4: normalized jointly over (p, G1, G2) per historical capsule.
+        assert np.allclose(coupling.sum(axis=(2, 3, 4)), 1.0)
+
+    def test_votes_shape_includes_capsule_channels(self, rng):
+        routing = SpatialTemporalRouting(3, 2, horizon=2, rng=0)
+        phi = self._phi(rng, c=2, dim=3, history=4)
+        votes = routing.compute_votes(phi)
+        assert votes.shape == (2, 2, 2, 8, 5, 4)  # S = c*h = 8
+
+    def test_single_iteration_uses_uniform_coupling(self, rng):
+        routing = SpatialTemporalRouting(3, 4, horizon=2, iterations=1, rng=0)
+        phi = self._phi(rng, dim=3)
+        routing(phi)
+        coupling = routing.last_coupling
+        assert np.allclose(coupling, coupling.flat[0])
+
+    def test_more_iterations_sharpen_coupling(self, rng):
+        phi = self._phi(rng, dim=3)
+        entropies = []
+        for iterations in (1, 3, 5):
+            routing = SpatialTemporalRouting(3, 4, horizon=2, iterations=iterations, rng=0)
+            routing(phi)
+            coupling = routing.last_coupling
+            entropy = -(coupling * np.log(coupling + 1e-12)).sum(axis=(2, 3, 4)).mean()
+            entropies.append(entropy)
+        assert entropies[1] <= entropies[0] + 1e-9
+        assert entropies[2] <= entropies[1] + 1e-9
+
+    def test_gradients_flow_to_vote_conv(self, rng):
+        routing = SpatialTemporalRouting(3, 4, horizon=2, rng=0)
+        phi = Tensor(rng.standard_normal((1, 1, 3, 4, 3, 3)), requires_grad=True)
+        out = routing(phi)
+        out.sum().backward()
+        assert routing.vote_conv.weight.grad is not None
+        assert phi.grad is not None
+        assert np.abs(phi.grad).sum() > 0
+
+    def test_rejects_wrong_capsule_dim(self, rng):
+        routing = SpatialTemporalRouting(3, 4, horizon=2, rng=0)
+        with pytest.raises(ValueError):
+            routing(Tensor(rng.standard_normal((1, 1, 5, 4, 3, 3))))
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            SpatialTemporalRouting(3, 4, horizon=2, iterations=0)
+
+    def test_future_slots_reconstructed_independently(self, rng):
+        """The defining anti-accumulation property: each future slot's
+        output is a weighted sum over historical votes, never a function of
+        another future slot's output (with routing held at one iteration,
+        where coupling is constant)."""
+        routing = SpatialTemporalRouting(3, 4, horizon=3, iterations=1, rng=0)
+        phi = self._phi(rng, dim=3)
+        votes = routing.compute_votes(phi).data
+        out = routing(phi).data
+        count = votes.shape[3]
+        uniform = 1.0 / (3 * 5 * 4)  # p * G1 * G2 cells share each capsule's unit mass
+        combined = (votes * uniform).sum(axis=3)
+        assert np.allclose(out, squash_np(combined, axis=2), atol=1e-9)

@@ -1,0 +1,90 @@
+"""The 3D squash non-linearity (Eq. 3): invariants via hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import capsule_length, squash
+from repro.nn import Tensor
+from repro.nn.gradcheck import check_gradients
+
+
+def _vectors(min_dim=2, max_dim=6):
+    return st.lists(
+        st.lists(st.floats(-10, 10), min_size=min_dim, max_size=min_dim),
+        min_size=1,
+        max_size=5,
+    )
+
+
+class TestSquashProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(_vectors(3, 3))
+    def test_norm_strictly_below_one(self, rows):
+        out = squash(Tensor(rows), axis=-1).data
+        norms = np.linalg.norm(out, axis=-1)
+        assert np.all(norms < 1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(_vectors(3, 3))
+    def test_direction_preserved(self, rows):
+        data = np.asarray(rows, dtype=float)
+        out = squash(Tensor(data), axis=-1).data
+        for row_in, row_out in zip(data, out):
+            norm = np.linalg.norm(row_in)
+            if norm > 1e-3:
+                cosine = row_in @ row_out / (norm * np.linalg.norm(row_out))
+                assert cosine > 0.999
+
+    @settings(max_examples=50, deadline=None)
+    @given(_vectors(3, 3))
+    def test_monotone_in_input_norm(self, rows):
+        data = np.asarray(rows, dtype=float)
+        out = squash(Tensor(data), axis=-1).data
+        in_norms = np.linalg.norm(data, axis=-1)
+        out_norms = np.linalg.norm(out, axis=-1)
+        order_in = np.argsort(in_norms)
+        assert np.all(np.diff(out_norms[order_in]) >= -1e-9)
+
+    def test_long_vectors_approach_unit_norm(self):
+        out = squash(Tensor([[1000.0, 0.0]]), axis=-1).data
+        assert np.linalg.norm(out) > 0.999
+
+    def test_short_vectors_shrink_to_near_zero(self):
+        out = squash(Tensor([[0.01, 0.0]]), axis=-1).data
+        assert np.linalg.norm(out) < 1e-3
+
+    def test_zero_vector_is_zero_with_finite_gradient(self):
+        x = Tensor(np.zeros((2, 3)), requires_grad=True)
+        out = squash(x, axis=-1)
+        out.sum().backward()
+        assert np.allclose(out.data, 0.0)
+        assert np.all(np.isfinite(x.grad))
+
+    def test_matches_equation_3(self, rng):
+        data = rng.standard_normal((4, 5))
+        out = squash(Tensor(data), axis=-1).data
+        norms = np.linalg.norm(data, axis=-1, keepdims=True)
+        expected = (norms**2 / (1 + norms**2)) * (data / norms)
+        assert np.allclose(out, expected, atol=1e-6)
+
+    def test_axis_argument(self, rng):
+        data = rng.standard_normal((2, 4, 3))
+        out = squash(Tensor(data), axis=1).data
+        assert np.all(np.linalg.norm(out, axis=1) < 1.0)
+
+    def test_gradcheck(self, rng):
+        x = Tensor(rng.standard_normal((3, 4)) + 0.5, requires_grad=True)
+        check_gradients(lambda x: squash(x, axis=-1), [x])
+
+
+class TestCapsuleLength:
+    def test_matches_numpy_norm(self, rng):
+        data = rng.standard_normal((3, 4, 5))
+        lengths = capsule_length(Tensor(data), axis=-1).data
+        assert np.allclose(lengths, np.linalg.norm(data, axis=-1), atol=1e-6)
+
+    def test_squashed_lengths_encode_intensity(self, rng):
+        weak = squash(Tensor([[0.1, 0.0]]), axis=-1)
+        strong = squash(Tensor([[5.0, 0.0]]), axis=-1)
+        assert capsule_length(strong, axis=-1).item() > capsule_length(weak, axis=-1).item()

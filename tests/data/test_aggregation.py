@@ -1,0 +1,118 @@
+"""Record → tensor aggregation (15-minute slots, paper Sec. IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.city import BikeRecordBatch, GridPartition, SubwayRecordBatch
+from repro.data import (
+    BIKE_DROPOFF,
+    BIKE_PICKUP,
+    FEATURE_NAMES,
+    SUBWAY_IN,
+    SUBWAY_OUT,
+    aggregate_bike,
+    aggregate_city,
+    aggregate_subway,
+    bike_series_near_cell,
+    num_slots,
+    station_series,
+)
+
+
+class TestNumSlots:
+    def test_exact_and_partial(self):
+        assert num_slots(3600, 900) == 4
+        assert num_slots(3601, 900) == 5
+
+    def test_default_slot_is_15_minutes(self):
+        assert num_slots(24 * 3600) == 96
+
+
+class TestAggregation:
+    def test_feature_channel_order(self):
+        assert FEATURE_NAMES == ("bike_pickup", "bike_dropoff", "subway_in", "subway_out")
+        assert (BIKE_PICKUP, BIKE_DROPOFF, SUBWAY_IN, SUBWAY_OUT) == (0, 1, 2, 3)
+
+    def test_bike_counts_conserved(self, rng):
+        grid = GridPartition(4, 4, cell_meters=250.0)
+        count = 200
+        x = rng.random(count) * grid.width_meters
+        y = rng.random(count) * grid.height_meters
+        lat, lon = grid.to_gps(x, y)
+        batch = BikeRecordBatch(
+            times=rng.random(count) * 3600 * 4,
+            latitudes=lat,
+            longitudes=lon,
+            pickup=rng.random(count) < 0.5,
+            user_ids=np.zeros(count, int),
+            bike_ids=np.zeros(count, int),
+        )
+        tensor = np.zeros((16, 4, 4, 4))
+        aggregate_bike(batch, grid, tensor)
+        assert tensor[..., BIKE_PICKUP].sum() == batch.pickup.sum()
+        assert tensor[..., BIKE_DROPOFF].sum() == (~batch.pickup).sum()
+        assert tensor[..., SUBWAY_IN].sum() == 0
+
+    def test_record_lands_in_correct_slot_and_cell(self):
+        grid = GridPartition(3, 3, cell_meters=100.0)
+        lat, lon = grid.to_gps(np.array([150.0]), np.array([250.0]))  # cell (2, 1)
+        batch = BikeRecordBatch(
+            times=np.array([20 * 60.0]),  # second slot
+            latitudes=lat,
+            longitudes=lon,
+            pickup=np.array([True]),
+            user_ids=np.array([0]),
+            bike_ids=np.array([0]),
+        )
+        tensor = np.zeros((4, 3, 3, 4))
+        aggregate_bike(batch, grid, tensor)
+        assert tensor[1, 2, 1, BIKE_PICKUP] == 1
+        assert tensor.sum() == 1
+
+    def test_subway_counts_at_station_cells(self, tiny_city):
+        tensor = aggregate_city(tiny_city)
+        inbound = tensor[..., SUBWAY_IN].sum(axis=0)
+        station_cells = {s.cell for s in tiny_city.subway.stations}
+        nonzero_cells = set(zip(*np.nonzero(inbound)))
+        assert nonzero_cells <= station_cells
+        assert inbound.sum() == tiny_city.subway_records.boarding.sum()
+
+    def test_aggregate_city_shape(self, tiny_city):
+        tensor = aggregate_city(tiny_city)
+        slots = num_slots(tiny_city.duration_seconds)
+        assert tensor.shape == (slots, 6, 6, 4)
+        assert tensor.min() >= 0
+
+    def test_out_of_range_times_dropped(self):
+        grid = GridPartition(2, 2, cell_meters=100.0)
+        lat, lon = grid.to_gps(np.array([50.0]), np.array([50.0]))
+        batch = BikeRecordBatch(
+            times=np.array([1e9]),
+            latitudes=lat,
+            longitudes=lon,
+            pickup=np.array([True]),
+            user_ids=np.array([0]),
+            bike_ids=np.array([0]),
+        )
+        tensor = np.zeros((4, 2, 2, 4))
+        aggregate_bike(batch, grid, tensor)
+        assert tensor.sum() == 0
+
+
+class TestSeriesHelpers:
+    def test_station_series_counts(self, tiny_city):
+        subway = tiny_city.subway_records
+        station = int(subway.station_ids[0])
+        series = station_series(subway, station, tiny_city.duration_seconds, boarding=True)
+        expected = ((subway.station_ids == station) & subway.boarding).sum()
+        assert series.sum() == expected
+
+    def test_bike_series_radius_zero_vs_one(self, tiny_city):
+        cell = tiny_city.zones.dominant_cbd_cell()
+        narrow = bike_series_near_cell(
+            tiny_city.bike_records, tiny_city.grid, cell, tiny_city.duration_seconds, radius_cells=0
+        )
+        wide = bike_series_near_cell(
+            tiny_city.bike_records, tiny_city.grid, cell, tiny_city.duration_seconds, radius_cells=1
+        )
+        assert wide.sum() >= narrow.sum()

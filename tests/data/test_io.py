@@ -1,0 +1,79 @@
+"""CSV and tensor IO round trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    load_demand_tensor,
+    read_bike_csv,
+    read_subway_csv,
+    save_demand_tensor,
+    write_bike_csv,
+    write_subway_csv,
+)
+
+
+class TestSubwayCsv:
+    def test_round_trip(self, tiny_city, tmp_path):
+        path = str(tmp_path / "subway.csv")
+        original = tiny_city.subway_records
+        write_subway_csv(original, tiny_city.station_names, path)
+        restored = read_subway_csv(path, tiny_city.station_names)
+        assert len(restored) == len(original)
+        # Timestamps are serialized at 1-second granularity.
+        assert np.allclose(np.floor(original.times), restored.times, atol=1.0)
+        assert np.array_equal(original.station_ids, restored.station_ids)
+        assert np.array_equal(original.boarding, restored.boarding)
+        assert np.array_equal(original.user_ids, restored.user_ids)
+        assert np.array_equal(original.lines, restored.lines)
+
+    def test_rejects_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_subway_csv(str(path), ["S1"])
+
+
+class TestBikeCsv:
+    def test_round_trip(self, tiny_city, tmp_path):
+        path = str(tmp_path / "bike.csv")
+        original = tiny_city.bike_records
+        write_bike_csv(original, path)
+        restored = read_bike_csv(path)
+        assert len(restored) == len(original)
+        assert np.allclose(np.floor(original.times), restored.times, atol=1.0)
+        assert np.allclose(original.latitudes, restored.latitudes, atol=1e-6)
+        assert np.allclose(original.longitudes, restored.longitudes, atol=1e-6)
+        assert np.array_equal(original.pickup, restored.pickup)
+        assert np.array_equal(original.bike_ids, restored.bike_ids)
+
+    def test_round_trip_preserves_aggregation(self, tiny_city, tmp_path):
+        """Aggregating restored records must match the original tensors
+        (1-second serialization granularity cannot cross 15-min slots often)."""
+        from repro.data import aggregate_bike
+
+        path = str(tmp_path / "bike.csv")
+        write_bike_csv(tiny_city.bike_records, path)
+        restored = read_bike_csv(path)
+
+        slots = int(np.ceil(tiny_city.duration_seconds / 900))
+        original_tensor = np.zeros((slots, 6, 6, 4))
+        restored_tensor = np.zeros((slots, 6, 6, 4))
+        aggregate_bike(tiny_city.bike_records, tiny_city.grid, original_tensor)
+        aggregate_bike(restored, tiny_city.grid, restored_tensor)
+        # Allow a handful of boundary-crossing slot shifts.
+        assert np.abs(original_tensor - restored_tensor).sum() <= len(restored) * 0.01 + 4
+
+    def test_rejects_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x\n1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            read_bike_csv(str(path))
+
+
+class TestTensorIO:
+    def test_round_trip(self, tmp_path, rng):
+        tensor = rng.random((10, 4, 4, 4))
+        path = str(tmp_path / "demand.npz")
+        save_demand_tensor(tensor, path)
+        assert np.allclose(load_demand_tensor(path), tensor)

@@ -1,0 +1,100 @@
+"""Min-max scaler: round trips and edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import MinMaxScaler
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self, rng):
+        data = rng.random((20, 3, 3, 4)) * 100 - 50
+        scaled = MinMaxScaler().fit_transform(data)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+
+    def test_per_feature_extremes_hit_bounds(self, rng):
+        data = rng.random((50, 4)) * np.array([1, 10, 100, 1000])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.allclose(scaled.min(axis=0), 0.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=8, max_size=40))
+    def test_round_trip_property(self, values):
+        values = values[: len(values) - len(values) % 2]
+        data = np.asarray(values).reshape(-1, 2)
+        scaler = MinMaxScaler().fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(restored, data, rtol=1e-9, atol=1e-6)
+
+    def test_constant_feature_maps_to_zero(self):
+        data = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        scaled = MinMaxScaler().fit_transform(data)
+        assert np.allclose(scaled[:, 0], 0.0)
+        assert np.all(np.isfinite(scaled))
+
+    def test_single_feature_inverse(self, rng):
+        data = rng.random((10, 4)) * 50
+        scaler = MinMaxScaler().fit(data)
+        target = scaler.transform(data)[..., 2]
+        restored = scaler.inverse_transform(target, feature=2)
+        assert np.allclose(restored, data[..., 2])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxScaler().transform(np.zeros((2, 2)))
+
+    def test_state_round_trip(self, rng):
+        data = rng.random((10, 3))
+        scaler = MinMaxScaler().fit(data)
+        clone = MinMaxScaler.from_state(scaler.state())
+        assert np.allclose(clone.transform(data), scaler.transform(data))
+
+    def test_transform_generalizes_beyond_fit_range(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == 2.0
+
+
+class TestRobustQuantileScaling:
+    def test_outlier_does_not_crush_signal(self, rng):
+        """One extreme hub cell must not push everything else toward zero."""
+        data = rng.random((1000, 1)) * 5.0
+        data[0, 0] = 1000.0
+        plain = MinMaxScaler().fit_transform(data)
+        robust = MinMaxScaler(quantile=0.99).fit_transform(data)
+        assert plain[1:].mean() < 0.01
+        assert robust[1:].mean() > 0.2
+
+    def test_values_above_quantile_exceed_one(self, rng):
+        data = rng.random((500, 1))
+        data[0, 0] = 50.0
+        robust = MinMaxScaler(quantile=0.9).fit_transform(data)
+        assert robust.max() > 1.0
+
+    def test_still_exactly_invertible(self, rng):
+        data = rng.random((200, 3)) * np.array([1.0, 10.0, 100.0])
+        scaler = MinMaxScaler(quantile=0.95).fit(data)
+        restored = scaler.inverse_transform(scaler.transform(data))
+        assert np.allclose(restored, data)
+
+    def test_degenerate_quantile_falls_back_to_max(self):
+        # 99% zeros: the 0.9-quantile equals the minimum → use the true max.
+        data = np.zeros((1000, 1))
+        data[:5, 0] = 10.0
+        scaler = MinMaxScaler(quantile=0.9).fit(data)
+        assert scaler.maximum[0] == 10.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(quantile=0.3)
+
+    def test_dataset_accepts_quantile(self, rng):
+        from repro.data import dataset_from_tensor
+
+        tensor = rng.random((50, 3, 3, 4)) * 10
+        tensor[0, 0, 0, 0] = 1e5
+        dataset = dataset_from_tensor(tensor, history=5, horizon=2, normalization_quantile=0.99)
+        assert dataset.split.train_x.mean() > 0.05

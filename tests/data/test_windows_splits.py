@@ -1,0 +1,99 @@
+"""Sliding windows and chronological splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import chronological_split, flatten_windows, make_windows
+
+
+def _series(total, g1=2, g2=2, features=3):
+    """Tensor whose value encodes its time index, for alignment checks."""
+    tensor = np.zeros((total, g1, g2, features))
+    tensor += np.arange(total)[:, None, None, None]
+    return tensor
+
+
+class TestMakeWindows:
+    def test_shapes(self):
+        x, y = make_windows(_series(20), history=6, horizon=3)
+        assert x.shape == (12, 6, 2, 2, 3)
+        assert y.shape == (12, 3, 2, 2)
+
+    def test_window_alignment(self):
+        """Window i covers slots [i, i+h); targets cover [i+h, i+h+p)."""
+        x, y = make_windows(_series(15), history=4, horizon=2)
+        for i in range(len(x)):
+            assert np.all(x[i, 0] == i)
+            assert np.all(x[i, -1] == i + 3)
+            assert np.all(y[i, 0] == i + 4)
+            assert np.all(y[i, -1] == i + 5)
+
+    def test_target_feature_selection(self):
+        tensor = _series(10)
+        tensor[..., 1] *= 100
+        _, y = make_windows(tensor, history=3, horizon=2, target_feature=1)
+        assert np.all(y[0, 0] == 3 * 100)
+
+    def test_stride_thins_windows(self):
+        x, _ = make_windows(_series(20), history=4, horizon=2, stride=3)
+        assert np.all(x[1, 0] == 3)
+
+    def test_rejects_too_short_series(self):
+        with pytest.raises(ValueError):
+            make_windows(_series(5), history=4, horizon=3)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ValueError):
+            make_windows(np.zeros((10, 2, 2)), history=2, horizon=2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 6), st.integers(1, 6))
+    def test_window_count_property(self, history, horizon):
+        total = 20
+        x, y = make_windows(_series(total), history=history, horizon=horizon)
+        assert len(x) == total - history - horizon + 1
+        assert len(x) == len(y)
+
+    def test_flatten_windows(self):
+        x, _ = make_windows(_series(10), history=3, horizon=2)
+        flat = flatten_windows(x)
+        assert flat.shape == (len(x), 3 * 2 * 2 * 3)
+
+
+class TestChronologicalSplit:
+    def test_622_ratio(self):
+        x = np.arange(100.0).reshape(100, 1)
+        split = chronological_split(x, x)
+        assert split.sizes == (60, 20, 20)
+
+    def test_chronological_order_preserved(self):
+        x = np.arange(50.0).reshape(50, 1)
+        split = chronological_split(x, x)
+        assert split.train_x.max() < split.val_x.min()
+        assert split.val_x.max() < split.test_x.min()
+
+    def test_custom_ratios(self):
+        x = np.arange(10.0).reshape(10, 1)
+        split = chronological_split(x, x, ratios=(0.8, 0.1, 0.1))
+        assert split.sizes == (8, 1, 1)
+
+    def test_rejects_ratio_not_summing_to_one(self):
+        x = np.zeros((10, 1))
+        with pytest.raises(ValueError):
+            chronological_split(x, x, ratios=(0.5, 0.2, 0.2))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            chronological_split(np.zeros((5, 1)), np.zeros((4, 1)))
+
+    def test_tiny_dataset_gets_nonempty_parts(self):
+        x = np.arange(4.0).reshape(4, 1)
+        split = chronological_split(x, x)
+        assert all(size > 0 for size in split.sizes)
+
+    def test_too_tiny_dataset_raises(self):
+        x = np.zeros((2, 1))
+        with pytest.raises(ValueError):
+            chronological_split(x, x, ratios=(1.0, 0.0, 0.0))

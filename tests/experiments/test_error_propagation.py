@@ -1,0 +1,83 @@
+"""Accumulated-error experiment mechanics."""
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig
+from repro.experiments import ExperimentContext, ExperimentProfile
+from repro.experiments.error_propagation import (
+    run_error_propagation,
+    teacher_forced_prediction,
+)
+
+
+@pytest.fixture(scope="module")
+def nano_profile():
+    return ExperimentProfile(
+        name="nano-ep",
+        city=CityConfig(
+            rows=5,
+            cols=5,
+            num_lines=2,
+            num_commuters=150,
+            num_bikes=60,
+            days=4,
+            background_subway_per_day=60,
+            background_bike_per_day=50,
+            seed=5,
+        ),
+        history=5,
+        horizons=(3,),
+        ablation_horizon=3,
+        epochs=1,
+        seeds=(0,),
+        pyramid_sizes=(2,),
+        capsule_dims=(2,),
+        model_overrides={"convLSTM": {"hidden_channels": 3, "kernel_size": 3, "num_layers": 1}},
+    )
+
+
+class TestErrorPropagation:
+    def test_recursive_model_measured(self, nano_profile):
+        context = ExperimentContext(nano_profile)
+        result = run_error_propagation("convLSTM", profile=nano_profile, context=context)
+        assert result.horizon == 3
+        assert result.rollout_mae.shape == (3,)
+        assert result.teacher_forced_mae.shape == (3,)
+        assert np.all(np.isfinite(result.accumulated_error))
+        text = result.render()
+        assert "rollout" in text and "teacher" in text
+
+    def test_first_step_has_no_gap(self, nano_profile):
+        """At step 1 rollout and teacher forcing see identical inputs."""
+        context = ExperimentContext(nano_profile)
+        result = run_error_propagation("convLSTM", profile=nano_profile, context=context)
+        assert result.accumulated_error[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_direct_models_rejected(self, nano_profile):
+        context = ExperimentContext(nano_profile)
+        with pytest.raises(ValueError, match="direct model"):
+            run_error_propagation("STSGCN", profile=nano_profile, context=context)
+
+    def test_teacher_forcing_uses_true_frames(self, nano_profile):
+        """With a perfect persistence world, teacher forcing equals rollout;
+        verify the helper's alignment by checking shapes and determinism."""
+        from repro.baselines import make_forecaster
+
+        context = ExperimentContext(nano_profile)
+        dataset = context.dataset(3)
+        forecaster = make_forecaster(
+            "convLSTM",
+            dataset.history,
+            3,
+            dataset.grid_shape,
+            dataset.num_features,
+            seed=0,
+            hidden_channels=3,
+            kernel_size=3,
+            num_layers=1,
+        )
+        forecaster.fit(dataset, epochs=1)
+        x = dataset.split.test_x
+        out = teacher_forced_prediction(forecaster, dataset, x, window_offset=0)
+        assert out.shape == (len(x) - 3, 3) + dataset.grid_shape

@@ -1,0 +1,165 @@
+"""Experiment harness: profiles, reporting, Fig. 1 analysis, tiny runs."""
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig
+from repro.experiments import (
+    ExperimentContext,
+    ExperimentProfile,
+    PROFILES,
+    best_lag,
+    flatten_metric,
+    format_table,
+    get_profile,
+    lagged_correlation,
+    run_fig1,
+    run_fig7,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.metrics import MeanStd
+
+
+@pytest.fixture(scope="module")
+def micro_profile():
+    """An even smaller profile than smoke, for harness mechanics tests."""
+    return ExperimentProfile(
+        name="micro",
+        city=CityConfig(
+            rows=5,
+            cols=5,
+            num_lines=2,
+            num_commuters=150,
+            num_bikes=60,
+            days=4,
+            background_subway_per_day=60,
+            background_bike_per_day=50,
+            seed=5,
+        ),
+        history=5,
+        horizons=(2,),
+        ablation_horizon=2,
+        epochs=1,
+        seeds=(0,),
+        pyramid_sizes=(2,),
+        capsule_dims=(2,),
+        models=("STSGCN", "BikeCAP"),
+        model_overrides={
+            "BikeCAP": {"pyramid_size": 2, "capsule_dim": 2, "future_capsule_dim": 2, "decoder_hidden": 3},
+            "STSGCN": {"hidden_channels": 4},
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def micro_context(micro_profile):
+    return ExperimentContext(micro_profile)
+
+
+class TestProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"smoke", "default", "paper"}
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "default")
+        assert get_profile().name == "default"
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert get_profile().name == "smoke"
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            get_profile("huge")
+
+    def test_paper_profile_matches_paper_settings(self):
+        paper = PROFILES["paper"]
+        assert paper.history == 8
+        assert paper.horizons == (2, 3, 4, 5, 6, 7, 8)
+        assert paper.epochs == 100
+        assert len(paper.seeds) == 5
+        assert paper.city.num_lines == 7
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = {"BikeCAP": {"MAE": "1.86±0.41"}, "LSTM": {"MAE": "11.59±2.08"}}
+        text = format_table(rows, ["MAE"], row_header="model")
+        lines = text.splitlines()
+        assert lines[0].startswith("model")
+        assert "BikeCAP" in text and "11.59" in text
+
+    def test_flatten_metric(self):
+        results = {"A": {"p2": {"MAE": 1, "RMSE": 2}}}
+        assert flatten_metric(results, "RMSE") == {"A": {"p2": 2}}
+
+
+class TestLaggedCorrelation:
+    def test_detects_known_lag(self):
+        rng = np.random.default_rng(0)
+        leader = rng.random(200)
+        follower = np.roll(leader, 3)
+        follower[:3] = 0
+        correlations = lagged_correlation(leader, follower, max_lag=5)
+        assert best_lag(correlations) == 3
+
+    def test_constant_series_yields_zero(self):
+        correlations = lagged_correlation(np.ones(50), np.ones(50), max_lag=2)
+        assert all(value == 0.0 for value in correlations.values())
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            lagged_correlation(np.ones(5), np.ones(6), 2)
+
+
+class TestFig1:
+    def test_run_fig1_structure(self, micro_profile):
+        result = run_fig1(profile=micro_profile)
+        assert result.residential_station != result.cbd_station
+        # The causal chain must show positive lead-lag correlations.
+        assert max(result.morning_subway_lag.values()) > 0.3
+        assert max(result.morning_bike_lag.values()) > 0.3
+        assert max(result.evening_subway_lag.values()) > 0.3
+        text = result.render()
+        assert "morning" in text and "evening" in text
+
+    def test_series_cover_requested_windows(self, micro_profile):
+        result = run_fig1(profile=micro_profile)
+        assert len(result.morning_entries_at_a) == 6 * 4  # 6 hours of 15-min slots
+        assert len(result.evening_entries_at_b) == 8 * 4
+
+
+class TestRunners:
+    def test_table3_micro(self, micro_profile, micro_context):
+        result = run_table3(profile=micro_profile, context=micro_context)
+        assert set(result.results) == {"STSGCN", "BikeCAP"}
+        cell = result.results["BikeCAP"][2]
+        assert isinstance(cell["MAE"], MeanStd)
+        rendered = result.render()
+        assert "PTS=2" in rendered and "MAE" in rendered
+        ratios = result.degradation("MAE")
+        assert set(ratios) == {"STSGCN", "BikeCAP"}
+
+    def test_fig7_micro(self, micro_profile, micro_context):
+        result = run_fig7(
+            profile=micro_profile,
+            context=micro_context,
+            variants=("BikeCAP", "BikeCap-Sub"),
+        )
+        assert set(result.results) == {"BikeCAP", "BikeCap-Sub"}
+        assert "ablations" in result.render()
+
+    def test_table4_micro(self, micro_profile, micro_context):
+        result = run_table4(profile=micro_profile, context=micro_context, sizes=(2, 3))
+        assert set(result.results) == {2, 3}
+        assert "pyramid" in result.render()
+
+    def test_table5_micro(self, micro_profile, micro_context):
+        result = run_table5(profile=micro_profile, context=micro_context, dims=(2,))
+        assert set(result.results) == {2}
+        assert "capsule" in result.render()
+
+    def test_context_caches_datasets(self, micro_context):
+        first = micro_context.dataset(2)
+        second = micro_context.dataset(2)
+        assert first is second

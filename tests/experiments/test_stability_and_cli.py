@@ -1,0 +1,77 @@
+"""Stability experiment and the run_all CLI."""
+
+import json
+import os
+
+import pytest
+
+from repro.city import CityConfig
+from repro.experiments import ExperimentContext, ExperimentProfile, run_stability
+from repro.experiments.run_all import run_all
+
+
+@pytest.fixture(scope="module")
+def nano_profile():
+    return ExperimentProfile(
+        name="nano",
+        city=CityConfig(
+            rows=5,
+            cols=5,
+            num_lines=2,
+            num_commuters=120,
+            num_bikes=50,
+            days=4,
+            background_subway_per_day=50,
+            background_bike_per_day=40,
+            seed=5,
+        ),
+        history=5,
+        horizons=(2,),
+        ablation_horizon=2,
+        epochs=1,
+        seeds=(0,),
+        pyramid_sizes=(2,),
+        capsule_dims=(2,),
+        models=("STSGCN", "BikeCAP"),
+        model_overrides={
+            "BikeCAP": {
+                "pyramid_size": 2,
+                "capsule_dim": 2,
+                "future_capsule_dim": 2,
+                "decoder_hidden": 3,
+            },
+            "STSGCN": {"hidden_channels": 4},
+        },
+    )
+
+
+class TestStability:
+    def test_measures_both_arrangements(self, nano_profile):
+        context = ExperimentContext(nano_profile)
+        result = run_stability(profile=nano_profile, context=context, seeds=(0, 1))
+        assert set(result.results) == {"joint", "separated"}
+        assert result.seeds == 2
+        text = result.render()
+        assert "joint" in text and "separated" in text
+        assert isinstance(result.variance_reduced(), bool)
+
+
+class TestRunAllCli:
+    def test_writes_all_artifacts(self, nano_profile, tmp_path, monkeypatch):
+        # run_all resolves by profile name — register the nano profile.
+        from repro.experiments import profiles as profiles_module
+
+        monkeypatch.setitem(profiles_module.PROFILES, "nano", nano_profile)
+        output = str(tmp_path / "results")
+        payload = run_all("nano", output, verbose=False)
+
+        for artifact in ("fig1", "table3", "fig7", "table4", "table5"):
+            assert os.path.exists(os.path.join(output, f"{artifact}.txt"))
+        assert os.path.exists(os.path.join(output, "summary.txt"))
+
+        with open(os.path.join(output, "results.json")) as handle:
+            loaded = json.load(handle)
+        assert loaded["profile"] == "nano"
+        assert "table3" in loaded
+        assert "BikeCAP" in loaded["table3"]
+        assert payload["profile"] == "nano"

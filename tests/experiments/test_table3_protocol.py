@@ -1,0 +1,72 @@
+"""Table III protocol details: train-once-roll-further for recursive models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import make_forecaster
+from repro.city import CityConfig
+from repro.experiments import ExperimentContext, ExperimentProfile
+from repro.experiments.table3 import run_table3
+
+
+@pytest.fixture(scope="module")
+def proto_profile():
+    return ExperimentProfile(
+        name="proto",
+        city=CityConfig(
+            rows=5,
+            cols=5,
+            num_lines=2,
+            num_commuters=150,
+            num_bikes=60,
+            days=4,
+            background_subway_per_day=60,
+            background_bike_per_day=50,
+            seed=5,
+        ),
+        history=5,
+        horizons=(2, 3),
+        ablation_horizon=2,
+        epochs=1,
+        seeds=(0,),
+        pyramid_sizes=(2,),
+        capsule_dims=(2,),
+        models=("LSTM", "BikeCAP"),
+        model_overrides={
+            "LSTM": {"hidden_size": 6, "max_train_samples": 1500},
+            "BikeCAP": {
+                "pyramid_size": 2,
+                "capsule_dim": 2,
+                "future_capsule_dim": 2,
+                "decoder_hidden": 3,
+                "epochs": 2,  # per-model epochs override must be honoured
+            },
+        },
+    )
+
+
+class TestRollFurther:
+    def test_recursive_model_extends_horizon_after_fit(self, proto_profile):
+        """A single-step model trained once predicts any horizon by rolling."""
+        context = ExperimentContext(proto_profile)
+        dataset = context.dataset(2)
+        forecaster = make_forecaster(
+            "LSTM", dataset.history, 2, dataset.grid_shape, dataset.num_features,
+            seed=0, hidden_size=6, max_train_samples=1000,
+        )
+        forecaster.fit(dataset, epochs=1)
+        short = forecaster.predict(dataset.split.test_x[:4])
+        forecaster.horizon = 5
+        long = forecaster.predict(dataset.split.test_x[:4])
+        assert short.shape[1] == 2
+        assert long.shape[1] == 5
+        # The first two steps must be identical — same model, same inputs.
+        assert np.allclose(short, long[:, :2])
+
+    def test_run_table3_handles_epochs_override(self, proto_profile):
+        """The per-model 'epochs' key is a training knob, never a ctor arg."""
+        context = ExperimentContext(proto_profile)
+        result = run_table3(profile=proto_profile, context=context)
+        assert set(result.results) == {"LSTM", "BikeCAP"}
+        for pts in (2, 3):
+            assert result.results["BikeCAP"][pts]["MAE"].mean >= 0

@@ -1,0 +1,140 @@
+"""Graph substrate: adjacency, Laplacians, Chebyshev stacks, GCN layers."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    ChebGraphConv,
+    DenseGraphConv,
+    chebyshev_polynomials,
+    grid_adjacency,
+    grid_cell_index,
+    localized_spatial_temporal_adjacency,
+    normalized_laplacian,
+    scaled_laplacian,
+)
+from repro.nn import Tensor
+
+
+class TestGridAdjacency:
+    def test_symmetric_zero_diagonal(self):
+        adjacency = grid_adjacency(3, 4, hops=1)
+        assert np.array_equal(adjacency, adjacency.T)
+        assert np.all(np.diag(adjacency) == 0)
+
+    def test_one_hop_includes_diagonal_neighbours(self):
+        adjacency = grid_adjacency(3, 3, hops=1)
+        center = 4  # (1, 1)
+        assert adjacency[center].sum() == 8
+
+    def test_corner_has_three_one_hop_neighbours(self):
+        adjacency = grid_adjacency(3, 3, hops=1)
+        assert adjacency[0].sum() == 3
+
+    def test_two_hops_strictly_denser(self):
+        one = grid_adjacency(5, 5, hops=1)
+        two = grid_adjacency(5, 5, hops=2)
+        assert two.sum() > one.sum()
+        assert np.all(two[one == 1] == 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_adjacency(0, 3)
+        with pytest.raises(ValueError):
+            grid_adjacency(3, 3, hops=0)
+
+    def test_grid_cell_index_row_major(self):
+        rows, cols = grid_cell_index(2, 3)
+        assert rows.tolist() == [0, 0, 0, 1, 1, 1]
+        assert cols.tolist() == [0, 1, 2, 0, 1, 2]
+
+
+class TestLaplacians:
+    def test_normalized_laplacian_eigenvalues_in_range(self):
+        laplacian = normalized_laplacian(grid_adjacency(4, 4))
+        eigenvalues = np.linalg.eigvalsh(laplacian)
+        assert eigenvalues.min() >= -1e-9
+        assert eigenvalues.max() <= 2.0 + 1e-9
+
+    def test_scaled_laplacian_spectrum_in_unit_interval(self):
+        scaled = scaled_laplacian(grid_adjacency(4, 4))
+        eigenvalues = np.linalg.eigvalsh(scaled)
+        assert eigenvalues.min() >= -1.0 - 1e-9
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_isolated_nodes_handled(self):
+        adjacency = np.zeros((3, 3))
+        laplacian = normalized_laplacian(adjacency)
+        assert np.all(np.isfinite(laplacian))
+
+
+class TestChebyshev:
+    def test_first_terms_are_identity_and_laplacian(self):
+        scaled = scaled_laplacian(grid_adjacency(3, 3))
+        stack = chebyshev_polynomials(scaled, order=3)
+        assert np.allclose(stack[0], np.eye(9))
+        assert np.allclose(stack[1], scaled)
+
+    def test_recurrence_holds(self):
+        scaled = scaled_laplacian(grid_adjacency(3, 3))
+        stack = chebyshev_polynomials(scaled, order=4)
+        assert np.allclose(stack[3], 2 * scaled @ stack[2] - stack[1])
+
+    def test_order_one_is_identity_only(self):
+        scaled = scaled_laplacian(grid_adjacency(2, 2))
+        stack = chebyshev_polynomials(scaled, order=1)
+        assert stack.shape == (1, 4, 4)
+
+    def test_rejects_zero_order(self):
+        with pytest.raises(ValueError):
+            chebyshev_polynomials(np.eye(2), order=0)
+
+
+class TestLocalizedAdjacency:
+    def test_block_structure(self):
+        adjacency = grid_adjacency(2, 2)
+        localized = localized_spatial_temporal_adjacency(adjacency, steps=3)
+        assert localized.shape == (12, 12)
+        nodes = 4
+        assert np.array_equal(localized[:nodes, :nodes], adjacency)
+        assert np.array_equal(localized[:nodes, nodes : 2 * nodes], np.eye(nodes))
+        # No direct links between slices 0 and 2.
+        assert localized[:nodes, 2 * nodes :].sum() == 0
+
+    def test_symmetric(self):
+        localized = localized_spatial_temporal_adjacency(grid_adjacency(3, 3))
+        assert np.array_equal(localized, localized.T)
+
+
+class TestGraphConvLayers:
+    def test_cheb_conv_shapes_and_gradients(self, rng):
+        adjacency = grid_adjacency(3, 3)
+        layer = ChebGraphConv(adjacency, in_channels=4, out_channels=6, order=3, rng=0)
+        x = Tensor(rng.standard_normal((2, 9, 4)), requires_grad=True)
+        out = layer(x)
+        assert out.shape == (2, 9, 6)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert x.grad is not None
+
+    def test_cheb_conv_batched_leading_dims(self, rng):
+        adjacency = grid_adjacency(2, 2)
+        layer = ChebGraphConv(adjacency, 3, 5, order=2, rng=0)
+        out = layer(Tensor(rng.standard_normal((2, 7, 4, 3))))
+        assert out.shape == (2, 7, 4, 5)
+
+    def test_cheb_order_one_is_pointwise(self, rng):
+        """Order-1 ChebConv uses only T_0 = I: no neighbour mixing."""
+        adjacency = grid_adjacency(2, 2)
+        layer = ChebGraphConv(adjacency, 2, 2, order=1, rng=0)
+        base = rng.standard_normal((1, 4, 2))
+        perturbed = base.copy()
+        perturbed[0, 0] += 5.0
+        delta = layer(Tensor(perturbed)).data - layer(Tensor(base)).data
+        assert np.abs(delta[0, 1:]).sum() == 0
+
+    def test_dense_graph_conv(self, rng):
+        propagation = np.eye(4)
+        layer = DenseGraphConv(propagation, 3, 2, rng=0)
+        out = layer(Tensor(rng.standard_normal((2, 4, 3))))
+        assert out.shape == (2, 4, 2)

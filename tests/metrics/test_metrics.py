@@ -1,0 +1,79 @@
+"""MAE/RMSE (Eq. 5/6) and mean±std aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import MeanStd, mae, mae_per_step, repeat_runs, rmse, rmse_per_step
+
+
+class TestErrors:
+    def test_mae_value(self):
+        assert mae(np.array([1.0, 2.0]), np.array([2.0, 0.0])) == 1.5
+
+    def test_rmse_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_zero_at_perfect_prediction(self, rng):
+        y = rng.random((4, 5))
+        assert mae(y, y) == 0.0
+        assert rmse(y, y) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=2, max_size=20),
+        st.lists(st.floats(-100, 100), min_size=2, max_size=20),
+    )
+    def test_rmse_dominates_mae(self, a, b):
+        size = min(len(a), len(b))
+        truth = np.asarray(a[:size])
+        prediction = np.asarray(b[:size])
+        assert rmse(truth, prediction) >= mae(truth, prediction) - 1e-12
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mae(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse(np.zeros(0), np.zeros(0))
+
+    def test_per_step_metrics(self):
+        truth = np.zeros((2, 3, 2, 2))
+        prediction = truth.copy()
+        prediction[:, 1] += 1.0  # error only at step 1
+        step_mae = mae_per_step(truth, prediction)
+        assert np.allclose(step_mae, [0.0, 1.0, 0.0])
+        assert np.allclose(rmse_per_step(truth, prediction), [0.0, 1.0, 0.0])
+
+
+class TestMeanStd:
+    def test_from_samples(self):
+        stat = MeanStd.from_samples([1.0, 2.0, 3.0])
+        assert stat.mean == 2.0
+        assert stat.std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_single_sample_has_zero_std(self):
+        assert MeanStd.from_samples([5.0]).std == 0.0
+
+    def test_format_matches_paper_convention(self):
+        assert str(MeanStd(1.86, 0.41)) == "1.86±0.41"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            MeanStd.from_samples([])
+
+
+class TestRepeatRuns:
+    def test_aggregates_each_metric(self):
+        def run(seed):
+            return {"MAE": float(seed), "RMSE": float(seed * 2)}
+
+        stats = repeat_runs(run, seeds=[1, 2, 3])
+        assert stats["MAE"].mean == 2.0
+        assert stats["RMSE"].mean == 4.0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            repeat_runs(lambda s: {"MAE": 0.0}, seeds=[])

@@ -1,0 +1,48 @@
+"""Reporting helpers: formatting robustness."""
+
+import pytest
+
+from repro.experiments import flatten_metric, format_table
+from repro.metrics import MeanStd
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table({}, ["MAE"], row_header="model")
+        lines = text.splitlines()
+        assert lines[0].startswith("model")
+        assert len(lines) == 2  # header + separator only
+
+    def test_missing_cells_render_dash(self):
+        rows = {"A": {"MAE": "1.0"}, "B": {}}
+        text = format_table(rows, ["MAE"])
+        assert "-" in text.splitlines()[-1]
+
+    def test_column_alignment_with_long_values(self):
+        rows = {"ShortName": {"x": "1"}, "AVeryVeryLongModelName": {"x": "123456.789"}}
+        text = format_table(rows, ["x"], row_header="m")
+        lines = text.splitlines()
+        widths = {len(line) for line in lines if line.strip()}
+        assert len(widths) <= 2  # header may differ by trailing spaces only
+
+    def test_meanstd_values_render(self):
+        rows = {"A": {"MAE": MeanStd(1.234, 0.567)}}
+        assert "1.23±0.57" in format_table(rows, ["MAE"])
+
+    def test_flatten_metric_empty(self):
+        assert flatten_metric({}, "MAE") == {}
+
+    def test_flatten_metric_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            flatten_metric({"A": {"p2": {"RMSE": 1}}}, "MAE")
+
+
+class TestMeanStdFormatting:
+    def test_rounding_to_two_decimals(self):
+        assert str(MeanStd(1.005, 0.004)) in ("1.00±0.00", "1.01±0.00")
+
+    def test_large_values(self):
+        assert str(MeanStd(1234.5, 67.89)) == "1234.50±67.89"
+
+    def test_negative_mean(self):
+        assert str(MeanStd(-0.5, 0.1)) == "-0.50±0.10"

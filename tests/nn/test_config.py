@@ -1,0 +1,66 @@
+"""Substrate configuration: dtype switching and grad-mode globals."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, no_grad, ops
+from repro.nn import config
+
+
+@pytest.fixture(autouse=True)
+def restore_config():
+    yield
+    config.set_dtype(np.float64)
+    config.set_grad_enabled(True)
+
+
+class TestDtype:
+    def test_default_is_float64(self):
+        assert Tensor([1.0]).dtype == np.float64
+
+    def test_switch_to_float32(self):
+        config.set_dtype(np.float32)
+        assert Tensor([1.0]).dtype == np.float32
+
+    def test_rejects_other_dtypes(self):
+        with pytest.raises(ValueError):
+            config.set_dtype(np.int32)
+
+    def test_float32_training_step_works(self):
+        config.set_dtype(np.float32)
+        from repro.nn import Linear, Trainer
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 3)).astype(np.float32)
+        y = (x @ np.array([[1.0], [2.0], [3.0]], dtype=np.float32))
+        model = Linear(3, 1, rng=0)
+        trainer = Trainer(model, loss="mse", lr=0.05, seed=0)
+        history = trainer.fit(x, y, epochs=20)
+        assert history.train_loss[-1] < history.train_loss[0]
+        assert model.weight.data.dtype == np.float32
+
+
+class TestGradMode:
+    def test_no_grad_nests(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            with no_grad():
+                pass
+            # Inner exit must not re-enable grads prematurely.
+            y = x * 2
+        assert not y.requires_grad
+        assert (x * 2).requires_grad
+
+    def test_no_grad_restores_on_exception(self):
+        x = Tensor([1.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert (x * 2).requires_grad
+
+    def test_ops_cheaper_without_grad(self):
+        x = Tensor(np.ones((4, 4)), requires_grad=True)
+        with no_grad():
+            y = ops.mul(x, 2.0)
+        assert y._backward is None
+        assert y._parents == ()

@@ -1,0 +1,81 @@
+"""FFT vs im2col convolution path equivalence.
+
+Large kernels take a frequency-domain route; these tests pin both paths to
+the same answers for forward, weight-grad and input-grad, across strides
+and asymmetric (causal) paddings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.ops import conv as conv_module
+from repro.nn.ops.conv import (
+    conv3d_forward,
+    conv3d_input_grad,
+    conv3d_weight_grad,
+)
+
+CASES = [
+    # (x shape, w shape, stride, pads) — all with FFT-sized kernels
+    ((2, 3, 6, 9, 9), (4, 3, 4, 7, 7), (1, 1, 1), ((3, 0), (3, 3), (3, 3))),
+    ((2, 2, 8, 10, 10), (3, 2, 3, 5, 5), (2, 1, 2), ((1, 1), (2, 2), (2, 2))),
+    ((1, 1, 5, 9, 9), (1, 1, 5, 9, 9), (1, 1, 1), ((4, 0), (4, 4), (4, 4))),
+    ((2, 1, 16, 6, 6), (6, 1, 4, 3, 3), (4, 1, 1), ((0, 0), (1, 1), (1, 1))),
+]
+
+
+@pytest.fixture()
+def force_paths(monkeypatch):
+    """Yield a helper that runs a callable under each conv path."""
+
+    def runner(fn):
+        monkeypatch.setattr(conv_module, "FFT_MIN_KERNEL_VOLUME", 10**9)
+        monkeypatch.setattr(conv_module, "FFT_MIN_IM2COL_ELEMENTS", 10**18)
+        reference = fn()
+        monkeypatch.setattr(conv_module, "FFT_MIN_KERNEL_VOLUME", 1)
+        monkeypatch.setattr(conv_module, "FFT_MIN_IM2COL_ELEMENTS", 1)
+        fft = fn()
+        return reference, fft
+
+    return runner
+
+
+@pytest.mark.parametrize("x_shape, w_shape, stride, pads", CASES)
+class TestFFTEquivalence:
+    def test_forward(self, x_shape, w_shape, stride, pads, force_paths, rng):
+        x = rng.standard_normal(x_shape)
+        w = rng.standard_normal(w_shape)
+        reference, fft = force_paths(lambda: conv3d_forward(x, w, stride, pads))
+        assert np.allclose(reference, fft, atol=1e-10)
+
+    def test_weight_grad(self, x_shape, w_shape, stride, pads, force_paths, rng):
+        x = rng.standard_normal(x_shape)
+        w = rng.standard_normal(w_shape)
+        out = conv3d_forward(x, w, stride, pads)
+        gout = rng.standard_normal(out.shape)
+        reference, fft = force_paths(
+            lambda: conv3d_weight_grad(x, gout, w_shape[2:], stride, pads)
+        )
+        assert np.allclose(reference, fft, atol=1e-10)
+
+    def test_input_grad(self, x_shape, w_shape, stride, pads, force_paths, rng):
+        x = rng.standard_normal(x_shape)
+        w = rng.standard_normal(w_shape)
+        out = conv3d_forward(x, w, stride, pads)
+        gout = rng.standard_normal(out.shape)
+        reference, fft = force_paths(
+            lambda: conv3d_input_grad(gout, w, x_shape[2:], stride, pads)
+        )
+        assert np.allclose(reference, fft, atol=1e-10)
+
+
+class TestPathSelection:
+    def test_small_kernels_stay_on_im2col(self):
+        assert not conv_module._prefer_fft(2, 3, (4, 4, 4), (2, 3, 3))
+
+    def test_large_kernels_prefer_fft(self):
+        assert conv_module._prefer_fft(1, 1, (2, 2, 2), (5, 9, 9))
+
+    def test_large_im2col_copies_prefer_fft(self):
+        # Small kernel but huge batchxchannel volume (the routing conv case).
+        assert conv_module._prefer_fft(32, 32, (256, 10, 10), (4, 3, 3))

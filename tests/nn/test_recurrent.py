@@ -1,0 +1,123 @@
+"""Recurrent cells: LSTM, ConvLSTM, ST-LSTM, Causal LSTM, GHU."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    GHU,
+    LSTM,
+    CausalLSTMCell,
+    ConvLSTM2DCell,
+    LSTMCell,
+    STLSTMCell,
+    Tensor,
+    l1_loss,
+)
+
+
+class TestLSTMCell:
+    def test_shapes(self, rng):
+        cell = LSTMCell(4, 8, rng=0)
+        h, c = cell.initial_state(3)
+        h2, c2 = cell(Tensor(rng.standard_normal((3, 4))), (h, c))
+        assert h2.shape == (3, 8)
+        assert c2.shape == (3, 8)
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 3, rng=0)
+        assert np.all(cell.bias.data[3:6] == 1.0)
+        assert np.all(cell.bias.data[:3] == 0.0)
+
+    def test_state_evolves(self, rng):
+        cell = LSTMCell(2, 3, rng=0)
+        state = cell.initial_state(1)
+        x = Tensor(rng.standard_normal((1, 2)))
+        h1, c1 = cell(x, state)
+        h2, _ = cell(x, (h1, c1))
+        assert not np.allclose(h1.data, h2.data)
+
+
+class TestLSTMLayer:
+    def test_output_shape_and_state(self, rng):
+        lstm = LSTM(3, 5, num_layers=2, rng=0)
+        out, state = lstm(Tensor(rng.standard_normal((4, 6, 3))))
+        assert out.shape == (4, 6, 5)
+        assert len(state) == 2
+        assert state[0][0].shape == (4, 5)
+
+    def test_gradients_flow_through_time(self, rng):
+        lstm = LSTM(2, 3, rng=0)
+        x = Tensor(rng.standard_normal((2, 5, 2)), requires_grad=True)
+        out, _ = lstm(x)
+        l1_loss(out, Tensor(np.zeros(out.shape))).backward()
+        assert x.grad is not None
+        # The first time step must receive gradient through the recurrence.
+        assert np.abs(x.grad[:, 0]).sum() > 0
+
+    def test_accepts_initial_state(self, rng):
+        lstm = LSTM(2, 3, rng=0)
+        state = [lstm.cells[0].initial_state(2)]
+        out, _ = lstm(Tensor(rng.standard_normal((2, 4, 2))), state=state)
+        assert out.shape == (2, 4, 3)
+
+
+class TestConvLSTM:
+    def test_shapes(self, rng):
+        cell = ConvLSTM2DCell(2, 4, kernel_size=3, rng=0)
+        state = cell.initial_state(2, 5, 6)
+        h, c = cell(Tensor(rng.standard_normal((2, 2, 5, 6))), state)
+        assert h.shape == (2, 4, 5, 6)
+        assert c.shape == (2, 4, 5, 6)
+
+    def test_gate_conv_channel_count(self):
+        cell = ConvLSTM2DCell(3, 5, rng=0)
+        assert cell.gates.out_channels == 20
+        assert cell.gates.in_channels == 8
+
+
+class TestSTLSTM:
+    def test_shapes_and_memory_update(self, rng):
+        cell = STLSTMCell(2, 3, rng=0)
+        h, c, m = cell.initial_state(2, 4, 4)
+        x = Tensor(rng.standard_normal((2, 2, 4, 4)))
+        h2, c2, m2 = cell(x, h, c, m)
+        assert h2.shape == (2, 3, 4, 4)
+        assert not np.allclose(m2.data, m.data)
+
+    def test_memory_flows_between_calls(self, rng):
+        cell = STLSTMCell(2, 3, rng=0)
+        h, c, m = cell.initial_state(1, 3, 3)
+        x = Tensor(rng.standard_normal((1, 2, 3, 3)))
+        _, _, m1 = cell(x, h, c, m)
+        h2a, _, _ = cell(x, h, c, m1)
+        h2b, _, _ = cell(x, h, c, m)
+        assert not np.allclose(h2a.data, h2b.data)
+
+
+class TestCausalLSTMAndGHU:
+    def test_causal_shapes(self, rng):
+        cell = CausalLSTMCell(2, 3, rng=0)
+        h, c, m = cell.initial_state(2, 4, 4)
+        h2, c2, m2 = cell(Tensor(rng.standard_normal((2, 2, 4, 4))), h, c, m)
+        assert h2.shape == (2, 3, 4, 4)
+        assert c2.shape == (2, 3, 4, 4)
+        assert m2.shape == (2, 3, 4, 4)
+
+    def test_ghu_identity_at_closed_gate(self, rng):
+        ghu = GHU(3, rng=0)
+        z = Tensor(rng.standard_normal((1, 3, 4, 4)))
+        x = Tensor(np.zeros((1, 3, 4, 4)))
+        # Zero both convs' effect: force the switch toward keeping z.
+        for param in ghu.parameters():
+            param.data[...] = 0.0
+        out = ghu(x, z)
+        # With s = sigmoid(0) = 0.5 and p = tanh(0) = 0: out = 0.5 * z.
+        assert np.allclose(out.data, 0.5 * z.data)
+
+    def test_ghu_interpolates(self, rng):
+        ghu = GHU(2, rng=0)
+        x = Tensor(rng.standard_normal((2, 2, 3, 3)))
+        z = Tensor(rng.standard_normal((2, 2, 3, 3)))
+        out = ghu(x, z).data
+        assert out.shape == (2, 2, 3, 3)
+        assert np.all(np.isfinite(out))

@@ -1,0 +1,134 @@
+"""Rebalancing planners: feasibility, optimality, scoring."""
+
+import numpy as np
+import pytest
+
+from repro.rebalancing import (
+    Move,
+    RebalancingPlan,
+    forecast_value,
+    greedy_plan,
+    min_cost_flow_plan,
+    score_plan,
+    unmet_demand,
+)
+
+
+class TestMoveAndPlan:
+    def test_move_distance(self):
+        move = Move(source=(0, 0), destination=(3, 4), count=2)
+        assert move.distance_cells == 5.0
+
+    def test_plan_totals(self):
+        plan = RebalancingPlan(
+            moves=[Move((0, 0), (0, 1), 2), Move((1, 1), (0, 0), 3)]
+        )
+        assert plan.total_bikes == 5
+        assert plan.total_distance == pytest.approx(2 * 1 + 3 * np.sqrt(2))
+
+    def test_apply_conserves_bikes(self):
+        stock = np.array([[5.0, 0.0], [0.0, 0.0]])
+        plan = RebalancingPlan(moves=[Move((0, 0), (1, 1), 3)])
+        adjusted = plan.apply(stock)
+        assert adjusted.sum() == stock.sum()
+        assert adjusted[0, 0] == 2 and adjusted[1, 1] == 3
+
+    def test_apply_rejects_overdraft(self):
+        stock = np.array([[1.0, 0.0], [0.0, 0.0]])
+        plan = RebalancingPlan(moves=[Move((0, 0), (1, 1), 5)])
+        with pytest.raises(ValueError):
+            plan.apply(stock)
+
+
+class TestGreedyPlan:
+    def test_covers_deficits_when_supply_suffices(self):
+        stock = np.array([[10.0, 0.0], [0.0, 0.0]])
+        demand = np.array([[0.0, 3.0], [3.0, 2.0]])
+        plan = greedy_plan(stock, demand)
+        after = plan.apply(stock)
+        assert np.all(after >= demand)
+
+    def test_no_moves_when_balanced(self):
+        stock = np.full((3, 3), 5.0)
+        demand = np.full((3, 3), 2.0)
+        assert greedy_plan(stock, demand).moves == []
+
+    def test_prefers_near_donors(self):
+        stock = np.zeros((1, 5))
+        stock[0, 0] = 10.0  # far donor
+        stock[0, 3] = 10.0  # near donor
+        demand = np.zeros((1, 5))
+        demand[0, 4] = 4.0
+        plan = greedy_plan(stock, demand)
+        assert all(move.source == (0, 3) for move in plan.moves)
+
+    def test_partial_coverage_when_supply_short(self):
+        stock = np.array([[2.0, 0.0]])
+        demand = np.array([[0.0, 10.0]])
+        plan = greedy_plan(stock, demand)
+        assert plan.total_bikes == 2
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            greedy_plan(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestMinCostFlowPlan:
+    def test_covers_deficits(self):
+        stock = np.array([[8.0, 0.0], [0.0, 0.0]])
+        demand = np.array([[0.0, 2.0], [2.0, 2.0]])
+        plan = min_cost_flow_plan(stock, demand)
+        after = plan.apply(stock)
+        assert np.all(after >= demand)
+
+    def test_no_deficit_no_moves(self):
+        plan = min_cost_flow_plan(np.full((2, 2), 5.0), np.full((2, 2), 1.0))
+        assert plan.moves == []
+
+    def test_optimal_beats_or_ties_greedy_on_distance(self, rng):
+        stock = rng.integers(0, 8, size=(5, 5)).astype(float)
+        demand = rng.integers(0, 5, size=(5, 5)).astype(float)
+        greedy = greedy_plan(stock, demand)
+        optimal = min_cost_flow_plan(stock, demand)
+        # Same demand coverage...
+        assert unmet_demand(optimal.apply(stock), demand) <= unmet_demand(
+            greedy.apply(stock), demand
+        ) + 1e-9
+        # ...with no more transport work.
+        assert optimal.total_distance <= greedy.total_distance + 1e-6
+
+    def test_supply_shortfall_is_feasible(self):
+        stock = np.array([[1.0, 0.0]])
+        demand = np.array([[0.0, 5.0]])
+        plan = min_cost_flow_plan(stock, demand)
+        assert plan.total_bikes <= 1
+
+    def test_picks_cheaper_donor(self):
+        stock = np.zeros((1, 5))
+        stock[0, 0] = 10.0
+        stock[0, 3] = 10.0
+        demand = np.zeros((1, 5))
+        demand[0, 4] = 4.0
+        plan = min_cost_flow_plan(stock, demand)
+        assert all(move.source == (0, 3) for move in plan.moves)
+
+
+class TestScoring:
+    def test_unmet_demand(self):
+        assert unmet_demand(np.array([1.0, 5.0]), np.array([3.0, 2.0])) == 2.0
+
+    def test_score_plan_coverage(self):
+        stock = np.array([[4.0, 0.0]])
+        demand = np.array([[0.0, 4.0]])
+        plan = greedy_plan(stock, demand)
+        score = score_plan(plan, stock, demand)
+        assert score.unmet_demand == 0.0
+        assert score.coverage == 1.0
+        assert score.bikes_moved == 4
+
+    def test_forecast_value_positive_for_better_forecast(self):
+        stock = np.array([[6.0, 0.0]])
+        realized = np.array([[0.0, 6.0]])
+        good = greedy_plan(stock, realized)  # plans on the truth
+        bad = RebalancingPlan(moves=[])  # plans on a zero forecast
+        assert forecast_value(good, bad, stock, realized) > 0

@@ -1,0 +1,99 @@
+"""Transfer-time estimation (paper future work, Sec. V-D)."""
+
+import numpy as np
+import pytest
+
+from repro.city import BikeRecordBatch, SubwayRecordBatch
+from repro.transfer import (
+    estimate_transfer_times,
+    match_transfers,
+    stations_exceeding_threshold,
+)
+
+
+def _subway(times, stations, boarding, users):
+    count = len(times)
+    return SubwayRecordBatch(
+        np.asarray(times, dtype=float),
+        np.asarray(stations, dtype=int),
+        np.zeros(count, dtype=int),
+        np.asarray(boarding, dtype=bool),
+        np.asarray(users, dtype=int),
+    )
+
+
+def _bikes(times, users, pickup=None):
+    count = len(times)
+    return BikeRecordBatch(
+        np.asarray(times, dtype=float),
+        np.full(count, 22.5),
+        np.full(count, 114.0),
+        np.ones(count, dtype=bool) if pickup is None else np.asarray(pickup, dtype=bool),
+        np.asarray(users, dtype=int),
+        np.zeros(count, dtype=int),
+    )
+
+
+class TestMatchTransfers:
+    def test_matches_next_pickup_of_same_user(self):
+        subway = _subway([100.0], [3], [False], [7])
+        bikes = _bikes([400.0, 900.0], [7, 7])
+        gaps = match_transfers(subway, bikes)
+        assert list(gaps) == [3]
+        assert gaps[3].tolist() == [300.0]
+
+    def test_ignores_pickups_before_alighting(self):
+        subway = _subway([500.0], [1], [False], [2])
+        bikes = _bikes([100.0], [2])
+        assert match_transfers(subway, bikes) == {}
+
+    def test_ignores_other_users(self):
+        subway = _subway([100.0], [1], [False], [2])
+        bikes = _bikes([200.0], [3])
+        assert match_transfers(subway, bikes) == {}
+
+    def test_respects_max_gap(self):
+        subway = _subway([0.0], [1], [False], [5])
+        bikes = _bikes([10_000.0], [5])
+        assert match_transfers(subway, bikes, max_gap_seconds=600) == {}
+
+    def test_boardings_are_not_transfers(self):
+        subway = _subway([100.0], [1], [True], [5])
+        bikes = _bikes([200.0], [5])
+        assert match_transfers(subway, bikes) == {}
+
+    def test_multiple_users_multiple_stations(self):
+        subway = _subway([0.0, 0.0], [1, 2], [False, False], [10, 20])
+        bikes = _bikes([60.0, 120.0], [10, 20])
+        gaps = match_transfers(subway, bikes)
+        assert gaps[1].tolist() == [60.0]
+        assert gaps[2].tolist() == [120.0]
+
+
+class TestEstimation:
+    def test_on_simulated_city(self, tiny_city):
+        stats = estimate_transfer_times(tiny_city, min_transfers=3)
+        assert stats, "simulated commuters must produce observable transfers"
+        for stat in stats.values():
+            assert stat.transfers >= 3
+            assert 0 < stat.mean_seconds <= 30 * 60
+            assert stat.median_seconds <= stat.p90_seconds
+            assert stat.mean_minutes == pytest.approx(stat.mean_seconds / 60.0)
+
+    def test_transfer_lag_matches_simulator_config(self, tiny_city):
+        """The simulator draws transfer lags from a known window; the
+        estimator must recover values consistent with it (plus ride noise)."""
+        low, high = tiny_city.config.transfer_lag_minutes
+        stats = estimate_transfer_times(tiny_city, min_transfers=5)
+        means = [stat.mean_seconds / 60.0 for stat in stats.values()]
+        overall = np.mean(means)
+        assert low * 0.5 <= overall <= high * 2.0
+
+    def test_threshold_filter(self):
+        from repro.transfer import TransferStats
+
+        stats = {
+            1: TransferStats(1, 10, mean_seconds=120.0, median_seconds=100.0, p90_seconds=240.0),
+            2: TransferStats(2, 10, mean_seconds=600.0, median_seconds=550.0, p90_seconds=900.0),
+        }
+        assert stations_exceeding_threshold(stats, threshold_seconds=300.0) == [2]

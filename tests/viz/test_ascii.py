@@ -1,0 +1,91 @@
+"""ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    coupling_panel,
+    demand_panel,
+    heatmap,
+    side_by_side,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_monotone_series_uses_increasing_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4])
+        assert line[0] <= line[-1]
+        assert line[-1] == "█"
+
+    def test_zero_series_is_blank(self):
+        assert sparkline([0, 0, 0]) == "   "
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+    def test_downsampling_width(self):
+        line = sparkline(np.arange(100.0), width=10)
+        assert len(line) == 10
+
+    def test_no_downsampling_when_short(self):
+        assert len(sparkline([1, 2], width=10)) == 2
+
+
+class TestHeatmap:
+    def test_dimensions(self):
+        text = heatmap(np.ones((3, 5)))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines)
+
+    def test_extremes_use_ramp_ends(self):
+        grid = np.array([[0.0, 10.0]])
+        text = heatmap(grid)
+        assert text[0] == " "
+        assert text[-1] == "@"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(5))
+
+    def test_all_zero_grid(self):
+        assert heatmap(np.zeros((2, 2))) == "  \n  "
+
+    def test_vmax_caps_scale(self):
+        hot = heatmap(np.array([[5.0]]), vmax=10.0)
+        hotter = heatmap(np.array([[5.0]]), vmax=5.0)
+        assert hot != hotter
+
+
+class TestPanels:
+    def test_side_by_side_layout(self):
+        text = side_by_side(["ab\ncd", "x"], ["left", "right"])
+        lines = text.splitlines()
+        assert lines[0].startswith("left")
+        assert "right" in lines[0]
+        assert len(lines) == 3  # title + two rows
+
+    def test_side_by_side_validates(self):
+        with pytest.raises(ValueError):
+            side_by_side(["a"], ["one", "two"])
+
+    def test_demand_panel(self, rng):
+        truth = rng.random((3, 4, 4))
+        prediction = rng.random((3, 4, 4))
+        text = demand_panel(truth, prediction, step=1)
+        assert "truth t+2" in text
+        assert "forecast t+2" in text
+
+    def test_demand_panel_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            demand_panel(rng.random((2, 3, 3)), rng.random((2, 4, 4)))
+
+    def test_coupling_panel_from_model(self, rng):
+        coupling = rng.random((2, 6, 3, 4, 4))
+        text = coupling_panel(coupling, future_step=2)
+        assert len(text.splitlines()) == 4
+
+    def test_coupling_panel_validates_rank(self, rng):
+        with pytest.raises(ValueError):
+            coupling_panel(rng.random((2, 3, 4)))
