@@ -2,7 +2,15 @@
 
 Unlike the artifact benches these run multiple rounds — they are ordinary
 performance benchmarks for the numpy deep-learning substrate.
+
+Each kernel's timings are mirrored into the ``repro.obs`` metrics registry,
+and the module writes a ``results/BENCH_substrate.json`` snapshot on exit
+(override the directory with ``REPRO_BENCH_DIR``) — the start of the
+perf-trajectory file series tracked across PRs.
 """
+
+import json
+import os
 
 import numpy as np
 import pytest
@@ -10,6 +18,31 @@ import pytest
 from repro.core import BikeCAP, BikeCAPConfig, SpatialTemporalRouting, squash
 from repro.nn import Tensor, ops
 from repro.nn.ops.conv import conv3d_forward
+from repro.obs import metrics as obs_metrics
+
+
+def _record(benchmark, kernel: str) -> None:
+    """Mirror a pytest-benchmark result into the metrics registry."""
+    stats = getattr(benchmark, "stats", None)
+    stats = getattr(stats, "stats", None)
+    if stats is None:  # --benchmark-disable runs have no stats
+        return
+    obs_metrics.gauge("bench_substrate_mean_seconds", kernel=kernel).set(stats.mean)
+    obs_metrics.gauge("bench_substrate_min_seconds", kernel=kernel).set(stats.min)
+    obs_metrics.counter("bench_substrate_rounds_total", kernel=kernel).inc(stats.rounds)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_snapshot():
+    """After the module runs, persist the registry as BENCH_substrate.json."""
+    yield
+    snapshot = obs_metrics.snapshot()
+    if not any("bench_substrate" in key for key in snapshot["gauges"]):
+        return
+    directory = os.environ.get("REPRO_BENCH_DIR", "results")
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, "BENCH_substrate.json"), "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
 
 
 @pytest.fixture(scope="module")
@@ -26,6 +59,7 @@ def arrays():
 def test_conv3d_forward_kernel(benchmark, arrays):
     pads = ((1, 1), (1, 1), (1, 1))
     out = benchmark(conv3d_forward, arrays["x3d"], arrays["w3d"], (1, 1, 1), pads)
+    _record(benchmark, "conv3d_forward")
     assert out.shape == (8, 8, 8, 12, 12)
 
 
@@ -38,17 +72,20 @@ def test_conv3d_forward_backward(benchmark, arrays):
         return x.grad
 
     grad = benchmark(step)
+    _record(benchmark, "conv3d_forward_backward")
     assert grad.shape == arrays["x3d"].shape
 
 
 def test_squash_kernel(benchmark, arrays):
     out = benchmark(lambda: squash(arrays["capsules"], axis=2))
+    _record(benchmark, "squash")
     assert out.shape == arrays["capsules"].shape
 
 
 def test_spatial_temporal_routing(benchmark, arrays):
     routing = SpatialTemporalRouting(4, 4, horizon=4, iterations=3, rng=0)
     out = benchmark(lambda: routing(arrays["phi"]))
+    _record(benchmark, "spatial_temporal_routing")
     assert out.shape == (4, 4, 4, 10, 10)
 
 
@@ -60,6 +97,7 @@ def test_bikecap_forward(benchmark):
     model = BikeCAP(config)
     x = rng.random((8, 8, 10, 10, 4))
     out = benchmark(lambda: model.predict(x))
+    _record(benchmark, "bikecap_forward")
     assert out.shape == (8, 4, 10, 10)
 
 
@@ -76,4 +114,5 @@ def test_bikecap_train_step(benchmark):
     x = rng.random((8, 6, 8, 8, 4))
     y = rng.random((8, 3, 8, 8))
     loss = benchmark(lambda: trainer.train_step(x, y))
+    _record(benchmark, "bikecap_train_step")
     assert np.isfinite(loss)

@@ -11,9 +11,12 @@ all channels lets the recursion rebuild a complete input window.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List
 
 import numpy as np
+
+_LOGGER = logging.getLogger(__name__)
 
 from repro.baselines.base import RecursiveFrameForecaster, clip_normalized
 from repro.boosting import GradientBoostedTrees
@@ -82,7 +85,7 @@ class XGBoostForecaster(RecursiveFrameForecaster):
             error = float(np.abs(model.predict(inputs) - targets[:, feature]).mean())
             train_errors.append(error)
             if verbose:
-                print(f"XGBoost channel {feature}: train MAE {error:.4f}")
+                _LOGGER.info("XGBoost channel %s: train MAE %.4f", feature, error)
             self.models.append(model)
         return {"train_mae_per_channel": train_errors}
 

@@ -7,6 +7,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.boosting.tree import RegressionTree
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog
 
 
 class GradientBoostedTrees:
@@ -78,6 +80,22 @@ class GradientBoostedTrees:
             update = tree.predict(features)
             predictions = predictions + self.learning_rate * update
             self.trees.append(tree)
+            # Boosting-round telemetry: the gradient RMS is the training
+            # residual RMSE for squared loss, so its per-round decay is the
+            # convergence curve of the booster.
+            grad_rms = float(np.sqrt(np.mean(gradients**2)))
+            obs_metrics.counter("boosting_rounds_total").inc()
+            obs_metrics.histogram("boosting_round_grad_rms").observe(grad_rms)
+            if runlog.active():
+                runlog.emit(
+                    "boost_round",
+                    round=_round + 1,
+                    rounds=self.n_estimators,
+                    grad_rms=grad_rms,
+                )
+        obs_metrics.gauge("boosting_last_grad_rms").set(
+            float(np.sqrt(np.mean((predictions - targets) ** 2)))
+        )
         return self
 
     def predict(self, features: np.ndarray) -> np.ndarray:

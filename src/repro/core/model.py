@@ -17,6 +17,7 @@ from repro.nn.layers.base import Module
 from repro.nn.tensor import Tensor, as_tensor
 from repro.core.capsules import FutureCapsules, HistoricalCapsules
 from repro.core.decoder import Decoder3D, ReshapeDecoder
+from repro.obs import tracing
 
 
 @dataclass
@@ -99,16 +100,20 @@ class BikeCAP(Module):
         )
 
     def forward(self, x) -> Tensor:
-        x = as_tensor(x)
-        if x.ndim != 5:
-            raise ValueError(f"expected (N, h, G1, G2, f) input, got shape {x.shape}")
-        if self.config.feature_indices is not None:
-            x = x[:, :, :, :, list(self.config.feature_indices)]
-        # (N, h, G1, G2, f) -> channels-first (N, f, h, G1, G2)
-        x = ops.transpose(x, (0, 4, 1, 2, 3))
-        historical_capsules = self.historical(x)
-        future_capsules = self.future(historical_capsules)
-        return self.decoder(future_capsules)
+        with tracing.span("bikecap.forward"):
+            x = as_tensor(x)
+            if x.ndim != 5:
+                raise ValueError(f"expected (N, h, G1, G2, f) input, got shape {x.shape}")
+            if self.config.feature_indices is not None:
+                x = x[:, :, :, :, list(self.config.feature_indices)]
+            # (N, h, G1, G2, f) -> channels-first (N, f, h, G1, G2)
+            x = ops.transpose(x, (0, 4, 1, 2, 3))
+            with tracing.span("bikecap.historical_capsules"):
+                historical_capsules = self.historical(x)
+            with tracing.span("bikecap.routing"):
+                future_capsules = self.future(historical_capsules)
+            with tracing.span("bikecap.decoder"):
+                return self.decoder(future_capsules)
 
     def predict(self, x: np.ndarray, batch_size: int = 32) -> np.ndarray:
         """Inference helper: batched forward without autograd graphs."""

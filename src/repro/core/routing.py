@@ -35,6 +35,8 @@ from repro.nn.layers.base import Module
 from repro.nn.layers.conv import Conv2D
 from repro.nn.tensor import Tensor
 from repro.core.squash import squash
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog, tracing
 
 _EPSILON = 1e-9
 
@@ -132,24 +134,47 @@ class SpatialTemporalRouting(Module):
         return ops.transpose(votes, (0, 2, 3, 1, 4, 5))
 
     def forward(self, phi) -> Tensor:
-        votes = self.compute_votes(phi)
-        batch, horizon, n_out, count, g1, g2 = votes.shape
-        votes_np = votes.data
+        with tracing.span("routing.forward"):
+            with tracing.span("routing.votes"):
+                votes = self.compute_votes(phi)
+            batch, horizon, n_out, count, g1, g2 = votes.shape
+            votes_np = votes.data
 
-        # Routing logits: one (p, G1, G2) block per historical capsule s.
-        logits = np.zeros((batch, count, horizon, g1, g2), dtype=votes_np.dtype)
-        coupling = softmax_3d(logits)
-        for _iteration in range(self.iterations - 1):
-            # (N, s, p, G1, G2) -> broadcastable against V (N, p, n_out, s, G1, G2)
-            weights = np.expand_dims(coupling.transpose(0, 2, 1, 3, 4), axis=2)
-            combined = (votes_np * weights).sum(axis=3)  # (N, p, n_out, G1, G2)
-            squashed = squash_np(combined, axis=2)
-            # Agreement: dot product between each vote and the combined capsule.
-            agreement = np.einsum("npdsxy,npdxy->nspxy", votes_np, squashed)
-            logits = logits + agreement
+            # Routing logits: one (p, G1, G2) block per historical capsule s.
+            logits = np.zeros((batch, count, horizon, g1, g2), dtype=votes_np.dtype)
             coupling = softmax_3d(logits)
+            last_agreement = None
+            with tracing.span("routing.iterations"):
+                for iteration in range(self.iterations - 1):
+                    # (N, s, p, G1, G2) -> broadcastable against V (N, p, n_out, s, G1, G2)
+                    weights = np.expand_dims(coupling.transpose(0, 2, 1, 3, 4), axis=2)
+                    combined = (votes_np * weights).sum(axis=3)  # (N, p, n_out, G1, G2)
+                    squashed = squash_np(combined, axis=2)
+                    # Agreement: dot product between each vote and the combined capsule.
+                    agreement = np.einsum("npdsxy,npdxy->nspxy", votes_np, squashed)
+                    logits = logits + agreement
+                    coupling = softmax_3d(logits)
+                    last_agreement = agreement
+                    if runlog.active():
+                        runlog.emit(
+                            "routing_iter",
+                            iteration=iteration + 1,
+                            iterations=self.iterations,
+                            agreement_mean=float(agreement.mean()),
+                            agreement_abs_mean=float(np.abs(agreement).mean()),
+                        )
 
-        self.last_coupling = coupling
-        weights = Tensor(np.expand_dims(coupling.transpose(0, 2, 1, 3, 4), axis=2))
-        combined = ops.sum(ops.mul(votes, weights), axis=3)
-        return squash(combined, axis=2)
+            obs_metrics.counter("routing_forward_total").inc()
+            obs_metrics.gauge("routing_iterations").set(self.iterations)
+            if last_agreement is not None:
+                # How strongly votes agree with the consensus capsule — the
+                # convergence signal of the dynamic routing (Sec. III-D).
+                obs_metrics.gauge("routing_agreement_mean").set(float(last_agreement.mean()))
+                obs_metrics.histogram("routing_agreement_abs_mean").observe(
+                    float(np.abs(last_agreement).mean())
+                )
+
+            self.last_coupling = coupling
+            weights = Tensor(np.expand_dims(coupling.transpose(0, 2, 1, 3, 4), axis=2))
+            combined = ops.sum(ops.mul(votes, weights), axis=3)
+            return squash(combined, axis=2)

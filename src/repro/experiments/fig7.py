@@ -12,6 +12,7 @@ horizon. Paper shape (lower error = better):
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -19,8 +20,10 @@ from repro.baselines.bikecap_adapter import BikeCAPForecaster
 from repro.core.variants import VARIANTS
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.runner import ExperimentContext, run_and_log
 from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass
@@ -69,10 +72,16 @@ def run_fig7(
                 seed=seed,
                 **overrides,
             )
-            forecaster.fit(dataset, epochs=epochs)
-            return evaluate_forecaster(forecaster, dataset)
+            return run_and_log(
+                forecaster,
+                dataset,
+                label=f"{variant}-fig7",
+                seed=seed,
+                epochs=epochs,
+                config={"profile": profile.name, "experiment": "fig7", "variant": variant},
+            )
 
         results[variant] = repeat_runs(single_run, profile.seeds)
         if verbose:
-            print(f"{variant}: MAE={results[variant]['MAE']} RMSE={results[variant]['RMSE']}")
+            _LOGGER.info("%s: MAE=%s RMSE=%s", variant, results[variant]['MAE'], results[variant]['RMSE'])
     return Fig7Result(profile=profile.name, horizon=horizon, results=results)

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import os
 import time
 from typing import Dict
+
+_LOGGER = logging.getLogger(__name__)
 
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig7 import run_fig7
@@ -71,7 +74,7 @@ def run_all(profile_name: str, output_dir: str, verbose: bool = True) -> Dict:
                 "evening_bike_lag": result.evening_bike_lag,
             }
         if verbose:
-            print(f"[{name} done in {elapsed:.1f}s]", flush=True)
+            _LOGGER.info("[%s done in %.1fs]", name, elapsed)
 
     summary = "\n\n".join(sections) + f"\n\ntotal: {time.time() - started:.1f}s\n"
     with open(os.path.join(output_dir, "summary.txt"), "w") as handle:
@@ -79,7 +82,7 @@ def run_all(profile_name: str, output_dir: str, verbose: bool = True) -> Dict:
     with open(os.path.join(output_dir, "results.json"), "w") as handle:
         json.dump(payload, handle, indent=2, default=str)
     if verbose:
-        print(summary)
+        _LOGGER.info("%s", summary)
     return payload
 
 
@@ -89,6 +92,10 @@ def main() -> None:
     parser.add_argument("--output", default="results", help="output directory")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
+    if not args.quiet:
+        # CLI progress goes through logging so library use (and -q pytest
+        # runs) stays silent unless a handler is configured.
+        logging.basicConfig(level=logging.INFO, format="%(message)s")
     run_all(args.profile or os.environ.get("REPRO_PROFILE", "smoke"), args.output, verbose=not args.quiet)
 
 

@@ -1,4 +1,11 @@
-"""Shared experiment machinery: datasets per horizon, repeated-seed runs."""
+"""Shared experiment machinery: datasets per horizon, repeated-seed runs.
+
+Every trained model run is wrapped in an ``experiment.<model>`` span and —
+unless disabled with ``REPRO_RUNLOG=0`` — writes a structured JSONL run log
+under ``results/runs/`` (``REPRO_RUNLOG_DIR``) recording seed, config, the
+per-epoch curve emitted by :meth:`repro.nn.Trainer.fit`, and the final
+test-split evaluation. Render one with ``python -m repro.obs.report``.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +19,31 @@ from repro.data.aggregation import aggregate_city
 from repro.data.datasets import BikeDemandDataset, dataset_from_tensor
 from repro.experiments.profiles import ExperimentProfile
 from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+from repro.obs import runlog, tracing
+
+
+def run_and_log(
+    forecaster,
+    dataset: BikeDemandDataset,
+    label: str,
+    seed: int,
+    epochs: int,
+    config: Optional[Dict] = None,
+) -> Dict[str, float]:
+    """Fit + evaluate one forecaster under a span and a JSONL run log."""
+    logger = runlog.start_run(label, seed=seed, config=config)
+    try:
+        with tracing.span(f"experiment.{label}"):
+            forecaster.fit(dataset, epochs=epochs)
+            metrics = evaluate_forecaster(forecaster, dataset)
+        if logger is not None:
+            logger.event("eval", split="test", **metrics)
+            logger.close(status="ok", **metrics)
+            logger = None
+        return metrics
+    finally:
+        if logger is not None:
+            logger.close(status="error")
 
 
 class ExperimentContext:
@@ -75,7 +107,19 @@ class ExperimentContext:
                 seed=seed,
                 **profile_overrides,
             )
-            forecaster.fit(dataset, epochs=epochs)
-            return evaluate_forecaster(forecaster, dataset)
+            return run_and_log(
+                forecaster,
+                dataset,
+                label=f"{name}-pts{horizon}",
+                seed=seed,
+                epochs=epochs,
+                config={
+                    "profile": self.profile.name,
+                    "model": name,
+                    "horizon": horizon,
+                    "epochs": epochs,
+                    "overrides": profile_overrides,
+                },
+            )
 
         return repeat_runs(single_run, seeds)

@@ -10,14 +10,17 @@ separated-temporal-capsules variant.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.baselines.bikecap_adapter import BikeCAPForecaster
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.runner import ExperimentContext, run_and_log
 from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass
@@ -85,12 +88,18 @@ def run_stability(
                 separate_temporal_capsules=separated,
                 **overrides,
             )
-            forecaster.fit(dataset, epochs=epochs)
-            return evaluate_forecaster(forecaster, dataset)
+            return run_and_log(
+                forecaster,
+                dataset,
+                label=f"BikeCAP-{name}",
+                seed=seed,
+                epochs=epochs,
+                config={"profile": profile.name, "experiment": "stability", "routing": name},
+            )
 
         results[name] = repeat_runs(single_run, seeds)
         if verbose:
-            print(f"{name}: MAE={results[name]['MAE']} RMSE={results[name]['RMSE']}")
+            _LOGGER.info("%s: MAE=%s RMSE=%s", name, results[name]['MAE'], results[name]['RMSE'])
     return StabilityResult(
         profile=profile.name, horizon=horizon, seeds=len(seeds), results=results
     )

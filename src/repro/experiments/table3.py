@@ -8,6 +8,7 @@ PTS ≥ 5 despite losing to the graph models at PTS = 2–3.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
@@ -15,6 +16,8 @@ from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import flatten_metric, format_table
 from repro.experiments.runner import ExperimentContext
 from repro.metrics.evaluation import MeanStd
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass
@@ -105,7 +108,7 @@ def run_table3(
         if verbose:
             for pts in horizons:
                 cell = per_pts[pts]
-                print(f"{model} PTS={pts}: MAE={cell['MAE']} RMSE={cell['RMSE']}", flush=True)
+                _LOGGER.info("%s PTS=%s: MAE=%s RMSE=%s", model, pts, cell["MAE"], cell["RMSE"])
     return Table3Result(profile=profile.name, results=results)
 
 
@@ -117,6 +120,8 @@ def _run_recursive_model(model, context, horizons, epochs, seeds, overrides):
     samples: Dict[int, Dict[str, list]] = {
         pts: {"MAE": [], "RMSE": []} for pts in horizons
     }
+    from repro.obs import runlog, tracing
+
     fit_dataset = context.dataset(horizons[0])
     for seed in seeds:
         forecaster = make_forecaster(
@@ -128,7 +133,23 @@ def _run_recursive_model(model, context, horizons, epochs, seeds, overrides):
             seed=int(seed),
             **overrides,
         )
-        forecaster.fit(fit_dataset, epochs=epochs)
+        logger = runlog.start_run(
+            f"{model}-recursive",
+            seed=int(seed),
+            config={
+                "model": model,
+                "horizons": list(horizons),
+                "epochs": epochs,
+                "overrides": overrides,
+                "protocol": "recursive",
+            },
+        )
+        try:
+            with tracing.span(f"experiment.{model}-recursive"):
+                forecaster.fit(fit_dataset, epochs=epochs)
+        finally:
+            if logger is not None:
+                logger.close()
         for pts in horizons:
             dataset = context.dataset(pts)
             forecaster.horizon = pts  # roll the same single-step model further

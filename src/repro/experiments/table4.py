@@ -7,14 +7,17 @@ uncorrelated grids — a U-shaped curve with the optimum at size ≈ 5.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.baselines.bikecap_adapter import BikeCAPForecaster
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.runner import ExperimentContext, run_and_log
 from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass
@@ -65,10 +68,16 @@ def run_table4(
                 seed=seed,
                 **run_overrides,
             )
-            forecaster.fit(dataset, epochs=epochs)
-            return evaluate_forecaster(forecaster, dataset)
+            return run_and_log(
+                forecaster,
+                dataset,
+                label=f"BikeCAP-pyramid{size}",
+                seed=seed,
+                epochs=epochs,
+                config={"profile": profile.name, "experiment": "table4", **run_overrides},
+            )
 
         results[size] = repeat_runs(single_run, profile.seeds)
         if verbose:
-            print(f"pyramid={size}: MAE={results[size]['MAE']} RMSE={results[size]['RMSE']}")
+            _LOGGER.info("pyramid=%s: MAE=%s RMSE=%s", size, results[size]['MAE'], results[size]['RMSE'])
     return Table4Result(profile=profile.name, horizon=horizon, results=results)

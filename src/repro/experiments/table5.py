@@ -7,14 +7,17 @@ another U-shaped sweep.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
 from repro.baselines.bikecap_adapter import BikeCAPForecaster
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext
+from repro.experiments.runner import ExperimentContext, run_and_log
 from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+
+_LOGGER = logging.getLogger(__name__)
 
 
 @dataclass
@@ -66,10 +69,16 @@ def run_table5(
                 seed=seed,
                 **run_overrides,
             )
-            forecaster.fit(dataset, epochs=epochs)
-            return evaluate_forecaster(forecaster, dataset)
+            return run_and_log(
+                forecaster,
+                dataset,
+                label=f"BikeCAP-capsule{dim}",
+                seed=seed,
+                epochs=epochs,
+                config={"profile": profile.name, "experiment": "table5", **run_overrides},
+            )
 
         results[dim] = repeat_runs(single_run, profile.seeds)
         if verbose:
-            print(f"capsule_dim={dim}: MAE={results[dim]['MAE']} RMSE={results[dim]['RMSE']}")
+            _LOGGER.info("capsule_dim=%s: MAE=%s RMSE=%s", dim, results[dim]['MAE'], results[dim]['RMSE'])
     return Table5Result(profile=profile.name, horizon=horizon, results=results)

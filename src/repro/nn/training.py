@@ -3,13 +3,20 @@
 Mirrors the paper's setup: batch size 32, Adam(lr=1e-3), L1 loss, no
 learning-rate or weight decay (Sec. IV-C). Epoch count is configurable so
 tests/benchmarks can run CI-scale while ``REPRO_PROFILE=paper`` scales up.
+
+Progress reporting goes through the observer API (``repro.obs.observers``):
+``fit`` notifies each observer's ``on_fit_start`` / ``on_epoch`` /
+``on_eval`` / ``on_early_stop`` / ``on_fit_end`` hooks, and additionally
+emits ``epoch`` / ``eval`` / ``early_stop`` events to any open structured
+run logger (``repro.obs.runlog``). ``verbose=True`` is sugar for appending
+a :class:`~repro.obs.observers.ConsoleObserver`.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -18,6 +25,8 @@ from repro.nn.layers.base import Module
 from repro.nn.losses import get_loss
 from repro.nn.optim import Adam, Optimizer, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.obs import runlog
+from repro.obs.observers import ConsoleObserver, TrainingObserver
 
 
 @dataclass
@@ -32,11 +41,25 @@ class TrainingHistory:
     def best_val_loss(self) -> float:
         return min(self.val_loss) if self.val_loss else float("nan")
 
-    def as_dict(self) -> Dict[str, List[float]]:
+    @property
+    def best_epoch(self) -> Optional[int]:
+        """1-based epoch with the lowest val loss (train loss if no val)."""
+        curve = self.val_loss or self.train_loss
+        if not curve:
+            return None
+        return int(np.argmin(curve)) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
+
+    def as_dict(self) -> Dict[str, object]:
         return {
             "train_loss": list(self.train_loss),
             "val_loss": list(self.val_loss),
             "epoch_seconds": list(self.epoch_seconds),
+            "best_epoch": self.best_epoch,
+            "total_seconds": self.total_seconds,
         }
 
 
@@ -74,11 +97,25 @@ class Trainer:
         seed: Optional[int] = None,
     ):
         self.model = model
+        self.loss_name = loss if isinstance(loss, str) else getattr(loss, "__name__", "custom")
         self.loss_fn: Callable = get_loss(loss) if isinstance(loss, str) else loss
         self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
         self.batch_size = batch_size
         self.max_grad_norm = max_grad_norm
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
+
+    def _run_info(self, epochs: int, train_count: int, val_count: int) -> Dict:
+        return {
+            "model": type(self.model).__name__,
+            "parameters": self.model.num_parameters(),
+            "loss": self.loss_name,
+            "epochs": epochs,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "train_samples": train_count,
+            "val_samples": val_count,
+        }
 
     def fit(
         self,
@@ -89,12 +126,21 @@ class Trainer:
         val_y: Optional[np.ndarray] = None,
         verbose: bool = False,
         patience: Optional[int] = None,
+        observers: Optional[Sequence[TrainingObserver]] = None,
     ) -> TrainingHistory:
         """Run the training loop; early-stops on validation loss if asked."""
+        watchers: List[TrainingObserver] = list(observers) if observers else []
+        if verbose:
+            watchers.append(ConsoleObserver())
         history = TrainingHistory()
         best_val = float("inf")
         best_state = None
         stale = 0
+        run_info = self._run_info(
+            epochs, len(train_x), len(val_x) if val_x is not None else 0
+        )
+        for watcher in watchers:
+            watcher.on_fit_start(run_info)
         for epoch in range(epochs):
             start = time.perf_counter()
             epoch_losses = []
@@ -107,9 +153,14 @@ class Trainer:
             history.train_loss.append(float(np.mean(epoch_losses)))
             history.epoch_seconds.append(time.perf_counter() - start)
 
+            stopped_early = False
             if val_x is not None and val_y is not None:
                 val = self.evaluate(val_x, val_y)
                 history.val_loss.append(val)
+                eval_info = {"epoch": epoch + 1, "val_loss": val}
+                for watcher in watchers:
+                    watcher.on_eval(eval_info)
+                runlog.emit("eval", **eval_info)
                 if val < best_val - 1e-9:
                     best_val = val
                     stale = 0
@@ -118,16 +169,40 @@ class Trainer:
                 else:
                     stale += 1
                     if patience is not None and stale > patience:
-                        if best_state is not None:
-                            self.model.load_state_dict(best_state)
-                        break
-            if verbose:
-                val_part = f" val={history.val_loss[-1]:.4f}" if history.val_loss else ""
-                print(
-                    f"epoch {epoch + 1}/{epochs} "
-                    f"loss={history.train_loss[-1]:.4f}{val_part} "
-                    f"({history.epoch_seconds[-1]:.1f}s)"
-                )
+                        stopped_early = True
+
+            epoch_info = {
+                "epoch": epoch + 1,
+                "epochs": epochs,
+                "train_loss": history.train_loss[-1],
+                "val_loss": history.val_loss[-1] if history.val_loss else None,
+                "seconds": history.epoch_seconds[-1],
+            }
+            for watcher in watchers:
+                watcher.on_epoch(epoch_info)
+            runlog.emit("epoch", **epoch_info)
+
+            if stopped_early:
+                stop_info = {
+                    "epoch": epoch + 1,
+                    "patience": patience,
+                    "best_val_loss": best_val,
+                    "best_epoch": history.best_epoch,
+                }
+                for watcher in watchers:
+                    watcher.on_early_stop(stop_info)
+                runlog.emit("early_stop", **stop_info)
+                if best_state is not None:
+                    self.model.load_state_dict(best_state)
+                break
+        end_info = {
+            "epochs_run": len(history.train_loss),
+            "best_epoch": history.best_epoch,
+            "best_val_loss": history.best_val_loss,
+            "total_seconds": history.total_seconds,
+        }
+        for watcher in watchers:
+            watcher.on_fit_end(end_info)
         return history
 
     def train_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
@@ -143,6 +218,7 @@ class Trainer:
 
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> float:
         """Mean loss over a dataset without building autograd graphs."""
+        was_training = self.model.training
         self.model.eval()
         losses = []
         weights = []
@@ -152,11 +228,12 @@ class Trainer:
                 loss = self.loss_fn(prediction, Tensor(batch_y))
                 losses.append(float(loss.data))
                 weights.append(len(batch_x))
-        self.model.train()
+        self.model.train(was_training)
         return float(np.average(losses, weights=weights))
 
     def predict(self, inputs: np.ndarray, batch_size: Optional[int] = None) -> np.ndarray:
         """Batched forward pass returning a numpy array."""
+        was_training = self.model.training
         self.model.eval()
         batch_size = batch_size or self.batch_size
         outputs = []
@@ -164,5 +241,5 @@ class Trainer:
             for start in range(0, len(inputs), batch_size):
                 batch = Tensor(inputs[start : start + batch_size])
                 outputs.append(self.model(batch).data)
-        self.model.train()
+        self.model.train(was_training)
         return np.concatenate(outputs, axis=0)

@@ -1,0 +1,55 @@
+"""`repro.obs` — zero-dependency observability for the whole stack.
+
+Four pieces (see ``docs/OBSERVABILITY.md``):
+
+- :mod:`repro.obs.metrics` — counters/gauges/histograms with labels in a
+  process-global registry (snapshot/reset).
+- :mod:`repro.obs.tracing` — nestable ``span("name")`` wall-clock spans
+  with total/self-time aggregation.
+- :mod:`repro.obs.profiler` — opt-in op-level and per-``Module`` timing
+  hooks over ``repro.nn`` ("top ops by self time").
+- :mod:`repro.obs.runlog` / :mod:`repro.obs.observers` — structured JSONL
+  run logs plus the ``Trainer.fit`` observer callbacks (console, metrics,
+  JSONL); rendered by ``python -m repro.obs.report``.
+"""
+
+from repro.obs import metrics, profiler, runlog, tracing
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.observers import (
+    ConsoleObserver,
+    JsonlObserver,
+    MetricsObserver,
+    TrainingObserver,
+)
+from repro.obs.profiler import (
+    disable_op_profiling,
+    enable_op_profiling,
+    profile_modules,
+    profile_ops,
+    top_ops,
+)
+from repro.obs.runlog import RunLogger, read_events
+from repro.obs.tracing import Tracer, get_tracer, span
+
+__all__ = [
+    "ConsoleObserver",
+    "JsonlObserver",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "RunLogger",
+    "Tracer",
+    "TrainingObserver",
+    "disable_op_profiling",
+    "enable_op_profiling",
+    "get_registry",
+    "get_tracer",
+    "metrics",
+    "profile_modules",
+    "profile_ops",
+    "profiler",
+    "read_events",
+    "runlog",
+    "span",
+    "top_ops",
+    "tracing",
+]

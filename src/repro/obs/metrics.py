@@ -1,0 +1,172 @@
+"""Zero-dependency metrics primitives: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` holds named instruments, optionally labelled
+(``registry.counter("routing_forward_total", model="BikeCAP")``). The
+process-global default registry (:func:`get_registry`) is what the
+instrumented library code writes to; :meth:`MetricsRegistry.snapshot`
+freezes everything into plain dicts for JSON serialization, and
+:meth:`MetricsRegistry.reset` clears it between runs.
+
+Everything here is stdlib-only so the instrumentation layer can be imported
+from anywhere in the stack (including ``repro.nn``) without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Tuple
+
+
+def _metric_key(name: str, labels: Dict[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge for deltas")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move in both directions."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+
+class Histogram:
+    """An observed-value distribution with exact percentile math.
+
+    Observations are retained (this is an in-process debugging tool, not a
+    telemetry wire format), so percentiles are exact linear-interpolation
+    quantiles over everything observed since the last reset.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self.values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile ``q`` in [0, 100]."""
+        if not self.values:
+            return float("nan")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.values)
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(rank)
+        high = min(low + 1, len(ordered) - 1)
+        frac = rank - low
+        return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": min(self.values),
+            "max": max(self.values),
+            "mean": self.sum / self.count,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named, optionally labelled instruments with snapshot/reset."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def _get(self, store: Dict, cls, name: str, labels: Dict[str, object]):
+        key = _metric_key(name, labels)
+        with self._lock:
+            instrument = store.get(key)
+            if instrument is None:
+                instrument = store[key] = cls(key)
+            return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(self._counters, Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(self._gauges, Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(self._histograms, Histogram, name, labels)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Freeze every instrument into JSON-friendly plain dicts."""
+        with self._lock:
+            return {
+                "counters": {key: c.value for key, c in self._counters.items()},
+                "gauges": {key: g.value for key, g in self._gauges.items()},
+                "histograms": {key: h.summary() for key, h in self._histograms.items()},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry library instrumentation writes to."""
+    return _DEFAULT
+
+
+def counter(name: str, **labels) -> Counter:
+    return _DEFAULT.counter(name, **labels)
+
+
+def gauge(name: str, **labels) -> Gauge:
+    return _DEFAULT.gauge(name, **labels)
+
+
+def histogram(name: str, **labels) -> Histogram:
+    return _DEFAULT.histogram(name, **labels)
+
+
+def snapshot() -> Dict[str, Dict]:
+    return _DEFAULT.snapshot()
+
+
+def reset() -> None:
+    _DEFAULT.reset()

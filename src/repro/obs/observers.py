@@ -1,0 +1,141 @@
+"""Training observers: the callback surface ``Trainer.fit`` notifies.
+
+Replaces the old ``verbose`` print with composable sinks:
+
+- :class:`ConsoleObserver` — the familiar one-line-per-epoch progress.
+- :class:`MetricsObserver` — epoch counters/gauges/histograms into a
+  metrics registry.
+- :class:`JsonlObserver` — a full structured run log (``run_start`` /
+  ``epoch`` / ``eval`` / ``early_stop`` / ``run_end``) to a JSONL file,
+  optionally with op-level profiling enabled for the duration of the fit so
+  the ``run_end`` event carries a "top ops by self time" trace.
+
+Observers receive plain-dict payloads so custom observers only need to
+subclass :class:`TrainingObserver` and override what they care about.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Optional
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import profiler, tracing
+from repro.obs.runlog import RunLogger
+
+
+class TrainingObserver:
+    """No-op base class; override the hooks you need."""
+
+    def on_fit_start(self, info: Dict) -> None:
+        pass
+
+    def on_epoch(self, info: Dict) -> None:
+        pass
+
+    def on_eval(self, info: Dict) -> None:
+        pass
+
+    def on_early_stop(self, info: Dict) -> None:
+        pass
+
+    def on_fit_end(self, info: Dict) -> None:
+        pass
+
+
+class ConsoleObserver(TrainingObserver):
+    """Per-epoch progress lines, matching the old ``verbose=True`` format."""
+
+    def __init__(self, stream=None, every: int = 1):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.stream = stream
+        self.every = every
+
+    def _print(self, message: str) -> None:
+        stream = self.stream or sys.stdout
+        print(message, file=stream, flush=True)
+
+    def on_epoch(self, info: Dict) -> None:
+        epoch = info["epoch"]
+        if epoch % self.every and epoch != info["epochs"]:
+            return
+        val_part = f" val={info['val_loss']:.4f}" if info.get("val_loss") is not None else ""
+        self._print(
+            f"epoch {epoch}/{info['epochs']} "
+            f"loss={info['train_loss']:.4f}{val_part} "
+            f"({info['seconds']:.1f}s)"
+        )
+
+    def on_early_stop(self, info: Dict) -> None:
+        self._print(
+            f"early stop at epoch {info['epoch']} "
+            f"(best val={info['best_val_loss']:.4f} @ epoch {info['best_epoch']})"
+        )
+
+
+class MetricsObserver(TrainingObserver):
+    """Mirror training progress into a metrics registry."""
+
+    def __init__(self, registry: Optional[obs_metrics.MetricsRegistry] = None):
+        self.registry = registry or obs_metrics.get_registry()
+
+    def on_fit_start(self, info: Dict) -> None:
+        self.registry.counter("train_runs_total").inc()
+
+    def on_epoch(self, info: Dict) -> None:
+        self.registry.counter("train_epochs_total").inc()
+        self.registry.gauge("train_last_loss").set(info["train_loss"])
+        self.registry.histogram("train_epoch_seconds").observe(info["seconds"])
+
+    def on_eval(self, info: Dict) -> None:
+        self.registry.gauge("train_last_val_loss").set(info["val_loss"])
+
+    def on_early_stop(self, info: Dict) -> None:
+        self.registry.counter("train_early_stops_total").inc()
+
+    def on_fit_end(self, info: Dict) -> None:
+        self.registry.gauge("train_total_seconds").set(info["total_seconds"])
+
+
+class JsonlObserver(TrainingObserver):
+    """Write the whole fit as a structured JSONL run log.
+
+    While the log is open it is registered as an active run logger, so
+    events emitted deep inside the stack (``routing_iter``, ``epoch``,
+    ``eval``…) land in the file without any explicit plumbing. With
+    ``profile=True`` (the default) op-level profiling is enabled for the
+    duration of the fit and the ``run_end`` event carries the aggregated
+    trace.
+    """
+
+    def __init__(self, path: str, profile: bool = True, run_id: Optional[str] = None):
+        self.path = path
+        self.profile = profile
+        self.run_id = run_id
+        self.logger: Optional[RunLogger] = None
+        self._tracer: Optional[tracing.Tracer] = None
+        self._was_profiling = False
+
+    def on_fit_start(self, info: Dict) -> None:
+        self.logger = RunLogger(
+            self.path, run_id=self.run_id, seed=info.get("seed"), config=info
+        ).open()
+        if self.profile:
+            self._was_profiling = profiler.op_profiling_enabled()
+            if not self._was_profiling:
+                self._tracer = tracing.Tracer()
+                profiler.enable_op_profiling(self._tracer)
+
+    def on_fit_end(self, info: Dict) -> None:
+        trace = None
+        if self._tracer is not None:
+            profiler.disable_op_profiling()
+            trace = self._tracer.snapshot()
+            self._tracer = None
+        if self.logger is not None:
+            summary = dict(info)
+            if trace:
+                summary["trace"] = trace
+            self.logger.close(status="ok", **summary)
+            self.logger = None

@@ -1,0 +1,138 @@
+"""Nestable wall-clock spans with total/self-time aggregation.
+
+``with span("bikecap.routing"): ...`` records one timed interval into the
+process-global :class:`Tracer`. Spans nest: a span's *self time* is its
+elapsed wall-clock minus the elapsed time of the spans opened inside it, so
+an aggregated snapshot answers "where does the time actually go" without
+double counting parent/child pairs.
+
+The span stack is thread-local; aggregates are shared across threads. A
+span always records on exit, including when the body raises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+
+class SpanStats:
+    """Aggregate for one span name: call count, total and self seconds."""
+
+    __slots__ = ("name", "count", "total_s", "self_s")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.self_s = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+        }
+
+
+class _Span:
+    """Context manager pushed on the tracer's thread-local stack."""
+
+    __slots__ = ("_tracer", "_name", "_start", "_child_s")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+        self._start = 0.0
+        self._child_s = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._tracer._stack().append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = self._tracer._stack()
+        # Pop self even if the stack was perturbed by a mismatched exit.
+        while stack and stack[-1] is not self:
+            stack.pop()
+        if stack:
+            stack.pop()
+        if stack:
+            stack[-1]._child_s += elapsed
+        self._tracer._record(self._name, elapsed, elapsed - self._child_s)
+
+
+class Tracer:
+    """Aggregates spans by name; produces sorted snapshots."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._stats: Dict[str, SpanStats] = {}
+
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, name: str, elapsed: float, self_time: float) -> None:
+        with self._lock:
+            stats = self._stats.get(name)
+            if stats is None:
+                stats = self._stats[name] = SpanStats(name)
+            stats.count += 1
+            stats.total_s += elapsed
+            stats.self_s += self_time
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def depth(self) -> int:
+        """Current nesting depth on this thread (0 outside any span)."""
+        return len(self._stack())
+
+    def snapshot(self, prefix: Optional[str] = None) -> List[Dict[str, float]]:
+        """Aggregates sorted by self time, optionally filtered by name prefix."""
+        with self._lock:
+            rows = [
+                stats.as_dict()
+                for stats in self._stats.values()
+                if prefix is None or stats.name.startswith(prefix)
+            ]
+        rows.sort(key=lambda row: row["self_s"], reverse=True)
+        return rows
+
+    def get(self, name: str) -> Optional[SpanStats]:
+        with self._lock:
+            return self._stats.get(name)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stats.clear()
+
+
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer the library's built-in spans record into."""
+    return _DEFAULT
+
+
+def span(name: str) -> _Span:
+    """Open a span on the default tracer: ``with span("phase"): ...``."""
+    return _DEFAULT.span(name)
+
+
+def snapshot(prefix: Optional[str] = None) -> List[Dict[str, float]]:
+    return _DEFAULT.snapshot(prefix=prefix)
+
+
+def reset() -> None:
+    _DEFAULT.reset()

@@ -7,6 +7,22 @@ import pytest
 
 from repro.city import CityConfig, simulate_city
 from repro.data import dataset_from_city
+from repro.obs import runlog
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _runlog_tmpdir(tmp_path_factory):
+    """Keep the experiment runners' automatic JSONL run logs out of the repo."""
+    import os
+
+    directory = tmp_path_factory.mktemp("runlogs")
+    previous = os.environ.get(runlog.RUNLOG_DIR_ENV)
+    os.environ[runlog.RUNLOG_DIR_ENV] = str(directory)
+    yield directory
+    if previous is None:
+        os.environ.pop(runlog.RUNLOG_DIR_ENV, None)
+    else:
+        os.environ[runlog.RUNLOG_DIR_ENV] = previous
 
 
 @pytest.fixture(scope="session")

@@ -74,8 +74,40 @@ class TestTrainer:
         trainer = Trainer(Linear(3, 1, rng=0), seed=0)
         history = trainer.fit(x, y, epochs=2)
         payload = history.as_dict()
-        assert set(payload) == {"train_loss", "val_loss", "epoch_seconds"}
+        assert set(payload) == {
+            "train_loss",
+            "val_loss",
+            "epoch_seconds",
+            "best_epoch",
+            "total_seconds",
+        }
         assert len(payload["train_loss"]) == 2
+        assert payload["best_epoch"] == history.best_epoch
+        assert payload["total_seconds"] == pytest.approx(sum(payload["epoch_seconds"]))
+
+    def test_history_best_epoch_and_total_seconds(self, rng):
+        x, y = self._linear_data(rng)
+        model = Linear(3, 1, rng=0)
+        trainer = Trainer(model, loss="mse", lr=0.05, seed=0)
+        history = trainer.fit(x[:150], y[:150], epochs=4, val_x=x[150:], val_y=y[150:])
+        assert history.best_epoch == int(np.argmin(history.val_loss)) + 1
+        assert history.total_seconds == pytest.approx(sum(history.epoch_seconds))
+        empty = history.__class__()
+        assert empty.best_epoch is None
+        assert empty.total_seconds == 0.0
+
+    def test_evaluate_and_predict_restore_model_mode(self, rng):
+        x, y = self._linear_data(rng, n=16)
+        model = Linear(3, 1, rng=0)
+        trainer = Trainer(model, seed=0)
+        model.eval()
+        trainer.evaluate(x, y)
+        assert model.training is False  # was eval, stays eval
+        trainer.predict(x)
+        assert model.training is False
+        model.train()
+        trainer.evaluate(x, y)
+        assert model.training is True  # was train, stays train
 
 
 class TestSerialization:

@@ -1,0 +1,104 @@
+"""Metrics registry: counters, gauges, histogram percentile math, labels."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, get_registry
+
+
+class TestInstruments:
+    def test_counter_increments_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue_depth")
+        gauge.set(3)
+        gauge.add(-1.5)
+        assert gauge.value == 1.5
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", x=1) is registry.counter("a", x=1)
+        assert registry.counter("a", x=1) is not registry.counter("a", x=2)
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.gauge("g", a=1, b=2) is registry.gauge("g", b=2, a=1)
+
+
+class TestHistogramPercentiles:
+    def test_exact_percentiles_on_known_data(self):
+        hist = Histogram("h")
+        for value in [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]:
+            hist.observe(value)
+        assert hist.percentile(0) == 1
+        assert hist.percentile(100) == 10
+        assert hist.percentile(50) == pytest.approx(5.5)
+        # rank = 0.9 * 9 = 8.1 → 9 + 0.1 * (10 - 9)
+        assert hist.percentile(90) == pytest.approx(9.1)
+
+    def test_single_observation(self):
+        hist = Histogram("h")
+        hist.observe(42.0)
+        for q in (0, 50, 99, 100):
+            assert hist.percentile(q) == 42.0
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        assert math.isnan(Histogram("h").percentile(50))
+
+    def test_out_of_range_percentile_raises(self):
+        hist = Histogram("h")
+        hist.observe(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_summary_fields(self):
+        hist = Histogram("h")
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(12.0)
+        assert summary["mean"] == pytest.approx(4.0)
+        assert summary["min"] == 2.0 and summary["max"] == 6.0
+        assert summary["p50"] == pytest.approx(4.0)
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_and_reset_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="x").inc(2)
+        registry.gauge("g").set(7)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c{kind=x}": 2}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+        registry.reset()
+        empty = registry.snapshot()
+        assert empty == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.histogram("h", op="conv").observe(0.5)
+        json.dumps(registry.snapshot())
+
+    def test_default_registry_is_shared(self):
+        from repro.obs import metrics
+
+        metrics.counter("shared_test_counter").inc()
+        try:
+            assert get_registry().counter("shared_test_counter").value >= 1
+        finally:
+            get_registry().reset()

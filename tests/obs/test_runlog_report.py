@@ -1,0 +1,126 @@
+"""JSONL run logs: write → read round trip, dispatch, and the report CLI."""
+
+import pytest
+
+from repro.obs import runlog
+from repro.obs.report import main as report_main, render_run
+from repro.obs.runlog import RunLogger, read_events
+
+
+class TestRunLogger:
+    def test_roundtrip_start_events_end(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        logger = RunLogger(path, seed=7, config={"model": "BikeCAP", "epochs": 2})
+        with logger:
+            logger.event("epoch", epoch=1, train_loss=0.5)
+            logger.event("epoch", epoch=2, train_loss=0.25)
+        events = read_events(path)
+        assert [event["event"] for event in events] == [
+            "run_start",
+            "epoch",
+            "epoch",
+            "run_end",
+        ]
+        assert events[0]["seed"] == 7
+        assert events[0]["config"]["model"] == "BikeCAP"
+        assert events[-1]["status"] == "ok"
+
+    def test_timestamps_are_monotonic(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLogger(path) as logger:
+            for i in range(5):
+                logger.event("tick", i=i)
+        stamps = [event["ts"] for event in read_events(path)]
+        assert stamps == sorted(stamps)
+        assert stamps[0] == 0.0
+
+    def test_exception_marks_run_end_error(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with pytest.raises(RuntimeError):
+            with RunLogger(path):
+                raise RuntimeError("boom")
+        events = read_events(path)
+        assert events[-1]["event"] == "run_end"
+        assert events[-1]["status"] == "error"
+
+    def test_module_emit_reaches_open_loggers_only(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        assert not runlog.active()
+        runlog.emit("ignored")  # no-op when nothing is open
+        with RunLogger(path):
+            assert runlog.active()
+            runlog.emit("routing_iter", iteration=1, agreement_mean=0.5)
+        assert not runlog.active()
+        events = read_events(path)
+        assert [event["event"] for event in events] == [
+            "run_start",
+            "routing_iter",
+            "run_end",
+        ]
+
+    def test_non_serializable_config_falls_back_to_str(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        with RunLogger(path, config={"dtype": complex(1, 2)}):
+            pass
+        assert "1+2j" in read_events(path)[0]["config"]["dtype"]
+
+    def test_start_run_respects_disable_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(runlog.RUNLOG_ENV, "0")
+        assert runlog.start_run("x") is None
+        monkeypatch.delenv(runlog.RUNLOG_ENV)
+        monkeypatch.setenv(runlog.RUNLOG_DIR_ENV, str(tmp_path / "runs"))
+        logger = runlog.start_run("table3-BikeCAP", seed=0, config={"a": 1})
+        assert logger is not None
+        logger.close()
+        assert logger.path.startswith(str(tmp_path / "runs"))
+        assert read_events(logger.path)[0]["seed"] == 0
+
+
+class TestReportCli:
+    def _write_run(self, path):
+        with RunLogger(str(path), seed=3, config={"model": "Linear"}) as logger:
+            logger.event("epoch", epoch=1, epochs=2, train_loss=0.9, val_loss=0.8, seconds=0.1)
+            logger.event("epoch", epoch=2, epochs=2, train_loss=0.4, val_loss=0.5, seconds=0.1)
+            logger.event("eval", split="test", MAE=1.25, RMSE=2.5)
+            logger.event(
+                "run_end",
+                status="ok",
+                trace=[
+                    {"name": "op.conv2d", "count": 4, "total_s": 0.2, "self_s": 0.15},
+                    {"name": "op.add", "count": 9, "total_s": 0.01, "self_s": 0.01},
+                ],
+            )
+
+    def test_render_run_contains_epoch_and_ops_tables(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        self._write_run(path)
+        text = render_run(read_events(str(path)))
+        assert "== epochs ==" in text
+        assert "train_loss" in text and "0.9000" in text
+        assert "== top ops by self time ==" in text
+        assert "op.conv2d" in text
+        # conv2d before add (ranked by self time)
+        assert text.index("op.conv2d") < text.index("op.add")
+
+    def test_cli_main_prints_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        self._write_run(path)
+        assert report_main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "epoch" in out and "op.conv2d" in out
+
+    def test_cli_bad_paths_fail_cleanly(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        garbage = tmp_path / "garbage.jsonl"
+        garbage.write_text("not json\n")
+        assert report_main([missing]) == 1
+        assert report_main([str(garbage)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "not a JSONL run log" in err
+
+    def test_report_without_trace_says_so(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        with RunLogger(str(path)) as logger:
+            logger.event("epoch", epoch=1, epochs=1, train_loss=1.0, seconds=0.1)
+        report_main([str(path)])
+        assert "no op trace recorded" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Span nesting, self-time accounting, and exception safety."""
+
+import time
+
+import pytest
+
+from repro.obs.tracing import Tracer
+
+
+class TestSpans:
+    def test_single_span_records_count_and_time(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.01)
+        stats = tracer.get("work")
+        assert stats.count == 1
+        assert stats.total_s >= 0.01
+        assert stats.self_s == pytest.approx(stats.total_s)
+
+    def test_nested_span_subtracts_child_from_parent_self(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            time.sleep(0.005)
+            with tracer.span("child"):
+                time.sleep(0.02)
+        parent = tracer.get("parent")
+        child = tracer.get("child")
+        assert parent.total_s >= child.total_s
+        assert parent.self_s == pytest.approx(parent.total_s - child.total_s)
+        assert parent.self_s < child.self_s  # child did most of the work
+
+    def test_sibling_spans_both_subtract(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        parent = tracer.get("parent")
+        expected = parent.total_s - tracer.get("a").total_s - tracer.get("b").total_s
+        assert parent.self_s == pytest.approx(expected, abs=1e-6)
+
+    def test_recursive_same_name_accumulates(self):
+        tracer = Tracer()
+        with tracer.span("f"):
+            with tracer.span("f"):
+                pass
+        assert tracer.get("f").count == 2
+
+    def test_span_records_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("risky"):
+                raise RuntimeError("boom")
+        assert tracer.get("risky").count == 1
+        assert tracer.depth() == 0  # stack unwound cleanly
+
+    def test_nested_exception_unwinds_all_levels(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError
+        assert tracer.get("outer").count == 1
+        assert tracer.get("inner").count == 1
+        assert tracer.depth() == 0
+
+    def test_snapshot_sorted_by_self_time_and_prefix_filter(self):
+        tracer = Tracer()
+        with tracer.span("op.slow"):
+            time.sleep(0.02)
+        with tracer.span("op.fast"):
+            pass
+        with tracer.span("module.Linear"):
+            pass
+        rows = tracer.snapshot()
+        assert rows[0]["name"] == "op.slow"
+        ops_only = tracer.snapshot(prefix="op.")
+        assert {row["name"] for row in ops_only} == {"op.slow", "op.fast"}
+
+    def test_reset_clears_aggregates(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.reset()
+        assert tracer.snapshot() == []
+
+    def test_default_tracer_module_api(self):
+        from repro.obs import tracing
+
+        tracing.reset()
+        try:
+            with tracing.span("module_api"):
+                pass
+            assert any(row["name"] == "module_api" for row in tracing.snapshot())
+        finally:
+            tracing.reset()

@@ -1,0 +1,143 @@
+"""Trainer ←→ observability integration: observers, run logs, report."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Activation, Linear, Sequential, Trainer
+from repro.obs import ConsoleObserver, JsonlObserver, MetricsObserver, TrainingObserver
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import render_run
+from repro.obs.runlog import RunLogger, read_events
+
+
+def _linear_data(n=96):
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((n, 3))
+    y = x @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+    return x, y
+
+
+class RecordingObserver(TrainingObserver):
+    def __init__(self):
+        self.calls = []
+
+    def on_fit_start(self, info):
+        self.calls.append(("fit_start", info))
+
+    def on_epoch(self, info):
+        self.calls.append(("epoch", info))
+
+    def on_eval(self, info):
+        self.calls.append(("eval", info))
+
+    def on_early_stop(self, info):
+        self.calls.append(("early_stop", info))
+
+    def on_fit_end(self, info):
+        self.calls.append(("fit_end", info))
+
+
+class TestObserverCallbacks:
+    def test_hooks_fire_in_order(self):
+        x, y = _linear_data()
+        observer = RecordingObserver()
+        trainer = Trainer(Linear(3, 1, rng=0), loss="mse", lr=0.05, seed=0)
+        trainer.fit(x[:64], y[:64], epochs=3, val_x=x[64:], val_y=y[64:], observers=[observer])
+        kinds = [kind for kind, _ in observer.calls]
+        assert kinds[0] == "fit_start"
+        assert kinds[-1] == "fit_end"
+        assert kinds.count("epoch") == 3
+        assert kinds.count("eval") == 3
+        start_info = observer.calls[0][1]
+        assert start_info["model"] == "Linear"
+        assert start_info["loss"] == "mse"
+        assert start_info["seed"] == 0
+
+    def test_early_stop_notifies_observers(self):
+        x, y = _linear_data(64)
+        observer = RecordingObserver()
+        model = Sequential(Linear(3, 8, rng=0), Activation("tanh"), Linear(8, 1, rng=1))
+        trainer = Trainer(model, loss="mse", lr=0.5, batch_size=8, seed=0)
+        history = trainer.fit(
+            x[:48], y[:48], epochs=60, val_x=x[48:], val_y=y[48:],
+            patience=3, observers=[observer],
+        )
+        stops = [info for kind, info in observer.calls if kind == "early_stop"]
+        assert len(stops) == 1
+        assert stops[0]["best_epoch"] == history.best_epoch
+        assert stops[0]["best_val_loss"] == pytest.approx(history.best_val_loss)
+        assert len(history.val_loss) < 60
+
+    def test_console_observer_prints_epoch_lines(self, capsys):
+        x, y = _linear_data(32)
+        trainer = Trainer(Linear(3, 1, rng=0), seed=0)
+        trainer.fit(x, y, epochs=2, observers=[ConsoleObserver()])
+        out = capsys.readouterr().out
+        assert "epoch 1/2" in out and "epoch 2/2" in out
+
+    def test_verbose_flag_still_prints(self, capsys):
+        x, y = _linear_data(32)
+        trainer = Trainer(Linear(3, 1, rng=0), seed=0)
+        trainer.fit(x, y, epochs=1, verbose=True)
+        assert "epoch 1/1" in capsys.readouterr().out
+
+    def test_metrics_observer_updates_registry(self):
+        x, y = _linear_data(64)
+        registry = MetricsRegistry()
+        trainer = Trainer(Linear(3, 1, rng=0), seed=0)
+        trainer.fit(
+            x[:48], y[:48], epochs=2, val_x=x[48:], val_y=y[48:],
+            observers=[MetricsObserver(registry)],
+        )
+        snap = registry.snapshot()
+        assert snap["counters"]["train_runs_total"] == 1
+        assert snap["counters"]["train_epochs_total"] == 2
+        assert snap["histograms"]["train_epoch_seconds"]["count"] == 2
+        assert "train_last_val_loss" in snap["gauges"]
+
+
+class TestRunLogIntegration:
+    def test_one_epoch_event_per_epoch_with_monotonic_timestamps(self, tmp_path):
+        x, y = _linear_data(48)
+        path = str(tmp_path / "fit.jsonl")
+        trainer = Trainer(Linear(3, 1, rng=0), seed=0)
+        with RunLogger(path, seed=0):
+            trainer.fit(x, y, epochs=4)
+        events = read_events(path)
+        epochs = [event for event in events if event["event"] == "epoch"]
+        assert [event["epoch"] for event in epochs] == [1, 2, 3, 4]
+        stamps = [event["ts"] for event in events]
+        assert stamps == sorted(stamps)
+
+    def test_jsonl_observer_writes_report_ready_log(self, tmp_path):
+        x, y = _linear_data(64)
+        path = str(tmp_path / "fit.jsonl")
+        trainer = Trainer(Linear(3, 1, rng=0), loss="mse", lr=0.05, seed=0)
+        trainer.fit(
+            x[:48], y[:48], epochs=2, val_x=x[48:], val_y=y[48:],
+            observers=[JsonlObserver(path)],
+        )
+        events = read_events(path)
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert kinds.count("epoch") == 2
+        assert events[0]["config"]["model"] == "Linear"
+        assert events[0]["seed"] == 0
+        # profile=True (default) embeds an op trace in run_end.
+        trace = events[-1]["trace"]
+        assert any(row["name"].startswith("op.") for row in trace)
+        # The acceptance path: report renders epoch-loss + top-ops tables.
+        text = render_run(events)
+        assert "== epochs ==" in text and "== top ops by self time ==" in text
+        assert "op." in text
+
+    def test_jsonl_observer_without_profiling_has_no_trace(self, tmp_path):
+        from repro.obs import profiler
+
+        x, y = _linear_data(32)
+        path = str(tmp_path / "fit.jsonl")
+        trainer = Trainer(Linear(3, 1, rng=0), seed=0)
+        trainer.fit(x, y, epochs=1, observers=[JsonlObserver(path, profile=False)])
+        assert not profiler.op_profiling_enabled()
+        events = read_events(path)
+        assert "trace" not in events[-1]
