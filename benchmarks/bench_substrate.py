@@ -16,8 +16,8 @@ import numpy as np
 import pytest
 
 from repro.core import BikeCAP, BikeCAPConfig, SpatialTemporalRouting, squash
-from repro.nn import Tensor, ops
-from repro.nn.ops.conv import conv3d_forward
+from repro.nn import Tensor, engine, ops
+from repro.nn.ops.conv import conv3d_forward, conv3d_input_grad, conv3d_weight_grad
 from repro.obs import metrics as obs_metrics
 
 
@@ -99,6 +99,56 @@ def test_bikecap_forward(benchmark):
     out = benchmark(lambda: model.predict(x))
     _record(benchmark, "bikecap_forward")
     assert out.shape == (8, 4, 10, 10)
+
+
+def test_conv3d_weight_grad_kernel(benchmark, arrays):
+    pads = ((1, 1), (1, 1), (1, 1))
+    gout = np.ones((8, 8, 8, 12, 12))
+    out = benchmark(
+        conv3d_weight_grad, arrays["x3d"], gout, (3, 3, 3), (1, 1, 1), pads
+    )
+    _record(benchmark, "conv3d_weight_grad")
+    assert out.shape == arrays["w3d"].shape
+
+
+def test_conv3d_input_grad_kernel(benchmark, arrays):
+    pads = ((1, 1), (1, 1), (1, 1))
+    gout = np.ones((8, 8, 8, 12, 12))
+    out = benchmark(
+        conv3d_input_grad, gout, arrays["w3d"], (8, 12, 12), (1, 1, 1), pads
+    )
+    _record(benchmark, "conv3d_input_grad")
+    assert out.shape == arrays["x3d"].shape
+
+
+def test_engine_einsum_cached(benchmark, arrays):
+    """The routing agreement contraction through the engine's path cache."""
+    rng = np.random.default_rng(1)
+    votes = rng.standard_normal((4, 4, 4, 32, 10, 10))
+    squashed = rng.standard_normal((4, 4, 4, 10, 10))
+    out = benchmark(lambda: engine.einsum("npdsxy,npdxy->nspxy", votes, squashed))
+    _record(benchmark, "engine_einsum_cached")
+    assert out.shape == (4, 32, 4, 10, 10)
+
+
+def test_adam_step(benchmark):
+    from repro.nn.layers.base import Parameter
+    from repro.nn.optim import Adam
+
+    rng = np.random.default_rng(2)
+    params = [Parameter(rng.standard_normal(shape)) for shape in
+              [(64, 32, 3, 3), (32, 16, 3, 3, 3), (128, 128), (128,)]]
+    optimizer = Adam(params, lr=1e-3)
+
+    def step():
+        for param in params:
+            param.grad = param.data * 0.01
+        optimizer.step()
+        return params[0].data
+
+    out = benchmark(step)
+    _record(benchmark, "adam_step")
+    assert np.all(np.isfinite(out))
 
 
 def test_bikecap_train_step(benchmark):

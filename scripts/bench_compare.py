@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Compare two ``BENCH_*.json`` snapshots and flag mean-time regressions.
+
+Usage::
+
+    python scripts/bench_compare.py results_before/BENCH_substrate.json \
+        results_after/BENCH_substrate.json [--threshold 0.20]
+
+Both files must be snapshots of the same bench module (the gauges written by
+``benchmarks/bench_substrate.py`` / ``benchmarks/bench_train.py``). Every
+``*_mean_seconds*`` gauge present in both files is compared; the script
+prints a per-kernel table and exits non-zero if any kernel's mean slowed
+down by more than ``--threshold`` (default 20%). Kernels present in only
+one snapshot are reported but never fail the comparison — new benches must
+not break an older baseline diff.
+
+On a busy or single-core machine the mean is easily inflated by scheduler
+noise; pass ``--stat min`` to compare best-observed times instead, which is
+far more robust for detecting genuine kernel regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str, stat: str = "mean") -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    gauges = data.get("gauges", data)
+    needle = f"_{stat}_seconds"
+    return {
+        key: float(value)
+        for key, value in gauges.items()
+        if needle in key and isinstance(value, (int, float))
+    }
+
+
+def compare(before_path: str, after_path: str, threshold: float, stat: str = "mean") -> int:
+    before = load_means(before_path, stat)
+    after = load_means(after_path, stat)
+    shared = sorted(set(before) & set(after))
+    if not shared:
+        print(f"error: the snapshots share no *_{stat}_seconds gauges", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(key) for key in shared)
+    print(f"{'kernel'.ljust(width)}  {'before':>10}  {'after':>10}  {'delta':>8}")
+    for key in shared:
+        old, new = before[key], after[key]
+        delta = (new - old) / old if old > 0 else float("inf")
+        marker = ""
+        if delta > threshold:
+            regressions.append((key, delta))
+            marker = "  << REGRESSION"
+        print(
+            f"{key.ljust(width)}  {old * 1e3:9.3f}ms  {new * 1e3:9.3f}ms  "
+            f"{delta * 100:+7.1f}%{marker}"
+        )
+    for key in sorted(set(before) ^ set(after)):
+        side = "before only" if key in before else "after only"
+        print(f"{key.ljust(width)}  ({side})")
+
+    if regressions:
+        worst = max(regressions, key=lambda item: item[1])
+        print(
+            f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
+            f"{threshold * 100:.0f}% (worst: {worst[0]} {worst[1] * 100:+.1f}%)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no kernel regressed more than {threshold * 100:.0f}%")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("before", help="baseline BENCH_*.json")
+    parser.add_argument("after", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="fractional mean-time regression that fails the diff (default 0.20)",
+    )
+    parser.add_argument(
+        "--stat",
+        choices=("mean", "min"),
+        default="mean",
+        help="which per-kernel statistic to compare (min is robust to noise)",
+    )
+    args = parser.parse_args()
+    return compare(args.before, args.after, args.threshold, args.stat)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

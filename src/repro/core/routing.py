@@ -140,19 +140,31 @@ class SpatialTemporalRouting(Module):
             batch, horizon, n_out, count, g1, g2 = votes.shape
             votes_np = votes.data
 
-            # Routing logits: one (p, G1, G2) block per historical capsule s.
-            logits = np.zeros((batch, count, horizon, g1, g2), dtype=votes_np.dtype)
-            coupling = softmax_3d(logits)
+            # Routing logits start at zero, so the first coupling is exactly
+            # the uniform softmax — materialize it directly instead of
+            # building and softmaxing a full zeros tensor, and accumulate
+            # logits from the first agreement onward.
+            logits = None
+            coupling = np.full(
+                (batch, count, horizon, g1, g2),
+                1.0 / (horizon * g1 * g2),
+                dtype=votes_np.dtype,
+            )
             last_agreement = None
             with tracing.span("routing.iterations"):
                 for iteration in range(self.iterations - 1):
-                    # (N, s, p, G1, G2) -> broadcastable against V (N, p, n_out, s, G1, G2)
+                    # (N, s, p, G1, G2) -> broadcastable against V (N, p, n_out, s, G1, G2).
+                    # Broadcast-multiply-sum beats the equivalent einsum here
+                    # (measured): the temp is small enough to stay cheap.
                     weights = np.expand_dims(coupling.transpose(0, 2, 1, 3, 4), axis=2)
                     combined = (votes_np * weights).sum(axis=3)  # (N, p, n_out, G1, G2)
                     squashed = squash_np(combined, axis=2)
-                    # Agreement: dot product between each vote and the combined capsule.
+                    # Agreement: dot product between each vote and the combined
+                    # capsule. Plain (unoptimized) einsum: at routing sizes the
+                    # direct C loop beats any precomputed contraction path,
+                    # which pays for tensordot reshapes it can never amortize.
                     agreement = np.einsum("npdsxy,npdxy->nspxy", votes_np, squashed)
-                    logits = logits + agreement
+                    logits = agreement if logits is None else logits + agreement
                     coupling = softmax_3d(logits)
                     last_agreement = agreement
                     if runlog.active():

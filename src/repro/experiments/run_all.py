@@ -37,12 +37,25 @@ def _mean_std_tree(results) -> Dict:
     return results
 
 
-def run_all(profile_name: str, output_dir: str, verbose: bool = True) -> Dict:
-    """Run every artifact at the named profile; returns the JSON payload."""
+def run_all(
+    profile_name: str, output_dir: str, verbose: bool = True, engine: str = None
+) -> Dict:
+    """Run every artifact at the named profile; returns the JSON payload.
+
+    ``engine`` (``fast`` | ``precise``) selects the substrate precision for
+    the whole run — ``fast`` trains float32 (see docs/PERFORMANCE.md).
+    """
+    from repro.nn import config as nn_config
+
+    if engine is not None:
+        nn_config.set_engine_mode(engine)
     profile = get_profile(profile_name)
     context = ExperimentContext(profile)
     os.makedirs(output_dir, exist_ok=True)
-    payload: Dict = {"profile": profile.name}
+    payload: Dict = {
+        "profile": profile.name,
+        "engine_mode": nn_config.engine_mode(),
+    }
     sections = []
 
     started = time.time()
@@ -90,13 +103,24 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default=None, help="smoke | default | paper (default: env REPRO_PROFILE or smoke)")
     parser.add_argument("--output", default="results", help="output directory")
+    parser.add_argument(
+        "--engine",
+        choices=("fast", "precise"),
+        default=None,
+        help="substrate precision: fast=float32, precise=float64 (default: env REPRO_ENGINE or precise)",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
     if not args.quiet:
         # CLI progress goes through logging so library use (and -q pytest
         # runs) stays silent unless a handler is configured.
         logging.basicConfig(level=logging.INFO, format="%(message)s")
-    run_all(args.profile or os.environ.get("REPRO_PROFILE", "smoke"), args.output, verbose=not args.quiet)
+    run_all(
+        args.profile or os.environ.get("REPRO_PROFILE", "smoke"),
+        args.output,
+        verbose=not args.quiet,
+        engine=args.engine,
+    )
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ from repro.data.aggregation import aggregate_city
 from repro.data.datasets import BikeDemandDataset, dataset_from_tensor
 from repro.experiments.profiles import ExperimentProfile
 from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+from repro.nn import config as nn_config
 from repro.obs import runlog, tracing
 
 
@@ -31,6 +32,12 @@ def run_and_log(
     config: Optional[Dict] = None,
 ) -> Dict[str, float]:
     """Fit + evaluate one forecaster under a span and a JSONL run log."""
+    config = dict(config) if config else {}
+    # Engine state belongs in every run record: results are only comparable
+    # across runs that used the same precision and sharding.
+    config.setdefault("dtype", np.dtype(nn_config.dtype()).name)
+    config.setdefault("engine_mode", nn_config.engine_mode())
+    config.setdefault("num_threads", nn_config.num_threads())
     logger = runlog.start_run(label, seed=seed, config=config)
     try:
         with tracing.span(f"experiment.{label}"):

@@ -6,8 +6,8 @@ environment ships no deep-learning framework; see DESIGN.md for the
 substitution rationale.
 """
 
-from repro.nn import config, init, layers, losses, ops, optim
-from repro.nn.config import no_grad, set_dtype
+from repro.nn import config, engine, init, layers, losses, ops, optim
+from repro.nn.config import no_grad, set_dtype, set_engine_mode
 from repro.nn.gradcheck import check_gradients, gradcheck_module
 from repro.nn.layers import (
     LSTM,
@@ -61,6 +61,7 @@ __all__ = [
     "check_gradients",
     "clip_grad_norm",
     "config",
+    "engine",
     "get_loss",
     "gradcheck_module",
     "huber_loss",
@@ -76,4 +77,5 @@ __all__ = [
     "optim",
     "save_weights",
     "set_dtype",
+    "set_engine_mode",
 ]

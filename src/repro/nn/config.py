@@ -2,17 +2,60 @@
 
 The substrate defaults to float64 so finite-difference gradient checks are
 reliable; callers that want speed over gradcheck-grade precision can switch
-to float32 via :func:`set_dtype`.
+to float32 via :func:`set_dtype` or the ``fast`` engine mode.
+
+Engine knobs (all overridable by environment variables, read once at
+import) control the execution-plan layer in :mod:`repro.nn.engine`:
+
+=============================== ======================================== =========
+knob                            environment variable                     default
+=============================== ======================================== =========
+dtype                           ``REPRO_DTYPE`` (float32|float64)        float64
+engine mode                     ``REPRO_ENGINE`` (fast|precise)          precise
+intra-step worker threads       ``REPRO_NUM_THREADS``                    1
+FFT dispatch: kernel volume     ``REPRO_CONV_FFT_MIN_KERNEL_VOLUME``     48
+FFT dispatch: im2col elements   ``REPRO_CONV_FFT_MIN_IM2COL_ELEMENTS``   4,000,000
+GEMM dispatch: im2col elements  ``REPRO_CONV_GEMM_MIN_ELEMENTS``         1,500,000
+plan cache on/off               ``REPRO_PLAN_CACHE`` (1|0)               1
+workspace arena on/off          ``REPRO_ARENA`` (1|0)                    1
+=============================== ======================================== =========
+
+The conv dispatch defaults were recalibrated from ``bench_substrate`` runs
+on this machine (see docs/PERFORMANCE.md for the measurement table).
 """
 
 from __future__ import annotations
 
 import contextlib
+import os
 
 import numpy as np
 
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return int(raw)
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
 _DTYPE = np.float64
 _GRAD_ENABLED = True
+_NUM_THREADS = max(1, _env_int("REPRO_NUM_THREADS", 1))
+_CONV_FFT_MIN_KERNEL_VOLUME = _env_int("REPRO_CONV_FFT_MIN_KERNEL_VOLUME", 48)
+_CONV_FFT_MIN_IM2COL_ELEMENTS = _env_int(
+    "REPRO_CONV_FFT_MIN_IM2COL_ELEMENTS", 4_000_000
+)
+_CONV_GEMM_MIN_ELEMENTS = _env_int("REPRO_CONV_GEMM_MIN_ELEMENTS", 1_500_000)
+_PLAN_CACHE_ENABLED = _env_flag("REPRO_PLAN_CACHE", True)
+_ARENA_ENABLED = _env_flag("REPRO_ARENA", True)
 
 
 def dtype() -> np.dtype:
@@ -27,6 +70,38 @@ def set_dtype(new_dtype) -> None:
     if nd not in (np.dtype(np.float32), np.dtype(np.float64)):
         raise ValueError(f"dtype must be float32 or float64, got {new_dtype}")
     _DTYPE = nd.type
+
+
+def engine_mode() -> str:
+    """``"fast"`` when the substrate runs float32, ``"precise"`` for float64."""
+    return "fast" if _DTYPE is np.float32 else "precise"
+
+
+def set_engine_mode(mode: str) -> None:
+    """Sugar over :func:`set_dtype`: ``fast`` → float32, ``precise`` → float64.
+
+    Must be set *before* models are constructed — parameters adopt the
+    ambient dtype at creation time. Gradient checks always run float64
+    regardless of this mode (:mod:`repro.nn.gradcheck` pins it).
+    """
+    if mode == "fast":
+        set_dtype(np.float32)
+    elif mode == "precise":
+        set_dtype(np.float64)
+    else:
+        raise ValueError(f"engine mode must be 'fast' or 'precise', got {mode!r}")
+
+
+@contextlib.contextmanager
+def use_dtype(new_dtype):
+    """Context manager pinning the substrate dtype inside the block."""
+    global _DTYPE
+    previous = _DTYPE
+    set_dtype(new_dtype)
+    try:
+        yield
+    finally:
+        _DTYPE = previous
 
 
 def grad_enabled() -> bool:
@@ -53,3 +128,79 @@ def no_grad():
         yield
     finally:
         set_grad_enabled(previous)
+
+
+# ---------------------------------------------------------------------------
+# Execution-engine knobs (consumed by repro.nn.engine and repro.nn.ops.conv)
+# ---------------------------------------------------------------------------
+
+def num_threads() -> int:
+    """Worker threads for intra-step batch sharding (1 = serial)."""
+    return _NUM_THREADS
+
+
+def set_num_threads(count: int) -> None:
+    global _NUM_THREADS
+    count = int(count)
+    if count < 1:
+        raise ValueError(f"num_threads must be >= 1, got {count}")
+    _NUM_THREADS = count
+
+
+def conv_fft_min_kernel_volume() -> int:
+    return _CONV_FFT_MIN_KERNEL_VOLUME
+
+
+def conv_fft_min_im2col_elements() -> int:
+    return _CONV_FFT_MIN_IM2COL_ELEMENTS
+
+
+def conv_gemm_min_elements() -> int:
+    return _CONV_GEMM_MIN_ELEMENTS
+
+
+def set_conv_dispatch_thresholds(
+    fft_min_kernel_volume: int = None,
+    fft_min_im2col_elements: int = None,
+    gemm_min_elements: int = None,
+) -> None:
+    """Override the conv dispatch thresholds (None keeps the current value)."""
+    global _CONV_FFT_MIN_KERNEL_VOLUME, _CONV_FFT_MIN_IM2COL_ELEMENTS
+    global _CONV_GEMM_MIN_ELEMENTS
+    if fft_min_kernel_volume is not None:
+        _CONV_FFT_MIN_KERNEL_VOLUME = int(fft_min_kernel_volume)
+    if fft_min_im2col_elements is not None:
+        _CONV_FFT_MIN_IM2COL_ELEMENTS = int(fft_min_im2col_elements)
+    if gemm_min_elements is not None:
+        _CONV_GEMM_MIN_ELEMENTS = int(gemm_min_elements)
+    # Cached dispatch decisions were made under the old thresholds.
+    from repro.nn import engine
+
+    engine.clear_caches()
+
+
+def plan_cache_enabled() -> bool:
+    return _PLAN_CACHE_ENABLED
+
+
+def set_plan_cache_enabled(enabled: bool) -> None:
+    global _PLAN_CACHE_ENABLED
+    _PLAN_CACHE_ENABLED = bool(enabled)
+
+
+def arena_enabled() -> bool:
+    return _ARENA_ENABLED
+
+
+def set_arena_enabled(enabled: bool) -> None:
+    global _ARENA_ENABLED
+    _ARENA_ENABLED = bool(enabled)
+
+
+# Environment-selected startup state: REPRO_ENGINE wins over REPRO_DTYPE.
+_ENV_DTYPE = os.environ.get("REPRO_DTYPE")
+if _ENV_DTYPE:
+    set_dtype(_ENV_DTYPE)
+_ENV_ENGINE = os.environ.get("REPRO_ENGINE")
+if _ENV_ENGINE:
+    set_engine_mode(_ENV_ENGINE)

@@ -1,0 +1,393 @@
+"""Execution-plan layer for the numpy substrate.
+
+Every experiment in this reproduction funnels through the same handful of
+numpy kernels, and training repeats them thousands of times on identical
+shapes. This module reuses the work that is invariant across those calls:
+
+- **Plan cache** — conv dispatch decisions (einsum vs. GEMM vs. FFT) and
+  ``np.einsum`` contraction paths, keyed by shape/dtype signatures. Looked
+  up once per signature, hit thereafter (``engine_plan_cache_*`` counters).
+- **Weight-derived caches** — the precomputed kernel FFT and the masked
+  effective weight (pyramid gating) are invariant while the weights are
+  unchanged; entries are keyed by the weight array's identity plus a global
+  *weight version* that optimizers bump on every step (and
+  ``Module.load_state_dict`` on every load), so a stale kernel FFT can
+  never survive a weight update.
+- **Workspace arena** — per-thread buffer pools that recycle the large
+  transient arrays the conv path allocates every call (stride-stuffed
+  gradients, padded inputs, im2col columns). ``engine_arena_bytes_reused_total``
+  tracks the traffic the allocator no longer sees.
+- **Worker pool** — a lazily-built thread pool for intra-step batch
+  sharding (numpy/scipy release the GIL); :mod:`repro.nn.training` shards
+  mini-batches across it with deterministic, shard-ordered gradient
+  accumulation.
+
+All knobs live in :mod:`repro.nn.config` (``REPRO_*`` environment
+variables); behaviour and calibration notes are documented in
+docs/PERFORMANCE.md.
+
+Identity-keyed caches are only coherent if in-place weight mutation goes
+through an optimizer step or a state-dict load. Code that perturbs
+``param.data`` directly (e.g. finite-difference gradcheck) must run inside
+:func:`no_cache`, which bypasses them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import config
+from repro.obs import metrics as obs_metrics
+
+# Conv execution strategies the planner can choose from.
+PLAN_EINSUM = "einsum"
+PLAN_GEMM = "gemm"
+PLAN_FFT = "fft"
+
+
+# ---------------------------------------------------------------------------
+# Cache-coherency state
+# ---------------------------------------------------------------------------
+
+_weight_version = 0
+_cache_bypass = threading.local()
+
+
+def weight_version() -> int:
+    """Monotonic counter identifying the current generation of weights."""
+    return _weight_version
+
+
+def bump_weight_version() -> None:
+    """Invalidate weight-derived caches (kernel FFTs, masked weights).
+
+    Called by every optimizer step and ``load_state_dict``; call it manually
+    after mutating a parameter's ``data`` in place by any other route.
+    """
+    global _weight_version
+    _weight_version += 1
+
+
+def caches_enabled() -> bool:
+    """Whether identity-keyed caches may be consulted on this thread."""
+    if getattr(_cache_bypass, "depth", 0):
+        return False
+    return config.plan_cache_enabled()
+
+
+@contextlib.contextmanager
+def no_cache():
+    """Bypass identity-keyed caches inside the block (this thread only).
+
+    Required around code that mutates parameter data in place without an
+    optimizer step — the finite-difference gradcheck is the canonical user.
+    Pure shape-keyed plans (dispatch decisions, einsum paths) stay active;
+    they are functions of the signature alone and cannot go stale.
+    """
+    _cache_bypass.depth = getattr(_cache_bypass, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _cache_bypass.depth -= 1
+
+
+# ---------------------------------------------------------------------------
+# Plan cache: conv dispatch + einsum contraction paths
+# ---------------------------------------------------------------------------
+
+_plan_lock = threading.Lock()
+_conv_plans: Dict[Tuple, str] = {}
+_einsum_paths: Dict[Tuple, list] = {}
+
+
+def _plan_hit(kind: str) -> None:
+    obs_metrics.counter("engine_plan_cache_hits_total", kind=kind).inc()
+
+
+def _plan_miss(kind: str) -> None:
+    obs_metrics.counter("engine_plan_cache_misses_total", kind=kind).inc()
+
+
+def _choose_conv_forward_plan(
+    batch: int, channels: int, out_spatial, kernel, dtype
+) -> str:
+    """Pick the conv forward strategy for one signature.
+
+    Calibrated on this machine (docs/PERFORMANCE.md): FFT wins for big
+    kernels or very large im2col footprints in either dtype. The
+    im2col+GEMM path beats einsum only for *flat* (depth-1) kernels — the
+    2-D convs routed through the 3-D path, e.g. the routing vote transform —
+    in float64 above ~1.5M im2col elements; for deep kernels einsum's
+    blocked reduction over the strided view beats paying for the column
+    copy, and float32 einsum is SIMD-friendly enough that GEMM never pays
+    for itself below the FFT threshold.
+    """
+    kernel_volume = int(np.prod(kernel))
+    if kernel_volume >= config.conv_fft_min_kernel_volume():
+        return PLAN_FFT
+    im2col_elements = batch * channels * int(np.prod(out_spatial)) * kernel_volume
+    if im2col_elements >= config.conv_fft_min_im2col_elements():
+        return PLAN_FFT
+    if (
+        tuple(kernel)[0] == 1
+        and np.dtype(dtype).itemsize == 8
+        and im2col_elements >= config.conv_gemm_min_elements()
+    ):
+        return PLAN_GEMM
+    return PLAN_EINSUM
+
+
+def _choose_conv_weight_grad_plan(
+    batch: int, channels: int, out_spatial, kernel, dtype
+) -> str:
+    """Weight-grad strategy: FFT thresholds as before, GEMM otherwise.
+
+    The weight-grad contraction reduces over the huge (batch × output
+    positions) axis into a tiny kernel — a tall-skinny GEMM that BLAS wins
+    at every calibrated size in both dtypes, so there is no einsum branch.
+    """
+    kernel_volume = int(np.prod(kernel))
+    if kernel_volume >= config.conv_fft_min_kernel_volume():
+        return PLAN_FFT
+    im2col_elements = batch * channels * int(np.prod(out_spatial)) * kernel_volume
+    if im2col_elements >= config.conv_fft_min_im2col_elements():
+        return PLAN_FFT
+    return PLAN_GEMM
+
+
+def conv_forward_plan(batch, channels, out_spatial, kernel, dtype) -> str:
+    key = ("conv_fwd", batch, channels, tuple(out_spatial), tuple(kernel), np.dtype(dtype).str)
+    with _plan_lock:
+        plan = _conv_plans.get(key)
+    if plan is not None:
+        _plan_hit("conv_forward")
+        return plan
+    plan = _choose_conv_forward_plan(batch, channels, out_spatial, kernel, dtype)
+    with _plan_lock:
+        _conv_plans[key] = plan
+    _plan_miss("conv_forward")
+    return plan
+
+
+def conv_weight_grad_plan(batch, channels, out_spatial, kernel, dtype) -> str:
+    key = ("conv_wgrad", batch, channels, tuple(out_spatial), tuple(kernel), np.dtype(dtype).str)
+    with _plan_lock:
+        plan = _conv_plans.get(key)
+    if plan is not None:
+        _plan_hit("conv_weight_grad")
+        return plan
+    plan = _choose_conv_weight_grad_plan(batch, channels, out_spatial, kernel, dtype)
+    with _plan_lock:
+        _conv_plans[key] = plan
+    _plan_miss("conv_weight_grad")
+    return plan
+
+
+def einsum(subscripts: str, *operands: np.ndarray) -> np.ndarray:
+    """``np.einsum`` with the contraction path cached per shape signature."""
+    key = (subscripts,) + tuple(
+        (op.shape, np.dtype(op.dtype).str) for op in operands
+    )
+    with _plan_lock:
+        path = _einsum_paths.get(key)
+    if path is None:
+        path = np.einsum_path(subscripts, *operands, optimize=True)[0]
+        with _plan_lock:
+            _einsum_paths[key] = path
+        _plan_miss("einsum_path")
+    else:
+        _plan_hit("einsum_path")
+    return np.einsum(subscripts, *operands, optimize=path)
+
+
+# ---------------------------------------------------------------------------
+# Weight-derived caches (kernel FFTs, masked effective weights)
+# ---------------------------------------------------------------------------
+
+class _WeightCache:
+    """Identity-keyed cache of arrays derived from (unchanging) weights.
+
+    An entry is valid only while (a) the exact source array object is still
+    alive (held by weakref, so a recycled ``id`` can never alias) and
+    (b) the global weight version has not moved since it was built.
+    """
+
+    def __init__(self, name: str, capacity: int = 128):
+        self.name = name
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple, Tuple[weakref.ref, int, np.ndarray]] = {}
+
+    def get_or_build(
+        self,
+        source: np.ndarray,
+        key_extra: Tuple,
+        builder: Callable[[], np.ndarray],
+        extra_source: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        if not caches_enabled():
+            return builder()
+        key = (id(source),) + key_extra
+        version = _weight_version
+        with self._lock:
+            entry = self._entries.get(key)
+        if entry is not None:
+            refs, entry_version, value = entry
+            if entry_version == version and all(
+                ref() is origin for ref, origin in zip(refs, (source, extra_source))
+            ):
+                obs_metrics.counter(f"engine_{self.name}_cache_hits_total").inc()
+                return value
+        value = builder()
+        try:
+            refs = (weakref.ref(source),) + (
+                (weakref.ref(extra_source),) if extra_source is not None else ()
+            )
+        except TypeError:
+            # Non-weakrefable sources (rare array subclasses) are not cached.
+            return value
+        with self._lock:
+            if len(self._entries) >= self.capacity:
+                self._entries.clear()
+            self._entries[key] = (refs, version, value)
+        obs_metrics.counter(f"engine_{self.name}_cache_misses_total").inc()
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+_kernel_fft_cache = _WeightCache("kernel_fft")
+_masked_weight_cache = _WeightCache("masked_weight")
+
+
+def kernel_fft(
+    source: np.ndarray, key_extra: Tuple, builder: Callable[[], np.ndarray]
+) -> np.ndarray:
+    """Cache an FFT derived from kernel array ``source``.
+
+    ``key_extra`` must pin down everything else the transform depends on
+    (padded extent, flip, and — since kernels often arrive as flip/transpose
+    views of a parameter — the view's memory layout).
+    """
+    return _kernel_fft_cache.get_or_build(source, tuple(key_extra), builder)
+
+
+def masked_weight(w: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Cache ``w * mask`` (the pyramid convolution's gated kernel)."""
+    return _masked_weight_cache.get_or_build(
+        w, (id(mask), w.shape), lambda: w * mask, extra_source=mask
+    )
+
+
+def clear_caches() -> None:
+    """Drop every cached plan and weight-derived entry (tests, benchmarks)."""
+    with _plan_lock:
+        _conv_plans.clear()
+        _einsum_paths.clear()
+    _kernel_fft_cache.clear()
+    _masked_weight_cache.clear()
+
+
+# ---------------------------------------------------------------------------
+# Workspace arena
+# ---------------------------------------------------------------------------
+
+_MAX_POOLED_PER_KEY = 4
+
+_arena_local = threading.local()
+
+
+def _arena_pools() -> Dict[Tuple, List[np.ndarray]]:
+    pools = getattr(_arena_local, "pools", None)
+    if pools is None:
+        pools = _arena_local.pools = {}
+    return pools
+
+
+def arena_empty(shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """Borrow an uninitialised buffer from this thread's pool.
+
+    The caller owns the buffer until it passes it back via
+    :func:`arena_release`; escaping buffers are simply never released and
+    the pool forgets them.
+    """
+    if not config.arena_enabled():
+        return np.empty(shape, dtype=dtype)
+    key = (tuple(shape), np.dtype(dtype).str)
+    stack = _arena_pools().get(key)
+    if stack:
+        buffer = stack.pop()
+        obs_metrics.counter("engine_arena_bytes_reused_total").inc(buffer.nbytes)
+        return buffer
+    return np.empty(shape, dtype=dtype)
+
+
+def arena_zeros(shape: Tuple[int, ...], dtype) -> np.ndarray:
+    """Borrow a zero-filled buffer from this thread's pool."""
+    if not config.arena_enabled():
+        return np.zeros(shape, dtype=dtype)
+    key = (tuple(shape), np.dtype(dtype).str)
+    stack = _arena_pools().get(key)
+    if stack:
+        buffer = stack.pop()
+        buffer.fill(0)
+        obs_metrics.counter("engine_arena_bytes_reused_total").inc(buffer.nbytes)
+        return buffer
+    return np.zeros(shape, dtype=dtype)
+
+
+def arena_release(buffer: np.ndarray) -> None:
+    """Return a borrowed buffer to this thread's pool.
+
+    Only call this for buffers whose data does not escape the borrowing
+    function — a released buffer will be handed out (and overwritten) by a
+    later borrow.
+    """
+    if not config.arena_enabled():
+        return
+    key = (buffer.shape, np.dtype(buffer.dtype).str)
+    pools = _arena_pools()
+    stack = pools.setdefault(key, [])
+    if len(stack) < _MAX_POOLED_PER_KEY:
+        stack.append(buffer)
+
+
+def arena_clear() -> None:
+    """Drop this thread's pooled buffers."""
+    getattr(_arena_local, "pools", {}) and _arena_local.pools.clear()
+
+
+# ---------------------------------------------------------------------------
+# Worker pool for intra-step batch sharding
+# ---------------------------------------------------------------------------
+
+_executor_lock = threading.Lock()
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_size = 0
+
+
+def get_executor(workers: int) -> ThreadPoolExecutor:
+    """A process-wide thread pool, rebuilt when the requested size grows."""
+    global _executor, _executor_size
+    with _executor_lock:
+        if _executor is None or _executor_size < workers:
+            if _executor is not None:
+                _executor.shutdown(wait=False)
+            _executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-engine"
+            )
+            _executor_size = workers
+        return _executor
+
+
+def num_threads() -> int:
+    """Resolved worker-thread count for batch sharding."""
+    return config.num_threads()

@@ -11,6 +11,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.nn import engine
 from repro.nn.tensor import Tensor
 
 
@@ -46,22 +47,27 @@ def check_gradients(
     """Assert analytic gradients of ``sum(fn(*inputs))`` match finite differences.
 
     Raises ``AssertionError`` with the worst offending input index on mismatch.
+
+    Runs with the engine's identity-keyed caches bypassed: the central
+    differences perturb ``tensor.data`` in place without bumping the weight
+    version, which would otherwise serve stale kernel FFTs / masked weights.
     """
-    for tensor in inputs:
-        tensor.zero_grad()
-    output = fn(*inputs)
-    output.sum().backward()
-    for index, tensor in enumerate(inputs):
-        if not tensor.requires_grad:
-            continue
-        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
-        numeric = numeric_gradient(fn, inputs, index, epsilon=epsilon)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
-            worst = np.max(np.abs(analytic - numeric))
-            raise AssertionError(
-                f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
-                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
-            )
+    with engine.no_cache():
+        for tensor in inputs:
+            tensor.zero_grad()
+        output = fn(*inputs)
+        output.sum().backward()
+        for index, tensor in enumerate(inputs):
+            if not tensor.requires_grad:
+                continue
+            analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+            numeric = numeric_gradient(fn, inputs, index, epsilon=epsilon)
+            if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+                worst = np.max(np.abs(analytic - numeric))
+                raise AssertionError(
+                    f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
+                    f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+                )
 
 
 def gradcheck_module(module, *inputs, atol: float = 1e-6, rtol: float = 1e-4) -> None:

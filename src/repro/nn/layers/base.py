@@ -96,6 +96,11 @@ class Module:
                     f"shape mismatch for {name}: expected {param.data.shape}, got {value.shape}"
                 )
             param.data = value.copy()
+        # Weight-derived engine caches (kernel FFTs, masked weights) must not
+        # survive a weight swap.
+        from repro.nn import engine
+
+        engine.bump_weight_version()
 
 
 class ModuleList(Module):

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import engine
 from repro.nn.tensor import Tensor, as_tensor, make_op, unbroadcast
 
 
@@ -176,6 +177,42 @@ def matmul(a, b) -> Tensor:
             gb = gb[..., 0].reshape(-1, b_data.shape[0]).sum(axis=0)
         else:
             gb = unbroadcast(gb, b_data.shape)
+        return ga, gb
+
+    return make_op(data, (a, b), backward)
+
+
+def einsum(subscripts: str, a, b) -> Tensor:
+    """Two-operand einsum with autograd, using the engine's cached paths.
+
+    Restrictions (asserted): explicit ``->`` output, no repeated label
+    within a single operand, and every input label must appear in the output
+    or in the other operand (so each backward pass is itself one einsum —
+    the standard adjoint rewrite).
+    """
+    a, b = as_tensor(a), as_tensor(b)
+    if "->" not in subscripts:
+        raise ValueError("einsum op requires an explicit '->' output")
+    inputs, out_labels = subscripts.split("->")
+    a_labels, b_labels = inputs.split(",")
+    for labels in (a_labels, b_labels):
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"repeated label within one operand: {labels!r}")
+    for labels, other in ((a_labels, b_labels), (b_labels, a_labels)):
+        missing = set(labels) - set(out_labels) - set(other)
+        if missing:
+            raise ValueError(
+                f"labels {sorted(missing)} appear in one operand only; "
+                "their adjoint is not a single einsum"
+            )
+    data = engine.einsum(subscripts, a.data, b.data)
+
+    def backward(grad):
+        ga = gb = None
+        if a.requires_grad:
+            ga = engine.einsum(f"{out_labels},{b_labels}->{a_labels}", grad, b.data)
+        if b.requires_grad:
+            gb = engine.einsum(f"{out_labels},{a_labels}->{b_labels}", grad, a.data)
         return ga, gb
 
     return make_op(data, (a, b), backward)

@@ -4,12 +4,36 @@ Implementation strategy
 -----------------------
 The forward pass extracts sliding windows with
 ``np.lib.stride_tricks.sliding_window_view`` (views, no copy) and contracts
-them against the kernel with a single ``einsum``. The input gradient is
-computed *exactly* as the adjoint: zero-stuff the output gradient by the
-stride, full-pad, and convolve with the spatially-flipped, channel-swapped
-kernel. Transposed convolution is literally the adjoint operator, so its
-forward reuses the input-gradient kernel and its backward reuses the forward
-convolution — one fully-vectorized code path, verified by finite differences.
+them against the kernel. The input gradient is computed *exactly* as the
+adjoint: zero-stuff the output gradient by the stride, full-pad, and
+convolve with the spatially-flipped, channel-swapped kernel. Transposed
+convolution is literally the adjoint operator, so its forward reuses the
+input-gradient kernel and its backward reuses the forward convolution — one
+fully-vectorized code path, verified by finite differences.
+
+Execution plans
+---------------
+Each kernel call is dispatched by :mod:`repro.nn.engine` to one of three
+exact strategies, chosen per shape/dtype signature and cached:
+
+- ``einsum`` — contract the sliding-window view directly; fastest for
+  small contractions and for float32 generally.
+- ``gemm`` — materialize the im2col copy once and hand BLAS a single
+  matrix product; wins for float64 above ~1.5M im2col elements on the
+  forward, and for the weight gradient (a tall-skinny reduction) at every
+  calibrated size.
+- ``fft`` — frequency-domain convolution via ``scipy.fft``; cost scales
+  with the *input* volume only, so it wins for big kernels or very large
+  im2col footprints. Kernel FFTs are cached across calls while the weights
+  are unchanged, and the padded-input FFT computed on the forward pass is
+  reused by the weight gradient of the same op.
+
+Dispatch thresholds live in :mod:`repro.nn.config`
+(``REPRO_CONV_FFT_MIN_KERNEL_VOLUME``, ``REPRO_CONV_FFT_MIN_IM2COL_ELEMENTS``,
+``REPRO_CONV_GEMM_MIN_ELEMENTS``); calibration numbers are tabulated in
+docs/PERFORMANCE.md. Large transients (padded inputs, stride-stuffed
+gradients, im2col columns) come from the engine's workspace arena instead
+of fresh allocations.
 
 Data layout is channels-first: ``(N, C, D, H, W)`` for 3-D and
 ``(N, C, H, W)`` for 2-D. 3-D kernels are ``(C_out, C_in, kD, kH, kW)``;
@@ -23,6 +47,7 @@ from typing import Optional, Sequence, Tuple, Union
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.nn import config, engine
 from repro.nn.tensor import Tensor, as_tensor, make_op
 
 PadSpec = Union[int, Sequence[int], Sequence[Tuple[int, int]]]
@@ -83,37 +108,75 @@ def conv_output_size(size: int, kernel: int, stride: int, before: int, after: in
 # Low-level numpy kernels (no autograd)
 # ---------------------------------------------------------------------------
 
-def _pad5(x: np.ndarray, pads: _Pads) -> np.ndarray:
+def _pad5(x: np.ndarray, pads: _Pads) -> Tuple[np.ndarray, bool]:
+    """Pad into an arena buffer; returns ``(padded, borrowed)``."""
     if all(p == (0, 0) for p in pads):
-        return x
-    return np.pad(x, ((0, 0), (0, 0)) + tuple(pads))
-
-
-# im2col materializes an (N, C, D_out, H_out, W_out, kd*kh*kw) copy; when
-# that copy gets large (big pyramid kernels, or the routing conv's many
-# depth positions) the FFT path — whose cost scales with the *input* volume
-# only — wins. Both paths are exact (cross-validated and gradchecked).
-FFT_MIN_KERNEL_VOLUME = 48
-FFT_MIN_IM2COL_ELEMENTS = 4_000_000
+        return x, False
+    shape = x.shape[:2] + tuple(
+        x.shape[2 + i] + pads[i][0] + pads[i][1] for i in range(3)
+    )
+    buffer = engine.arena_zeros(shape, x.dtype)
+    interior = (slice(None), slice(None)) + tuple(
+        slice(pads[i][0], pads[i][0] + x.shape[2 + i]) for i in range(3)
+    )
+    buffer[interior] = x
+    return buffer, True
 
 
 def _prefer_fft(batch: int, channels: int, out_spatial, kernel) -> bool:
+    """Legacy predicate: does this signature take the frequency-domain path?"""
     kernel_volume = int(np.prod(kernel))
-    if kernel_volume >= FFT_MIN_KERNEL_VOLUME:
+    if kernel_volume >= config.conv_fft_min_kernel_volume():
         return True
     im2col_elements = batch * channels * int(np.prod(out_spatial)) * kernel_volume
-    return im2col_elements >= FFT_MIN_IM2COL_ELEMENTS
+    return im2col_elements >= config.conv_fft_min_im2col_elements()
 
 
-def _conv3d_forward_fft(xp: np.ndarray, w: np.ndarray, stride) -> np.ndarray:
+def _view_identity(arr: np.ndarray) -> Tuple:
+    """Cache key for a (possibly viewed) kernel: root object + view layout.
+
+    Kernels arrive as flip/transpose *views* rebuilt on every call, so the
+    view object's own identity is useless as a key; the root buffer plus the
+    view's memory layout pins down exactly which values the view reads.
+    """
+    root = arr
+    while isinstance(root.base, np.ndarray):
+        root = root.base
+    return root, (
+        arr.shape,
+        arr.strides,
+        arr.__array_interface__["data"][0],
+        np.dtype(arr.dtype).str,
+    )
+
+
+def _kernel_rfftn(w: np.ndarray, spatial: Tuple[int, ...], flip: bool) -> np.ndarray:
+    """(Cached) FFT of a conv kernel zero-extended to the padded-input size."""
+    from scipy import fft as sfft
+
+    root, layout = _view_identity(w)
+
+    def build() -> np.ndarray:
+        kernel = w[:, :, ::-1, ::-1, ::-1] if flip else w
+        return sfft.rfftn(kernel, s=spatial, axes=(2, 3, 4), workers=-1)
+
+    return engine.kernel_fft(root, (tuple(spatial), flip) + layout, build)
+
+
+def _conv3d_forward_fft(
+    xp: np.ndarray, w: np.ndarray, stride, capture: Optional[dict] = None
+) -> np.ndarray:
     """Valid 3-D cross-correlation of a padded input via FFT."""
     from scipy import fft as sfft
 
     spatial = xp.shape[2:]
     kernel = w.shape[2:]
     fx = sfft.rfftn(xp, s=spatial, axes=(2, 3, 4), workers=-1)
-    fw = sfft.rfftn(w[:, :, ::-1, ::-1, ::-1], s=spatial, axes=(2, 3, 4), workers=-1)
-    product = np.einsum("ncdhw,ocdhw->nodhw", fx, fw, optimize=True)
+    if capture is not None:
+        capture["fx"] = fx
+        capture["fx_spatial"] = spatial
+    fw = _kernel_rfftn(w, spatial, flip=True)
+    product = engine.einsum("ncdhw,ocdhw->nodhw", fx, fw)
     full = sfft.irfftn(product, s=spatial, axes=(2, 3, 4), workers=-1)
     # The valid-correlation region of a circular convolution with
     # S = padded-input size starts at kernel−1 (wraparound only pollutes
@@ -122,8 +185,23 @@ def _conv3d_forward_fft(xp: np.ndarray, w: np.ndarray, stride) -> np.ndarray:
     return np.ascontiguousarray(out[:, :, :: stride[0], :: stride[1], :: stride[2]])
 
 
+def _stuff_stride(gout: np.ndarray, stride) -> Tuple[np.ndarray, bool]:
+    """Zero-stuff ``gout`` back onto the stride-1 lattice (no-op at stride 1)."""
+    if stride == (1, 1, 1):
+        return gout, False
+    stuffed_shape = tuple((gout.shape[2 + i] - 1) * stride[i] + 1 for i in range(3))
+    stuffed = engine.arena_zeros(gout.shape[:2] + stuffed_shape, gout.dtype)
+    stuffed[:, :, :: stride[0], :: stride[1], :: stride[2]] = gout
+    return stuffed, True
+
+
 def _conv3d_weight_grad_fft(
-    xp: np.ndarray, gout: np.ndarray, kernel_size, stride
+    xp_spatial: Tuple[int, ...],
+    gout: np.ndarray,
+    kernel_size,
+    stride,
+    xp: Optional[np.ndarray] = None,
+    fx: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Kernel gradient via the cross-correlation theorem.
 
@@ -131,21 +209,21 @@ def _conv3d_weight_grad_fft(
     ``gw[o,c,l] = Σ_{n,t} xp[n,c,t+l] · g[n,o,t]`` for lags ``l < kernel`` —
     no wraparound because the stuffed output's support plus the maximum lag
     stays inside the padded input extent.
+
+    ``fx`` (if given) is the forward pass's ``rfftn`` of the same padded
+    input, reused instead of transforming ``xp`` again.
     """
     from scipy import fft as sfft
 
-    spatial = xp.shape[2:]
-    if stride != (1, 1, 1):
-        stuffed_shape = tuple(
-            (gout.shape[2 + i] - 1) * stride[i] + 1 for i in range(3)
-        )
-        stuffed = np.zeros(gout.shape[:2] + stuffed_shape, dtype=gout.dtype)
-        stuffed[:, :, :: stride[0], :: stride[1], :: stride[2]] = gout
-        gout = stuffed
-    fx = sfft.rfftn(xp, s=spatial, axes=(2, 3, 4), workers=-1)
+    spatial = tuple(xp_spatial)
+    gout, stuffed_borrowed = _stuff_stride(gout, tuple(stride))
+    if fx is None:
+        fx = sfft.rfftn(xp, s=spatial, axes=(2, 3, 4), workers=-1)
     fg = sfft.rfftn(gout, s=spatial, axes=(2, 3, 4), workers=-1)
+    if stuffed_borrowed:
+        engine.arena_release(gout)
     corr = sfft.irfftn(
-        np.einsum("ncdhw,nodhw->ocdhw", fx, np.conj(fg), optimize=True),
+        engine.einsum("ncdhw,nodhw->ocdhw", fx, np.conj(fg)),
         s=spatial,
         axes=(2, 3, 4),
     )
@@ -153,31 +231,130 @@ def _conv3d_weight_grad_fft(
     return np.ascontiguousarray(corr[:, :, :kd, :kh, :kw])
 
 
-def conv3d_forward(x: np.ndarray, w: np.ndarray, stride, pads: _Pads) -> np.ndarray:
+def _im2col(
+    xp: np.ndarray, kernel: Tuple[int, ...], stride, out_spatial
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Materialize the (N·positions, C·kernel) column matrix for BLAS.
+
+    Returns ``(columns, buffer)`` — ``columns`` is a 2-D view of ``buffer``,
+    which the caller must release back to the arena (unless it escapes).
+    """
+    windows = sliding_window_view(xp, kernel, axis=(2, 3, 4))
+    windows = windows[:, :, :: stride[0], :: stride[1], :: stride[2]]
+    batch, channels = xp.shape[0], xp.shape[1]
+    positions = int(np.prod(out_spatial))
+    kernel_volume = int(np.prod(kernel))
+    buffer = engine.arena_empty(
+        (batch,) + tuple(out_spatial) + (channels,) + tuple(kernel), xp.dtype
+    )
+    np.copyto(buffer, windows.transpose(0, 2, 3, 4, 1, 5, 6, 7))
+    return buffer.reshape(batch * positions, channels * kernel_volume), buffer
+
+
+def _conv3d_forward_gemm(
+    xp: np.ndarray, w: np.ndarray, stride, out_spatial, capture: Optional[dict] = None
+) -> np.ndarray:
+    batch, c_out = xp.shape[0], w.shape[0]
+    cols, buffer = _im2col(xp, w.shape[2:], stride, out_spatial)
+    flat = cols @ np.ascontiguousarray(w.reshape(c_out, -1).T)
+    if capture is not None:
+        # The weight gradient contracts the identical column matrix against
+        # the output gradient; hand it over instead of rebuilding it. The
+        # buffer now escapes the call, so it must NOT go back to the arena.
+        capture["cols"] = cols
+    else:
+        engine.arena_release(buffer)
+    out = flat.reshape((batch,) + tuple(out_spatial) + (c_out,))
+    return np.ascontiguousarray(out.transpose(0, 4, 1, 2, 3))
+
+
+def _conv3d_weight_grad_gemm(
+    xp: np.ndarray,
+    gout: np.ndarray,
+    kernel_size,
+    stride,
+    cols: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    c_out = gout.shape[1]
+    c_in = xp.shape[1]
+    buffer = None
+    if cols is None:
+        cols, buffer = _im2col(xp, tuple(kernel_size), stride, gout.shape[2:])
+    gm = gout.transpose(1, 0, 2, 3, 4).reshape(c_out, -1)
+    grad = gm @ cols
+    if buffer is not None:
+        engine.arena_release(buffer)
+    return grad.reshape((c_out, c_in) + tuple(kernel_size))
+
+
+def conv3d_forward(
+    x: np.ndarray, w: np.ndarray, stride, pads: _Pads, _capture: Optional[dict] = None
+) -> np.ndarray:
     """Plain 3-D cross-correlation. x:(N,C,D,H,W), w:(O,C,kd,kh,kw)."""
-    xp = _pad5(x, pads)
     stride = tuple(stride)
     out_spatial = tuple(
-        (xp.shape[2 + i] - w.shape[2 + i]) // stride[i] + 1 for i in range(3)
+        (x.shape[2 + i] + pads[i][0] + pads[i][1] - w.shape[2 + i]) // stride[i] + 1
+        for i in range(3)
     )
-    if _prefer_fft(x.shape[0], x.shape[1], out_spatial, w.shape[2:]):
-        return _conv3d_forward_fft(xp, w, stride)
-    windows = sliding_window_view(xp, w.shape[2:], axis=(2, 3, 4))
-    windows = windows[:, :, :: stride[0], :: stride[1], :: stride[2]]
-    return np.einsum("ncdhwijk,ocijk->nodhw", windows, w, optimize=True)
+    plan = engine.conv_forward_plan(
+        x.shape[0], x.shape[1], out_spatial, w.shape[2:], x.dtype
+    )
+    xp, borrowed = _pad5(x, pads)
+    if plan == engine.PLAN_FFT:
+        out = _conv3d_forward_fft(xp, w, stride, capture=_capture)
+    elif plan == engine.PLAN_GEMM:
+        out = _conv3d_forward_gemm(xp, w, stride, out_spatial, capture=_capture)
+    else:
+        windows = sliding_window_view(xp, w.shape[2:], axis=(2, 3, 4))
+        windows = windows[:, :, :: stride[0], :: stride[1], :: stride[2]]
+        out = engine.einsum("ncdhwijk,ocijk->nodhw", windows, w)
+    if borrowed:
+        engine.arena_release(xp)
+    return out
 
 
 def conv3d_weight_grad(
-    x: np.ndarray, gout: np.ndarray, kernel_size, stride, pads: _Pads
+    x: np.ndarray,
+    gout: np.ndarray,
+    kernel_size,
+    stride,
+    pads: _Pads,
+    _captured: Optional[dict] = None,
 ) -> np.ndarray:
-    """Gradient of conv3d w.r.t. the kernel."""
-    xp = _pad5(x, pads)
+    """Gradient of conv3d w.r.t. the kernel.
+
+    ``_captured`` (optional) carries forward-pass intermediates for the same
+    op — the padded-input FFT (``fx``) or the im2col columns (``cols``) —
+    which this contraction reuses instead of recomputing.
+    """
     stride = tuple(stride)
-    if _prefer_fft(x.shape[0], x.shape[1], gout.shape[2:], kernel_size):
-        return _conv3d_weight_grad_fft(xp, gout, tuple(kernel_size), stride)
-    windows = sliding_window_view(xp, tuple(kernel_size), axis=(2, 3, 4))
-    windows = windows[:, :, :: stride[0], :: stride[1], :: stride[2]]
-    return np.einsum("ncdhwijk,nodhw->ocijk", windows, gout, optimize=True)
+    kernel_size = tuple(kernel_size)
+    plan = engine.conv_weight_grad_plan(
+        x.shape[0], x.shape[1], gout.shape[2:], kernel_size, x.dtype
+    )
+    captured = _captured or {}
+    padded_spatial = tuple(
+        x.shape[2 + i] + pads[i][0] + pads[i][1] for i in range(3)
+    )
+    if plan == engine.PLAN_FFT:
+        fx = captured.get("fx")
+        if fx is not None and captured.get("fx_spatial") == padded_spatial:
+            return _conv3d_weight_grad_fft(
+                padded_spatial, gout, kernel_size, stride, fx=fx
+            )
+        xp, borrowed = _pad5(x, pads)
+        grad = _conv3d_weight_grad_fft(padded_spatial, gout, kernel_size, stride, xp=xp)
+        if borrowed:
+            engine.arena_release(xp)
+        return grad
+    cols = captured.get("cols")
+    if cols is not None:
+        return _conv3d_weight_grad_gemm(x, gout, kernel_size, stride, cols=cols)
+    xp, borrowed = _pad5(x, pads)
+    grad = _conv3d_weight_grad_gemm(xp, gout, kernel_size, stride)
+    if borrowed:
+        engine.arena_release(xp)
+    return grad
 
 
 def conv3d_input_grad(
@@ -188,15 +365,12 @@ def conv3d_input_grad(
     ``x_spatial`` is the (D, H, W) of the *unpadded* input whose gradient is
     required; this also serves as the forward pass of transposed convolution.
     """
-    n = gout.shape[0]
-    c_out, c_in = w.shape[0], w.shape[1]
+    stride = tuple(stride)
     kernel = w.shape[2:]
     out_spatial = gout.shape[2:]
 
     padded = [x_spatial[i] + pads[i][0] + pads[i][1] for i in range(3)]
-    stuffed_shape = [(out_spatial[i] - 1) * stride[i] + 1 for i in range(3)]
-    stuffed = np.zeros((n, c_out, *stuffed_shape), dtype=gout.dtype)
-    stuffed[:, :, :: stride[0], :: stride[1], :: stride[2]] = gout
+    stuffed, stuffed_borrowed = _stuff_stride(gout, stride)
 
     full_pads = []
     for i in range(3):
@@ -207,6 +381,8 @@ def conv3d_input_grad(
 
     flipped = np.flip(w, axis=(2, 3, 4)).transpose(1, 0, 2, 3, 4)  # (C_in, C_out, k)
     grad_padded = conv3d_forward(stuffed, flipped, (1, 1, 1), tuple(full_pads))
+    if stuffed_borrowed:
+        engine.arena_release(stuffed)
     slices = tuple(
         slice(pads[i][0], pads[i][0] + x_spatial[i]) for i in range(3)
     )
@@ -232,8 +408,11 @@ def conv3d(
     b = as_tensor(b) if b is not None else None
     stride3 = normalize_stride(stride, 3)
     pads = normalize_pads(padding, 3)
-    w_eff = w.data * weight_mask if weight_mask is not None else w.data
-    data = conv3d_forward(x.data, w_eff, stride3, pads)
+    w_eff = engine.masked_weight(w.data, weight_mask) if weight_mask is not None else w.data
+    capture: Optional[dict] = (
+        {} if config.grad_enabled() and w.requires_grad else None
+    )
+    data = conv3d_forward(x.data, w_eff, stride3, pads, _capture=capture)
     if b is not None:
         data = data + b.data[None, :, None, None, None]
 
@@ -245,7 +424,9 @@ def conv3d(
         if x.requires_grad:
             gx = conv3d_input_grad(grad, w_eff, x_spatial, stride3, pads)
         if w.requires_grad:
-            gw = conv3d_weight_grad(x.data, grad, kernel, stride3, pads)
+            gw = conv3d_weight_grad(
+                x.data, grad, kernel, stride3, pads, _captured=capture
+            )
             if weight_mask is not None:
                 gw = gw * weight_mask
         if b is not None and b.requires_grad:
@@ -315,19 +496,44 @@ def conv_transpose3d(
 
 
 def conv2d(x, w, b=None, stride=1, padding: PadSpec = 0) -> Tensor:
-    """2-D convolution, implemented on the 3-D path with a unit depth axis."""
-    x, w = as_tensor(x), as_tensor(w)
-    from repro.nn.ops import shape as shape_ops
+    """2-D convolution on the 3-D kernels with a unit depth axis.
 
-    stride2 = normalize_stride(stride, 2)
-    pads2 = normalize_pads(padding, 2)
-    x5 = shape_ops.expand_dims(x, 2)  # (N, C, 1, H, W)
-    w5 = shape_ops.expand_dims(w, 2)  # (O, C, 1, kH, kW)
-    out5 = conv3d(
-        x5,
-        w5,
-        b,
-        stride=(1,) + stride2,
-        padding=((0, 0),) + pads2,
+    A single autograd node: the depth axis is added/removed on the raw
+    arrays rather than through ``expand_dims``/``squeeze`` ops, so each conv
+    layer costs one graph node per step instead of three.
+    """
+    x, w = as_tensor(x), as_tensor(w)
+    b = as_tensor(b) if b is not None else None
+    stride3 = (1,) + normalize_stride(stride, 2)
+    pads3 = ((0, 0),) + normalize_pads(padding, 2)
+    x5 = x.data[:, :, None]  # (N, C, 1, H, W) view
+    w5 = w.data[:, :, None]  # (O, C, 1, kH, kW) view
+    capture: Optional[dict] = (
+        {} if config.grad_enabled() and w.requires_grad else None
     )
-    return shape_ops.squeeze(out5, 2)
+    data5 = conv3d_forward(x5, w5, stride3, pads3, _capture=capture)
+    data = data5[:, :, 0]
+    if b is not None:
+        data = data + b.data[None, :, None, None]
+
+    x_spatial = x5.shape[2:]
+    kernel = w5.shape[2:]
+
+    def backward(grad):
+        grad5 = grad[:, :, None]
+        gx = gw = gb = None
+        if x.requires_grad:
+            gx = conv3d_input_grad(grad5, w5, x_spatial, stride3, pads3)[:, :, 0]
+        if w.requires_grad:
+            gw = conv3d_weight_grad(
+                x5, grad5, kernel, stride3, pads3, _captured=capture
+            )[:, :, 0]
+        if b is not None and b.requires_grad:
+            gb = grad.sum(axis=(0, 2, 3))
+        grads = [gx, gw]
+        if b is not None:
+            grads.append(gb)
+        return tuple(grads)
+
+    parents = (x, w) if b is None else (x, w, b)
+    return make_op(data, parents, backward)

@@ -1,11 +1,24 @@
-"""Gradient-descent optimizers. The paper uses Adam with lr=1e-3."""
+"""Gradient-descent optimizers. The paper uses Adam with lr=1e-3.
+
+Steps are allocation-free on the hot path: moment buffers update in place
+through reusable flat scratch arrays, and ``zero_grad`` just drops gradient
+references (``param.grad = None``) — fresh gradients are allocated lazily by
+the first accumulation of the next backward pass. Every ``step`` bumps the
+engine's weight version so weight-derived caches (kernel FFTs, masked
+weights) can never serve stale data.
+
+The in-place rewrites preserve the exact floating-point operation order of
+the original expressions, so parameter trajectories are bit-identical to the
+allocating implementation.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Dict, Iterable, List
 
 import numpy as np
 
+from repro.nn import engine
 from repro.nn.layers.base import Parameter
 
 
@@ -16,10 +29,25 @@ class Optimizer:
         self.parameters: List[Parameter] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
+        self._scratch: Dict[str, np.ndarray] = {}
 
     def zero_grad(self) -> None:
         for param in self.parameters:
-            param.zero_grad()
+            param.grad = None
+
+    def _scratch_for(self, param: Parameter, slot: str) -> np.ndarray:
+        """A reusable scratch view shaped like ``param`` (one flat buffer per
+        dtype and slot, grown to the largest parameter seen)."""
+        key = f"{slot}:{np.dtype(param.data.dtype).str}"
+        flat = self._scratch.get(key)
+        if flat is None or flat.size < param.data.size:
+            size = max(
+                p.data.size
+                for p in self.parameters
+                if np.dtype(p.data.dtype) == np.dtype(param.data.dtype)
+            )
+            flat = self._scratch[key] = np.empty(size, dtype=param.data.dtype)
+        return flat[: param.data.size].reshape(param.data.shape)
 
     def step(self) -> None:
         raise NotImplementedError
@@ -41,12 +69,18 @@ class SGD(Optimizer):
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                scaled = self._scratch_for(param, "wd")
+                np.multiply(param.data, self.weight_decay, out=scaled)
+                scaled += grad
+                grad = scaled
             if self.momentum:
                 velocity *= self.momentum
                 velocity += grad
                 grad = velocity
-            param.data -= self.lr * grad
+            update = self._scratch_for(param, "update")
+            np.multiply(grad, self.lr, out=update)
+            param.data -= update
+        engine.bump_weight_version()
 
 
 class Adam(Optimizer):
@@ -80,14 +114,30 @@ class Adam(Optimizer):
                 continue
             grad = param.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                scaled = self._scratch_for(param, "wd")
+                np.multiply(param.data, self.weight_decay, out=scaled)
+                scaled += grad
+                grad = scaled
+            tmp = self._scratch_for(param, "tmp")
+            # m = beta1*m + (1-beta1)*grad
+            np.multiply(grad, 1.0 - self.beta1, out=tmp)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += tmp
+            # v = beta2*v + (1-beta2)*grad^2
+            np.multiply(grad, grad, out=tmp)
+            tmp *= 1.0 - self.beta2
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.epsilon)
+            v += tmp
+            # param -= lr * (m/bias1) / (sqrt(v/bias2) + eps)
+            denom = self._scratch_for(param, "denom")
+            np.divide(v, bias2, out=denom)
+            np.sqrt(denom, out=denom)
+            denom += self.epsilon
+            np.divide(m, bias1, out=tmp)
+            tmp *= self.lr
+            tmp /= denom
+            param.data -= tmp
+        engine.bump_weight_version()
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

@@ -90,8 +90,18 @@ class Tensor:
         else:
             self.grad += grad
 
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
-        """Backpropagate from this tensor through the recorded graph."""
+    def backward(
+        self,
+        grad: Optional[np.ndarray] = None,
+        sink: Optional[dict] = None,
+    ) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        With ``sink`` given, leaf gradients are accumulated into
+        ``sink[id(leaf)]`` instead of the leaves' ``.grad`` — this keeps
+        concurrent backward passes over shared parameters race-free (each
+        worker owns a private sink, merged deterministically afterwards).
+        """
         if not self.requires_grad:
             raise RuntimeError("backward() called on a tensor that does not require grad")
         if grad is None:
@@ -109,7 +119,16 @@ class Tensor:
             if node_grad is None:
                 continue
             if node._backward is None:
-                node.accumulate_grad(node_grad)
+                if sink is None:
+                    node.accumulate_grad(node_grad)
+                else:
+                    key = id(node)
+                    if key in sink:
+                        sink[key] = sink[key] + node_grad
+                    else:
+                        sink[key] = np.array(
+                            node_grad, dtype=node.data.dtype, copy=True
+                        )
                 continue
             parent_grads = node._backward(node_grad)
             for parent, pgrad in zip(node._parents, parent_grads):

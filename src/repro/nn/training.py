@@ -20,12 +20,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn import config
+from repro.nn import config, engine
 from repro.nn.layers.base import Module
 from repro.nn.losses import get_loss
 from repro.nn.optim import Adam, Optimizer, clip_grad_norm
 from repro.nn.tensor import Tensor
-from repro.obs import runlog
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog, tracing
 from repro.obs.observers import ConsoleObserver, TrainingObserver
 
 
@@ -115,6 +116,9 @@ class Trainer:
             "seed": self.seed,
             "train_samples": train_count,
             "val_samples": val_count,
+            "dtype": np.dtype(config.dtype()).name,
+            "engine_mode": config.engine_mode(),
+            "num_threads": config.num_threads(),
         }
 
     def fit(
@@ -206,15 +210,95 @@ class Trainer:
         return history
 
     def train_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
-        """One optimizer update; returns the batch loss."""
+        """One optimizer update; returns the batch loss.
+
+        With ``REPRO_NUM_THREADS > 1`` the mini-batch is sharded across the
+        engine's worker pool (numpy/scipy release the GIL); at the default
+        of 1 this is the plain serial loop, byte-for-byte.
+        """
+        workers = config.num_threads()
+        if workers <= 1 or len(batch_x) < 2:
+            self.optimizer.zero_grad()
+            prediction = self.model(Tensor(batch_x))
+            loss = self.loss_fn(prediction, Tensor(batch_y))
+            loss.backward()
+            if self.max_grad_norm is not None:
+                clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
+            self.optimizer.step()
+            return float(loss.data)
         self.optimizer.zero_grad()
-        prediction = self.model(Tensor(batch_x))
-        loss = self.loss_fn(prediction, Tensor(batch_y))
-        loss.backward()
+        loss_value = self._sharded_loss_and_grads(
+            batch_x, batch_y, shards=workers, use_pool=True
+        )
         if self.max_grad_norm is not None:
             clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
         self.optimizer.step()
-        return float(loss.data)
+        return loss_value
+
+    @staticmethod
+    def _shard_slices(count: int, shards: int) -> List[slice]:
+        """Contiguous, balanced shard slices (np.array_split layout)."""
+        shards = min(shards, count)
+        base, extra = divmod(count, shards)
+        slices = []
+        start = 0
+        for index in range(shards):
+            size = base + (1 if index < extra else 0)
+            slices.append(slice(start, start + size))
+            start += size
+        return slices
+
+    def _sharded_loss_and_grads(
+        self,
+        batch_x: np.ndarray,
+        batch_y: np.ndarray,
+        shards: int,
+        use_pool: bool,
+    ) -> float:
+        """Forward/backward over shards; accumulate gradients into params.
+
+        Each shard backpropagates into a private gradient sink, and the sinks
+        are merged in shard-index order with sample-count weights — so the
+        result is a pure function of the shard decomposition, independent of
+        worker scheduling. ``use_pool=False`` runs the identical shards
+        serially (the determinism reference).
+
+        The combined loss is the sample-weighted mean of the per-shard mean
+        losses, which equals the full-batch mean loss up to summation order.
+        """
+        count = len(batch_x)
+        slices = self._shard_slices(count, shards)
+
+        def run_shard(shard: slice):
+            with tracing.span("train.shard"):
+                prediction = self.model(Tensor(batch_x[shard]))
+                loss = self.loss_fn(prediction, Tensor(batch_y[shard]))
+                sink: Dict = {}
+                loss.backward(sink=sink)
+                return float(loss.data), sink
+
+        if use_pool:
+            executor = engine.get_executor(len(slices))
+            results = list(executor.map(run_shard, slices))
+            obs_metrics.counter("train_sharded_steps_total").inc()
+        else:
+            results = [run_shard(shard) for shard in slices]
+
+        loss_value = 0.0
+        weights = [(s.stop - s.start) / count for s in slices]
+        for weight, (shard_loss, _) in zip(weights, results):
+            loss_value += weight * shard_loss
+        for param in self.optimizer.parameters:
+            total = None
+            for weight, (_, sink) in zip(weights, results):
+                grad = sink.get(id(param))
+                if grad is None:
+                    continue
+                contribution = grad * weight
+                total = contribution if total is None else total + contribution
+            if total is not None:
+                param.grad = total if param.grad is None else param.grad + total
+        return loss_value
 
     def evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> float:
         """Mean loss over a dataset without building autograd graphs."""

@@ -1,13 +1,14 @@
-"""FFT vs im2col convolution path equivalence.
+"""Conv execution-path equivalence: einsum vs GEMM vs FFT.
 
-Large kernels take a frequency-domain route; these tests pin both paths to
-the same answers for forward, weight-grad and input-grad, across strides
-and asymmetric (causal) paddings.
+The engine dispatches each conv signature to one of three exact strategies;
+these tests pin all of them to the same answers for forward, weight-grad and
+input-grad, across strides and asymmetric (causal) paddings.
 """
 
 import numpy as np
 import pytest
 
+from repro.nn import config, engine
 from repro.nn.ops import conv as conv_module
 from repro.nn.ops.conv import (
     conv3d_forward,
@@ -16,57 +17,76 @@ from repro.nn.ops.conv import (
 )
 
 CASES = [
-    # (x shape, w shape, stride, pads) — all with FFT-sized kernels
+    # (x shape, w shape, stride, pads)
     ((2, 3, 6, 9, 9), (4, 3, 4, 7, 7), (1, 1, 1), ((3, 0), (3, 3), (3, 3))),
     ((2, 2, 8, 10, 10), (3, 2, 3, 5, 5), (2, 1, 2), ((1, 1), (2, 2), (2, 2))),
     ((1, 1, 5, 9, 9), (1, 1, 5, 9, 9), (1, 1, 1), ((4, 0), (4, 4), (4, 4))),
     ((2, 1, 16, 6, 6), (6, 1, 4, 3, 3), (4, 1, 1), ((0, 0), (1, 1), (1, 1))),
+    # Flat (depth-1) kernel — the only shape class eligible for the GEMM
+    # *forward* plan; deep-kernel cases above exercise GEMM via weight-grad.
+    ((2, 3, 6, 9, 9), (4, 3, 1, 3, 3), (1, 1, 2), ((0, 0), (1, 1), (1, 1))),
 ]
+
+HUGE = 10**18
+
+# Threshold settings (fft_kernel_volume, fft_im2col, gemm_min) forcing each plan.
+FORCE = {
+    "einsum": (HUGE, HUGE, HUGE),
+    "gemm": (HUGE, HUGE, 1),
+    "fft": (1, 1, HUGE),
+}
 
 
 @pytest.fixture()
-def force_paths(monkeypatch):
-    """Yield a helper that runs a callable under each conv path."""
+def force_paths():
+    """Yield a helper that runs a callable under every conv execution plan."""
+    saved = (
+        config.conv_fft_min_kernel_volume(),
+        config.conv_fft_min_im2col_elements(),
+        config.conv_gemm_min_elements(),
+    )
 
     def runner(fn):
-        monkeypatch.setattr(conv_module, "FFT_MIN_KERNEL_VOLUME", 10**9)
-        monkeypatch.setattr(conv_module, "FFT_MIN_IM2COL_ELEMENTS", 10**18)
-        reference = fn()
-        monkeypatch.setattr(conv_module, "FFT_MIN_KERNEL_VOLUME", 1)
-        monkeypatch.setattr(conv_module, "FFT_MIN_IM2COL_ELEMENTS", 1)
-        fft = fn()
-        return reference, fft
+        results = {}
+        for plan, thresholds in FORCE.items():
+            config.set_conv_dispatch_thresholds(*thresholds)
+            results[plan] = fn()
+        return results
 
-    return runner
+    yield runner
+    config.set_conv_dispatch_thresholds(*saved)
 
 
 @pytest.mark.parametrize("x_shape, w_shape, stride, pads", CASES)
-class TestFFTEquivalence:
+class TestPathEquivalence:
     def test_forward(self, x_shape, w_shape, stride, pads, force_paths, rng):
         x = rng.standard_normal(x_shape)
         w = rng.standard_normal(w_shape)
-        reference, fft = force_paths(lambda: conv3d_forward(x, w, stride, pads))
-        assert np.allclose(reference, fft, atol=1e-10)
+        results = force_paths(lambda: conv3d_forward(x, w, stride, pads))
+        assert np.allclose(results["einsum"], results["fft"], atol=1e-10)
+        assert np.allclose(results["einsum"], results["gemm"], atol=1e-10)
 
     def test_weight_grad(self, x_shape, w_shape, stride, pads, force_paths, rng):
         x = rng.standard_normal(x_shape)
         w = rng.standard_normal(w_shape)
         out = conv3d_forward(x, w, stride, pads)
         gout = rng.standard_normal(out.shape)
-        reference, fft = force_paths(
+        results = force_paths(
             lambda: conv3d_weight_grad(x, gout, w_shape[2:], stride, pads)
         )
-        assert np.allclose(reference, fft, atol=1e-10)
+        assert np.allclose(results["einsum"], results["fft"], atol=1e-10)
+        assert np.allclose(results["einsum"], results["gemm"], atol=1e-10)
 
     def test_input_grad(self, x_shape, w_shape, stride, pads, force_paths, rng):
         x = rng.standard_normal(x_shape)
         w = rng.standard_normal(w_shape)
         out = conv3d_forward(x, w, stride, pads)
         gout = rng.standard_normal(out.shape)
-        reference, fft = force_paths(
+        results = force_paths(
             lambda: conv3d_input_grad(gout, w, x_shape[2:], stride, pads)
         )
-        assert np.allclose(reference, fft, atol=1e-10)
+        assert np.allclose(results["einsum"], results["fft"], atol=1e-10)
+        assert np.allclose(results["einsum"], results["gemm"], atol=1e-10)
 
 
 class TestPathSelection:
@@ -79,3 +99,23 @@ class TestPathSelection:
     def test_large_im2col_copies_prefer_fft(self):
         # Small kernel but huge batchxchannel volume (the routing conv case).
         assert conv_module._prefer_fft(32, 32, (256, 10, 10), (4, 3, 3))
+
+    def test_plans_follow_config_thresholds(self):
+        saved = (
+            config.conv_fft_min_kernel_volume(),
+            config.conv_fft_min_im2col_elements(),
+            config.conv_gemm_min_elements(),
+        )
+        try:
+            config.set_conv_dispatch_thresholds(*FORCE["gemm"])
+            assert (
+                engine.conv_forward_plan(2, 3, (4, 4, 4), (1, 3, 3), np.float64)
+                == engine.PLAN_GEMM
+            )
+            config.set_conv_dispatch_thresholds(*FORCE["fft"])
+            assert (
+                engine.conv_forward_plan(2, 3, (4, 4, 4), (2, 3, 3), np.float64)
+                == engine.PLAN_FFT
+            )
+        finally:
+            config.set_conv_dispatch_thresholds(*saved)

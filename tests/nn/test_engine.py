@@ -1,0 +1,259 @@
+"""Execution-engine behaviour: plan cache, weight caches, arena, dtype
+parity and deterministic threaded sharding."""
+
+import numpy as np
+import pytest
+
+from repro.core import BikeCAP, BikeCAPConfig
+from repro.nn import Tensor, Trainer, config, engine, ops
+from repro.nn.layers.base import Parameter
+from repro.nn.optim import SGD
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    engine.clear_caches()
+    engine.arena_clear()
+    yield
+    engine.clear_caches()
+    engine.arena_clear()
+
+
+def _counter_value(snapshot, name):
+    return sum(
+        value for key, value in snapshot["counters"].items() if key.startswith(name)
+    )
+
+
+class TestPlanCache:
+    def test_hit_after_same_shape_miss_after_shape_change(self):
+        before = _counter_value(obs_metrics.snapshot(), "engine_plan_cache_hits_total")
+        plan_a = engine.conv_forward_plan(2, 3, (4, 4, 4), (2, 3, 3), np.float64)
+        plan_b = engine.conv_forward_plan(2, 3, (4, 4, 4), (2, 3, 3), np.float64)
+        assert plan_a == plan_b
+        hits = _counter_value(obs_metrics.snapshot(), "engine_plan_cache_hits_total")
+        assert hits == before + 1
+        # A different signature must be decided afresh, not served from cache.
+        engine.conv_forward_plan(2, 3, (5, 4, 4), (2, 3, 3), np.float64)
+        assert (
+            _counter_value(obs_metrics.snapshot(), "engine_plan_cache_hits_total")
+            == hits
+        )
+
+    def test_dtype_is_part_of_the_signature(self):
+        config.set_conv_dispatch_thresholds(10**9, 10**18, 1)
+        try:
+            # Flat (depth-1) kernel: GEMM forward is only worth it in float64.
+            assert (
+                engine.conv_forward_plan(2, 3, (4, 4, 4), (1, 3, 3), np.float64)
+                == engine.PLAN_GEMM
+            )
+            # float32 never takes the GEMM forward (einsum wins below FFT).
+            assert (
+                engine.conv_forward_plan(2, 3, (4, 4, 4), (1, 3, 3), np.float32)
+                == engine.PLAN_EINSUM
+            )
+            # Deep kernels stay on einsum even in float64: the im2col copy
+            # never pays for itself there (see docs/PERFORMANCE.md).
+            assert (
+                engine.conv_forward_plan(2, 3, (4, 4, 4), (2, 3, 3), np.float64)
+                == engine.PLAN_EINSUM
+            )
+        finally:
+            config.set_conv_dispatch_thresholds(48, 4_000_000, 1_500_000)
+
+    def test_einsum_matches_numpy_and_caches_path(self, rng):
+        a = rng.standard_normal((3, 4, 5))
+        b = rng.standard_normal((3, 5, 6))
+        expected = np.einsum("bij,bjk->bik", a, b)
+        assert np.allclose(engine.einsum("bij,bjk->bik", a, b), expected)
+        before = _counter_value(obs_metrics.snapshot(), "engine_plan_cache_hits_total")
+        assert np.allclose(engine.einsum("bij,bjk->bik", a, b), expected)
+        assert (
+            _counter_value(obs_metrics.snapshot(), "engine_plan_cache_hits_total")
+            == before + 1
+        )
+
+
+class TestWeightCaches:
+    def test_no_stale_kernel_fft_after_optimizer_step(self, rng):
+        # Kernel volume 64 >= the FFT threshold: this conv runs (and caches)
+        # the frequency-domain kernel on every call.
+        w = Parameter(rng.standard_normal((2, 3, 4, 4, 4)))
+        x = Tensor(rng.standard_normal((1, 3, 6, 8, 8)))
+        out_before = ops.conv3d(x, w).data.copy()
+        optimizer = SGD([w], lr=0.5)
+        w.grad = np.ones_like(w.data)
+        optimizer.step()
+        out_after = ops.conv3d(x, w).data
+        with engine.no_cache():
+            expected = ops.conv3d(x, w).data
+        assert np.allclose(out_after, expected, atol=1e-10)
+        assert not np.allclose(out_before, out_after)
+
+    def test_no_stale_masked_weight_after_optimizer_step(self, rng):
+        w = Parameter(rng.standard_normal((2, 2, 2, 3, 3)))
+        mask = (rng.random(w.shape) > 0.5).astype(w.data.dtype)
+        x = Tensor(rng.standard_normal((1, 2, 4, 6, 6)))
+        ops.conv3d(x, w, weight_mask=mask)  # populate the cache
+        optimizer = SGD([w], lr=0.5)
+        w.grad = np.ones_like(w.data)
+        optimizer.step()
+        out_after = ops.conv3d(x, w, weight_mask=mask).data
+        with engine.no_cache():
+            expected = ops.conv3d(x, w, weight_mask=mask).data
+        assert np.allclose(out_after, expected, atol=1e-12)
+
+    def test_load_state_dict_invalidates_caches(self, rng):
+        from repro.nn import Conv3D
+
+        layer = Conv3D(2, 2, kernel_size=4)  # volume 64: FFT path
+        x = Tensor(rng.standard_normal((1, 2, 6, 8, 8)))
+        layer(x)
+        state = {
+            name: rng.standard_normal(param.shape)
+            for name, param in layer.named_parameters()
+        }
+        layer.load_state_dict(state)
+        out = layer(x).data
+        with engine.no_cache():
+            expected = layer(x).data
+        assert np.allclose(out, expected, atol=1e-10)
+
+    def test_no_cache_bypasses_for_inplace_perturbation(self, rng):
+        w = Parameter(rng.standard_normal((2, 3, 4, 4, 4)))
+        x = Tensor(rng.standard_normal((1, 3, 6, 8, 8)))
+        ops.conv3d(x, w)  # populate the cache
+        with engine.no_cache():
+            w.data[0, 0, 0, 0, 0] += 1.0
+            perturbed = ops.conv3d(x, w).data
+            w.data[0, 0, 0, 0, 0] -= 1.0
+            restored = ops.conv3d(x, w).data
+        assert not np.allclose(perturbed, restored)
+
+
+class TestArena:
+    def test_zeros_buffer_is_reused_and_rezeroed(self):
+        buffer = engine.arena_zeros((4, 5), np.float64)
+        buffer[:] = 7.0
+        engine.arena_release(buffer)
+        again = engine.arena_zeros((4, 5), np.float64)
+        assert again is buffer
+        assert np.all(again == 0.0)
+
+    def test_shape_and_dtype_key_the_pool(self):
+        buffer = engine.arena_empty((4, 5), np.float64)
+        engine.arena_release(buffer)
+        other = engine.arena_empty((5, 4), np.float64)
+        assert other is not buffer
+        other32 = engine.arena_empty((4, 5), np.float32)
+        assert other32 is not buffer
+
+    def test_disabled_arena_never_pools(self):
+        config.set_arena_enabled(False)
+        try:
+            buffer = engine.arena_zeros((3, 3), np.float64)
+            engine.arena_release(buffer)
+            again = engine.arena_zeros((3, 3), np.float64)
+            assert again is not buffer
+        finally:
+            config.set_arena_enabled(True)
+
+
+class TestEinsumOp:
+    def test_gradcheck(self, rng):
+        from repro.nn import check_gradients
+
+        a = Tensor(rng.standard_normal((2, 3, 4)), requires_grad=True)
+        b = Tensor(rng.standard_normal((2, 4, 5)), requires_grad=True)
+        check_gradients(lambda a, b: ops.einsum("bij,bjk->bik", a, b), [a, b])
+
+    def test_rejects_unrecoverable_subscripts(self):
+        a = Tensor(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            ops.einsum("ij,jk", a, a)  # implicit output
+        with pytest.raises(ValueError):
+            ops.einsum("ii,ij->j", a, a)  # repeated label in one operand
+
+
+def _tiny_trainer(seed=0):
+    cfg = BikeCAPConfig(
+        grid=(6, 6),
+        history=4,
+        horizon=2,
+        features=2,
+        pyramid_size=2,
+        capsule_dim=2,
+        future_capsule_dim=2,
+        decoder_hidden=4,
+        seed=seed,
+    )
+    model = BikeCAP(cfg)
+    trainer = Trainer(model, loss="l1", batch_size=4, seed=seed)
+    rng = np.random.default_rng(seed)
+    dtype = config.dtype()
+    x = rng.random((8, 4, 6, 6, 2)).astype(dtype)
+    y = rng.random((8, 2, 6, 6)).astype(dtype)
+    return trainer, x, y
+
+
+class TestDtypeParity:
+    def test_float32_matches_float64_training(self):
+        curves = {}
+        for dtype in (np.float64, np.float32):
+            with config.use_dtype(dtype):
+                engine.clear_caches()
+                trainer, x, y = _tiny_trainer(seed=3)
+                history = trainer.fit(x, y, epochs=3)
+                curves[dtype] = np.asarray(history.train_loss)
+        assert curves[np.float32].dtype is not None
+        assert np.allclose(curves[np.float32], curves[np.float64], rtol=2e-2, atol=1e-3)
+        assert int(np.argmin(curves[np.float32])) == int(np.argmin(curves[np.float64]))
+
+
+class TestShardedTraining:
+    def test_pool_matches_serial_bit_for_bit(self):
+        trainer_a, x, y = _tiny_trainer(seed=5)
+        trainer_b, _, _ = _tiny_trainer(seed=5)
+        loss_a = trainer_a._sharded_loss_and_grads(x, y, shards=3, use_pool=True)
+        loss_b = trainer_b._sharded_loss_and_grads(x, y, shards=3, use_pool=False)
+        assert loss_a == loss_b
+        params_a = trainer_a.optimizer.parameters
+        params_b = trainer_b.optimizer.parameters
+        assert len(params_a) == len(params_b)
+        for param_a, param_b in zip(params_a, params_b):
+            if param_a.grad is None:
+                assert param_b.grad is None
+                continue
+            assert np.array_equal(param_a.grad, param_b.grad)
+
+    def test_sharded_loss_close_to_full_batch(self):
+        trainer_a, x, y = _tiny_trainer(seed=7)
+        trainer_b, _, _ = _tiny_trainer(seed=7)
+        loss_sharded = trainer_a._sharded_loss_and_grads(x, y, shards=2, use_pool=True)
+        prediction = trainer_b.model(Tensor(x))
+        loss_full = trainer_b.loss_fn(prediction, Tensor(y))
+        loss_full.backward()
+        assert np.isclose(loss_sharded, float(loss_full.data), rtol=1e-10)
+        for param_a, param_b in zip(
+            trainer_a.optimizer.parameters, trainer_b.optimizer.parameters
+        ):
+            if param_a.grad is None:
+                continue
+            assert np.allclose(param_a.grad, param_b.grad, rtol=1e-8, atol=1e-10)
+
+    def test_num_threads_controls_train_step_path(self):
+        previous = config.num_threads()
+        try:
+            config.set_num_threads(2)
+            trainer_threaded, x, y = _tiny_trainer(seed=9)
+            loss_threaded = trainer_threaded.train_step(x, y)
+            config.set_num_threads(1)
+            trainer_serial, _, _ = _tiny_trainer(seed=9)
+            loss_serial = trainer_serial.train_step(x, y)
+            # Same step, same data: the shard decomposition only reorders
+            # float summation.
+            assert np.isclose(loss_threaded, loss_serial, rtol=1e-9)
+        finally:
+            config.set_num_threads(previous)

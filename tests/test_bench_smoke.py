@@ -1,0 +1,46 @@
+"""Smoke-run the substrate/train bench modules with timing disabled.
+
+The benches live outside ``testpaths`` and only run on demand, so nothing
+would catch an import error or a broken kernel call until someone next
+benchmarks. This runs each module once with ``--benchmark-disable`` (every
+benched callable executes exactly once, untimed) in a subprocess, with
+``REPRO_BENCH_DIR`` pointed at a tmpdir so no snapshot files land in the
+repo.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.mark.parametrize(
+    "module", ["benchmarks/bench_substrate.py", "benchmarks/bench_train.py"]
+)
+def test_bench_module_smoke(module, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable",
+            module,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"{module} smoke run failed:\n{result.stdout}\n{result.stderr}"
+    )
