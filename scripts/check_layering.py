@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Import-direction lint for the layered architecture.
+
+The stack (see docs/ARCHITECTURE.md) is, bottom to top::
+
+    obs / pipeline-leaves  →  nn / city / graph / boosting / data / metrics
+                           →  core / baselines  →  pipeline  →  experiments
+
+Rules enforced (each import must point *down* the stack):
+
+1. ``repro.pipeline.seeding`` and ``repro.pipeline.forecast`` are
+   dependency-free leaves: they import no other ``repro`` module. They are
+   the one sanctioned exception that lets every layer share the central
+   RNG policy and forecast protocol without an import cycle.
+2. The substrate layers (``nn``, ``obs``, ``city``, ``graph``,
+   ``boosting``, ``data``, ``metrics``) must not import ``core``,
+   ``baselines``, ``experiments`` or any non-leaf ``pipeline`` module.
+3. The model layers (``core``, ``baselines``) must not import
+   ``experiments`` or non-leaf ``pipeline`` modules.
+4. ``pipeline`` must not import ``experiments``.
+5. ``experiments`` must not import ``baselines`` or ``core``: every model
+   is constructed through the pipeline registry + RunSpec.
+
+Exit status 0 when clean; 1 with one line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SOURCE_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+PIPELINE_LEAVES = {"repro.pipeline.seeding", "repro.pipeline.forecast"}
+SUBSTRATE = {"nn", "obs", "city", "graph", "boosting", "data", "metrics"}
+MODEL_LAYERS = {"core", "baselines"}
+
+
+def _module_name(path: str, base: str) -> str:
+    relative = os.path.relpath(path, base)
+    name = relative[: -len(".py")].replace(os.sep, ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+def _imported_modules(path: str):
+    """Absolute ``repro.*`` module names a file imports.
+
+    ``from repro.pipeline import seeding`` resolves to
+    ``repro.pipeline.seeding`` (plus the package itself) so leaf imports
+    can be told apart from registry/runner imports.
+    """
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    imported.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports are not used in this repo
+                continue
+            if node.module and node.module.startswith("repro"):
+                if node.module == "repro.pipeline":
+                    # Resolve the imported names so leaf submodules
+                    # (seeding/forecast) can be told apart from the
+                    # top-of-stack ones (registry/spec/runner/...).
+                    for alias in node.names:
+                        imported.add(f"{node.module}.{alias.name}")
+                else:
+                    imported.add(node.module)
+    return imported
+
+
+def _subpackage(module: str) -> str:
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _is_nonleaf_pipeline(module: str) -> bool:
+    if _subpackage(module) != "pipeline":
+        return False
+    if module in PIPELINE_LEAVES:
+        return False
+    # "repro.pipeline" itself only eagerly loads the leaves (PEP 562 lazy
+    # init), so importing the package from a low layer is leaf-equivalent.
+    # Anything deeper (registry, spec, runner, checkpoint) is top-of-stack.
+    return module != "repro.pipeline"
+
+
+def check(source_root: str = SOURCE_ROOT):
+    base = os.path.dirname(source_root)  # the directory holding `repro/`
+    violations = []
+    for directory, _subdirs, files in os.walk(source_root):
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(directory, filename)
+            module = _module_name(path, base)
+            layer = _subpackage(module)
+            imported = _imported_modules(path)
+            location = os.path.relpath(path, base)
+
+            def forbid(condition, target, rule):
+                if condition:
+                    violations.append(f"{location}: imports {target} ({rule})")
+
+            for target in sorted(imported):
+                target_layer = _subpackage(target)
+                if module in PIPELINE_LEAVES:
+                    forbid(
+                        target not in PIPELINE_LEAVES and target != "repro.pipeline",
+                        target,
+                        "pipeline leaves must be dependency-free",
+                    )
+                elif layer in SUBSTRATE:
+                    forbid(
+                        target_layer in MODEL_LAYERS | {"experiments"},
+                        target,
+                        f"substrate layer '{layer}' must not import model/experiment layers",
+                    )
+                    forbid(
+                        _is_nonleaf_pipeline(target),
+                        target,
+                        f"substrate layer '{layer}' may only use pipeline leaves",
+                    )
+                elif layer in MODEL_LAYERS:
+                    forbid(
+                        target_layer == "experiments",
+                        target,
+                        f"model layer '{layer}' must not import experiments",
+                    )
+                    forbid(
+                        _is_nonleaf_pipeline(target),
+                        target,
+                        f"model layer '{layer}' may only use pipeline leaves",
+                    )
+                elif layer == "pipeline":
+                    forbid(
+                        target_layer == "experiments",
+                        target,
+                        "pipeline must not import experiments",
+                    )
+                elif layer == "experiments":
+                    forbid(
+                        target_layer in MODEL_LAYERS,
+                        target,
+                        "experiments construct models via the pipeline registry only",
+                    )
+    return violations
+
+
+def main() -> int:
+    violations = check()
+    if violations:
+        print(f"{len(violations)} layering violation(s):")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    print("layering OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

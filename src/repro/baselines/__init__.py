@@ -9,6 +9,7 @@ from typing import Dict
 from repro.baselines.base import (
     Forecaster,
     RecursiveFrameForecaster,
+    SupervisedForecaster,
     clip_normalized,
     training_targets_next_frame,
 )
@@ -77,6 +78,7 @@ __all__ = [
     "STGCNForecaster",
     "STGCNModel",
     "SeasonalAverageForecaster",
+    "SupervisedForecaster",
     "STSGCNForecaster",
     "STSGCNModel",
     "XGBoostForecaster",

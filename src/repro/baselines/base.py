@@ -10,18 +10,34 @@ The paper's protocol (Sec. IV-B) distinguishes two families:
   their own predictions back as inputs — the source of accumulated error;
 - *direct* models (STGCN, STSGCN, BikeCAP) emit all ``p`` steps at once.
 
-``RecursiveFrameForecaster`` implements the roll-forward loop for any model
-that predicts the full next feature frame.
+The roll-forward loop itself lives in :mod:`repro.pipeline.forecast` (one
+implementation for every model and for the teacher-forcing diagnostics);
+``RecursiveFrameForecaster`` binds it to a next-frame predictor.
+
+:class:`SupervisedForecaster` is the shared trainer-backed skeleton: every
+neural model plugs in a Module and a ``training_arrays`` hook and inherits
+``fit`` — including full-state checkpoint/resume — and the batched no-grad
+forward pass, instead of hand-rolling its own loop.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.data.datasets import BikeDemandDataset
+from repro.nn import Trainer
+from repro.nn import config as nn_config
+from repro.nn.layers.base import Module
+from repro.nn.tensor import Tensor
+from repro.pipeline import forecast
+
+# Canonical implementation lives in the pipeline's protocol module; kept
+# here as a re-export because every baseline historically imports it from
+# ``repro.baselines.base``.
+clip_normalized = forecast.clip_normalized
 
 
 class Forecaster(abc.ABC):
@@ -36,8 +52,20 @@ class Forecaster(abc.ABC):
         self.num_features = num_features
 
     @abc.abstractmethod
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
-        """Train on the dataset's train split; returns a history dict."""
+    def fit(
+        self,
+        dataset: BikeDemandDataset,
+        epochs: int = 10,
+        verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> Dict:
+        """Train on the dataset's train split; returns a history dict.
+
+        ``checkpoint_path``/``resume_from`` enable full-state autosave and
+        bit-exact resume for trainer-backed models; models without an
+        iterative training loop accept and ignore them.
+        """
 
     @abc.abstractmethod
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -51,14 +79,88 @@ class Forecaster(abc.ABC):
         return x
 
 
+class SupervisedForecaster(Forecaster):
+    """Forecaster backed by an autograd ``Module`` and the shared Trainer.
+
+    Subclasses pass their model up and implement :meth:`training_arrays`;
+    ``fit`` (checkpointable), and the batched no-grad forward are defined
+    once here so every neural baseline trains through the identical loop.
+    """
+
+    def __init__(
+        self,
+        history: int,
+        horizon: int,
+        grid_shape,
+        num_features: int,
+        model: Module,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+        loss: str = "l1",
+        optimizer: str = "adam",
+        seed: int = 0,
+    ):
+        super().__init__(history, horizon, grid_shape, num_features)
+        self.model = model
+        self.batch_size = batch_size
+        self.seed = seed
+        self.trainer = Trainer(
+            model, loss=loss, optimizer=optimizer, lr=lr, batch_size=batch_size, seed=seed
+        )
+
+    @abc.abstractmethod
+    def training_arrays(
+        self, dataset: BikeDemandDataset
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
+        """``(train_x, train_y, val_x, val_y)`` arrays for ``Trainer.fit``."""
+
+    def fit(
+        self,
+        dataset: BikeDemandDataset,
+        epochs: int = 10,
+        verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> Dict:
+        train_x, train_y, val_x, val_y = self.training_arrays(dataset)
+        history = self.trainer.fit(
+            train_x,
+            train_y,
+            epochs=epochs,
+            val_x=val_x,
+            val_y=val_y,
+            verbose=verbose,
+            checkpoint_path=checkpoint_path,
+            resume_from=resume_from,
+        )
+        return history.as_dict()
+
+    def batched_forward(self, inputs: np.ndarray, postprocess=None) -> np.ndarray:
+        """No-grad batched model outputs, concatenated along the batch axis.
+
+        ``postprocess`` maps each batch's raw output before concatenation
+        (e.g. slicing the final frame of a sequence prediction).
+        """
+        was_training = self.model.training
+        self.model.eval()
+        outputs = []
+        with nn_config.no_grad():
+            for start in range(0, len(inputs), self.batch_size):
+                out = self.model(Tensor(inputs[start : start + self.batch_size])).data
+                outputs.append(postprocess(out) if postprocess is not None else out)
+        self.model.train(was_training)
+        return np.concatenate(outputs, axis=0)
+
+
 class RecursiveFrameForecaster(Forecaster):
     """Autoregressive multi-step protocol over single-step frame predictors.
 
     Subclasses implement :meth:`predict_next_frame`, which maps a history
     window to the *entire* next feature frame ``(N, G1, G2, F)``. Multi-step
-    prediction slides the window: drop the oldest slot, append the predicted
-    frame, repeat — exactly the recursion the paper describes for its
-    baselines, and exactly where their errors accumulate.
+    prediction rolls it forward through
+    :func:`repro.pipeline.forecast.recursive_forecast` — exactly the
+    recursion the paper describes for its baselines, and exactly where
+    their errors accumulate.
     """
 
     @abc.abstractmethod
@@ -67,13 +169,9 @@ class RecursiveFrameForecaster(Forecaster):
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         x = self._check_input(x)
-        window = x.copy()
-        steps = []
-        for _step in range(self.horizon):
-            frame = self.predict_next_frame(window)
-            steps.append(frame[..., self.target_feature])
-            window = np.concatenate([window[:, 1:], frame[:, None]], axis=1)
-        return np.stack(steps, axis=1)
+        return forecast.recursive_forecast(
+            self.predict_next_frame, x, self.horizon, target_feature=self.target_feature
+        )
 
     @property
     def target_feature(self) -> int:
@@ -90,8 +188,3 @@ def training_targets_next_frame(dataset: BikeDemandDataset) -> np.ndarray:
     """
     x = dataset.split.train_x
     return x[1:, -1]
-
-
-def clip_normalized(frame: np.ndarray) -> np.ndarray:
-    """Clamp rolled-forward predictions to the normalized demand range."""
-    return np.clip(frame, 0.0, 1.5)

@@ -7,18 +7,17 @@ and no accumulated error — is involved.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
-from repro.baselines.base import Forecaster
+from repro.baselines.base import SupervisedForecaster
 from repro.core.model import BikeCAP, BikeCAPConfig
 from repro.core.variants import make_variant
 from repro.data.datasets import BikeDemandDataset
-from repro.nn import Trainer
 
 
-class BikeCAPForecaster(Forecaster):
+class BikeCAPForecaster(SupervisedForecaster):
     """Trainable wrapper around a BikeCAP variant."""
 
     def __init__(
@@ -35,7 +34,6 @@ class BikeCAPForecaster(Forecaster):
         loss: str = "l1",
         **config_overrides,
     ):
-        super().__init__(history, horizon, grid_shape, num_features)
         self.name = variant
         if config is None:
             config = BikeCAPConfig(
@@ -51,23 +49,25 @@ class BikeCAPForecaster(Forecaster):
 
             config = dataclasses.replace(config, **config_overrides)
         self.config = config
-        self.model: BikeCAP = make_variant(variant, config)
-        self.batch_size = batch_size
+        model: BikeCAP = make_variant(variant, config)
         # Default follows Sec. IV-C (L1); Sec. III-E's squared-error decoder
         # objective is available as loss="mse" and is what the larger-scale
         # experiment profiles use (see EXPERIMENTS.md).
-        self.trainer = Trainer(self.model, loss=loss, lr=lr, batch_size=batch_size, seed=seed)
-
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
-        history = self.trainer.fit(
-            dataset.split.train_x,
-            dataset.split.train_y,
-            epochs=epochs,
-            val_x=dataset.split.val_x,
-            val_y=dataset.split.val_y,
-            verbose=verbose,
+        super().__init__(
+            history,
+            horizon,
+            grid_shape,
+            num_features,
+            model=model,
+            lr=lr,
+            batch_size=batch_size,
+            loss=loss,
+            seed=seed,
         )
-        return history.as_dict()
+
+    def training_arrays(self, dataset: BikeDemandDataset):
+        split = dataset.split
+        return split.train_x, split.train_y, split.val_x, split.val_y
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         x = self._check_input(x)

@@ -7,10 +7,9 @@ behaviour Table III documents.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.frame_models import FrameSequenceForecaster, FrameSequenceModel
 from repro.nn import Conv2D, ConvLSTM2DCell, ModuleList, init
+from repro.pipeline import seeding
 
 
 class ConvLSTMModel(FrameSequenceModel):
@@ -73,6 +72,6 @@ class ConvLSTMForecaster(FrameSequenceForecaster):
             hidden_channels=hidden_channels,
             num_layers=num_layers,
             kernel_size=kernel_size,
-            rng=np.random.default_rng(seed),
+            rng=seeding.rng(seed),
         )
         super().__init__(model, history, horizon, grid_shape, num_features, lr=lr, batch_size=batch_size, seed=seed)

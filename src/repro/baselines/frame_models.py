@@ -8,15 +8,16 @@ inference uses the recursive protocol from :mod:`repro.baselines.base`.
 from __future__ import annotations
 
 import abc
-from typing import Dict
 
 import numpy as np
 
-from repro.baselines.base import RecursiveFrameForecaster, clip_normalized
+from repro.baselines.base import (
+    RecursiveFrameForecaster,
+    SupervisedForecaster,
+    clip_normalized,
+)
 from repro.data.datasets import BikeDemandDataset
-from repro.nn import Module, Trainer, ops
-from repro.nn import config as nn_config
-from repro.nn.tensor import Tensor
+from repro.nn import Module, ops
 
 
 class FrameSequenceModel(Module):
@@ -58,7 +59,7 @@ def next_frame_targets(x: np.ndarray) -> np.ndarray:
     return np.concatenate([shifted_within, successor], axis=1)
 
 
-class FrameSequenceForecaster(RecursiveFrameForecaster):
+class FrameSequenceForecaster(SupervisedForecaster, RecursiveFrameForecaster):
     """Wrap a FrameSequenceModel in the recursive multi-step protocol."""
 
     def __init__(
@@ -72,27 +73,25 @@ class FrameSequenceForecaster(RecursiveFrameForecaster):
         batch_size: int = 16,
         seed: int = 0,
     ):
-        super().__init__(history, horizon, grid_shape, num_features)
-        self.model = model
-        self.batch_size = batch_size
-        self.trainer = Trainer(model, loss="l1", lr=lr, batch_size=batch_size, seed=seed)
+        super().__init__(
+            history,
+            horizon,
+            grid_shape,
+            num_features,
+            model=model,
+            lr=lr,
+            batch_size=batch_size,
+            seed=seed,
+        )
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
+    def training_arrays(self, dataset: BikeDemandDataset):
         x = dataset.split.train_x
         if len(x) < 2:
             raise ValueError(f"{self.name} needs at least 2 training windows")
-        inputs = x[:-1]
-        targets = next_frame_targets(x)
-        history = self.trainer.fit(inputs, targets, epochs=epochs, verbose=verbose)
-        return history.as_dict()
+        return x[:-1], next_frame_targets(x), None, None
 
     def predict_next_frame(self, x: np.ndarray) -> np.ndarray:
-        self.model.eval()
-        outputs = []
-        with nn_config.no_grad():
-            for start in range(0, len(x), self.batch_size):
-                batch = Tensor(x[start : start + self.batch_size])
-                frames = self.model(batch)
-                outputs.append(frames.data[:, -1])
-        self.model.train()
-        return clip_normalized(np.concatenate(outputs, axis=0))
+        # Each batch's final output slot is the model's prediction of the
+        # frame following the window.
+        frame = self.batched_forward(x, postprocess=lambda frames: frames[:, -1])
+        return clip_normalized(frame)

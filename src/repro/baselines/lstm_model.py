@@ -9,16 +9,16 @@ recursive protocol extends it to multiple steps.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
-from repro.baselines.base import RecursiveFrameForecaster, clip_normalized
+from repro.baselines.base import (
+    RecursiveFrameForecaster,
+    SupervisedForecaster,
+    clip_normalized,
+)
 from repro.data.datasets import BikeDemandDataset
-from repro.nn import LSTM, Linear, Module, Trainer
-from repro.nn import config as nn_config
-from repro.nn import init
-from repro.nn.tensor import Tensor
+from repro.nn import LSTM, Linear, Module, init
+from repro.pipeline import seeding
 
 
 class _SequenceRegressor(Module):
@@ -36,7 +36,7 @@ class _SequenceRegressor(Module):
         return self.head(last)
 
 
-class LSTMForecaster(RecursiveFrameForecaster):
+class LSTMForecaster(SupervisedForecaster, RecursiveFrameForecaster):
     """Per-grid pooled LSTM rolled forward recursively."""
 
     name = "LSTM"
@@ -54,42 +54,39 @@ class LSTMForecaster(RecursiveFrameForecaster):
         max_train_samples: int = 20000,
         seed: int = 0,
     ):
-        super().__init__(history, horizon, grid_shape, num_features)
-        self.seed = seed
-        self.batch_size = batch_size
-        self.max_train_samples = max_train_samples
-        self.model = _SequenceRegressor(
-            num_features, hidden_size, num_layers, rng=np.random.default_rng(seed)
+        model = _SequenceRegressor(
+            num_features, hidden_size, num_layers, rng=seeding.rng(seed)
         )
-        self.trainer = Trainer(self.model, loss="l1", lr=lr, batch_size=batch_size, seed=seed)
+        super().__init__(
+            history,
+            horizon,
+            grid_shape,
+            num_features,
+            model=model,
+            lr=lr,
+            batch_size=batch_size,
+            seed=seed,
+        )
+        self.max_train_samples = max_train_samples
 
     def _sequences(self, x: np.ndarray) -> np.ndarray:
         """(N, h, G1, G2, F) → (N*G1*G2, h, F)."""
         n, h, g1, g2, f = x.shape
         return x.transpose(0, 2, 3, 1, 4).reshape(n * g1 * g2, h, f)
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
+    def training_arrays(self, dataset: BikeDemandDataset):
         x = dataset.split.train_x
         if len(x) < 2:
             raise ValueError("LSTM baseline needs at least 2 training windows")
         inputs = self._sequences(x[:-1])
         targets = x[1:, -1].reshape(len(inputs), self.num_features)
         if len(inputs) > self.max_train_samples:
-            rng = np.random.default_rng(self.seed)
+            rng = seeding.rng(self.seed)
             keep = rng.choice(len(inputs), size=self.max_train_samples, replace=False)
             inputs, targets = inputs[keep], targets[keep]
-        history = self.trainer.fit(inputs, targets, epochs=epochs, verbose=verbose)
-        return history.as_dict()
+        return inputs, targets, None, None
 
     def predict_next_frame(self, x: np.ndarray) -> np.ndarray:
         n, _h, g1, g2, f = x.shape
-        sequences = self._sequences(x)
-        self.model.eval()
-        outputs = []
-        with nn_config.no_grad():
-            for start in range(0, len(sequences), self.batch_size):
-                batch = Tensor(sequences[start : start + self.batch_size])
-                outputs.append(self.model(batch).data)
-        self.model.train()
-        frame = np.concatenate(outputs, axis=0).reshape(n, g1, g2, f)
+        frame = self.batched_forward(self._sequences(x)).reshape(n, g1, g2, f)
         return clip_normalized(frame)

@@ -8,7 +8,7 @@ pure diurnal periodicity.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -24,7 +24,14 @@ class PersistenceForecaster(Forecaster):
     def __init__(self, history, horizon, grid_shape, num_features, seed: int = 0):
         super().__init__(history, horizon, grid_shape, num_features)
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 0, verbose: bool = False) -> Dict:
+    def fit(
+        self,
+        dataset: BikeDemandDataset,
+        epochs: int = 0,
+        verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> Dict:
         return {}
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -58,7 +65,14 @@ class SeasonalAverageForecaster(Forecaster):
         self.profile: np.ndarray = np.zeros((slots_per_day,) + tuple(grid_shape))
         self._train_offset = 0
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 0, verbose: bool = False) -> Dict:
+    def fit(
+        self,
+        dataset: BikeDemandDataset,
+        epochs: int = 0,
+        verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> Dict:
         y = dataset.split.train_y  # (N, p, G1, G2), window i starts at slot i+h
         totals = np.zeros((self.slots_per_day,) + tuple(self.grid_shape))
         counts = np.zeros(self.slots_per_day)

@@ -8,10 +8,9 @@ appearances and temporal variations in one pool.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.frame_models import FrameSequenceForecaster, FrameSequenceModel
 from repro.nn import Conv2D, ModuleList, STLSTMCell, init
+from repro.pipeline import seeding
 
 
 class PredRNNModel(FrameSequenceModel):
@@ -76,6 +75,6 @@ class PredRNNForecaster(FrameSequenceForecaster):
             hidden_channels=hidden_channels,
             num_layers=num_layers,
             kernel_size=kernel_size,
-            rng=np.random.default_rng(seed),
+            rng=seeding.rng(seed),
         )
         super().__init__(model, history, horizon, grid_shape, num_features, lr=lr, batch_size=batch_size, seed=seed)

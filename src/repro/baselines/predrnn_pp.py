@@ -7,10 +7,9 @@ gradient dilemma.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.frame_models import FrameSequenceForecaster, FrameSequenceModel
 from repro.nn import GHU, CausalLSTMCell, Conv2D, ModuleList, init
+from repro.pipeline import seeding
 
 
 class PredRNNPlusPlusModel(FrameSequenceModel):
@@ -86,6 +85,6 @@ class PredRNNPlusPlusForecaster(FrameSequenceForecaster):
             hidden_channels=hidden_channels,
             num_layers=num_layers,
             kernel_size=kernel_size,
-            rng=np.random.default_rng(seed),
+            rng=seeding.rng(seed),
         )
         super().__init__(model, history, horizon, grid_shape, num_features, lr=lr, batch_size=batch_size, seed=seed)

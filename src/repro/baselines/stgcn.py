@@ -11,16 +11,13 @@ because one shared module serves all periods.
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
-from repro.baselines.base import Forecaster
+from repro.baselines.base import SupervisedForecaster
 from repro.data.datasets import BikeDemandDataset
 from repro.graph import ChebGraphConv, grid_adjacency
-from repro.nn import Conv2D, Linear, Module, Trainer, init, ops
-from repro.nn import config as nn_config
-from repro.nn.tensor import Tensor
+from repro.nn import Conv2D, Linear, Module, init, ops
+from repro.pipeline import seeding
 
 
 class TemporalGatedConv(Module):
@@ -120,7 +117,7 @@ class STGCNModel(Module):
         return ops.reshape(out, (batch, self.horizon, rows, cols))
 
 
-class STGCNForecaster(Forecaster):
+class STGCNForecaster(SupervisedForecaster):
     """Direct multi-step STGCN."""
 
     name = "STGCN"
@@ -138,9 +135,7 @@ class STGCNForecaster(Forecaster):
         batch_size: int = 32,
         seed: int = 0,
     ):
-        super().__init__(history, horizon, grid_shape, num_features)
-        self.batch_size = batch_size
-        self.model = STGCNModel(
+        model = STGCNModel(
             grid_shape,
             history,
             horizon,
@@ -148,27 +143,22 @@ class STGCNForecaster(Forecaster):
             hidden_channels=hidden_channels,
             hops=hops,
             cheb_order=cheb_order,
-            rng=np.random.default_rng(seed),
+            rng=seeding.rng(seed),
         )
-        self.trainer = Trainer(self.model, loss="l1", lr=lr, batch_size=batch_size, seed=seed)
+        super().__init__(
+            history,
+            horizon,
+            grid_shape,
+            num_features,
+            model=model,
+            lr=lr,
+            batch_size=batch_size,
+            seed=seed,
+        )
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
-        history = self.trainer.fit(
-            dataset.split.train_x,
-            dataset.split.train_y,
-            epochs=epochs,
-            val_x=dataset.split.val_x,
-            val_y=dataset.split.val_y,
-            verbose=verbose,
-        )
-        return history.as_dict()
+    def training_arrays(self, dataset: BikeDemandDataset):
+        split = dataset.split
+        return split.train_x, split.train_y, split.val_x, split.val_y
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        x = self._check_input(x)
-        self.model.eval()
-        outputs = []
-        with nn_config.no_grad():
-            for start in range(0, len(x), self.batch_size):
-                outputs.append(self.model(Tensor(x[start : start + self.batch_size])).data)
-        self.model.train()
-        return np.concatenate(outputs, axis=0)
+        return self.batched_forward(self._check_input(x))

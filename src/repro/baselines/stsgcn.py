@@ -10,20 +10,17 @@ output uses one small head per future step (direct multi-step).
 
 from __future__ import annotations
 
-from typing import Dict
-
 import numpy as np
 
-from repro.baselines.base import Forecaster
+from repro.baselines.base import SupervisedForecaster
 from repro.data.datasets import BikeDemandDataset
 from repro.graph import (
     DenseGraphConv,
     grid_adjacency,
     localized_spatial_temporal_adjacency,
 )
-from repro.nn import Linear, Module, ModuleList, Trainer, init, ops
-from repro.nn import config as nn_config
-from repro.nn.tensor import Tensor
+from repro.nn import Linear, Module, ModuleList, init, ops
+from repro.pipeline import seeding
 
 
 def _random_walk_normalize(adjacency: np.ndarray) -> np.ndarray:
@@ -119,7 +116,7 @@ class STSGCNModel(Module):
         return ops.reshape(out, (batch, self.horizon, rows, cols))
 
 
-class STSGCNForecaster(Forecaster):
+class STSGCNForecaster(SupervisedForecaster):
     """Direct multi-step STSGCN."""
 
     name = "STSGCN"
@@ -136,36 +133,29 @@ class STSGCNForecaster(Forecaster):
         batch_size: int = 32,
         seed: int = 0,
     ):
-        super().__init__(history, horizon, grid_shape, num_features)
-        self.batch_size = batch_size
-        self.model = STSGCNModel(
+        model = STSGCNModel(
             grid_shape,
             history,
             horizon,
             num_features,
             hidden_channels=hidden_channels,
             hops=hops,
-            rng=np.random.default_rng(seed),
+            rng=seeding.rng(seed),
         )
-        self.trainer = Trainer(self.model, loss="l1", lr=lr, batch_size=batch_size, seed=seed)
+        super().__init__(
+            history,
+            horizon,
+            grid_shape,
+            num_features,
+            model=model,
+            lr=lr,
+            batch_size=batch_size,
+            seed=seed,
+        )
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
-        history = self.trainer.fit(
-            dataset.split.train_x,
-            dataset.split.train_y,
-            epochs=epochs,
-            val_x=dataset.split.val_x,
-            val_y=dataset.split.val_y,
-            verbose=verbose,
-        )
-        return history.as_dict()
+    def training_arrays(self, dataset: BikeDemandDataset):
+        split = dataset.split
+        return split.train_x, split.train_y, split.val_x, split.val_y
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        x = self._check_input(x)
-        self.model.eval()
-        outputs = []
-        with nn_config.no_grad():
-            for start in range(0, len(x), self.batch_size):
-                outputs.append(self.model(Tensor(x[start : start + self.batch_size])).data)
-        self.model.train()
-        return np.concatenate(outputs, axis=0)
+        return self.batched_forward(self._check_input(x))

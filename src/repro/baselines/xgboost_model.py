@@ -12,7 +12,7 @@ all channels lets the recursion rebuild a complete input window.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -21,6 +21,7 @@ _LOGGER = logging.getLogger(__name__)
 from repro.baselines.base import RecursiveFrameForecaster, clip_normalized
 from repro.boosting import GradientBoostedTrees
 from repro.data.datasets import BikeDemandDataset
+from repro.pipeline import seeding
 
 
 class XGBoostForecaster(RecursiveFrameForecaster):
@@ -56,8 +57,16 @@ class XGBoostForecaster(RecursiveFrameForecaster):
         n, h, g1, g2, f = x.shape
         return x.transpose(0, 2, 3, 1, 4).reshape(n * g1 * g2, h * f)
 
-    def fit(self, dataset: BikeDemandDataset, epochs: int = 10, verbose: bool = False) -> Dict:
+    def fit(
+        self,
+        dataset: BikeDemandDataset,
+        epochs: int = 10,
+        verbose: bool = False,
+        checkpoint_path: Optional[str] = None,
+        resume_from: Optional[str] = None,
+    ) -> Dict:
         del epochs  # boosting rounds are fixed by n_estimators
+        del checkpoint_path, resume_from  # no iterative loop to checkpoint
         x = dataset.split.train_x
         if len(x) < 2:
             raise ValueError("XGBoost baseline needs at least 2 training windows")
@@ -66,7 +75,7 @@ class XGBoostForecaster(RecursiveFrameForecaster):
         n, g1, g2, f = target_frames.shape
         targets = target_frames.reshape(n * g1 * g2, f)
 
-        rng = np.random.default_rng(self.seed)
+        rng = seeding.rng(self.seed)
         if len(inputs) > self.max_train_samples:
             keep = rng.choice(len(inputs), size=self.max_train_samples, replace=False)
             inputs, targets = inputs[keep], targets[keep]

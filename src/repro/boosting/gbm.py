@@ -7,6 +7,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.boosting.tree import RegressionTree
+from repro.pipeline import seeding
 from repro.obs import metrics as obs_metrics
 from repro.obs import runlog
 
@@ -43,7 +44,7 @@ class GradientBoostedTrees:
         self.gamma = gamma
         self.subsample = subsample
         self.max_bins = max_bins
-        self.rng = np.random.default_rng(seed)
+        self.rng = seeding.rng(seed)
         self.base_score: float = 0.0
         self.trees: List[RegressionTree] = []
 

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.city.grid import GridPartition
+from repro.pipeline import seeding
 from repro.city.profiles import (
     SECONDS_PER_DAY,
     CommutePeaks,
@@ -114,7 +115,7 @@ class CitySimulator:
 
     def __init__(self, config: Optional[CityConfig] = None):
         self.config = config or CityConfig()
-        self.rng = np.random.default_rng(self.config.seed)
+        self.rng = seeding.rng(self.config.seed)
         self.grid = GridPartition(self.config.rows, self.config.cols, self.config.cell_meters)
         self.zones = generate_zones(self.grid, self.rng)
         self.subway = generate_subway(

@@ -15,6 +15,7 @@ import networkx as nx
 import numpy as np
 
 from repro.city.grid import GridPartition
+from repro.pipeline import seeding
 
 
 @dataclass(frozen=True)
@@ -126,7 +127,7 @@ def generate_subway(
     """
     if num_lines < 1:
         raise ValueError("need at least one subway line")
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = seeding.rng(rng)
 
     stations: List[Station] = []
     lines: Dict[int, List[int]] = {}

@@ -20,11 +20,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.baselines import RecursiveFrameForecaster, make_forecaster
 from repro.data.datasets import BikeDemandDataset
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.runner import ExperimentContext
 from repro.metrics.errors import mae_per_step
+from repro.pipeline import forecast, registry
 
 
 @dataclass
@@ -54,7 +54,7 @@ class ErrorPropagationResult:
 
 
 def teacher_forced_prediction(
-    forecaster: RecursiveFrameForecaster,
+    forecaster,
     dataset: BikeDemandDataset,
     x: np.ndarray,
     window_offset: int,
@@ -63,20 +63,17 @@ def teacher_forced_prediction(
 
     True frames come from the later windows of the same chronological
     split, so window ``i``'s step-``t`` input is the genuine demand at
-    ``i + t`` — possible offline, impossible in deployment.
+    ``i + t`` — possible offline, impossible in deployment. The decode
+    loop itself is :func:`repro.pipeline.forecast.teacher_forced_forecast`,
+    the same implementation the recursive rollout mirrors.
     """
     del window_offset  # windows are consecutive: x[i + t] holds the truth
-    horizon = forecaster.horizon
-    steps = []
-    count = len(x) - horizon
-    if count <= 0:
-        raise ValueError("not enough consecutive windows for teacher forcing")
-    for step in range(horizon):
-        # The true window at offset `step` contains the frames the model
-        # would have seen had all its previous predictions been perfect.
-        frame = forecaster.predict_next_frame(x[step : step + count])
-        steps.append(frame[..., forecaster.target_feature])
-    return np.stack(steps, axis=1)
+    return forecast.teacher_forced_forecast(
+        forecaster.predict_next_frame,
+        x,
+        forecaster.horizon,
+        target_feature=forecaster.target_feature,
+    )
 
 
 def run_error_propagation(
@@ -91,21 +88,15 @@ def run_error_propagation(
     context = context or ExperimentContext(profile)
     horizon = horizon if horizon is not None else max(profile.horizons)
     dataset = context.dataset(horizon)
-    overrides = dict(profile.model_overrides.get(model, {}))
-    overrides.pop("epochs", None)
-
-    forecaster = make_forecaster(
-        model,
-        dataset.history,
-        horizon,
-        dataset.grid_shape,
-        dataset.num_features,
-        seed=0,
-        **overrides,
-    )
-    if not isinstance(forecaster, RecursiveFrameForecaster):
+    if registry.protocol_of(model) != forecast.RECURSIVE:
         raise ValueError(f"{model} is a direct model; the rollout gap is zero by construction")
-    forecaster.fit(dataset, epochs=epochs if epochs is not None else profile.epochs)
+
+    spec = context.spec_for(model, horizon, epochs=epochs, seed=0)
+    result = context.execute(
+        spec, dataset, label=f"{model}-error-propagation",
+        config={"experiment": "error_propagation"},
+    )
+    forecaster = result.forecaster
 
     x = dataset.split.test_x
     truth = dataset.denormalize_target(dataset.split.test_y)

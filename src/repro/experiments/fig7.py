@@ -16,12 +16,11 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.baselines.bikecap_adapter import BikeCAPForecaster
-from repro.core.variants import VARIANTS
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext, run_and_log
-from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, repeat_runs
+from repro.pipeline import registry
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -51,35 +50,24 @@ def run_fig7(
     """Regenerate the Fig. 7 ablation comparison."""
     profile = profile or get_profile()
     context = context or ExperimentContext(profile)
-    variants = list(variants) if variants is not None else list(VARIANTS)
+    variants = list(variants) if variants is not None else list(registry.bikecap_variants())
     horizon = profile.ablation_horizon
     dataset = context.dataset(horizon)
-    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
-    override_epochs = overrides.pop("epochs", None)
-    if epochs is None:
-        epochs = override_epochs if override_epochs is not None else profile.epochs
-
     results: Dict[str, Dict[str, MeanStd]] = {}
     for variant in variants:
 
         def single_run(seed: int, variant=variant):
-            forecaster = BikeCAPForecaster(
-                dataset.history,
-                dataset.horizon,
-                dataset.grid_shape,
-                dataset.num_features,
-                variant=variant,
-                seed=seed,
-                **overrides,
-            )
-            return run_and_log(
-                forecaster,
+            # Every variant trains with the profile's BikeCAP settings so
+            # the comparison isolates architecture, not hyperparameters.
+            spec = context.spec_for(
+                "BikeCAP", horizon, epochs=epochs, seed=seed
+            ).with_overrides(model=variant)
+            return context.execute(
+                spec,
                 dataset,
                 label=f"{variant}-fig7",
-                seed=seed,
-                epochs=epochs,
-                config={"profile": profile.name, "experiment": "fig7", "variant": variant},
-            )
+                config={"experiment": "fig7", "variant": variant},
+            ).metrics
 
         results[variant] = repeat_runs(single_run, profile.seeds)
         if verbose:

@@ -5,7 +5,11 @@ Usage::
     python -m repro.experiments.run_all --profile smoke --output results/
 
 Writes one text file per artifact plus a combined ``summary.txt`` and a
-machine-readable ``results.json``.
+machine-readable ``results.json``. Training checkpoints autosave under
+``<output>/checkpoints/``; ``--resume`` skips artifacts whose result file
+already exists and restarts interrupted training runs from their newest
+checkpoint. ``--only`` restricts the model comparison to a subset (the
+BikeCAP-only ablation artifacts run only when BikeCAP is included).
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ import json
 import logging
 import os
 import time
-from typing import Dict
+from typing import Dict, Optional, Sequence
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -26,6 +30,7 @@ from repro.experiments.runner import ExperimentContext
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
+from repro.pipeline import registry
 
 
 def _mean_std_tree(results) -> Dict:
@@ -37,42 +42,106 @@ def _mean_std_tree(results) -> Dict:
     return results
 
 
+def _resolve_only(only, profile) -> Optional[list]:
+    """Validate ``--only`` names against the registry and the profile."""
+    if only is None:
+        return None
+    names = [name.strip() for name in only.split(",")] if isinstance(only, str) else list(only)
+    names = [name for name in names if name]
+    for name in names:
+        registry.model_entry(name)  # raises ValueError with the known names
+    if not names:
+        raise ValueError("--only was given but named no models")
+    return names
+
+
 def run_all(
-    profile_name: str, output_dir: str, verbose: bool = True, engine: str = None
+    profile_name: str,
+    output_dir: str,
+    verbose: bool = True,
+    engine: str = None,
+    only: Optional[Sequence[str]] = None,
+    resume: bool = False,
 ) -> Dict:
     """Run every artifact at the named profile; returns the JSON payload.
 
     ``engine`` (``fast`` | ``precise``) selects the substrate precision for
     the whole run — ``fast`` trains float32 (see docs/PERFORMANCE.md).
+    ``only`` restricts to a comma-separated (or listed) subset of
+    registered models; ``resume`` skips finished artifacts and continues
+    interrupted training from the autosaved checkpoints.
     """
     from repro.nn import config as nn_config
 
     if engine is not None:
         nn_config.set_engine_mode(engine)
     profile = get_profile(profile_name)
-    context = ExperimentContext(profile)
+    only = _resolve_only(only, profile)
     os.makedirs(output_dir, exist_ok=True)
+    context = ExperimentContext(
+        profile,
+        checkpoint_dir=os.path.join(output_dir, "checkpoints"),
+        resume=resume,
+    )
+
     payload: Dict = {
         "profile": profile.name,
         "engine_mode": nn_config.engine_mode(),
     }
+    if resume:
+        # Carry finished artifacts' numbers over so results.json stays
+        # complete even when this invocation skips them.
+        previous = os.path.join(output_dir, "results.json")
+        if os.path.exists(previous):
+            try:
+                with open(previous) as handle:
+                    stale = json.load(handle)
+                stale.pop("profile", None)
+                stale.pop("engine_mode", None)
+                payload.update(stale)
+            except (OSError, ValueError):
+                pass
+
+    table3_models = [m for m in profile.models if only is None or m in only]
+    include_bikecap = only is None or "BikeCAP" in only
     sections = []
 
     started = time.time()
-    artifacts = (
+    artifacts = [
         ("fig1", lambda: run_fig1(profile=profile, city=context.city)),
-        ("table3", lambda: run_table3(profile=profile, context=context, verbose=verbose)),
-        ("fig7", lambda: run_fig7(profile=profile, context=context, verbose=verbose)),
-        ("table4", lambda: run_table4(profile=profile, context=context, verbose=verbose)),
-        ("table5", lambda: run_table5(profile=profile, context=context, verbose=verbose)),
-    )
+    ]
+    if table3_models:
+        artifacts.append(
+            (
+                "table3",
+                lambda: run_table3(
+                    profile=profile, context=context, models=table3_models, verbose=verbose
+                ),
+            )
+        )
+    if include_bikecap:
+        artifacts.extend(
+            [
+                ("fig7", lambda: run_fig7(profile=profile, context=context, verbose=verbose)),
+                ("table4", lambda: run_table4(profile=profile, context=context, verbose=verbose)),
+                ("table5", lambda: run_table5(profile=profile, context=context, verbose=verbose)),
+            ]
+        )
     for name, runner in artifacts:
+        artifact_path = os.path.join(output_dir, f"{name}.txt")
+        if resume and os.path.exists(artifact_path):
+            with open(artifact_path) as handle:
+                rendered = handle.read().rstrip("\n")
+            sections.append(rendered + f"\n[{name}: resumed from existing result]")
+            if verbose:
+                _LOGGER.info("[%s skipped: %s exists]", name, artifact_path)
+            continue
         artifact_start = time.time()
         result = runner()
         elapsed = time.time() - artifact_start
         rendered = result.render()
         sections.append(rendered + f"\n[{name}: {elapsed:.1f}s]")
-        with open(os.path.join(output_dir, f"{name}.txt"), "w") as handle:
+        with open(artifact_path, "w") as handle:
             handle.write(rendered + "\n")
         if hasattr(result, "results"):
             payload[name] = _mean_std_tree(result.results)
@@ -109,6 +178,18 @@ def main() -> None:
         default=None,
         help="substrate precision: fast=float32, precise=float64 (default: env REPRO_ENGINE or precise)",
     )
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="comma-separated registered model names; restricts the comparison "
+        "(ablation artifacts run only when BikeCAP is included)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip artifacts whose result file exists; resume interrupted "
+        "training from the newest checkpoint in <output>/checkpoints/",
+    )
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args()
     if not args.quiet:
@@ -120,6 +201,8 @@ def main() -> None:
         args.output,
         verbose=not args.quiet,
         engine=args.engine,
+        only=args.only,
+        resume=args.resume,
     )
 
 

@@ -1,10 +1,12 @@
 """Shared experiment machinery: datasets per horizon, repeated-seed runs.
 
-Every trained model run is wrapped in an ``experiment.<model>`` span and —
-unless disabled with ``REPRO_RUNLOG=0`` — writes a structured JSONL run log
-under ``results/runs/`` (``REPRO_RUNLOG_DIR``) recording seed, config, the
-per-epoch curve emitted by :meth:`repro.nn.Trainer.fit`, and the final
-test-split evaluation. Render one with ``python -m repro.obs.report``.
+Experiments never touch forecaster classes: they describe each run as a
+:class:`repro.pipeline.RunSpec` and hand it to
+:func:`repro.pipeline.runner.execute`, which builds the model from the
+registry, trains (with optional full-state checkpoint/resume), evaluates
+on the test split and — unless disabled with ``REPRO_RUNLOG=0`` — writes a
+structured JSONL run log under ``results/runs/`` (``REPRO_RUNLOG_DIR``).
+Render one with ``python -m repro.obs.report``.
 """
 
 from __future__ import annotations
@@ -13,51 +15,52 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.baselines import make_forecaster
 from repro.city.simulator import SyntheticCity, simulate_city
 from repro.data.aggregation import aggregate_city
 from repro.data.datasets import BikeDemandDataset, dataset_from_tensor
 from repro.experiments.profiles import ExperimentProfile
-from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
-from repro.nn import config as nn_config
-from repro.obs import runlog, tracing
+from repro.metrics.evaluation import MeanStd, repeat_runs
+from repro.pipeline import RunSpec
+from repro.pipeline import runner as pipeline_runner
 
 
-def run_and_log(
-    forecaster,
+def run_spec(
+    spec: RunSpec,
     dataset: BikeDemandDataset,
-    label: str,
-    seed: int,
-    epochs: int,
+    label: Optional[str] = None,
     config: Optional[Dict] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, float]:
-    """Fit + evaluate one forecaster under a span and a JSONL run log."""
-    config = dict(config) if config else {}
-    # Engine state belongs in every run record: results are only comparable
-    # across runs that used the same precision and sharding.
-    config.setdefault("dtype", np.dtype(nn_config.dtype()).name)
-    config.setdefault("engine_mode", nn_config.engine_mode())
-    config.setdefault("num_threads", nn_config.num_threads())
-    logger = runlog.start_run(label, seed=seed, config=config)
-    try:
-        with tracing.span(f"experiment.{label}"):
-            forecaster.fit(dataset, epochs=epochs)
-            metrics = evaluate_forecaster(forecaster, dataset)
-        if logger is not None:
-            logger.event("eval", split="test", **metrics)
-            logger.close(status="ok", **metrics)
-            logger = None
-        return metrics
-    finally:
-        if logger is not None:
-            logger.close(status="error")
+    """Execute one spec through the pipeline; return the test metrics."""
+    result = pipeline_runner.execute(
+        spec,
+        dataset,
+        label=label,
+        log_config=config,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+    )
+    return result.metrics
 
 
 class ExperimentContext:
-    """Caches the simulated city and per-horizon datasets for one profile."""
+    """Caches the simulated city and per-horizon datasets for one profile.
 
-    def __init__(self, profile: ExperimentProfile):
+    ``checkpoint_dir``/``resume`` (when set, e.g. by ``run_all --resume``)
+    are threaded into every trained run so interrupted experiments restart
+    from their newest autosave instead of from scratch.
+    """
+
+    def __init__(
+        self,
+        profile: ExperimentProfile,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+    ):
         self.profile = profile
+        self.checkpoint_dir = checkpoint_dir
+        self.resume = resume
         self._city: Optional[SyntheticCity] = None
         self._tensor: Optional[np.ndarray] = None
         self._datasets: Dict[int, BikeDemandDataset] = {}
@@ -85,6 +88,54 @@ class ExperimentContext:
         return self._datasets[horizon]
 
     # ------------------------------------------------------------------
+    def spec_for(
+        self,
+        name: str,
+        horizon: int,
+        epochs: Optional[int] = None,
+        seed: int = 0,
+        **overrides,
+    ) -> RunSpec:
+        """The profile's RunSpec for one model at one horizon.
+
+        Profile ``model_overrides`` come first, call-site overrides win. A
+        per-model "epochs" override beats the profile default (some models
+        need more optimization steps than others at equal budget).
+        """
+        hparams = dict(self.profile.model_overrides.get(name, {}))
+        hparams.update(overrides)
+        override_epochs = hparams.pop("epochs", None)
+        if epochs is None:
+            epochs = override_epochs if override_epochs is not None else self.profile.epochs
+        return RunSpec(
+            model=name,
+            history=self.profile.history,
+            horizon=horizon,
+            epochs=epochs,
+            seed=seed,
+            hparams=hparams,
+        )
+
+    def execute(
+        self,
+        spec: RunSpec,
+        dataset: BikeDemandDataset,
+        label: Optional[str] = None,
+        config: Optional[Dict] = None,
+    ) -> pipeline_runner.RunResult:
+        """Run one spec with the context's checkpoint/resume settings."""
+        log_config = {"profile": self.profile.name}
+        if config:
+            log_config.update(config)
+        return pipeline_runner.execute(
+            spec,
+            dataset,
+            label=label,
+            log_config=log_config,
+            checkpoint_dir=self.checkpoint_dir,
+            resume=self.resume,
+        )
+
     def run_model(
         self,
         name: str,
@@ -96,37 +147,9 @@ class ExperimentContext:
         """Train+evaluate one model at one horizon over repeated seeds."""
         dataset = self.dataset(horizon)
         seeds = tuple(seeds) if seeds is not None else self.profile.seeds
-        profile_overrides = dict(self.profile.model_overrides.get(name, {}))
-        profile_overrides.update(overrides)
-        # A per-model "epochs" override wins over the profile default (some
-        # models need more optimization steps than others at equal budget).
-        override_epochs = profile_overrides.pop("epochs", None)
-        if epochs is None:
-            epochs = override_epochs if override_epochs is not None else self.profile.epochs
 
         def single_run(seed: int) -> Dict[str, float]:
-            forecaster = make_forecaster(
-                name,
-                dataset.history,
-                dataset.horizon,
-                dataset.grid_shape,
-                dataset.num_features,
-                seed=seed,
-                **profile_overrides,
-            )
-            return run_and_log(
-                forecaster,
-                dataset,
-                label=f"{name}-pts{horizon}",
-                seed=seed,
-                epochs=epochs,
-                config={
-                    "profile": self.profile.name,
-                    "model": name,
-                    "horizon": horizon,
-                    "epochs": epochs,
-                    "overrides": profile_overrides,
-                },
-            )
+            spec = self.spec_for(name, horizon, epochs=epochs, seed=seed, **overrides)
+            return self.execute(spec, dataset).metrics
 
         return repeat_runs(single_run, seeds)

@@ -14,11 +14,10 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.baselines.bikecap_adapter import BikeCAPForecaster
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext, run_and_log
-from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, repeat_runs
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -70,32 +69,24 @@ def run_stability(
     )
     horizon = profile.ablation_horizon
     dataset = context.dataset(horizon)
-    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
-    override_epochs = overrides.pop("epochs", None)
-    if epochs is None:
-        epochs = override_epochs if override_epochs is not None else profile.epochs
 
     results: Dict[str, Dict[str, MeanStd]] = {}
     for name, separated in (("joint", False), ("separated", True)):
 
-        def single_run(seed: int, separated=separated):
-            forecaster = BikeCAPForecaster(
-                dataset.history,
-                dataset.horizon,
-                dataset.grid_shape,
-                dataset.num_features,
+        def single_run(seed: int, name=name, separated=separated):
+            spec = context.spec_for(
+                "BikeCAP",
+                horizon,
+                epochs=epochs,
                 seed=seed,
                 separate_temporal_capsules=separated,
-                **overrides,
             )
-            return run_and_log(
-                forecaster,
+            return context.execute(
+                spec,
                 dataset,
                 label=f"BikeCAP-{name}",
-                seed=seed,
-                epochs=epochs,
-                config={"profile": profile.name, "experiment": "stability", "routing": name},
-            )
+                config={"experiment": "stability", "routing": name},
+            ).metrics
 
         results[name] = repeat_runs(single_run, seeds)
         if verbose:

@@ -72,10 +72,11 @@ def run_table3(
     Recursive (autoregressive) models are trained *once* per seed — their
     single-step training does not depend on the prediction horizon — and
     rolled out to every PTS, exactly as the paper's protocol implies.
-    Direct models (STGCN, STSGCN, BikeCAP) are retrained per horizon.
+    Direct models (STGCN, STSGCN, BikeCAP) are retrained per horizon. The
+    recursive/direct split is the registry's declared protocol metadata
+    (:func:`repro.pipeline.registry.protocol_of`), not an instance probe.
     """
-    from repro.baselines import RecursiveFrameForecaster, make_forecaster
-    from repro.metrics.evaluation import evaluate_forecaster
+    from repro.pipeline import forecast, registry
 
     profile = profile or get_profile()
     context = context or ExperimentContext(profile)
@@ -85,20 +86,9 @@ def run_table3(
 
     results: Dict[str, Dict[int, Dict[str, MeanStd]]] = {}
     for model in models:
-        overrides = dict(profile.model_overrides.get(model, {}))
-        overrides.pop("epochs", None)  # a training knob, not a constructor arg
-        probe = make_forecaster(
-            model,
-            context.dataset(horizons[0]).history,
-            horizons[0],
-            context.dataset(horizons[0]).grid_shape,
-            context.dataset(horizons[0]).num_features,
-            seed=0,
-            **overrides,
-        )
-        if isinstance(probe, RecursiveFrameForecaster):
+        if registry.protocol_of(model) == forecast.RECURSIVE:
             per_pts = _run_recursive_model(
-                model, context, horizons, run_epochs, profile.seeds, overrides
+                model, context, horizons, run_epochs, profile.seeds
             )
         else:
             per_pts = {
@@ -112,45 +102,29 @@ def run_table3(
     return Table3Result(profile=profile.name, results=results)
 
 
-def _run_recursive_model(model, context, horizons, epochs, seeds, overrides):
+def _run_recursive_model(model, context, horizons, epochs, seeds):
     """Fit a recursive model once per seed, evaluate at every horizon."""
-    from repro.baselines import make_forecaster
     from repro.metrics.evaluation import evaluate_forecaster
 
     samples: Dict[int, Dict[str, list]] = {
         pts: {"MAE": [], "RMSE": []} for pts in horizons
     }
-    from repro.obs import runlog, tracing
-
     fit_dataset = context.dataset(horizons[0])
     for seed in seeds:
-        forecaster = make_forecaster(
-            model,
-            fit_dataset.history,
-            horizons[0],
-            fit_dataset.grid_shape,
-            fit_dataset.num_features,
-            seed=int(seed),
-            **overrides,
+        spec = context.spec_for(model, horizons[0], epochs=epochs, seed=int(seed))
+        # One pipeline run fits the single-step model and evaluates it at
+        # the first horizon; the later horizons reuse the trained model,
+        # rolled further.
+        result = context.execute(
+            spec,
+            fit_dataset,
+            label=f"{model}-recursive",
+            config={"horizons": list(horizons), "protocol": "recursive"},
         )
-        logger = runlog.start_run(
-            f"{model}-recursive",
-            seed=int(seed),
-            config={
-                "model": model,
-                "horizons": list(horizons),
-                "epochs": epochs,
-                "overrides": overrides,
-                "protocol": "recursive",
-            },
-        )
-        try:
-            with tracing.span(f"experiment.{model}-recursive"):
-                forecaster.fit(fit_dataset, epochs=epochs)
-        finally:
-            if logger is not None:
-                logger.close()
-        for pts in horizons:
+        samples[horizons[0]]["MAE"].append(result.metrics["MAE"])
+        samples[horizons[0]]["RMSE"].append(result.metrics["RMSE"])
+        forecaster = result.forecaster
+        for pts in horizons[1:]:
             dataset = context.dataset(pts)
             forecaster.horizon = pts  # roll the same single-step model further
             metrics = evaluate_forecaster(forecaster, dataset)

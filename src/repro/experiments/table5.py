@@ -11,11 +11,10 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.baselines.bikecap_adapter import BikeCAPForecaster
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import ExperimentContext, run_and_log
-from repro.metrics.evaluation import MeanStd, evaluate_forecaster, repeat_runs
+from repro.experiments.runner import ExperimentContext
+from repro.metrics.evaluation import MeanStd, repeat_runs
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -49,34 +48,25 @@ def run_table5(
     dims = list(dims) if dims is not None else list(profile.capsule_dims)
     horizon = profile.ablation_horizon
     dataset = context.dataset(horizon)
-    overrides = dict(profile.model_overrides.get("BikeCAP", {}))
-    override_epochs = overrides.pop("epochs", None)
-    if epochs is None:
-        epochs = override_epochs if override_epochs is not None else profile.epochs
 
     results: Dict[int, Dict[str, MeanStd]] = {}
     for dim in dims:
-        run_overrides = dict(overrides)
-        run_overrides["capsule_dim"] = dim
-        run_overrides["future_capsule_dim"] = dim
 
-        def single_run(seed: int, run_overrides=run_overrides):
-            forecaster = BikeCAPForecaster(
-                dataset.history,
-                dataset.horizon,
-                dataset.grid_shape,
-                dataset.num_features,
+        def single_run(seed: int, dim=dim):
+            spec = context.spec_for(
+                "BikeCAP",
+                horizon,
+                epochs=epochs,
                 seed=seed,
-                **run_overrides,
+                capsule_dim=dim,
+                future_capsule_dim=dim,
             )
-            return run_and_log(
-                forecaster,
+            return context.execute(
+                spec,
                 dataset,
                 label=f"BikeCAP-capsule{dim}",
-                seed=seed,
-                epochs=epochs,
-                config={"profile": profile.name, "experiment": "table5", **run_overrides},
-            )
+                config={"experiment": "table5", "capsule_dim": dim},
+            ).metrics
 
         results[dim] = repeat_runs(single_run, profile.seeds)
         if verbose:

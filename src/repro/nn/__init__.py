@@ -29,8 +29,14 @@ from repro.nn.layers import (
     STLSTMCell,
 )
 from repro.nn.losses import get_loss, huber_loss, l1_loss, mse_loss
-from repro.nn.optim import SGD, Adam, clip_grad_norm
-from repro.nn.serialization import load_weights, save_weights
+from repro.nn.optim import SGD, Adam, clip_grad_norm, make_optimizer
+from repro.nn.serialization import (
+    TrainingCheckpoint,
+    load_checkpoint,
+    load_weights,
+    save_checkpoint,
+    save_weights,
+)
 from repro.nn.tensor import Tensor, as_tensor
 from repro.nn.training import Trainer, TrainingHistory, iterate_minibatches
 
@@ -56,6 +62,7 @@ __all__ = [
     "Sequential",
     "Tensor",
     "Trainer",
+    "TrainingCheckpoint",
     "TrainingHistory",
     "as_tensor",
     "check_gradients",
@@ -69,12 +76,15 @@ __all__ = [
     "iterate_minibatches",
     "l1_loss",
     "layers",
+    "load_checkpoint",
     "load_weights",
     "losses",
+    "make_optimizer",
     "mse_loss",
     "no_grad",
     "ops",
     "optim",
+    "save_checkpoint",
     "save_weights",
     "set_dtype",
     "set_engine_mode",

@@ -12,15 +12,17 @@ from typing import Tuple
 import numpy as np
 
 from repro.nn import config
+from repro.pipeline import seeding
 
 
 def default_rng(rng=None) -> np.random.Generator:
-    """Return ``rng`` if provided, else a fresh non-deterministic generator."""
-    if rng is None:
-        return np.random.default_rng()
-    if isinstance(rng, (int, np.integer)):
-        return np.random.default_rng(int(rng))
-    return rng
+    """Return ``rng`` if provided, else the process-shared generator.
+
+    Seeds and integer seeds resolve through :mod:`repro.pipeline.seeding`,
+    so an unseeded model init is still pinned by a single prior
+    ``seeding.seed_everything(...)`` call.
+    """
+    return seeding.rng(rng)
 
 
 def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:

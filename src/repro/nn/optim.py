@@ -23,7 +23,13 @@ from repro.nn.layers.base import Parameter
 
 
 class Optimizer:
-    """Base optimizer holding a parameter list."""
+    """Base optimizer holding a parameter list.
+
+    Subclasses expose their complete update state through ``state_dict`` /
+    ``load_state_dict`` (moment buffers, step counters, hyperparameters) so
+    a training run can be checkpointed and resumed bit-exactly — see
+    :mod:`repro.nn.serialization`.
+    """
 
     def __init__(self, parameters: Iterable[Parameter]):
         self.parameters: List[Parameter] = list(parameters)
@@ -34,6 +40,58 @@ class Optimizer:
     def zero_grad(self) -> None:
         for param in self.parameters:
             param.grad = None
+
+    # ------------------------------------------------------------------
+    # Full-state checkpointing.
+    # ------------------------------------------------------------------
+    def _hyper(self) -> Dict[str, float]:
+        """Scalar hyperparameters, for recording and load-time validation."""
+        return {}
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        """Per-parameter state buffers, keyed by slot name."""
+        return {}
+
+    def state_dict(self) -> Dict:
+        """Everything needed to continue stepping exactly where we left off."""
+        return {
+            "type": type(self).__name__,
+            "step_count": int(getattr(self, "_step_count", 0)),
+            "hyper": self._hyper(),
+            "slots": {name: [b.copy() for b in buffers] for name, buffers in self._slots().items()},
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place (shape-checked)."""
+        expected_type = type(self).__name__
+        if state.get("type") != expected_type:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, not {expected_type!r}"
+            )
+        own_slots = self._slots()
+        saved_slots = state.get("slots", {})
+        if set(saved_slots) != set(own_slots):
+            raise ValueError(
+                f"optimizer slot mismatch: saved {sorted(saved_slots)}, "
+                f"expected {sorted(own_slots)}"
+            )
+        for name, buffers in own_slots.items():
+            saved = saved_slots[name]
+            if len(saved) != len(buffers):
+                raise ValueError(
+                    f"optimizer slot {name!r} has {len(saved)} buffers, "
+                    f"expected {len(buffers)}"
+                )
+            for index, (buffer, value) in enumerate(zip(buffers, saved)):
+                value = np.asarray(value)
+                if value.shape != buffer.shape:
+                    raise ValueError(
+                        f"optimizer slot {name}[{index}] shape mismatch: "
+                        f"saved {value.shape}, expected {buffer.shape}"
+                    )
+                np.copyto(buffer, value.astype(buffer.dtype, copy=False))
+        if hasattr(self, "_step_count"):
+            self._step_count = int(state.get("step_count", 0))
 
     def _scratch_for(self, param: Parameter, slot: str) -> np.ndarray:
         """A reusable scratch view shaped like ``param`` (one flat buffer per
@@ -62,6 +120,12 @@ class SGD(Optimizer):
         self.momentum = momentum
         self.weight_decay = weight_decay
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _hyper(self) -> Dict[str, float]:
+        return {"lr": self.lr, "momentum": self.momentum, "weight_decay": self.weight_decay}
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {"velocity": self._velocity}
 
     def step(self) -> None:
         for param, velocity in zip(self.parameters, self._velocity):
@@ -105,6 +169,18 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
 
+    def _hyper(self) -> Dict[str, float]:
+        return {
+            "lr": self.lr,
+            "beta1": self.beta1,
+            "beta2": self.beta2,
+            "epsilon": self.epsilon,
+            "weight_decay": self.weight_decay,
+        }
+
+    def _slots(self) -> Dict[str, List[np.ndarray]]:
+        return {"m": self._m, "v": self._v}
+
     def step(self) -> None:
         self._step_count += 1
         bias1 = 1.0 - self.beta1**self._step_count
@@ -138,6 +214,18 @@ class Adam(Optimizer):
             tmp /= denom
             param.data -= tmp
         engine.bump_weight_version()
+
+
+OPTIMIZERS: Dict[str, type] = {"adam": Adam, "sgd": SGD}
+
+
+def make_optimizer(name: str, parameters: Iterable[Parameter], lr: float = 1e-3, **kwargs) -> Optimizer:
+    """Build an optimizer by name — the hook ``RunSpec.optimizer`` resolves through."""
+    try:
+        cls = OPTIMIZERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name!r}; choose from {sorted(OPTIMIZERS)}") from None
+    return cls(parameters, lr=lr, **kwargs)
 
 
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:

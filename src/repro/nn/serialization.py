@@ -1,25 +1,235 @@
-"""Save/load model weights as ``.npz`` archives."""
+"""Model weights and full training-state checkpoints as ``.npz`` archives.
+
+Two file kinds share the npz container:
+
+- **weights** (:func:`save_weights` / :func:`load_weights`) — the bare
+  parameter arrays of one ``Module``, keyed by dotted parameter name.
+- **checkpoints** (:func:`save_checkpoint` / :func:`load_checkpoint`) —
+  everything a mid-training crash would otherwise lose, in one file:
+  model weights (``model/<name>``), best-so-far weights (``best/<name>``),
+  optimizer slots (``optim/<slot>/<index>``), and a JSON metadata record
+  (epoch, loss curves, early-stop counters, the shuffle RNG's exact
+  position, optimizer type/step count, and an arbitrary caller payload such
+  as a serialized ``RunSpec``). ``Trainer.fit(resume_from=...)`` restores a
+  checkpoint bit-exactly — the resumed run's weights and metrics are
+  identical to an uninterrupted one.
+
+Both loaders are strict: missing keys, unexpected keys, and shape
+mismatches raise a single error listing every problem, instead of silently
+misloading a partially-matching archive.
+"""
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.nn.layers.base import Module
 
+CHECKPOINT_META_KEY = "__checkpoint_meta__"
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def _ensure_parent(path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+
+
+def _state_diff(model: Module, state: Dict[str, np.ndarray], context: str) -> None:
+    """Raise one error listing every missing/unexpected/mis-shaped key."""
+    own = {name: param.data.shape for name, param in model.named_parameters()}
+    problems: List[str] = []
+    missing = sorted(set(own) - set(state))
+    unexpected = sorted(set(state) - set(own))
+    if missing:
+        problems.append(f"missing parameters: {missing}")
+    if unexpected:
+        problems.append(f"unexpected parameters: {unexpected}")
+    for name in sorted(set(own) & set(state)):
+        saved = np.asarray(state[name]).shape
+        if saved != own[name]:
+            problems.append(f"shape mismatch for {name!r}: saved {saved}, model expects {own[name]}")
+    if problems:
+        raise ValueError(
+            f"{context} does not match {type(model).__name__} "
+            f"({len(own)} parameters): " + "; ".join(problems)
+        )
+
 
 def save_weights(model: Module, path: str) -> None:
     """Serialize the model's state dict to ``path`` (npz)."""
     state = model.state_dict()
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
+    if not state:
+        raise ValueError(
+            f"refusing to save {type(model).__name__}: it has no parameters"
+        )
+    _ensure_parent(path)
     np.savez(path, **state)
 
 
 def load_weights(model: Module, path: str) -> None:
-    """Load weights saved by :func:`save_weights` into ``model`` in place."""
-    with np.load(path) as archive:
+    """Load weights saved by :func:`save_weights` into ``model`` in place.
+
+    Rejects archives whose keys or shapes don't exactly match the model's
+    parameters, reporting every discrepancy at once. Given a full training
+    checkpoint instead of a weights file, points at :func:`load_checkpoint`.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        if CHECKPOINT_META_KEY in archive.files:
+            raise ValueError(
+                f"{path} is a full training checkpoint, not a bare weights file; "
+                "load it with repro.nn.serialization.load_checkpoint (or resume "
+                "training via Trainer.fit(resume_from=...))"
+            )
         state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    _state_diff(model, state, context=f"weights file {path!r}")
     model.load_state_dict(state)
+
+
+# ----------------------------------------------------------------------
+# Full-state checkpoints.
+# ----------------------------------------------------------------------
+@dataclass
+class TrainingCheckpoint:
+    """Parsed contents of a checkpoint file."""
+
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Optional[Dict] = None
+    best_state: Optional[Dict[str, np.ndarray]] = None
+    epoch: int = 0
+    history: Dict = field(default_factory=dict)
+    best_val: float = float("inf")
+    stale: int = 0
+    stopped: bool = False
+    rng_state: Optional[Dict] = None
+    loss: Optional[str] = None
+    model_class: Optional[str] = None
+    extra: Dict = field(default_factory=dict)
+
+    def restore_model(self, model: Module) -> None:
+        """Load the saved weights into ``model``, shape-checked."""
+        _state_diff(model, self.model_state, context="checkpoint model state")
+        model.load_state_dict(self.model_state)
+
+    def restore_optimizer(self, optimizer) -> None:
+        if self.optimizer_state is None:
+            raise ValueError("checkpoint carries no optimizer state")
+        optimizer.load_state_dict(self.optimizer_state)
+
+
+def save_checkpoint(
+    path: str,
+    model: Module,
+    optimizer=None,
+    epoch: int = 0,
+    history: Optional[Dict] = None,
+    best_val: float = float("inf"),
+    stale: int = 0,
+    stopped: bool = False,
+    rng_state: Optional[Dict] = None,
+    best_state: Optional[Dict[str, np.ndarray]] = None,
+    loss: Optional[str] = None,
+    extra: Optional[Dict] = None,
+) -> None:
+    """Write one self-contained resume point (atomic: temp file + rename)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        arrays[f"model/{name}"] = value
+    if best_state is not None:
+        for name, value in best_state.items():
+            arrays[f"best/{name}"] = np.asarray(value)
+    optimizer_meta = None
+    if optimizer is not None:
+        state = optimizer.state_dict()
+        for slot, buffers in state.pop("slots").items():
+            for index, buffer in enumerate(buffers):
+                arrays[f"optim/{slot}/{index}"] = buffer
+        optimizer_meta = state  # type / step_count / hyper
+    meta = {
+        "format": CHECKPOINT_FORMAT_VERSION,
+        "epoch": int(epoch),
+        "history": history or {},
+        "best_val": None if best_val == float("inf") else float(best_val),
+        "stale": int(stale),
+        "stopped": bool(stopped),
+        "rng_state": rng_state,
+        "optimizer": optimizer_meta,
+        "loss": loss,
+        "model_class": type(model).__name__,
+        "extra": extra or {},
+    }
+    arrays[CHECKPOINT_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    _ensure_parent(path)
+    tmp = path + ".tmp"
+    np.savez(tmp, **arrays)
+    # np.savez appends .npz to extension-less paths; follow where it wrote.
+    written = tmp if os.path.exists(tmp) else tmp + ".npz"
+    os.replace(written, path)
+
+
+def load_checkpoint(path: str) -> TrainingCheckpoint:
+    """Parse a file written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if CHECKPOINT_META_KEY not in archive.files:
+            raise ValueError(
+                f"{path} is not a training checkpoint (no metadata record); "
+                "bare weight files load with repro.nn.serialization.load_weights"
+            )
+        meta = json.loads(archive[CHECKPOINT_META_KEY].tobytes().decode("utf-8"))
+        if meta.get("format") != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint {path} has format {meta.get('format')!r}; "
+                f"this build reads format {CHECKPOINT_FORMAT_VERSION}"
+            )
+        model_state: Dict[str, np.ndarray] = {}
+        best_state: Dict[str, np.ndarray] = {}
+        slots: Dict[str, Dict[int, np.ndarray]] = {}
+        for key in archive.files:
+            if key == CHECKPOINT_META_KEY:
+                continue
+            section, _, rest = key.partition("/")
+            if section == "model":
+                model_state[rest] = archive[key]
+            elif section == "best":
+                best_state[rest] = archive[key]
+            elif section == "optim":
+                slot, _, index = rest.partition("/")
+                slots.setdefault(slot, {})[int(index)] = archive[key]
+            else:
+                raise ValueError(f"checkpoint {path} has unrecognized section {key!r}")
+    optimizer_state = meta.get("optimizer")
+    if optimizer_state is not None:
+        optimizer_state = dict(optimizer_state)
+        optimizer_state["slots"] = {
+            slot: [buffers[i] for i in sorted(buffers)] for slot, buffers in slots.items()
+        }
+    best_val = meta.get("best_val")
+    return TrainingCheckpoint(
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        best_state=best_state or None,
+        epoch=int(meta.get("epoch", 0)),
+        history=meta.get("history") or {},
+        best_val=float("inf") if best_val is None else float(best_val),
+        stale=int(meta.get("stale", 0)),
+        stopped=bool(meta.get("stopped", False)),
+        rng_state=meta.get("rng_state"),
+        loss=meta.get("loss"),
+        model_class=meta.get("model_class"),
+        extra=meta.get("extra") or {},
+    )
+
+
+def is_checkpoint(path: str) -> bool:
+    """Whether ``path`` is a full checkpoint (vs a bare weights archive)."""
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return CHECKPOINT_META_KEY in archive.files
+    except (OSError, ValueError):
+        return False

@@ -10,6 +10,11 @@ Progress reporting goes through the observer API (``repro.obs.observers``):
 emits ``epoch`` / ``eval`` / ``early_stop`` events to any open structured
 run logger (``repro.obs.runlog``). ``verbose=True`` is sugar for appending
 a :class:`~repro.obs.observers.ConsoleObserver`.
+
+``fit`` also supports full-state checkpointing (``checkpoint_path=`` /
+``resume_from=``): weights, optimizer moments, the shuffle RNG's position
+and early-stop bookkeeping round-trip through one ``.npz`` file so an
+interrupted run resumes bit-exactly (see :mod:`repro.nn.serialization`).
 """
 
 from __future__ import annotations
@@ -20,14 +25,15 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.nn import config, engine
+from repro.nn import config, engine, serialization
 from repro.nn.layers.base import Module
 from repro.nn.losses import get_loss
-from repro.nn.optim import Adam, Optimizer, clip_grad_norm
+from repro.nn.optim import Adam, Optimizer, clip_grad_norm, make_optimizer
 from repro.nn.tensor import Tensor
 from repro.obs import metrics as obs_metrics
 from repro.obs import runlog, tracing
 from repro.obs.observers import ConsoleObserver, TrainingObserver
+from repro.pipeline import seeding
 
 
 @dataclass
@@ -63,6 +69,15 @@ class TrainingHistory:
             "total_seconds": self.total_seconds,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TrainingHistory":
+        """Rebuild curves saved by :meth:`as_dict` (checkpoint resume)."""
+        return cls(
+            train_loss=[float(v) for v in payload.get("train_loss", [])],
+            val_loss=[float(v) for v in payload.get("val_loss", [])],
+            epoch_seconds=[float(v) for v in payload.get("epoch_seconds", [])],
+        )
+
 
 def iterate_minibatches(
     inputs: np.ndarray,
@@ -91,7 +106,7 @@ class Trainer:
         self,
         model: Module,
         loss: str = "l1",
-        optimizer: Optional[Optimizer] = None,
+        optimizer: Optional[object] = None,
         lr: float = 1e-3,
         batch_size: int = 32,
         max_grad_norm: Optional[float] = 5.0,
@@ -100,11 +115,18 @@ class Trainer:
         self.model = model
         self.loss_name = loss if isinstance(loss, str) else getattr(loss, "__name__", "custom")
         self.loss_fn: Callable = get_loss(loss) if isinstance(loss, str) else loss
-        self.optimizer = optimizer or Adam(model.parameters(), lr=lr)
+        if optimizer is None:
+            optimizer = Adam(model.parameters(), lr=lr)
+        elif isinstance(optimizer, str):
+            optimizer = make_optimizer(optimizer, model.parameters(), lr=lr)
+        self.optimizer: Optimizer = optimizer
         self.batch_size = batch_size
         self.max_grad_norm = max_grad_norm
         self.seed = seed
-        self.rng = np.random.default_rng(seed)
+        # Seeded trainers get a private stream (bit-compatible with the old
+        # default_rng call); unseeded ones share the process generator so a
+        # single seeding.seed_everything() pins the whole run.
+        self.rng = seeding.rng(seed) if seed is not None else seeding.global_rng()
 
     def _run_info(self, epochs: int, train_count: int, val_count: int) -> Dict:
         return {
@@ -131,8 +153,18 @@ class Trainer:
         verbose: bool = False,
         patience: Optional[int] = None,
         observers: Optional[Sequence[TrainingObserver]] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 1,
+        resume_from: Optional[str] = None,
     ) -> TrainingHistory:
-        """Run the training loop; early-stops on validation loss if asked."""
+        """Run the training loop; early-stops on validation loss if asked.
+
+        ``checkpoint_path`` autosaves a full resume point (weights +
+        optimizer + RNG + epoch bookkeeping) every ``checkpoint_every``
+        epochs; ``resume_from`` restores one and continues mid-training
+        bit-exactly — the resumed run's weights and loss curves match an
+        uninterrupted run to the last bit.
+        """
         watchers: List[TrainingObserver] = list(observers) if observers else []
         if verbose:
             watchers.append(ConsoleObserver())
@@ -140,12 +172,25 @@ class Trainer:
         best_val = float("inf")
         best_state = None
         stale = 0
+        start_epoch = 0
+        if resume_from is not None:
+            checkpoint = serialization.load_checkpoint(resume_from)
+            start_epoch, best_val, stale, best_state = self._restore_checkpoint(checkpoint)
+            history = TrainingHistory.from_dict(checkpoint.history)
+            if checkpoint.stopped:
+                # The interrupted run had already early-stopped: it ended
+                # holding its best weights, so finish the same way.
+                if best_state is not None:
+                    self.model.load_state_dict(best_state)
+                return history
         run_info = self._run_info(
             epochs, len(train_x), len(val_x) if val_x is not None else 0
         )
+        if start_epoch:
+            run_info["resumed_at_epoch"] = start_epoch
         for watcher in watchers:
             watcher.on_fit_start(run_info)
-        for epoch in range(epochs):
+        for epoch in range(start_epoch, epochs):
             start = time.perf_counter()
             epoch_losses = []
             self.model.train()
@@ -186,6 +231,21 @@ class Trainer:
                 watcher.on_epoch(epoch_info)
             runlog.emit("epoch", **epoch_info)
 
+            if checkpoint_path is not None and (
+                (epoch + 1) % checkpoint_every == 0
+                or stopped_early
+                or epoch + 1 == epochs
+            ):
+                self.save_checkpoint(
+                    checkpoint_path,
+                    epoch=epoch + 1,
+                    history=history,
+                    best_val=best_val,
+                    stale=stale,
+                    best_state=best_state,
+                    stopped=stopped_early,
+                )
+
             if stopped_early:
                 stop_info = {
                     "epoch": epoch + 1,
@@ -208,6 +268,48 @@ class Trainer:
         for watcher in watchers:
             watcher.on_fit_end(end_info)
         return history
+
+    # ------------------------------------------------------------------
+    # Full-state checkpointing.
+    # ------------------------------------------------------------------
+    def save_checkpoint(
+        self,
+        path: str,
+        epoch: int,
+        history: TrainingHistory,
+        best_val: float = float("inf"),
+        stale: int = 0,
+        best_state=None,
+        stopped: bool = False,
+        extra: Optional[Dict] = None,
+    ) -> None:
+        """Write a resume point capturing this trainer's exact position."""
+        payload = {"seed": self.seed}
+        if extra:
+            payload.update(extra)
+        serialization.save_checkpoint(
+            path,
+            self.model,
+            optimizer=self.optimizer,
+            epoch=epoch,
+            history=history.as_dict() if isinstance(history, TrainingHistory) else history,
+            best_val=best_val,
+            stale=stale,
+            stopped=stopped,
+            rng_state=seeding.get_state(self.rng),
+            best_state=best_state,
+            loss=self.loss_name,
+            extra=payload,
+        )
+
+    def _restore_checkpoint(self, checkpoint: serialization.TrainingCheckpoint):
+        """Load model/optimizer/RNG state; returns (epoch, best_val, stale, best_state)."""
+        checkpoint.restore_model(self.model)
+        if checkpoint.optimizer_state is not None:
+            checkpoint.restore_optimizer(self.optimizer)
+        if checkpoint.rng_state is not None:
+            seeding.set_state(self.rng, checkpoint.rng_state)
+        return checkpoint.epoch, checkpoint.best_val, checkpoint.stale, checkpoint.best_state
 
     def train_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
         """One optimizer update; returns the batch loss.

@@ -1,0 +1,63 @@
+"""`repro.pipeline` — the config-driven experiment layer.
+
+One place where model construction, training, checkpointing and evaluation
+meet, so every experiment *declares* a run instead of hand-rolling it:
+
+- :mod:`repro.pipeline.registry` — model zoo: names → factories with their
+  declared default hyperparameters (BikeCAP + ablation variants, the seven
+  paper baselines, the naive anchors).
+- :mod:`repro.pipeline.spec` — :class:`RunSpec`, the declarative run
+  description (model, window/data params, optimizer, engine mode, seed)
+  with dict/JSON round-trip.
+- :mod:`repro.pipeline.runner` — :func:`execute`: registry build + fit
+  (with checkpoint/resume) + denormalized evaluation + structured run log.
+- :mod:`repro.pipeline.checkpoint` — naming and discovery of full-state
+  training checkpoints (format in :mod:`repro.nn.serialization`).
+- :mod:`repro.pipeline.seeding` / :mod:`repro.pipeline.forecast` —
+  dependency-free leaves (centralized RNG seeding; the recursive/direct
+  multi-step decode protocol) importable from any layer.
+
+The heavyweight submodules are loaded lazily (PEP 562): the low layers may
+import the leaf modules without dragging the whole model zoo — and its
+import cycle — into ``repro.nn``.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline import forecast, seeding
+
+_LAZY = {
+    "RunSpec": ("repro.pipeline.spec", "RunSpec"),
+    "registry": ("repro.pipeline.registry", None),
+    "spec": ("repro.pipeline.spec", None),
+    "runner": ("repro.pipeline.runner", None),
+    "checkpoint": ("repro.pipeline.checkpoint", None),
+    "available_models": ("repro.pipeline.registry", "available_models"),
+    "model_entry": ("repro.pipeline.registry", "model_entry"),
+    "default_hparams": ("repro.pipeline.registry", "default_hparams"),
+    "build": ("repro.pipeline.registry", "build"),
+    "create": ("repro.pipeline.registry", "create"),
+    "protocol_of": ("repro.pipeline.registry", "protocol_of"),
+    "is_neural": ("repro.pipeline.registry", "is_neural"),
+    "execute": ("repro.pipeline.runner", "execute"),
+    "RunResult": ("repro.pipeline.runner", "RunResult"),
+}
+
+__all__ = sorted(set(_LAZY) | {"forecast", "seeding"})
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = module if attribute is None else getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return __all__

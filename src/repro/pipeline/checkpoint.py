@@ -1,0 +1,77 @@
+"""Checkpoint naming and discovery for pipeline runs.
+
+The actual archive format lives in :mod:`repro.nn.serialization` (one
+``.npz`` holding model weights, optimizer state, RNG state and progress
+metadata); this module owns the *conventions*: where a run's checkpoint
+file goes and how a resuming caller finds the newest one.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Optional
+
+from repro.nn.serialization import (
+    TrainingCheckpoint,
+    is_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+CHECKPOINT_SUFFIX = ".ckpt.npz"
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe version of a run label (``PredRNN++`` → ``PredRNN--``)."""
+    return re.sub(r"[^A-Za-z0-9._-]", "-", text)
+
+
+def checkpoint_filename(label: str, seed: int) -> str:
+    return f"{_slug(label)}-seed{int(seed)}{CHECKPOINT_SUFFIX}"
+
+
+def checkpoint_path(directory: str, label: str, seed: int) -> str:
+    """Canonical checkpoint location for one labelled, seeded run."""
+    return os.path.join(directory, checkpoint_filename(label, seed))
+
+
+def find_checkpoint(directory: str, label: str, seed: int) -> Optional[str]:
+    """The run's checkpoint path if it exists on disk, else ``None``."""
+    path = checkpoint_path(directory, label, seed)
+    return path if os.path.exists(path) else None
+
+
+def newest_checkpoint(directory: str, prefix: Optional[str] = None) -> Optional[str]:
+    """Most recently written checkpoint in ``directory`` (optional prefix).
+
+    Used by ``run_all --resume`` to pick up the latest autosave without
+    knowing exactly which epoch it covers — the archive itself records
+    that.
+    """
+    if not os.path.isdir(directory):
+        return None
+    candidates = []
+    for entry in os.listdir(directory):
+        if not entry.endswith(CHECKPOINT_SUFFIX):
+            continue
+        if prefix is not None and not entry.startswith(_slug(prefix)):
+            continue
+        full = os.path.join(directory, entry)
+        candidates.append((os.path.getmtime(full), full))
+    if not candidates:
+        return None
+    return max(candidates)[1]
+
+
+__all__ = [
+    "CHECKPOINT_SUFFIX",
+    "TrainingCheckpoint",
+    "checkpoint_filename",
+    "checkpoint_path",
+    "find_checkpoint",
+    "is_checkpoint",
+    "load_checkpoint",
+    "newest_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,95 @@
+"""The multi-step forecast protocol, in one place (paper Sec. IV-B).
+
+Every model in the zoo produces ``(N, p, G1, G2)`` multi-step demand one of
+two ways:
+
+- ``RECURSIVE`` — a single-step frame predictor rolled forward: drop the
+  oldest history slot, append the model's own predicted frame, repeat.
+  This feedback loop is where the paper's accumulated error comes from.
+- ``DIRECT`` — all ``p`` future slots emitted in one forward pass
+  (STGCN, STSGCN, BikeCAP); no feedback, no accumulation.
+
+:func:`recursive_forecast` is the single implementation of the roll-forward
+loop; :class:`repro.baselines.base.RecursiveFrameForecaster` and the
+teacher-forcing diagnostics both decode through it, so the protocol cannot
+drift between models.
+
+Layering note: like :mod:`repro.pipeline.seeding` this is a dependency-free
+leaf (numpy + callables only) importable from any layer; the rest of
+``repro.pipeline`` is top-of-stack.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+RECURSIVE = "recursive"
+DIRECT = "direct"
+PROTOCOLS = (RECURSIVE, DIRECT)
+
+# Normalized demand is clipped to this range when predictions are fed back,
+# keeping the recursion from wandering outside the training distribution.
+CLIP_RANGE = (0.0, 1.5)
+
+
+def clip_normalized(frame: np.ndarray) -> np.ndarray:
+    """Clamp rolled-forward predictions to the normalized demand range."""
+    return np.clip(frame, CLIP_RANGE[0], CLIP_RANGE[1])
+
+
+def recursive_forecast(
+    predict_next_frame: Callable[[np.ndarray], np.ndarray],
+    window: np.ndarray,
+    horizon: int,
+    target_feature: int = 0,
+) -> np.ndarray:
+    """Roll a single-step frame predictor forward ``horizon`` steps.
+
+    ``predict_next_frame`` maps a history window ``(N, h, G1, G2, F)`` to
+    the full next feature frame ``(N, G1, G2, F)``. Each step slides the
+    window by one slot, feeding the prediction back as input — exactly the
+    deployment condition of the paper's autoregressive baselines. Returns
+    the ``target_feature`` channel of every step, ``(N, p, G1, G2)``.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    window = np.asarray(window).copy()
+    steps = []
+    for _step in range(horizon):
+        frame = np.asarray(predict_next_frame(window))
+        if frame.shape != window.shape[:1] + window.shape[2:]:
+            raise ValueError(
+                "predict_next_frame must return a full feature frame "
+                f"{window.shape[:1] + window.shape[2:]}, got {frame.shape}"
+            )
+        steps.append(frame[..., target_feature])
+        window = np.concatenate([window[:, 1:], frame[:, None]], axis=1)
+    return np.stack(steps, axis=1)
+
+
+def teacher_forced_forecast(
+    predict_next_frame: Callable[[np.ndarray], np.ndarray],
+    windows: np.ndarray,
+    horizon: int,
+    target_feature: int = 0,
+    count: Optional[int] = None,
+) -> np.ndarray:
+    """Multi-step decode where each step sees the *true* previous frames.
+
+    ``windows`` must be consecutive chronological windows, so window
+    ``i + t`` holds the frames the model would have seen had all its
+    predictions up to step ``t`` been perfect. The gap between this and
+    :func:`recursive_forecast` *is* the accumulated error (offline
+    diagnostic only — impossible in deployment).
+    """
+    if count is None:
+        count = len(windows) - horizon
+    if count <= 0:
+        raise ValueError("not enough consecutive windows for teacher forcing")
+    steps = []
+    for step in range(horizon):
+        frame = np.asarray(predict_next_frame(windows[step : step + count]))
+        steps.append(frame[..., target_feature])
+    return np.stack(steps, axis=1)

@@ -1,0 +1,221 @@
+"""The model registry: every runnable model, one namespace.
+
+Each entry binds a paper-facing name to a forecaster factory plus the
+metadata the pipeline needs without instantiating anything:
+
+- ``protocol`` — how the model produces multi-step forecasts
+  (:data:`repro.pipeline.forecast.RECURSIVE` roll-forward vs
+  :data:`~repro.pipeline.forecast.DIRECT` all-steps-at-once); Table III's
+  error-accumulation story hangs on this split, so it is declared here
+  instead of being probed with ``isinstance`` at experiment time;
+- ``neural`` — whether the model trains through ``repro.nn`` (and hence
+  supports weight serialization and full-state checkpoint/resume);
+- ``defaults`` — the factory's declared hyperparameters, introspected from
+  its signature so the registry can never drift from the code.
+
+Covers BikeCAP, its four ablation variants, the paper's seven baselines
+and the two naive sanity anchors.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.baselines import FORECASTERS, Forecaster
+from repro.baselines.bikecap_adapter import BikeCAPForecaster
+from repro.core.variants import VARIANTS
+from repro.pipeline.forecast import DIRECT, PROTOCOLS, RECURSIVE
+from repro.pipeline.spec import RunSpec
+
+# Hyperparameters every factory receives positionally from the dataset;
+# they are part of the run geometry, not of ``defaults``.
+_STRUCTURAL = ("self", "history", "horizon", "grid_shape", "num_features")
+
+
+def _introspect_defaults(factory: Callable) -> Dict[str, Any]:
+    """Keyword parameters (with defaults) a factory declares."""
+    signature = inspect.signature(factory)
+    defaults: Dict[str, Any] = {}
+    for name, parameter in signature.parameters.items():
+        if name in _STRUCTURAL:
+            continue
+        if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+            continue
+        if parameter.default is not parameter.empty:
+            defaults[name] = parameter.default
+    return defaults
+
+
+def _accepts_kwargs(factory: Callable) -> bool:
+    return any(
+        parameter.kind is parameter.VAR_KEYWORD
+        for parameter in inspect.signature(factory).parameters.values()
+    )
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered model: factory + pipeline-facing metadata."""
+
+    name: str
+    factory: Callable[..., Forecaster]
+    protocol: str
+    neural: bool
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    open_hparams: bool = False  # factory accepts **kwargs beyond defaults
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"{self.name}: protocol must be one of {sorted(PROTOCOLS)}, got {self.protocol!r}"
+            )
+
+    def resolve_hparams(self, overrides: Mapping[str, Any]) -> Dict[str, Any]:
+        """Declared defaults merged with ``overrides``; unknown keys fail."""
+        unknown = sorted(set(overrides) - set(self.defaults))
+        if unknown and not self.open_hparams:
+            raise ValueError(
+                f"{self.name}: unknown hyperparameters {unknown}; "
+                f"declared: {sorted(self.defaults)}"
+            )
+        merged = dict(self.defaults)
+        merged.update(overrides)
+        return merged
+
+
+def _variant_factory(variant: str) -> Callable[..., Forecaster]:
+    def factory(history, horizon, grid_shape, num_features, **hparams):
+        return BikeCAPForecaster(
+            history, horizon, grid_shape, num_features, variant=variant, **hparams
+        )
+
+    factory.__signature__ = inspect.signature(BikeCAPForecaster.__init__)
+    factory.__name__ = f"make_{variant.replace('-', '_').lower()}"
+    return factory
+
+
+def _build_registry() -> Dict[str, ModelEntry]:
+    protocol_by_name = {
+        "XGBoost": RECURSIVE,
+        "LSTM": RECURSIVE,
+        "convLSTM": RECURSIVE,
+        "PredRNN": RECURSIVE,
+        "PredRNN++": RECURSIVE,
+        "STGCN": DIRECT,
+        "STSGCN": DIRECT,
+        "BikeCAP": DIRECT,
+        "Persistence": DIRECT,
+        "SeasonalAverage": DIRECT,
+    }
+    non_neural = {"XGBoost", "Persistence", "SeasonalAverage"}
+    registry: Dict[str, ModelEntry] = {}
+    for name, cls in FORECASTERS.items():
+        registry[name] = ModelEntry(
+            name=name,
+            factory=cls,
+            protocol=protocol_by_name[name],
+            neural=name not in non_neural,
+            defaults=_introspect_defaults(cls.__init__),
+            open_hparams=_accepts_kwargs(cls.__init__),
+        )
+    # The ablation variants share the BikeCAP adapter; the "variant" default
+    # is pinned by the factory, so it is not an overridable hyperparameter.
+    adapter_defaults = {
+        key: value
+        for key, value in _introspect_defaults(BikeCAPForecaster.__init__).items()
+        if key != "variant"
+    }
+    for variant in VARIANTS:
+        if variant in registry:
+            continue  # plain "BikeCAP" is already registered via FORECASTERS
+        registry[variant] = ModelEntry(
+            name=variant,
+            factory=_variant_factory(variant),
+            protocol=DIRECT,
+            neural=True,
+            defaults=adapter_defaults,
+            open_hparams=True,
+        )
+    return registry
+
+
+_REGISTRY: Dict[str, ModelEntry] = _build_registry()
+
+
+def available_models() -> Tuple[str, ...]:
+    """Registered model names, registration order (Table III order first)."""
+    return tuple(_REGISTRY)
+
+
+def model_entry(name: str) -> ModelEntry:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def default_hparams(name: str) -> Dict[str, Any]:
+    """A mutable copy of the declared hyperparameter defaults."""
+    return dict(model_entry(name).defaults)
+
+
+def protocol_of(name: str) -> str:
+    """``"recursive"`` or ``"direct"`` — the model's multi-step protocol."""
+    return model_entry(name).protocol
+
+
+def is_neural(name: str) -> bool:
+    return model_entry(name).neural
+
+
+def bikecap_variants() -> Tuple[str, ...]:
+    """The full model plus its ablation variants, Fig. 7 order."""
+    return tuple(VARIANTS)
+
+
+def create(
+    name: str,
+    history: int,
+    horizon: int,
+    grid_shape,
+    num_features: int,
+    seed: Optional[int] = None,
+    **hparams: Any,
+) -> Forecaster:
+    """Instantiate a registered model with defaults + keyword overrides."""
+    entry = model_entry(name)
+    if seed is not None:
+        hparams = dict(hparams, seed=seed)
+    resolved = entry.resolve_hparams(hparams)
+    return entry.factory(history, horizon, grid_shape, num_features, **resolved)
+
+
+def build(spec: RunSpec, dataset) -> Forecaster:
+    """Instantiate the model a :class:`RunSpec` describes, for a dataset."""
+    spec.validate_against(dataset)
+    return create(
+        spec.model,
+        dataset.history,
+        dataset.horizon,
+        dataset.grid_shape,
+        dataset.num_features,
+        seed=spec.seed,
+        **spec.hparams,
+    )
+
+
+__all__ = [
+    "ModelEntry",
+    "available_models",
+    "bikecap_variants",
+    "build",
+    "create",
+    "default_hparams",
+    "is_neural",
+    "model_entry",
+    "protocol_of",
+]

@@ -1,0 +1,128 @@
+"""Execute a :class:`~repro.pipeline.spec.RunSpec` against a dataset.
+
+``execute`` is the one funnel every experiment goes through: it builds the
+model from the registry, applies the spec's engine configuration, opens a
+structured run log and a tracing span, trains with optional full-state
+checkpointing/resume, and evaluates on the test split. Experiment scripts
+never touch forecaster classes directly — they describe runs as specs and
+hand them here (enforced by ``scripts/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.data.datasets import BikeDemandDataset
+from repro.metrics.evaluation import evaluate_forecaster
+from repro.nn import config as nn_config
+from repro.obs import runlog, tracing
+from repro.pipeline import checkpoint as ckpt
+from repro.pipeline import registry
+from repro.pipeline.spec import RunSpec
+
+
+@dataclass
+class RunResult:
+    """Everything one executed spec produced."""
+
+    spec: RunSpec
+    label: str
+    metrics: Dict[str, float]
+    history: Dict[str, Any] = field(default_factory=dict)
+    forecaster: Any = None
+    checkpoint_path: Optional[str] = None
+    resumed_from: Optional[str] = None
+
+
+@contextlib.contextmanager
+def _engine_overrides(spec: RunSpec):
+    """Temporarily apply the spec's engine mode / dtype, if any."""
+    previous_mode = nn_config.engine_mode()
+    previous_dtype = nn_config.dtype()
+    try:
+        if spec.engine_mode is not None:
+            nn_config.set_engine_mode(spec.engine_mode)
+        if spec.dtype is not None:
+            nn_config.set_dtype(spec.dtype)
+        yield
+    finally:
+        nn_config.set_engine_mode(previous_mode)
+        nn_config.set_dtype(previous_dtype)
+
+
+def run_config(spec: RunSpec, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The config dict recorded in the run log: spec + live engine state."""
+    config: Dict[str, Any] = dict(extra) if extra else {}
+    config["spec"] = spec.to_dict()
+    # Engine state belongs in every run record: results are only comparable
+    # across runs that used the same precision and sharding.
+    config.setdefault("dtype", np.dtype(nn_config.dtype()).name)
+    config.setdefault("engine_mode", nn_config.engine_mode())
+    config.setdefault("num_threads", nn_config.num_threads())
+    return config
+
+
+def execute(
+    spec: RunSpec,
+    dataset: BikeDemandDataset,
+    *,
+    label: Optional[str] = None,
+    log_config: Optional[Dict[str, Any]] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+    verbose: bool = False,
+) -> RunResult:
+    """Build, train, and evaluate the model a spec describes.
+
+    With ``checkpoint_dir`` set, neural models autosave full training state
+    each epoch to ``<dir>/<label>-seed<seed>.ckpt.npz``; with ``resume``
+    also set, an existing file there is restored first so an interrupted
+    run continues bit-exactly where it stopped.
+    """
+    label = label or spec.label(default_horizon=dataset.horizon)
+    with _engine_overrides(spec):
+        forecaster = registry.build(spec, dataset)
+        checkpoint_path = None
+        resume_from = None
+        if checkpoint_dir is not None and registry.is_neural(spec.model):
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            checkpoint_path = ckpt.checkpoint_path(checkpoint_dir, label, spec.seed)
+            if resume:
+                resume_from = ckpt.find_checkpoint(checkpoint_dir, label, spec.seed)
+
+        logger = runlog.start_run(label, seed=spec.seed, config=run_config(spec, log_config))
+        try:
+            with tracing.span(f"experiment.{label}"):
+                history = forecaster.fit(
+                    dataset,
+                    epochs=spec.epochs,
+                    verbose=verbose,
+                    checkpoint_path=checkpoint_path,
+                    resume_from=resume_from,
+                )
+                metrics = evaluate_forecaster(forecaster, dataset)
+            if logger is not None:
+                logger.event("eval", split="test", **metrics)
+                logger.close(status="ok", **metrics)
+                logger = None
+        finally:
+            if logger is not None:
+                logger.close(status="error")
+
+    return RunResult(
+        spec=spec,
+        label=label,
+        metrics=metrics,
+        history=history if isinstance(history, dict) else {},
+        forecaster=forecaster,
+        checkpoint_path=checkpoint_path,
+        resumed_from=resume_from,
+    )
+
+
+__all__ = ["RunResult", "execute", "run_config"]

@@ -1,0 +1,100 @@
+"""Centralized RNG seeding for every stochastic component in the repo.
+
+One module owns randomness so that a run is reproducible from a single
+recorded seed (the ``RunSpec.seed`` written into every structured run log):
+
+- :func:`seed_everything` pins the process-wide sources (``random``,
+  numpy's legacy global state, and this module's shared generator);
+- :func:`rng` hands out a ``np.random.Generator`` for an explicit seed —
+  bit-compatible with ``np.random.default_rng(seed)``, so historical
+  parameter initializations are unchanged — or the shared generator when
+  no seed is given;
+- :func:`derive` builds statistically independent streams from one seed
+  plus string keys (e.g. per-worker, per-channel) via ``SeedSequence``.
+
+Layering note: this is a deliberately dependency-free *leaf* module (numpy
+only). Any layer — ``city``, ``nn``, ``graph``, ``boosting``, ``baselines``
+— may import it, unlike the rest of :mod:`repro.pipeline`, which sits at
+the top of the stack (see ``scripts/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+import random as _py_random
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+SeedLike = Optional[Union[int, np.integer, np.random.Generator]]
+
+_global_rng: Optional[np.random.Generator] = None
+_global_seed: Optional[int] = None
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed every process-wide randomness source; returns the shared generator.
+
+    Pins Python's ``random``, numpy's legacy global state (for any
+    third-party code still using ``np.random.*`` module functions), and the
+    generator handed out by :func:`rng`/:func:`global_rng` for unseeded
+    callers.
+    """
+    global _global_rng, _global_seed
+    seed = int(seed)
+    _py_random.seed(seed)
+    np.random.seed(seed % (2**32))
+    _global_rng = np.random.default_rng(seed)
+    _global_seed = seed
+    return _global_rng
+
+
+def last_seed() -> Optional[int]:
+    """The seed passed to the most recent :func:`seed_everything`, if any."""
+    return _global_seed
+
+
+def global_rng() -> np.random.Generator:
+    """The process-shared generator (entropy-seeded until ``seed_everything``)."""
+    global _global_rng
+    if _global_rng is None:
+        _global_rng = np.random.default_rng()
+    return _global_rng
+
+
+def rng(seed: SeedLike = None) -> np.random.Generator:
+    """A generator for ``seed``; the shared generator when ``seed`` is None.
+
+    ``rng(k)`` produces the exact stream of ``np.random.default_rng(k)``,
+    and a ``Generator`` passes through untouched, so replacing scattered
+    ``default_rng`` call sites with this helper changes no results.
+    """
+    if seed is None:
+        return global_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(int(seed))
+
+
+def derive(seed: Optional[int], *keys: Union[int, str]) -> np.random.Generator:
+    """An independent stream identified by ``(seed, *keys)``.
+
+    String keys are hashed stably (not with ``hash()``, which is salted per
+    process) so derived streams are reproducible across runs.
+    """
+    entropy = [0 if seed is None else int(seed)]
+    for key in keys:
+        if isinstance(key, str):
+            entropy.append(int.from_bytes(key.encode("utf-8"), "little") % (2**63))
+        else:
+            entropy.append(int(key))
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+def get_state(generator: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a generator's exact position."""
+    return generator.bit_generator.state
+
+
+def set_state(generator: np.random.Generator, state: dict) -> None:
+    """Restore a snapshot taken by :func:`get_state` (bit-exact resume)."""
+    generator.bit_generator.state = state

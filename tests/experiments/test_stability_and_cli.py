@@ -75,3 +75,44 @@ class TestRunAllCli:
         assert "table3" in loaded
         assert "BikeCAP" in loaded["table3"]
         assert payload["profile"] == "nano"
+        # Neural training runs autosave full-state checkpoints.
+        checkpoints = os.listdir(os.path.join(output, "checkpoints"))
+        assert any(name.endswith(".ckpt.npz") for name in checkpoints)
+
+    def test_only_restricts_models_and_skips_ablations(
+        self, nano_profile, tmp_path, monkeypatch
+    ):
+        from repro.experiments import profiles as profiles_module
+
+        monkeypatch.setitem(profiles_module.PROFILES, "nano", nano_profile)
+        output = str(tmp_path / "results")
+        payload = run_all("nano", output, verbose=False, only="STSGCN")
+
+        assert list(payload["table3"]) == ["STSGCN"]
+        assert os.path.exists(os.path.join(output, "table3.txt"))
+        # BikeCAP excluded → the BikeCAP-only artifacts are not produced.
+        for skipped in ("fig7", "table4", "table5"):
+            assert not os.path.exists(os.path.join(output, f"{skipped}.txt"))
+
+    def test_only_rejects_unknown_model(self, nano_profile, tmp_path, monkeypatch):
+        from repro.experiments import profiles as profiles_module
+
+        monkeypatch.setitem(profiles_module.PROFILES, "nano", nano_profile)
+        with pytest.raises(ValueError, match="unknown model"):
+            run_all("nano", str(tmp_path / "x"), verbose=False, only="Transformer")
+
+    def test_resume_skips_existing_artifacts(self, nano_profile, tmp_path, monkeypatch):
+        from repro.experiments import profiles as profiles_module
+
+        monkeypatch.setitem(profiles_module.PROFILES, "nano", nano_profile)
+        output = str(tmp_path / "results")
+        first = run_all("nano", output, verbose=False, only="STSGCN")
+        table3_mtime = os.path.getmtime(os.path.join(output, "table3.txt"))
+
+        second = run_all("nano", output, verbose=False, only="STSGCN", resume=True)
+        # The finished artifact was not regenerated...
+        assert os.path.getmtime(os.path.join(output, "table3.txt")) == table3_mtime
+        # ...but its numbers are still carried into the fresh results.json.
+        assert second["table3"] == first["table3"]
+        with open(os.path.join(output, "summary.txt")) as handle:
+            assert "resumed from existing result" in handle.read()

@@ -6,7 +6,7 @@ covering op *compositions* the hand-written tests don't enumerate.
 """
 
 import numpy as np
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.nn import Tensor, ops
@@ -58,6 +58,13 @@ class TestAutogradFuzz:
                 _name, unary = _UNARY[index]
                 out = unary(out)
             return ops.mean(out)
+
+        # Degenerate compositions (e.g. exp of exp of a square) overflow
+        # float64; at that scale finite differences of small-gradient
+        # entries vanish below the output's resolution, so gradcheck
+        # would report spurious mismatches. Discard those draws.
+        value = float(fn(a, b).data)
+        assume(np.isfinite(value) and abs(value) < 100.0)
 
         check_gradients(fn, [a, b], atol=5e-6, rtol=5e-4)
 

@@ -1,0 +1,18 @@
+import numpy as np
+import pytest
+
+from repro.data.datasets import dataset_from_tensor
+
+
+@pytest.fixture(autouse=True)
+def _no_runlog(monkeypatch):
+    """Pipeline tests must not litter results/runs/."""
+    monkeypatch.setenv("REPRO_RUNLOG", "0")
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 5×5-grid, 4-feature dataset small enough to train in seconds."""
+    rng = np.random.default_rng(42)
+    tensor = rng.random((60, 5, 5, 4))
+    return dataset_from_tensor(tensor, history=6, horizon=2)

@@ -1,0 +1,149 @@
+"""Full-state checkpointing: a killed-and-resumed run must be bit-identical
+to an uninterrupted one — weights, loss curves, optimizer moments, RNG."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Sequential, Trainer, load_checkpoint, load_weights
+from repro.nn.layers import Activation
+from repro.pipeline import RunSpec, checkpoint as ckpt, execute
+
+
+def _make_model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 8, rng=rng), Activation("relu"), Linear(8, 3, rng=rng))
+
+
+def _make_data():
+    rng = np.random.default_rng(99)
+    x = rng.random((40, 6))
+    y = rng.random((40, 3))
+    return x[:32], y[:32], x[32:], y[32:]
+
+
+def _states_equal(a, b):
+    assert a.keys() == b.keys()
+    for key in a:
+        np.testing.assert_array_equal(a[key], b[key], err_msg=key)
+
+
+class TestTrainerResume:
+    EPOCHS = 5
+
+    def _fit_uninterrupted(self):
+        x, y, vx, vy = _make_data()
+        trainer = Trainer(_make_model(0), batch_size=8, seed=11)
+        history = trainer.fit(x, y, epochs=self.EPOCHS, val_x=vx, val_y=vy)
+        return trainer, history
+
+    def test_mid_epoch_kill_then_resume_is_bit_exact(self, tmp_path):
+        reference, ref_history = self._fit_uninterrupted()
+        path = str(tmp_path / "run.ckpt.npz")
+        x, y, vx, vy = _make_data()
+
+        # Same run, but the process dies in the middle of epoch 3 — after
+        # the epoch-2 autosave, with the partial epoch's updates lost.
+        killed = Trainer(_make_model(0), batch_size=8, seed=11)
+        original_step = killed.train_step
+        batches_per_epoch = int(np.ceil(len(x) / killed.batch_size))
+        kill_at = 2 * batches_per_epoch + 2  # second batch of epoch 3
+        calls = {"count": 0}
+
+        def dying_step(bx, by):
+            calls["count"] += 1
+            if calls["count"] == kill_at:
+                raise KeyboardInterrupt("simulated kill")
+            return original_step(bx, by)
+
+        killed.train_step = dying_step
+        with pytest.raises(KeyboardInterrupt):
+            killed.fit(
+                x, y, epochs=self.EPOCHS, val_x=vx, val_y=vy, checkpoint_path=path
+            )
+        assert load_checkpoint(path).epoch == 2
+
+        # A fresh process: new model, new trainer, resume from the autosave.
+        resumed = Trainer(_make_model(0), batch_size=8, seed=11)
+        resumed_history = resumed.fit(
+            x, y, epochs=self.EPOCHS, val_x=vx, val_y=vy,
+            checkpoint_path=path, resume_from=path,
+        )
+        _states_equal(resumed.model.state_dict(), reference.model.state_dict())
+        assert resumed_history.train_loss == ref_history.train_loss
+        assert resumed_history.val_loss == ref_history.val_loss
+        # Optimizer moments must match too, or the *next* step would drift.
+        ref_opt = reference.optimizer.state_dict()
+        res_opt = resumed.optimizer.state_dict()
+        assert res_opt["step_count"] == ref_opt["step_count"]
+        for slot in ref_opt["slots"]:
+            for ref_buf, res_buf in zip(ref_opt["slots"][slot], res_opt["slots"][slot]):
+                np.testing.assert_array_equal(ref_buf, res_buf)
+
+    def test_resume_skips_already_finished_run(self, tmp_path):
+        path = str(tmp_path / "done.ckpt.npz")
+        x, y, vx, vy = _make_data()
+        first = Trainer(_make_model(0), batch_size=8, seed=11)
+        first_history = first.fit(
+            x, y, epochs=3, val_x=vx, val_y=vy, checkpoint_path=path
+        )
+        again = Trainer(_make_model(0), batch_size=8, seed=11)
+        again_history = again.fit(
+            x, y, epochs=3, val_x=vx, val_y=vy, resume_from=path
+        )
+        assert again_history.train_loss == first_history.train_loss
+        _states_equal(again.model.state_dict(), first.model.state_dict())
+
+    def test_checkpoint_every_thins_autosaves(self, tmp_path):
+        path = str(tmp_path / "thin.ckpt.npz")
+        x, y, _, _ = _make_data()
+        trainer = Trainer(_make_model(0), batch_size=8, seed=1)
+        trainer.fit(x, y, epochs=3, checkpoint_path=path, checkpoint_every=2)
+        # Final epoch always saves, so the file exists and is current.
+        assert load_checkpoint(path).epoch == 3
+
+
+class TestCheckpointArchive:
+    def test_checkpoint_rejected_by_load_weights(self, tmp_path):
+        path = str(tmp_path / "full.ckpt.npz")
+        x, y, _, _ = _make_data()
+        trainer = Trainer(_make_model(0), batch_size=8, seed=1)
+        trainer.fit(x, y, epochs=1, checkpoint_path=path)
+        with pytest.raises(ValueError, match="load_checkpoint"):
+            load_weights(_make_model(0), path)
+        assert ckpt.is_checkpoint(path)
+
+    def test_naming_and_discovery(self, tmp_path):
+        directory = str(tmp_path)
+        path = ckpt.checkpoint_path(directory, "PredRNN++-pts4", seed=2)
+        assert os.path.basename(path) == "PredRNN---pts4-seed2.ckpt.npz"
+        assert ckpt.find_checkpoint(directory, "PredRNN++-pts4", 2) is None
+        open(path, "w").close()
+        assert ckpt.find_checkpoint(directory, "PredRNN++-pts4", 2) == path
+        assert ckpt.newest_checkpoint(directory) == path
+        assert ckpt.newest_checkpoint(directory, prefix="STGCN") is None
+
+
+class TestPipelineExecuteResume:
+    def test_execute_checkpoints_and_resumes(self, tiny_dataset, tmp_path):
+        directory = str(tmp_path / "ckpts")
+        spec = RunSpec(
+            model="STGCN", epochs=2, seed=1, hparams={"hidden_channels": 2}
+        )
+        first = execute(spec, tiny_dataset, checkpoint_dir=directory)
+        assert first.checkpoint_path is not None
+        assert os.path.exists(first.checkpoint_path)
+
+        second = execute(spec, tiny_dataset, checkpoint_dir=directory, resume=True)
+        assert second.resumed_from == first.checkpoint_path
+        assert second.metrics == first.metrics
+
+    def test_execute_skips_checkpoint_for_non_neural(self, tiny_dataset, tmp_path):
+        result = execute(
+            RunSpec(model="Persistence", epochs=0),
+            tiny_dataset,
+            checkpoint_dir=str(tmp_path),
+        )
+        assert result.checkpoint_path is None
+        assert set(result.metrics) == {"MAE", "RMSE"}

@@ -1,0 +1,111 @@
+"""The model registry: coverage, metadata, and weight round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.nn import load_weights, save_weights
+from repro.pipeline import RunSpec, registry
+
+# Small-but-valid hyperparameters for instantiating every neural model on
+# the tiny test dataset (5×5 grid, 6-slot history, 4 features).
+TINY_HPARAMS = {
+    "LSTM": {"hidden_size": 4},
+    "convLSTM": {"hidden_channels": 2},
+    "PredRNN": {"hidden_channels": 2},
+    "PredRNN++": {"hidden_channels": 2},
+    "STGCN": {"hidden_channels": 2},
+    "STSGCN": {"hidden_channels": 2},
+}
+_BIKECAP_TINY = {
+    "pyramid_size": 2,
+    "capsule_dim": 2,
+    "future_capsule_dim": 2,
+    "decoder_hidden": 2,
+}
+
+
+def tiny_hparams(name: str) -> dict:
+    if name.startswith("BikeC"):
+        return dict(_BIKECAP_TINY)
+    return dict(TINY_HPARAMS.get(name, {}))
+
+
+class TestCoverage:
+    def test_all_paper_models_registered(self):
+        names = registry.available_models()
+        for required in (
+            "XGBoost", "LSTM", "convLSTM", "PredRNN", "PredRNN++",
+            "STGCN", "STSGCN", "BikeCAP", "Persistence", "SeasonalAverage",
+        ):
+            assert required in names
+        for variant in registry.bikecap_variants():
+            assert variant in names
+
+    def test_protocol_metadata(self):
+        for name in ("XGBoost", "LSTM", "convLSTM", "PredRNN", "PredRNN++"):
+            assert registry.protocol_of(name) == "recursive"
+        for name in ("STGCN", "STSGCN", "BikeCAP", "BikeCap-Sub"):
+            assert registry.protocol_of(name) == "direct"
+
+    def test_neural_metadata(self):
+        assert registry.is_neural("BikeCAP")
+        assert registry.is_neural("convLSTM")
+        assert not registry.is_neural("XGBoost")
+        assert not registry.is_neural("Persistence")
+
+    def test_unknown_model_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            registry.model_entry("GPT")
+
+    def test_defaults_are_introspected_copies(self):
+        defaults = registry.default_hparams("STGCN")
+        assert defaults["hidden_channels"] == 16
+        defaults["hidden_channels"] = 1
+        assert registry.default_hparams("STGCN")["hidden_channels"] == 16
+
+    def test_unknown_hparam_rejected(self):
+        with pytest.raises(ValueError, match="unknown hyperparameters"):
+            registry.create("STSGCN", 6, 2, (5, 5), 4, nonsense=1)
+
+
+class TestBuild:
+    def test_build_from_spec(self, tiny_dataset):
+        spec = RunSpec(model="STGCN", seed=3, hparams={"hidden_channels": 2})
+        forecaster = registry.build(spec, tiny_dataset)
+        assert forecaster.name == "STGCN"
+        assert forecaster.horizon == tiny_dataset.horizon
+        assert forecaster.seed == 3
+
+    def test_build_validates_geometry(self, tiny_dataset):
+        spec = RunSpec(model="STGCN", horizon=7)
+        with pytest.raises(ValueError, match="horizon"):
+            registry.build(spec, tiny_dataset)
+
+    def test_variant_factory_pins_variant(self, tiny_dataset):
+        spec = RunSpec(model="BikeCap-Sub", hparams=tiny_hparams("BikeCap-Sub"))
+        forecaster = registry.build(spec, tiny_dataset)
+        assert forecaster.name == "BikeCap-Sub"
+
+
+class TestWeightRoundTrip:
+    @pytest.mark.parametrize(
+        "name",
+        [n for n in registry.available_models() if registry.is_neural(n)],
+    )
+    def test_every_neural_model_roundtrips(self, name, tiny_dataset, tmp_path):
+        ds = tiny_dataset
+        build = lambda seed: registry.create(
+            name, ds.history, ds.horizon, ds.grid_shape, ds.num_features,
+            seed=seed, **tiny_hparams(name)
+        )
+        source = build(seed=0)
+        path = str(tmp_path / "weights.npz")
+        save_weights(source.model, path)
+
+        target = build(seed=1)  # different init — load must overwrite it
+        load_weights(target.model, path)
+        source_state = source.model.state_dict()
+        target_state = target.model.state_dict()
+        assert source_state.keys() == target_state.keys()
+        for key in source_state:
+            np.testing.assert_array_equal(source_state[key], target_state[key])

@@ -1,0 +1,47 @@
+"""The central RNG policy: bit-compatibility and determinism guarantees."""
+
+import random
+
+import numpy as np
+
+from repro.pipeline import seeding
+
+
+class TestRng:
+    def test_seeded_stream_matches_numpy_default_rng(self):
+        # Bit-compatibility with the ad-hoc default_rng(seed) calls this
+        # module replaced: historical results must not move.
+        ours = seeding.rng(123).random(50)
+        reference = np.random.default_rng(123).random(50)
+        np.testing.assert_array_equal(ours, reference)
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(0)
+        assert seeding.rng(gen) is gen
+
+    def test_none_returns_process_global(self):
+        assert seeding.rng(None) is seeding.global_rng()
+
+    def test_seed_everything_pins_all_sources(self):
+        seeding.seed_everything(777)
+        a = (random.random(), np.random.random(), seeding.global_rng().random())
+        seeding.seed_everything(777)
+        b = (random.random(), np.random.random(), seeding.global_rng().random())
+        assert a == b
+        assert seeding.last_seed() == 777
+
+    def test_derive_is_stable_and_key_sensitive(self):
+        one = seeding.derive(9, "shuffle").random(8)
+        same = seeding.derive(9, "shuffle").random(8)
+        other = seeding.derive(9, "dropout").random(8)
+        np.testing.assert_array_equal(one, same)
+        assert not np.array_equal(one, other)
+
+    def test_state_roundtrip_resumes_stream(self):
+        gen = seeding.rng(5)
+        gen.random(13)
+        state = seeding.get_state(gen)
+        expected = gen.random(7)
+        fresh = seeding.rng(5)
+        seeding.set_state(fresh, state)
+        np.testing.assert_array_equal(fresh.random(7), expected)

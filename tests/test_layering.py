@@ -1,0 +1,111 @@
+"""The import-direction lint is part of tier 1: layering is a test, not a
+convention. ``scripts/check_layering.py`` is loaded by file path (scripts/
+is not a package) and run against the real tree plus synthetic trees that
+prove each rule actually fires."""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO_ROOT, "scripts", "check_layering.py")
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_layering", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+checker = _load_checker()
+
+
+def _tree(tmp_path, files):
+    root = tmp_path / "src" / "repro"
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return str(root)
+
+
+class TestRepositoryIsClean:
+    def test_no_violations_in_tree(self):
+        assert checker.check() == []
+
+    def test_cli_exit_status(self):
+        result = subprocess.run(
+            [sys.executable, SCRIPT], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "layering OK" in result.stdout
+
+
+class TestRulesFire:
+    def test_nn_importing_baselines_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"nn/bad.py": "from repro.baselines import make_forecaster\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.baselines" in violations[0]
+
+    def test_nn_may_use_pipeline_leaves_only(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "nn/good.py": "from repro.pipeline import seeding\n",
+                "nn/bad.py": "from repro.pipeline import registry\n",
+            },
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "bad.py" in violations[0]
+        assert "registry" in violations[0]
+
+    def test_experiments_importing_baselines_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"experiments/bad.py": "from repro.baselines.stgcn import STGCNForecaster\n"},
+        )
+        violations = checker.check(root)
+        assert violations and "registry" in violations[0] or "pipeline" in violations[0]
+
+    def test_experiments_importing_core_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"experiments/bad.py": "from repro.core.variants import VARIANTS\n"},
+        )
+        assert checker.check(root)
+
+    def test_leaf_must_stay_dependency_free(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"pipeline/seeding.py": "from repro.nn import Trainer\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "dependency-free" in violations[0]
+
+    def test_pipeline_importing_experiments_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"pipeline/runner.py": "from repro.experiments.runner import ExperimentContext\n"},
+        )
+        assert checker.check(root)
+
+    def test_clean_tree_passes(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "pipeline/registry.py": "from repro.baselines import FORECASTERS\n",
+                "baselines/base.py": "from repro.pipeline import forecast\n",
+                "experiments/runner.py": "from repro.pipeline import RunSpec\n",
+            },
+        )
+        assert checker.check(root) == []
