@@ -7,12 +7,15 @@ Usage::
         results_after/BENCH_substrate.json [--threshold 0.20]
 
 Both files must be snapshots of the same bench module (the gauges written by
-``benchmarks/bench_substrate.py`` / ``benchmarks/bench_train.py``). Every
+``benchmarks/bench_substrate.py`` / ``benchmarks/bench_train.py``, or
+``python -m repro.serve.bench``'s ``BENCH_serve.json``). Every
 ``*_mean_seconds*`` gauge present in both files is compared; the script
 prints a per-kernel table and exits non-zero if any kernel's mean slowed
-down by more than ``--threshold`` (default 20%). Kernels present in only
-one snapshot are reported but never fail the comparison — new benches must
-not break an older baseline diff.
+down by more than ``--threshold`` (default 20%). Throughput gauges
+(``*_throughput_rps``) are higher-is-better and fail on a drop of more
+than the threshold instead. Kernels present in only one snapshot are
+reported but never fail the comparison — new benches must not break an
+older baseline diff.
 
 On a busy or single-core machine the mean is easily inflated by scheduler
 noise; pass ``--stat min`` to compare best-observed times instead, which is
@@ -26,7 +29,11 @@ import json
 import sys
 
 
+THROUGHPUT_NEEDLE = "_throughput_rps"
+
+
 def load_means(path: str, stat: str = "mean") -> dict:
+    """Time gauges (lower is better): ``*_{stat}_seconds``."""
     with open(path) as handle:
         data = json.load(handle)
     gauges = data.get("gauges", data)
@@ -38,16 +45,35 @@ def load_means(path: str, stat: str = "mean") -> dict:
     }
 
 
+def load_throughputs(path: str) -> dict:
+    """Throughput gauges (higher is better): ``*_throughput_rps``."""
+    with open(path) as handle:
+        data = json.load(handle)
+    gauges = data.get("gauges", data)
+    return {
+        key: float(value)
+        for key, value in gauges.items()
+        if key.endswith(THROUGHPUT_NEEDLE) and isinstance(value, (int, float))
+    }
+
+
 def compare(before_path: str, after_path: str, threshold: float, stat: str = "mean") -> int:
     before = load_means(before_path, stat)
     after = load_means(after_path, stat)
+    before_tp = load_throughputs(before_path)
+    after_tp = load_throughputs(after_path)
     shared = sorted(set(before) & set(after))
-    if not shared:
-        print(f"error: the snapshots share no *_{stat}_seconds gauges", file=sys.stderr)
+    shared_tp = sorted(set(before_tp) & set(after_tp))
+    if not shared and not shared_tp:
+        print(
+            f"error: the snapshots share no *_{stat}_seconds or "
+            f"*{THROUGHPUT_NEEDLE} gauges",
+            file=sys.stderr,
+        )
         return 2
 
     regressions = []
-    width = max(len(key) for key in shared)
+    width = max(len(key) for key in shared + shared_tp)
     print(f"{'kernel'.ljust(width)}  {'before':>10}  {'after':>10}  {'delta':>8}")
     for key in shared:
         old, new = before[key], after[key]
@@ -60,12 +86,24 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
             f"{key.ljust(width)}  {old * 1e3:9.3f}ms  {new * 1e3:9.3f}ms  "
             f"{delta * 100:+7.1f}%{marker}"
         )
-    for key in sorted(set(before) ^ set(after)):
-        side = "before only" if key in before else "after only"
+    for key in shared_tp:
+        old, new = before_tp[key], after_tp[key]
+        # Higher is better: a *drop* beyond the threshold is the regression.
+        delta = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if delta < -threshold:
+            regressions.append((key, delta))
+            marker = "  << REGRESSION"
+        print(
+            f"{key.ljust(width)}  {old:8.1f}r/s  {new:8.1f}r/s  "
+            f"{delta * 100:+7.1f}%{marker}"
+        )
+    for key in sorted((set(before) ^ set(after)) | (set(before_tp) ^ set(after_tp))):
+        side = "before only" if key in before or key in before_tp else "after only"
         print(f"{key.ljust(width)}  ({side})")
 
     if regressions:
-        worst = max(regressions, key=lambda item: item[1])
+        worst = max(regressions, key=lambda item: abs(item[1]))
         print(
             f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
             f"{threshold * 100:.0f}% (worst: {worst[0]} {worst[1] * 100:+.1f}%)",

@@ -4,7 +4,8 @@
 The stack (see docs/ARCHITECTURE.md) is, bottom to top::
 
     obs / pipeline-leaves  →  nn / city / graph / boosting / data / metrics
-                           →  core / baselines  →  pipeline  →  experiments
+                           →  core / baselines  →  pipeline
+                           →  experiments | serve   (siblings, no cross-import)
 
 Rules enforced (each import must point *down* the stack):
 
@@ -20,6 +21,11 @@ Rules enforced (each import must point *down* the stack):
 4. ``pipeline`` must not import ``experiments``.
 5. ``experiments`` must not import ``baselines`` or ``core``: every model
    is constructed through the pipeline registry + RunSpec.
+6. ``serve`` sits beside ``experiments`` at the top of the stack: it may
+   import ``pipeline``, ``obs`` and the substrate, but never
+   ``experiments`` — and, like experiments, never ``core``/``baselines``
+   directly (models come from the registry). ``experiments`` must not
+   import ``serve`` either: offline and online stay decoupled.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -119,9 +125,9 @@ def check(source_root: str = SOURCE_ROOT):
                     )
                 elif layer in SUBSTRATE:
                     forbid(
-                        target_layer in MODEL_LAYERS | {"experiments"},
+                        target_layer in MODEL_LAYERS | {"experiments", "serve"},
                         target,
-                        f"substrate layer '{layer}' must not import model/experiment layers",
+                        f"substrate layer '{layer}' must not import model/top layers",
                     )
                     forbid(
                         _is_nonleaf_pipeline(target),
@@ -130,9 +136,9 @@ def check(source_root: str = SOURCE_ROOT):
                     )
                 elif layer in MODEL_LAYERS:
                     forbid(
-                        target_layer == "experiments",
+                        target_layer in {"experiments", "serve"},
                         target,
-                        f"model layer '{layer}' must not import experiments",
+                        f"model layer '{layer}' must not import top layers",
                     )
                     forbid(
                         _is_nonleaf_pipeline(target),
@@ -141,15 +147,31 @@ def check(source_root: str = SOURCE_ROOT):
                     )
                 elif layer == "pipeline":
                     forbid(
-                        target_layer == "experiments",
+                        target_layer in {"experiments", "serve"},
                         target,
-                        "pipeline must not import experiments",
+                        "pipeline must not import top layers (experiments/serve)",
                     )
                 elif layer == "experiments":
                     forbid(
                         target_layer in MODEL_LAYERS,
                         target,
                         "experiments construct models via the pipeline registry only",
+                    )
+                    forbid(
+                        target_layer == "serve",
+                        target,
+                        "experiments (offline) must not import serve (online)",
+                    )
+                elif layer == "serve":
+                    forbid(
+                        target_layer == "experiments",
+                        target,
+                        "serve (online) must not import experiments (offline)",
+                    )
+                    forbid(
+                        target_layer in MODEL_LAYERS,
+                        target,
+                        "serve constructs models via the pipeline registry only",
                     )
     return violations
 

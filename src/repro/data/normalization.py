@@ -78,12 +78,30 @@ class MinMaxScaler:
             raise RuntimeError("scaler must be fitted before use")
 
     def state(self) -> dict:
+        """Everything needed to rebuild this fitted scaler elsewhere.
+
+        ``quantile`` rides along so a restored robust scaler stays robust if
+        it is ever refitted (a restored scaler that silently became a plain
+        max scaler would renormalize served data differently than training).
+        """
         self._check_fitted()
-        return {"minimum": self.minimum.copy(), "maximum": self.maximum.copy()}
+        return {
+            "minimum": self.minimum.copy(),
+            "maximum": self.maximum.copy(),
+            "quantile": self.quantile,
+        }
 
     @classmethod
     def from_state(cls, state: dict) -> "MinMaxScaler":
-        scaler = cls()
+        missing = sorted({"minimum", "maximum"} - set(state))
+        if missing:
+            raise ValueError(
+                f"MinMaxScaler.from_state: state dict is missing {missing}; "
+                "expected a dict produced by MinMaxScaler.state()"
+            )
+        # Older state dicts predate the "quantile" key; absent means plain
+        # min-max, which is what they were.
+        scaler = cls(quantile=state.get("quantile"))
         scaler.minimum = np.asarray(state["minimum"])
         scaler.maximum = np.asarray(state["maximum"])
         return scaler

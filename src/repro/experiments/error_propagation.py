@@ -100,7 +100,9 @@ def run_error_propagation(
 
     x = dataset.split.test_x
     truth = dataset.denormalize_target(dataset.split.test_y)
-    count = len(x) - horizon
+    # Every usable starting window: window i's last teacher-forced step
+    # consumes window i + horizon - 1 (same default as the decode loop).
+    count = len(x) - horizon + 1
 
     rollout = dataset.denormalize_target(forecaster.predict(x[:count]))
     teacher = dataset.denormalize_target(

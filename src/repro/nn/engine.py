@@ -297,6 +297,39 @@ def clear_caches() -> None:
 
 
 # ---------------------------------------------------------------------------
+# Inference warm-up
+# ---------------------------------------------------------------------------
+
+
+def warmup(
+    forward: Callable[[np.ndarray], np.ndarray],
+    example_shape: Tuple[int, ...],
+    batch_sizes: Tuple[int, ...] = (1,),
+    dtype=None,
+) -> int:
+    """Prime the shape-keyed caches behind an inference path.
+
+    Runs ``forward`` once per requested batch size on zero-filled inputs of
+    shape ``(batch,) + example_shape``, discarding the outputs. Every plan
+    in this module is keyed by the *full* shape signature — batch included —
+    so a service must warm each batch size it will actually serve (e.g. 1
+    and its micro-batch cap), or the first real request at that size pays
+    for conv dispatch planning, einsum path search and kernel-FFT
+    construction. Returns the number of forward calls made.
+    """
+    dtype = np.dtype(dtype if dtype is not None else config.dtype())
+    calls = 0
+    with config.no_grad():
+        for batch in batch_sizes:
+            if batch < 1:
+                raise ValueError(f"warm-up batch sizes must be >= 1, got {batch}")
+            forward(np.zeros((int(batch),) + tuple(example_shape), dtype=dtype))
+            calls += 1
+    obs_metrics.counter("engine_warmup_runs_total").inc(calls)
+    return calls
+
+
+# ---------------------------------------------------------------------------
 # Workspace arena
 # ---------------------------------------------------------------------------
 

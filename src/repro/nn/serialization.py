@@ -120,6 +120,20 @@ class TrainingCheckpoint:
             raise ValueError("checkpoint carries no optimizer state")
         optimizer.load_state_dict(self.optimizer_state)
 
+    def restore_serving_model(self, model: Module) -> str:
+        """Load the weights an inference service should answer with.
+
+        Prefers the best-validation snapshot when early-stop tracking
+        recorded one — the same weights ``Trainer.fit`` leaves in memory at
+        the end of a run — falling back to the last autosaved weights.
+        Returns which one was used (``"best"`` or ``"last"``).
+        """
+        state = self.best_state if self.best_state is not None else self.model_state
+        which = "best" if self.best_state is not None else "last"
+        _state_diff(model, state, context=f"checkpoint {which} state")
+        model.load_state_dict(state)
+        return which
+
 
 def save_checkpoint(
     path: str,

@@ -13,6 +13,8 @@ meet, so every experiment *declares* a run instead of hand-rolling it:
   (with checkpoint/resume) + denormalized evaluation + structured run log.
 - :mod:`repro.pipeline.checkpoint` — naming and discovery of full-state
   training checkpoints (format in :mod:`repro.nn.serialization`).
+- :mod:`repro.pipeline.loading` — :func:`load_forecaster`: spec +
+  checkpoint → ready-to-serve forecaster, no training loop involved.
 - :mod:`repro.pipeline.seeding` / :mod:`repro.pipeline.forecast` —
   dependency-free leaves (centralized RNG seeding; the recursive/direct
   multi-step decode protocol) importable from any layer.
@@ -32,6 +34,8 @@ _LAZY = {
     "spec": ("repro.pipeline.spec", None),
     "runner": ("repro.pipeline.runner", None),
     "checkpoint": ("repro.pipeline.checkpoint", None),
+    "loading": ("repro.pipeline.loading", None),
+    "load_forecaster": ("repro.pipeline.loading", "load_forecaster"),
     "available_models": ("repro.pipeline.registry", "available_models"),
     "model_entry": ("repro.pipeline.registry", "model_entry"),
     "default_hparams": ("repro.pipeline.registry", "default_hparams"),

@@ -43,19 +43,30 @@ def find_checkpoint(directory: str, label: str, seed: int) -> Optional[str]:
 
 
 def newest_checkpoint(directory: str, prefix: Optional[str] = None) -> Optional[str]:
-    """Most recently written checkpoint in ``directory`` (optional prefix).
+    """Most recently written checkpoint in ``directory`` (optional label).
 
     Used by ``run_all --resume`` to pick up the latest autosave without
     knowing exactly which epoch it covers — the archive itself records
     that.
+
+    ``prefix`` is the run label (as passed to :func:`checkpoint_path`) and
+    matches only on the exact ``<slug>-seed<N>`` boundary. A raw
+    string-prefix match would collide across model names once slugged:
+    ``_slug("PredRNN++") == "PredRNN--"`` starts with ``"PredRNN"``, so a
+    resuming ``PredRNN`` run could silently pick up a ``PredRNN++``
+    checkpoint.
     """
     if not os.path.isdir(directory):
         return None
+    pattern = None
+    if prefix is not None:
+        pattern = re.compile(rf"^{re.escape(_slug(prefix))}-seed\d+$")
     candidates = []
     for entry in os.listdir(directory):
         if not entry.endswith(CHECKPOINT_SUFFIX):
             continue
-        if prefix is not None and not entry.startswith(_slug(prefix)):
+        stem = entry[: -len(CHECKPOINT_SUFFIX)]
+        if pattern is not None and pattern.match(stem) is None:
             continue
         full = os.path.join(directory, entry)
         candidates.append((os.path.getmtime(full), full))

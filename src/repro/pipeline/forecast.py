@@ -83,9 +83,14 @@ def teacher_forced_forecast(
     predictions up to step ``t`` been perfect. The gap between this and
     :func:`recursive_forecast` *is* the accumulated error (offline
     diagnostic only — impossible in deployment).
+
+    The default ``count`` uses every usable window: decoding window ``i``
+    needs windows ``i … i + horizon - 1``, so ``len(windows) - horizon + 1``
+    starting points fit (the last one consumes the final window at its
+    final step).
     """
     if count is None:
-        count = len(windows) - horizon
+        count = len(windows) - horizon + 1
     if count <= 0:
         raise ValueError("not enough consecutive windows for teacher forcing")
     steps = []

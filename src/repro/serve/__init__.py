@@ -1,0 +1,54 @@
+"""`repro.serve` — online, latency-bounded forecast serving.
+
+The deployment story of the paper (Sec. IV-B) is an online loop: multi-step
+demand forecasts answered on request and consumed by rebalancing. This
+package is that loop, built on the pipeline's offline artifacts:
+
+- :mod:`repro.serve.service` — :class:`ForecastService`: fitted scaler +
+  ordered tier chain (primary model → cheaper fallbacks) behind one
+  normalize → predict → denormalize call, with per-request deadlines and
+  graceful degradation (tier failures and deadline overruns answer from
+  the next tier, tagged, instead of erroring).
+- :mod:`repro.serve.batching` — :class:`MicroBatcher`: coalesces
+  concurrent single-window requests into one batched forward pass,
+  bit-identical to the equivalent sequential ``predict``.
+- :mod:`repro.serve.loader` — :func:`load_service`: RunSpec + checkpoint +
+  scaler state → a warmed service (models built via the pipeline registry
+  only; layering keeps ``serve`` off ``core``/``baselines`` and
+  ``experiments`` entirely).
+- :mod:`repro.serve.faults` — deterministic fault/latency injection for
+  degradation tests and the bench's degraded-traffic mode.
+- :mod:`repro.serve.bench` — ``python -m repro.serve.bench``: closed-loop
+  load generator writing ``results/BENCH_serve.json`` (throughput, p50/p99
+  latency, degraded fraction).
+
+Request lifecycle and degradation tiers are documented in
+docs/ARCHITECTURE.md; BENCH_serve.json fields in docs/PERFORMANCE.md.
+"""
+
+from repro.serve.batching import MicroBatcher
+from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
+from repro.serve.loader import DEFAULT_FALLBACKS, load_service, service_from_dataset
+from repro.serve.service import (
+    REASON_DEADLINE,
+    REASON_ERROR,
+    REASON_PREDICTED_DEADLINE,
+    ForecastResponse,
+    ForecastService,
+    ServiceTier,
+)
+
+__all__ = [
+    "DEFAULT_FALLBACKS",
+    "FaultInjectingForecaster",
+    "ForecastResponse",
+    "ForecastService",
+    "MicroBatcher",
+    "REASON_DEADLINE",
+    "REASON_ERROR",
+    "REASON_PREDICTED_DEADLINE",
+    "ServiceTier",
+    "SlowForecaster",
+    "load_service",
+    "service_from_dataset",
+]

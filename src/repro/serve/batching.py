@@ -1,0 +1,168 @@
+"""Micro-batching: coalesce concurrent requests into one forward pass.
+
+Concurrent clients each submit one window; a single worker thread drains
+the queue, stacks up to ``max_batch`` windows (waiting at most
+``max_wait_seconds`` after the first arrival for stragglers), and answers
+them all with **one** :meth:`ForecastService.predict_batch` call. Because
+the coalesced pass *is* a single sequential ``predict`` over the stacked
+windows in arrival order, its responses are bit-identical to calling the
+service directly with that batch — pinned by
+``tests/serve/test_batching.py``.
+
+The worker owns all model execution, so the numpy substrate's thread-local
+state (workspace arena, plan caches) sees one consistent thread; client
+threads only block on a :class:`concurrent.futures.Future`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.service import ForecastResponse, ForecastService
+
+
+@dataclass
+class _Submission:
+    window: np.ndarray
+    deadline: Optional[float]  # absolute monotonic seconds
+    start: float  # monotonic enqueue time
+    future: Future
+
+
+class MicroBatcher:
+    """A queue that turns concurrent single-window requests into batches."""
+
+    def __init__(
+        self,
+        service: ForecastService,
+        max_batch: int = 8,
+        max_wait_seconds: float = 0.002,
+        clock=time.monotonic,
+    ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_seconds < 0:
+            raise ValueError(f"max_wait_seconds must be >= 0, got {max_wait_seconds}")
+        self.service = service
+        self.max_batch = int(max_batch)
+        self.max_wait_seconds = float(max_wait_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._queue: List[_Submission] = []
+        self._closed = False
+        self.batch_sizes: List[int] = []  # every coalesced batch, in order
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-batcher", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self, window: np.ndarray, deadline_seconds: Optional[float] = None
+    ) -> Future:
+        """Enqueue one raw window; resolves to a :class:`ForecastResponse`.
+
+        ``deadline_seconds`` is a budget measured from *now* (submission),
+        so time spent queued counts against it — exactly the latency the
+        caller experiences.
+        """
+        window = np.asarray(window, dtype=float)
+        if window.shape != self.service.window_shape:
+            raise ValueError(
+                f"expected one raw window of shape {self.service.window_shape}, "
+                f"got {window.shape}"
+            )
+        now = self._clock()
+        deadline = now + float(deadline_seconds) if deadline_seconds is not None else None
+        submission = _Submission(
+            window=window, deadline=deadline, start=now, future=Future()
+        )
+        with self._arrived:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            self._queue.append(submission)
+            self._arrived.notify()
+        return submission.future
+
+    def forecast(
+        self, window: np.ndarray, deadline_seconds: Optional[float] = None
+    ) -> ForecastResponse:
+        """Blocking sugar: submit one window and wait for its response."""
+        return self.submit(window, deadline_seconds=deadline_seconds).result()
+
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop accepting work, drain the queue, and join the worker."""
+        with self._arrived:
+            if self._closed:
+                return
+            self._closed = True
+            self._arrived.notify()
+        self._worker.join(timeout=timeout)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._gather()
+            if batch is None:
+                return
+            self._answer(batch)
+
+    def _gather(self) -> Optional[List[_Submission]]:
+        """Block for the first submission, then coalesce stragglers.
+
+        Returns ``None`` when closed and fully drained. The straggler wait
+        is bounded by ``max_wait_seconds`` after the *first* request of the
+        batch arrived, so an early submitter's latency cost for batching is
+        capped regardless of traffic.
+        """
+        with self._arrived:
+            while not self._queue and not self._closed:
+                self._arrived.wait(timeout=0.1)
+            if not self._queue:
+                return None  # closed and drained
+            cutoff = self._clock() + self.max_wait_seconds
+            while len(self._queue) < self.max_batch and not self._closed:
+                remaining = cutoff - self._clock()
+                if remaining <= 0:
+                    break
+                self._arrived.wait(timeout=remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: self.max_batch]
+            return batch
+
+    def _answer(self, batch: List[_Submission]) -> None:
+        self.batch_sizes.append(len(batch))
+        obs_metrics.histogram("serve_microbatch_coalesced").observe(len(batch))
+        try:
+            responses = self.service.predict_batch(
+                np.stack([submission.window for submission in batch]),
+                deadlines=[submission.deadline for submission in batch],
+                starts=[submission.start for submission in batch],
+            )
+        except Exception as error:  # noqa: BLE001 - propagate to the waiters
+            for submission in batch:
+                if not submission.future.set_running_or_notify_cancel():
+                    continue
+                submission.future.set_exception(error)
+            return
+        for submission, response in zip(batch, responses):
+            if not submission.future.set_running_or_notify_cancel():
+                continue
+            submission.future.set_result(response)
+
+
+__all__ = ["MicroBatcher"]

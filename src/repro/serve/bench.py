@@ -1,0 +1,262 @@
+"""Closed-loop serving load generator: ``python -m repro.serve.bench``.
+
+Builds a synthetic dataset, stands up a :class:`ForecastService` (primary
+model + persistence floor) behind a :class:`MicroBatcher`, then drives it
+with ``--clients`` closed-loop threads (each submits its next request only
+after receiving the previous answer — the classic closed-loop model, so
+offered load adapts to service speed instead of overrunning it). Optional
+``--fault-rate``/``--slow-ms``/``--deadline-ms`` inject failures and
+deadline pressure to measure the *degraded* serving path, not just the
+happy one.
+
+Writes ``results/BENCH_serve.json`` (``REPRO_BENCH_DIR`` overrides the
+directory); field semantics are documented in docs/PERFORMANCE.md and the
+snapshot diffs with ``scripts/bench_compare.py``, which fails on >20%
+latency *or* throughput regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.data.datasets import dataset_from_tensor
+from repro.nn import engine
+from repro.obs import runlog
+from repro.obs.metrics import Histogram
+from repro.pipeline import registry
+from repro.pipeline.loading import load_forecaster
+from repro.pipeline.spec import RunSpec
+from repro.serve.batching import MicroBatcher
+from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
+from repro.serve.service import ForecastService
+
+# Small-but-real BikeCAP geometry: big enough to exercise every kernel,
+# small enough that a smoke run finishes in seconds.
+DEFAULT_HPARAMS = {
+    "BikeCAP": {
+        "pyramid_size": 2,
+        "capsule_dim": 2,
+        "future_capsule_dim": 2,
+        "decoder_hidden": 4,
+    }
+}
+
+
+def _unwrap(forecaster):
+    """Strip fault/latency injection wrappers (for plan warm-up)."""
+    while hasattr(forecaster, "inner"):
+        forecaster = forecaster.inner
+    return forecaster
+
+
+def build_service(args) -> tuple:
+    """Dataset + spec → (service, raw request windows)."""
+    rng = np.random.default_rng(args.seed)
+    tensor = rng.random((args.slots, args.grid[0], args.grid[1], args.features)) * 20.0
+    dataset = dataset_from_tensor(tensor, history=args.history, horizon=args.horizon)
+
+    hparams = dict(DEFAULT_HPARAMS.get(args.model, {}))
+    if args.hparams:
+        hparams.update(json.loads(args.hparams))
+    spec = RunSpec(
+        model=args.model,
+        history=args.history,
+        horizon=args.horizon,
+        epochs=args.epochs,
+        seed=args.seed,
+        hparams=hparams,
+    )
+
+    checkpoint_path = None
+    if args.epochs > 0:
+        # Full offline→online path: train through the pipeline funnel with
+        # autosave, then reload the checkpoint exactly as a server would.
+        from repro.pipeline.runner import execute
+
+        result = execute(
+            spec, dataset, checkpoint_dir=os.path.join(args.out, "serve-bench-ckpt")
+        )
+        checkpoint_path = result.checkpoint_path
+
+    primary = load_forecaster(
+        spec,
+        checkpoint_path,
+        grid_shape=dataset.grid_shape,
+        num_features=dataset.num_features,
+    )
+    floor = registry.create(
+        "Persistence", args.history, args.horizon, dataset.grid_shape, dataset.num_features
+    )
+    window_shape = (args.history,) + dataset.grid_shape + (dataset.num_features,)
+    for forecaster in (primary, floor):
+        engine.warmup(forecaster.predict, window_shape, (1, args.max_batch))
+
+    if args.slow_ms > 0:
+        primary = SlowForecaster(primary, args.slow_ms / 1e3)
+    if args.fault_rate > 0:
+        primary = FaultInjectingForecaster(primary, args.fault_rate)
+
+    service = ForecastService(
+        [(args.model, primary), ("Persistence", floor)],
+        dataset.scaler,
+        history=args.history,
+        horizon=args.horizon,
+        grid_shape=dataset.grid_shape,
+        num_features=dataset.num_features,
+        target_feature=dataset.target_feature,
+    )
+    # Raw request traffic: the test split, denormalized back to counts —
+    # exactly what an online caller would send.
+    raw_windows = dataset.scaler.inverse_transform(dataset.split.test_x)
+    return service, raw_windows
+
+
+def run_load(service, raw_windows, args):
+    """Drive the batcher closed-loop; returns (responses, elapsed_seconds)."""
+    deadline = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+    responses = []
+    responses_lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(args.clients + 1)
+    per_client = args.requests // args.clients
+    if per_client < 1:
+        raise SystemExit("--requests must be >= --clients")
+
+    with MicroBatcher(
+        service, max_batch=args.max_batch, max_wait_seconds=args.max_wait_ms / 1e3
+    ) as batcher:
+
+        def client(offset: int) -> None:
+            barrier.wait()
+            for i in range(per_client):
+                window = raw_windows[(offset + i) % len(raw_windows)]
+                try:
+                    response = batcher.forecast(window, deadline_seconds=deadline)
+                except Exception as error:  # noqa: BLE001 - report, don't hang
+                    with responses_lock:
+                        errors.append(error)
+                    return
+                with responses_lock:
+                    responses.append(response)
+
+        threads = [
+            threading.Thread(target=client, args=(offset,), daemon=True)
+            for offset in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        began = time.monotonic()
+        for thread in threads:
+            thread.join()
+        elapsed = time.monotonic() - began
+        batch_sizes = list(batcher.batch_sizes)
+
+    if errors:
+        raise RuntimeError(f"{len(errors)} request(s) errored; first: {errors[0]!r}")
+    return responses, elapsed, batch_sizes
+
+
+def summarize(responses, elapsed, batch_sizes, args) -> dict:
+    latency = Histogram("client_latency")
+    tier_counts: dict = {}
+    degraded = 0
+    missed = 0
+    for response in responses:
+        latency.observe(response.latency_seconds)
+        tier_counts[response.tier] = tier_counts.get(response.tier, 0) + 1
+        degraded += bool(response.degraded)
+        missed += bool(response.deadline_missed)
+    total = len(responses)
+    stats = latency.summary()
+    gauges = {
+        "bench_serve_latency_mean_seconds": stats["mean"],
+        "bench_serve_latency_min_seconds": stats["min"],
+        "bench_serve_latency_p50_seconds": stats["p50"],
+        "bench_serve_latency_p90_seconds": stats["p90"],
+        "bench_serve_latency_p99_seconds": stats["p99"],
+        "bench_serve_throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+        "bench_serve_degraded_fraction": degraded / total,
+        "bench_serve_deadline_missed_fraction": missed / total,
+        "bench_serve_batch_mean_size": float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+    }
+    return {
+        "config": {
+            key: value for key, value in sorted(vars(args).items()) if key != "out"
+        },
+        "gauges": gauges,
+        "requests": total,
+        "elapsed_seconds": elapsed,
+        "tier_counts": dict(sorted(tier_counts.items())),
+        "batch_sizes": batch_sizes,
+    }
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--model", default="BikeCAP", help="primary tier (registry name)")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--grid", type=int, nargs=2, default=(6, 6))
+    parser.add_argument("--history", type=int, default=6)
+    parser.add_argument("--horizon", type=int, default=3)
+    parser.add_argument("--features", type=int, default=4)
+    parser.add_argument("--slots", type=int, default=80, help="simulated time slots")
+    parser.add_argument("--epochs", type=int, default=0, help=">0 trains + checkpoints first")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--hparams", default=None, help="JSON overrides for the primary")
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument("--fault-rate", type=float, default=0.0)
+    parser.add_argument("--slow-ms", type=float, default=0.0, help="primary-tier added latency")
+    parser.add_argument(
+        "--out", default=os.environ.get("REPRO_BENCH_DIR", "results"), help="output directory"
+    )
+    args = parser.parse_args(argv)
+    args.grid = tuple(args.grid)
+
+    service, raw_windows = build_service(args)
+    logger = runlog.start_run(
+        "serve-bench", seed=args.seed, config={"bench": "serve", "spec_model": args.model}
+    )
+    try:
+        responses, elapsed, batch_sizes = run_load(service, raw_windows, args)
+    finally:
+        if logger is not None:
+            logger.close(status="ok")
+
+    payload = summarize(responses, elapsed, batch_sizes, args)
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "BENCH_serve.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    gauges = payload["gauges"]
+    print(f"serve bench: {payload['requests']} requests in {elapsed:.3f}s")
+    print(
+        f"  throughput {gauges['bench_serve_throughput_rps']:8.1f} req/s   "
+        f"mean batch {gauges['bench_serve_batch_mean_size']:.2f}"
+    )
+    print(
+        f"  latency    p50 {gauges['bench_serve_latency_p50_seconds'] * 1e3:7.2f}ms   "
+        f"p99 {gauges['bench_serve_latency_p99_seconds'] * 1e3:7.2f}ms"
+    )
+    print(
+        f"  degraded   {gauges['bench_serve_degraded_fraction'] * 100:5.1f}%   "
+        f"tiers {payload['tier_counts']}"
+    )
+    print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Build a :class:`ForecastService` from the pipeline's artifacts.
+
+:func:`load_service` is the serving counterpart of
+:func:`repro.pipeline.runner.execute`: where ``execute`` turns a
+:class:`~repro.pipeline.spec.RunSpec` plus a dataset into a *trained*
+forecaster, ``load_service`` turns the spec plus the checkpoint that run
+autosaved into a ready-to-answer service — primary model restored through
+:func:`repro.pipeline.loading.load_forecaster`, fallback tiers built from
+the same registry, scaler restored from persisted state, engine plans
+pre-warmed so the first request pays no compilation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.data.normalization import MinMaxScaler
+from repro.pipeline import registry
+from repro.pipeline.loading import load_forecaster
+from repro.pipeline.spec import RunSpec
+from repro.serve.service import ForecastService
+
+DEFAULT_FALLBACKS: Tuple[str, ...] = ("Persistence",)
+
+
+def load_service(
+    spec: RunSpec,
+    checkpoint_path: Optional[str] = None,
+    *,
+    scaler: Optional[MinMaxScaler] = None,
+    scaler_state: Optional[dict] = None,
+    grid_shape,
+    num_features: int,
+    history: Optional[int] = None,
+    horizon: Optional[int] = None,
+    target_feature: int = 0,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    warm_batch_sizes: Optional[Sequence[int]] = (1,),
+) -> ForecastService:
+    """Spec + checkpoint + scaler → a warmed, degradable forecast service.
+
+    The primary tier is the spec's model with the checkpoint's serving
+    weights; ``fallbacks`` name registered models (cheapest last) appended
+    below it, each built fresh from the registry — the default persistence
+    floor needs no training. Exactly one of ``scaler``/``scaler_state``
+    must be given: the service refuses to guess normalization constants,
+    because serving with constants different from training silently skews
+    every answer. ``warm_batch_sizes=None`` skips warm-up.
+    """
+    if (scaler is None) == (scaler_state is None):
+        raise ValueError("pass exactly one of scaler= or scaler_state=")
+    if scaler is None:
+        scaler = MinMaxScaler.from_state(scaler_state)
+    history = history if history is not None else spec.history
+    horizon = horizon if horizon is not None else spec.horizon
+    primary = load_forecaster(
+        spec,
+        checkpoint_path,
+        grid_shape=grid_shape,
+        num_features=num_features,
+        history=history,
+        horizon=horizon,
+    )
+    tiers = [(spec.model, primary)]
+    for name in fallbacks:
+        if name == spec.model:
+            raise ValueError(f"fallback {name!r} duplicates the primary tier")
+        tiers.append(
+            (
+                name,
+                registry.create(
+                    name, history, horizon, tuple(grid_shape), num_features
+                ),
+            )
+        )
+    service = ForecastService(
+        tiers,
+        scaler,
+        history=history,
+        horizon=horizon,
+        grid_shape=grid_shape,
+        num_features=num_features,
+        target_feature=target_feature,
+    )
+    if warm_batch_sizes:
+        service.warm_up(tuple(warm_batch_sizes))
+    return service
+
+
+def service_from_dataset(
+    spec: RunSpec,
+    dataset,
+    checkpoint_path: Optional[str] = None,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    warm_batch_sizes: Optional[Sequence[int]] = (1,),
+) -> ForecastService:
+    """Sugar over :func:`load_service` taking geometry + scaler from a dataset."""
+    return load_service(
+        spec,
+        checkpoint_path,
+        scaler=dataset.scaler,
+        grid_shape=dataset.grid_shape,
+        num_features=dataset.num_features,
+        history=dataset.history,
+        horizon=dataset.horizon,
+        target_feature=dataset.target_feature,
+        fallbacks=fallbacks,
+        warm_batch_sizes=warm_batch_sizes,
+    )
+
+
+__all__ = ["DEFAULT_FALLBACKS", "load_service", "service_from_dataset"]

@@ -1,0 +1,342 @@
+"""The forecast service: normalize → predict → denormalize, with tiers.
+
+:class:`ForecastService` owns a fitted :class:`~repro.data.normalization.
+MinMaxScaler` and an ordered chain of *tiers* — named forecasters from most
+accurate to cheapest (e.g. ``BikeCAP`` → ``Persistence``). Requests carry
+**raw** demand windows ``(h, G1, G2, F)`` in real counts; responses carry
+raw multi-step demand ``(p, G1, G2)`` plus the name of the tier that
+produced it, so a rebalancing consumer always gets *an* answer and always
+knows how much to trust it.
+
+Degradation semantics, per request:
+
+- a tier that **raises** hands the request to the next tier (a batched
+  failure is retried per window first, so one poisoned request cannot drag
+  its whole micro-batch down a tier);
+- a request whose **deadline** has already passed — or is predicted to pass,
+  via a per-tier latency EWMA — skips straight past the expensive tiers;
+- a tier whose answer lands **after** the deadline is treated as a miss:
+  the request falls through to the cheaper tiers (which is what the caller
+  would have observed anyway);
+- the **final tier is the floor**: it always runs when reached, deadline or
+  not, and is expected to be infallible (persistence is a pure numpy
+  reshuffle). If the floor itself raises, the error propagates — there is
+  nothing left to degrade to.
+
+Every answer increments ``serve_requests_total{tier=…}`` and observes
+``serve_latency_seconds{tier=…}``; every tier skip increments
+``serve_degradations_total{tier=…,reason=…}`` and emits a
+``serve_degraded`` run-log event when a run log is open.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.normalization import MinMaxScaler
+from repro.nn import engine
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog
+
+# Degradation reasons recorded in metrics, run logs and responses.
+REASON_ERROR = "error"
+REASON_DEADLINE = "deadline"
+REASON_PREDICTED_DEADLINE = "predicted_deadline"
+
+# Weight of the newest observation in the per-tier latency EWMA.
+_EWMA_ALPHA = 0.3
+
+
+@dataclass(frozen=True)
+class ServiceTier:
+    """One rung of the degradation ladder: a name plus a forecaster."""
+
+    name: str
+    forecaster: object  # anything with .predict((N, h, G1, G2, F)) -> (N, p, G1, G2)
+
+
+@dataclass
+class ForecastResponse:
+    """One answered request."""
+
+    demand: np.ndarray  # (p, G1, G2) raw demand counts
+    tier: str  # which tier answered
+    degraded: bool  # True when a tier above `tier` was skipped
+    latency_seconds: float
+    deadline_missed: bool = False  # answer landed after the deadline
+    # Human-readable trail of every tier skipped above the answering one,
+    # e.g. ("BikeCAP: error: boom",).
+    skips: Tuple[str, ...] = ()
+
+
+@dataclass
+class _PendingRequest:
+    """Book-keeping for one request while it walks the tier chain."""
+
+    index: int
+    deadline: Optional[float]  # absolute monotonic seconds, None = no deadline
+    start: float
+    skips: List[str] = field(default_factory=list)
+
+
+class ForecastService:
+    """Checkpointed model + scaler + fallback chain behind one call."""
+
+    def __init__(
+        self,
+        tiers: Sequence[Tuple[str, object]],
+        scaler: MinMaxScaler,
+        *,
+        history: int,
+        horizon: int,
+        grid_shape,
+        num_features: int,
+        target_feature: int = 0,
+        clip_negative: bool = True,
+        clock=time.monotonic,
+    ):
+        if not tiers:
+            raise ValueError("ForecastService needs at least one tier")
+        if not scaler.fitted:
+            raise RuntimeError("ForecastService needs a fitted scaler")
+        self.tiers = tuple(ServiceTier(name, forecaster) for name, forecaster in tiers)
+        names = [tier.name for tier in self.tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tier names must be unique, got {names}")
+        self.scaler = scaler
+        self.history = int(history)
+        self.horizon = int(horizon)
+        self.grid_shape = tuple(grid_shape)
+        self.num_features = int(num_features)
+        self.target_feature = int(target_feature)
+        self.clip_negative = clip_negative
+        self._clock = clock
+        self._latency_ewma: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def tier_names(self) -> Tuple[str, ...]:
+        return tuple(tier.name for tier in self.tiers)
+
+    @property
+    def window_shape(self) -> Tuple[int, ...]:
+        """Shape of one raw request window: ``(h, G1, G2, F)``."""
+        return (self.history,) + self.grid_shape + (self.num_features,)
+
+    def estimated_latency(self, tier: str) -> Optional[float]:
+        """Per-window EWMA latency of a tier, None before its first answer."""
+        return self._latency_ewma.get(tier)
+
+    def warm_up(self, batch_sizes: Sequence[int] = (1,)) -> int:
+        """Prime every tier's execution plans for the given batch sizes.
+
+        Engine plans are keyed by full shape signatures (see
+        :func:`repro.nn.engine.warmup`), so serving both single windows and
+        coalesced micro-batches means warming both shapes — otherwise the
+        first request at each size pays plan compilation.
+        """
+        calls = 0
+        for tier in self.tiers:
+            calls += engine.warmup(
+                tier.forecaster.predict, self.window_shape, tuple(batch_sizes)
+            )
+        return calls
+
+    # ------------------------------------------------------------------
+    def predict_one(
+        self, window: np.ndarray, deadline_seconds: Optional[float] = None
+    ) -> ForecastResponse:
+        """Answer a single raw window; sugar over :meth:`predict_batch`."""
+        window = np.asarray(window, dtype=float)
+        if window.shape != self.window_shape:
+            raise ValueError(
+                f"expected one raw window of shape {self.window_shape}, got {window.shape}"
+            )
+        deadline = None
+        if deadline_seconds is not None:
+            deadline = self._clock() + float(deadline_seconds)
+        return self.predict_batch(window[None], deadlines=[deadline])[0]
+
+    def predict_batch(
+        self,
+        windows: np.ndarray,
+        deadlines: Optional[Sequence[Optional[float]]] = None,
+        starts: Optional[Sequence[float]] = None,
+    ) -> List[ForecastResponse]:
+        """Answer a batch of raw windows in one coalesced pass.
+
+        ``deadlines`` are absolute monotonic timestamps (``None`` entries
+        mean unbounded); ``starts`` are the monotonic enqueue times used for
+        latency accounting (defaulting to "now" for direct callers). The
+        whole batch goes through the primary tier in **one** forward pass;
+        only requests the primary fails (or whose deadline rules it out)
+        walk down the chain.
+        """
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != len(self.window_shape) + 1 or windows.shape[1:] != self.window_shape:
+            raise ValueError(
+                f"expected raw windows of shape (N, {self.window_shape}), got {windows.shape}"
+            )
+        now = self._clock()
+        count = len(windows)
+        if deadlines is None:
+            deadlines = [None] * count
+        if starts is None:
+            starts = [now] * count
+        if len(deadlines) != count or len(starts) != count:
+            raise ValueError("windows, deadlines and starts must align")
+
+        obs_metrics.counter("serve_batches_total").inc()
+        obs_metrics.histogram("serve_batch_size").observe(count)
+
+        normalized = np.clip(self.scaler.transform(windows), 0.0, None)
+        pending = [
+            _PendingRequest(index=i, deadline=deadlines[i], start=starts[i])
+            for i in range(count)
+        ]
+        responses: List[Optional[ForecastResponse]] = [None] * count
+
+        for position, tier in enumerate(self.tiers):
+            if not pending:
+                break
+            is_floor = position == len(self.tiers) - 1
+            if is_floor:
+                attempt, pending = pending, []
+            else:
+                attempt, pending = self._partition_by_deadline(tier, pending)
+            if not attempt:
+                continue
+            answered, failed = self._attempt_tier(
+                tier, normalized, attempt, demote_late=not is_floor
+            )
+            for request, prediction in answered:
+                responses[request.index] = self._finish(
+                    tier, request, prediction, degraded=position > 0
+                )
+            if failed and is_floor:
+                # Nothing left to degrade to; surface the floor's error.
+                request, error = failed[0]
+                raise error
+            pending.extend(request for request, _error in failed)
+            pending.sort(key=lambda request: request.index)
+
+        assert all(response is not None for response in responses)
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _partition_by_deadline(self, tier, pending):
+        """Split requests into (attempt this tier, skip to a cheaper one)."""
+        now = self._clock()
+        estimate = self._latency_ewma.get(tier.name)
+        attempt, skipped = [], []
+        for request in pending:
+            if request.deadline is None:
+                attempt.append(request)
+            elif now > request.deadline:
+                self._record_skip(tier, request, REASON_DEADLINE)
+                skipped.append(request)
+            elif estimate is not None and now + estimate > request.deadline:
+                self._record_skip(tier, request, REASON_PREDICTED_DEADLINE)
+                skipped.append(request)
+            else:
+                attempt.append(request)
+        return attempt, skipped
+
+    def _attempt_tier(self, tier, normalized, requests, demote_late: bool = True):
+        """Run one tier over its requests; batched first, per-window on failure.
+
+        Returns ``(answered, failed)`` where ``answered`` holds
+        ``(request, normalized_prediction)`` pairs and ``failed`` holds
+        ``(request, exception)`` pairs. With ``demote_late`` (every tier but
+        the floor) a post-run deadline check moves late answers to the
+        failed list (reason ``deadline``) so they fall through to a cheaper
+        tier; the floor keeps its answer and just flags the miss.
+        """
+        batch = normalized[[request.index for request in requests]]
+        began = self._clock()
+        try:
+            predictions = np.asarray(tier.forecaster.predict(batch))
+            outcomes = [(request, predictions[i]) for i, request in enumerate(requests)]
+            errors = []
+        except Exception:
+            # One bad window must not degrade the whole micro-batch: retry
+            # each request alone so only the ones that actually fail fall
+            # through to the next tier.
+            outcomes, errors = [], []
+            for request in requests:
+                try:
+                    single = np.asarray(
+                        tier.forecaster.predict(normalized[request.index][None])
+                    )
+                    outcomes.append((request, single[0]))
+                except Exception as error:  # noqa: BLE001 - tier errors degrade
+                    self._record_skip(tier, request, REASON_ERROR, error=error)
+                    errors.append((request, error))
+        elapsed = self._clock() - began
+        if requests:
+            self._update_ewma(tier.name, elapsed / len(requests))
+
+        answered, failed = [], list(errors)
+        now = self._clock()
+        for request, prediction in outcomes:
+            if demote_late and request.deadline is not None and now > request.deadline:
+                overrun = now - request.deadline
+                error = TimeoutError(
+                    f"{tier.name} answered {overrun * 1e3:.1f}ms past the deadline"
+                )
+                self._record_skip(tier, request, REASON_DEADLINE, error=error)
+                failed.append((request, error))
+            else:
+                answered.append((request, prediction))
+        return answered, failed
+
+    def _finish(self, tier, request, normalized_prediction, degraded: bool):
+        demand = self.scaler.inverse_transform(
+            normalized_prediction, feature=self.target_feature
+        )
+        if self.clip_negative:
+            demand = np.clip(demand, 0.0, None)
+        now = self._clock()
+        latency = now - request.start
+        missed = request.deadline is not None and now > request.deadline
+        obs_metrics.counter("serve_requests_total", tier=tier.name).inc()
+        obs_metrics.histogram("serve_latency_seconds", tier=tier.name).observe(latency)
+        return ForecastResponse(
+            demand=demand,
+            tier=tier.name,
+            degraded=degraded,
+            latency_seconds=latency,
+            deadline_missed=missed,
+            skips=tuple(request.skips),
+        )
+
+    def _record_skip(self, tier, request, reason: str, error: Optional[Exception] = None):
+        detail = f"{tier.name}: {reason}" if error is None else f"{tier.name}: {reason}: {error}"
+        request.skips.append(detail)
+        obs_metrics.counter(
+            "serve_degradations_total", tier=tier.name, reason=reason
+        ).inc()
+        runlog.emit("serve_degraded", tier=tier.name, reason=reason, detail=detail)
+
+    def _update_ewma(self, tier_name: str, per_window_seconds: float) -> None:
+        previous = self._latency_ewma.get(tier_name)
+        if previous is None:
+            self._latency_ewma[tier_name] = per_window_seconds
+        else:
+            self._latency_ewma[tier_name] = (
+                _EWMA_ALPHA * per_window_seconds + (1.0 - _EWMA_ALPHA) * previous
+            )
+
+
+__all__ = [
+    "ForecastResponse",
+    "ForecastService",
+    "REASON_DEADLINE",
+    "REASON_ERROR",
+    "REASON_PREDICTED_DEADLINE",
+    "ServiceTier",
+]

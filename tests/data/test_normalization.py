@@ -53,6 +53,33 @@ class TestMinMaxScaler:
         clone = MinMaxScaler.from_state(scaler.state())
         assert np.allclose(clone.transform(data), scaler.transform(data))
 
+    def test_state_preserves_quantile(self, rng):
+        """A restored robust scaler must stay robust: dropping ``quantile``
+        would silently turn it into a plain max scaler on the next fit."""
+        data = rng.random((200, 3)) * 10
+        data[0] = 1e4  # the outlier the quantile is there to ignore
+        robust = MinMaxScaler(quantile=0.9).fit(data)
+        clone = MinMaxScaler.from_state(robust.state())
+        assert clone.quantile == 0.9
+        assert np.array_equal(clone.transform(data), robust.transform(data))
+        # Refitting the clone keeps the robust behaviour too.
+        refit = clone.fit(data)
+        assert np.allclose(refit.maximum, robust.maximum)
+
+    def test_from_state_accepts_legacy_dicts_without_quantile(self, rng):
+        data = rng.random((10, 3))
+        scaler = MinMaxScaler().fit(data)
+        legacy = {"minimum": scaler.minimum, "maximum": scaler.maximum}
+        clone = MinMaxScaler.from_state(legacy)
+        assert clone.quantile is None
+        assert np.array_equal(clone.transform(data), scaler.transform(data))
+
+    def test_from_state_missing_keys_raise(self):
+        with pytest.raises(ValueError, match="maximum"):
+            MinMaxScaler.from_state({"minimum": np.zeros(3)})
+        with pytest.raises(ValueError, match="minimum.*maximum|maximum.*minimum"):
+            MinMaxScaler.from_state({})
+
     def test_transform_generalizes_beyond_fit_range(self):
         scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
         assert scaler.transform(np.array([[20.0]]))[0, 0] == 2.0

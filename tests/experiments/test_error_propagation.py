@@ -80,4 +80,7 @@ class TestErrorPropagation:
         forecaster.fit(dataset, epochs=1)
         x = dataset.split.test_x
         out = teacher_forced_prediction(forecaster, dataset, x, window_offset=0)
-        assert out.shape == (len(x) - 3, 3) + dataset.grid_shape
+        # Every usable start fits: decoding start i needs windows
+        # i … i + horizon - 1, so len(x) - horizon + 1 starts (the last one
+        # consumes the final chronological window).
+        assert out.shape == (len(x) - 3 + 1, 3) + dataset.grid_shape

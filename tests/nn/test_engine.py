@@ -76,6 +76,49 @@ class TestPlanCache:
         )
 
 
+class TestWarmup:
+    def test_runs_forward_once_per_batch_size(self):
+        seen = []
+
+        def forward(x):
+            # Warm-up must not build autograd state: it primes plan caches,
+            # nothing else.
+            assert not config.grad_enabled()
+            seen.append((x.shape, x.dtype))
+            return x
+
+        before = _counter_value(obs_metrics.snapshot(), "engine_warmup_runs_total")
+        calls = engine.warmup(forward, (5, 4, 4, 3), batch_sizes=(1, 6))
+        assert calls == 2
+        assert [shape for shape, _ in seen] == [(1, 5, 4, 4, 3), (6, 5, 4, 4, 3)]
+        assert all(dtype == np.dtype(config.dtype()) for _, dtype in seen)
+        after = _counter_value(obs_metrics.snapshot(), "engine_warmup_runs_total")
+        assert after == before + 2
+
+    def test_warmed_shapes_hit_the_plan_cache(self):
+        """After warming a real model at a batch size, a same-shape request
+        adds plan-cache hits, not misses — the whole point of warm-up."""
+        model = BikeCAP(BikeCAPConfig(
+            grid=(4, 4), history=4, horizon=2, features=3,
+            pyramid_size=2, capsule_dim=2, future_capsule_dim=2,
+            decoder_hidden=4, seed=0,
+        ))
+        engine.clear_caches()
+        engine.warmup(model.predict, (4, 4, 4, 3), batch_sizes=(2,))
+        misses_before = _counter_value(
+            obs_metrics.snapshot(), "engine_plan_cache_misses_total"
+        )
+        model.predict(np.zeros((2, 4, 4, 4, 3), dtype=config.dtype()))
+        misses_after = _counter_value(
+            obs_metrics.snapshot(), "engine_plan_cache_misses_total"
+        )
+        assert misses_after == misses_before
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            engine.warmup(lambda x: x, (2, 2), batch_sizes=(0,))
+
+
 class TestWeightCaches:
     def test_no_stale_kernel_fft_after_optimizer_step(self, rng):
         # Kernel volume 64 >= the FFT threshold: this conv runs (and caches)

@@ -124,6 +124,24 @@ class TestCheckpointArchive:
         assert ckpt.newest_checkpoint(directory) == path
         assert ckpt.newest_checkpoint(directory, prefix="STGCN") is None
 
+    def test_newest_checkpoint_prefix_does_not_cross_model_names(self, tmp_path):
+        """``_slug("PredRNN++") == "PredRNN--"`` starts with ``"PredRNN"``,
+        so a raw prefix match would let a resuming PredRNN run pick up a
+        PredRNN++ checkpoint. The label must match on the exact
+        ``<slug>-seed<N>`` boundary."""
+        directory = str(tmp_path)
+        plain = ckpt.checkpoint_path(directory, "PredRNN", seed=0)
+        plusplus = ckpt.checkpoint_path(directory, "PredRNN++", seed=0)
+        open(plain, "w").close()
+        open(plusplus, "w").close()
+        # Make the ++ file strictly newer: under the old prefix matching it
+        # would win the "newest for PredRNN" query below.
+        os.utime(plain, (1, 1))
+
+        assert ckpt.newest_checkpoint(directory, prefix="PredRNN") == plain
+        assert ckpt.newest_checkpoint(directory, prefix="PredRNN++") == plusplus
+        assert ckpt.newest_checkpoint(directory) == plusplus
+
 
 class TestPipelineExecuteResume:
     def test_execute_checkpoints_and_resumes(self, tiny_dataset, tmp_path):

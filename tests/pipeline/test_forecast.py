@@ -1,0 +1,80 @@
+"""The teacher-forced decode in repro.pipeline.forecast, pinned with stubs.
+
+The recursive protocol is exercised through the model zoo in
+tests/baselines/test_base.py; this file pins the teacher-forcing window
+arithmetic, which a dataset-boundary off-by-one once silently truncated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.forecast import teacher_forced_forecast
+
+
+class _RecordingPersistence:
+    """Next-frame stub: repeats the last frame, recording every batch seen."""
+
+    def __init__(self):
+        self.seen = []
+
+    def __call__(self, windows):
+        windows = np.asarray(windows)
+        self.seen.append(windows)
+        return windows[:, -1]
+
+
+def _consecutive_windows(slots, history, grid=(2, 2), features=2):
+    """Frame ``t`` is filled with the value ``t``, so every prediction is
+    attributable to exactly one source slot."""
+    series = np.broadcast_to(
+        np.arange(slots, dtype=float)[:, None, None, None],
+        (slots,) + grid + (features,),
+    )
+    return np.stack([series[i : i + history] for i in range(slots - history + 1)])
+
+
+class TestTeacherForcedForecast:
+    def test_default_count_uses_every_window(self):
+        """Decoding start ``i`` needs windows ``i … i + horizon - 1``, so
+        ``len(windows) - horizon + 1`` starts fit — one more than the old
+        default, which always left the final chronological window unused."""
+        windows = _consecutive_windows(slots=12, history=4)  # 9 windows
+        horizon = 3
+        predictor = _RecordingPersistence()
+        output = teacher_forced_forecast(predictor, windows, horizon)
+        assert output.shape[0] == len(windows) - horizon + 1  # 7 starts
+
+        # The final step's batch ends with the *last* chronological window:
+        # the data boundary is actually consumed, not truncated away.
+        last_step_batch = predictor.seen[-1]
+        np.testing.assert_array_equal(last_step_batch[-1], windows[-1])
+        consumed_rows = {
+            int(window[0, 0, 0, 0])
+            for batch in predictor.seen
+            for window in batch
+        }
+        assert int(windows[-1][0, 0, 0, 0]) in consumed_rows
+
+    def test_values_match_the_true_frames(self):
+        """With a persistence stub, step ``t`` of start ``i`` must equal the
+        last frame of true window ``i + t`` — teacher forcing by definition."""
+        history, horizon = 4, 3
+        windows = _consecutive_windows(slots=10, history=history)
+        output = teacher_forced_forecast(_RecordingPersistence(), windows, horizon)
+        count = len(windows) - horizon + 1
+        for start in range(count):
+            for step in range(horizon):
+                expected = windows[start + step][-1, ..., 0]
+                np.testing.assert_array_equal(output[start, step], expected)
+
+    def test_explicit_count_is_respected(self):
+        windows = _consecutive_windows(slots=12, history=4)
+        output = teacher_forced_forecast(
+            _RecordingPersistence(), windows, horizon=3, count=2
+        )
+        assert output.shape[0] == 2
+
+    def test_too_few_windows_raise(self):
+        windows = _consecutive_windows(slots=5, history=4)  # 2 windows
+        with pytest.raises(ValueError, match="not enough"):
+            teacher_forced_forecast(_RecordingPersistence(), windows, horizon=4)

@@ -1,0 +1,184 @@
+"""MicroBatcher: coalescing, bit-identity with the direct batch call,
+fault isolation inside a coalesced batch, and shutdown semantics."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import registry
+from repro.serve import ForecastService, MicroBatcher
+
+from .conftest import ConstantForecaster, FailingForecaster, ThresholdFaultForecaster
+
+# Tiny-but-real BikeCAP: the one tier whose numerics could plausibly depend
+# on how requests are batched, so it is the one the identity tests pin.
+BIKECAP_HPARAMS = {
+    "pyramid_size": 2,
+    "capsule_dim": 2,
+    "future_capsule_dim": 2,
+    "decoder_hidden": 4,
+}
+
+
+def _service(ds, tiers):
+    return ForecastService(
+        tiers,
+        ds.scaler,
+        history=ds.history,
+        horizon=ds.horizon,
+        grid_shape=ds.grid_shape,
+        num_features=ds.num_features,
+        target_feature=ds.target_feature,
+    )
+
+
+@pytest.fixture(scope="module")
+def bikecap_service(serve_dataset):
+    ds = serve_dataset
+    primary = registry.create(
+        "BikeCAP",
+        ds.history,
+        ds.horizon,
+        ds.grid_shape,
+        ds.num_features,
+        seed=0,
+        **BIKECAP_HPARAMS,
+    )
+    floor = registry.create(
+        "Persistence", ds.history, ds.horizon, ds.grid_shape, ds.num_features
+    )
+    service = _service(ds, [("BikeCAP", primary), ("Persistence", floor)])
+    service.warm_up(batch_sizes=(1, 6))
+    return service
+
+
+class TestCoalescingIdentity:
+    def test_coalesced_batch_is_bit_identical_to_direct_call(
+        self, bikecap_service, raw_windows
+    ):
+        """The whole point of the micro-batcher: coalescing six concurrent
+        requests answers them with ONE ``predict_batch`` call, and that call
+        is the same call a direct caller would make with the same stack — so
+        the demands must match bit for bit, not just approximately."""
+        windows = list(raw_windows[:6])
+        with MicroBatcher(
+            bikecap_service, max_batch=6, max_wait_seconds=1.0
+        ) as batcher:
+            futures = [batcher.submit(window) for window in windows]
+            responses = [future.result(timeout=30) for future in futures]
+            batch_sizes = list(batcher.batch_sizes)
+
+        # All six submissions landed in one coalesced forward pass.
+        assert batch_sizes == [6]
+
+        reference = bikecap_service.predict_batch(np.stack(windows))
+        for response, expected in zip(responses, reference):
+            assert response.tier == expected.tier == "BikeCAP"
+            np.testing.assert_array_equal(response.demand, expected.demand)
+
+    def test_coalesced_close_to_per_window_calls(self, bikecap_service, raw_windows):
+        """Across *different* batch shapes BLAS reassociates float sums, so
+        per-window answers are only close — equality is pinned against the
+        same-shape direct call above."""
+        windows = list(raw_windows[:4])
+        with MicroBatcher(
+            bikecap_service, max_batch=4, max_wait_seconds=1.0
+        ) as batcher:
+            responses = [
+                future.result(timeout=30)
+                for future in [batcher.submit(window) for window in windows]
+            ]
+        for response, window in zip(responses, windows):
+            single = bikecap_service.predict_one(window)
+            np.testing.assert_allclose(
+                response.demand, single.demand, rtol=1e-6, atol=1e-8
+            )
+
+    def test_batch_invariant_tier_is_exact_per_window(self, serve_dataset, raw_windows):
+        """Persistence is a pure reindex, so for it even the per-window
+        comparison is exact — a stronger floor-tier guarantee."""
+        ds = serve_dataset
+        service = _service(
+            ds,
+            [(
+                "Persistence",
+                registry.create(
+                    "Persistence", ds.history, ds.horizon, ds.grid_shape, ds.num_features
+                ),
+            )],
+        )
+        windows = list(raw_windows[:5])
+        with MicroBatcher(service, max_batch=5, max_wait_seconds=1.0) as batcher:
+            responses = [
+                future.result(timeout=30)
+                for future in [batcher.submit(window) for window in windows]
+            ]
+        for response, window in zip(responses, windows):
+            np.testing.assert_array_equal(
+                response.demand, service.predict_one(window).demand
+            )
+
+
+class TestFaultIsolation:
+    def test_poisoned_request_degrades_without_touching_neighbours(
+        self, serve_dataset, raw_windows
+    ):
+        ds = serve_dataset
+        primary = ThresholdFaultForecaster(ConstantForecaster(ds.horizon, 0.5))
+        service = _service(
+            ds, [("Primary", primary), ("Floor", ConstantForecaster(ds.horizon, 0.1))]
+        )
+        windows = [np.array(window) for window in raw_windows[:4]]
+        windows[2][0, 0, 0, 0] = 1e6  # poison exactly one request
+
+        with MicroBatcher(service, max_batch=4, max_wait_seconds=1.0) as batcher:
+            responses = [
+                future.result(timeout=30)
+                for future in [batcher.submit(window) for window in windows]
+            ]
+
+        assert [response.tier for response in responses] == [
+            "Primary", "Primary", "Floor", "Primary",
+        ]
+        assert [response.degraded for response in responses] == [
+            False, False, True, False,
+        ]
+
+    def test_total_failure_reaches_every_waiter(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        service = _service(ds, [("OnlyTier", FailingForecaster("all down"))])
+        with MicroBatcher(service, max_batch=2, max_wait_seconds=1.0) as batcher:
+            futures = [batcher.submit(window) for window in raw_windows[:2]]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="all down"):
+                    future.result(timeout=30)
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        service = _service(ds, [("Floor", ConstantForecaster(ds.horizon, 0.1))])
+        batcher = MicroBatcher(service)
+        batcher.close()
+        batcher.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(raw_windows[0])
+
+    def test_close_drains_queued_work(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        service = _service(ds, [("Floor", ConstantForecaster(ds.horizon, 0.1))])
+        batcher = MicroBatcher(service, max_batch=8, max_wait_seconds=0.5)
+        futures = [batcher.submit(window) for window in raw_windows[:3]]
+        batcher.close()
+        for future in futures:
+            assert future.result(timeout=1).tier == "Floor"
+
+    def test_validates_parameters_and_window_shape(self, serve_dataset):
+        ds = serve_dataset
+        service = _service(ds, [("Floor", ConstantForecaster(ds.horizon, 0.1))])
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(service, max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_seconds"):
+            MicroBatcher(service, max_wait_seconds=-1)
+        with MicroBatcher(service) as batcher:
+            with pytest.raises(ValueError, match="shape"):
+                batcher.submit(np.zeros((2, 2)))

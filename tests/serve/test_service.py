@@ -1,0 +1,252 @@
+"""ForecastService: scaling round-trip, tier tagging, degradation paths."""
+
+import numpy as np
+import pytest
+
+from repro.data.normalization import MinMaxScaler
+from repro.obs import metrics as obs_metrics
+from repro.pipeline import registry
+from repro.serve import (
+    REASON_DEADLINE,
+    REASON_ERROR,
+    REASON_PREDICTED_DEADLINE,
+    ForecastService,
+    SlowForecaster,
+)
+
+from .conftest import (
+    ConstantForecaster,
+    FailingForecaster,
+    FakeClock,
+    ThresholdFaultForecaster,
+)
+
+
+def _persistence(ds):
+    return registry.create(
+        "Persistence", ds.history, ds.horizon, ds.grid_shape, ds.num_features
+    )
+
+
+def _service(ds, tiers, **overrides):
+    kwargs = dict(
+        history=ds.history,
+        horizon=ds.horizon,
+        grid_shape=ds.grid_shape,
+        num_features=ds.num_features,
+        target_feature=ds.target_feature,
+    )
+    kwargs.update(overrides)
+    return ForecastService(tiers, ds.scaler, **kwargs)
+
+
+class TestScalingRoundTrip:
+    def test_normalize_predict_denormalize(self, serve_dataset, raw_windows):
+        """One call == clip(transform) → predict → inverse_transform → clip."""
+        ds = serve_dataset
+        persistence = _persistence(ds)
+        service = _service(ds, [("Persistence", persistence)])
+
+        response = service.predict_one(raw_windows[0])
+
+        normalized = np.clip(ds.scaler.transform(raw_windows[:1]), 0.0, None)
+        expected = ds.scaler.inverse_transform(
+            np.asarray(persistence.predict(normalized))[0], feature=ds.target_feature
+        )
+        expected = np.clip(expected, 0.0, None)
+        np.testing.assert_array_equal(response.demand, expected)
+        assert response.demand.shape == (ds.horizon,) + ds.grid_shape
+        assert response.tier == "Persistence"
+        assert not response.degraded
+        assert response.skips == ()
+
+    def test_primary_answer_is_tagged_primary(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        service = _service(
+            ds,
+            [("Primary", ConstantForecaster(ds.horizon, 0.5)),
+             ("Floor", ConstantForecaster(ds.horizon, 0.1))],
+        )
+        response = service.predict_one(raw_windows[0])
+        assert response.tier == "Primary"
+        assert not response.degraded
+        # The constant 0.5 denormalizes through the target feature's span.
+        expected = ds.scaler.inverse_transform(
+            np.full((ds.horizon,) + ds.grid_shape, 0.5), feature=ds.target_feature
+        )
+        np.testing.assert_array_equal(response.demand, np.clip(expected, 0.0, None))
+
+
+class TestErrorDegradation:
+    def test_broken_primary_falls_through_tagged(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        service = _service(
+            ds,
+            [("Broken", FailingForecaster("model is down")),
+             ("Persistence", _persistence(ds))],
+        )
+        response = service.predict_one(raw_windows[0])
+        assert response.tier == "Persistence"
+        assert response.degraded
+        assert len(response.skips) == 1
+        assert "Broken" in response.skips[0]
+        assert REASON_ERROR in response.skips[0]
+        assert "model is down" in response.skips[0]
+
+    def test_mid_batch_fault_degrades_only_poisoned_requests(
+        self, serve_dataset, raw_windows
+    ):
+        """One bad window must not drag its whole micro-batch down a tier."""
+        ds = serve_dataset
+        primary = ThresholdFaultForecaster(ConstantForecaster(ds.horizon, 0.5))
+        service = _service(
+            ds, [("Primary", primary), ("Floor", ConstantForecaster(ds.horizon, 0.1))]
+        )
+
+        windows = np.array(raw_windows[:4])
+        poisoned = (1, 3)
+        for index in poisoned:
+            # Far past the fitted maximum → normalizes above the fault
+            # threshold for exactly these windows.
+            windows[index, 0, 0, 0, 0] = 1e6
+
+        responses = service.predict_batch(windows)
+        for index, response in enumerate(responses):
+            if index in poisoned:
+                assert response.tier == "Floor", index
+                assert response.degraded
+                assert any(REASON_ERROR in skip for skip in response.skips)
+            else:
+                assert response.tier == "Primary", index
+                assert not response.degraded
+                assert response.skips == ()
+
+    def test_floor_failure_propagates(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        service = _service(ds, [("OnlyTier", FailingForecaster("nothing left"))])
+        with pytest.raises(RuntimeError, match="nothing left"):
+            service.predict_one(raw_windows[0])
+
+
+class TestDeadlines:
+    def test_overrun_falls_back_to_floor(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        clock = FakeClock()
+        slow = SlowForecaster(
+            ConstantForecaster(ds.horizon, 0.5), 0.05, sleep=clock.advance
+        )
+        service = _service(
+            ds,
+            [("Slow", slow), ("Floor", ConstantForecaster(ds.horizon, 0.1))],
+            clock=clock,
+        )
+        response = service.predict_one(raw_windows[0], deadline_seconds=0.01)
+        assert response.tier == "Floor"
+        assert response.degraded
+        assert response.deadline_missed  # the miss already happened up-tier
+        assert any(REASON_DEADLINE in skip for skip in response.skips)
+
+    def test_ewma_preskips_known_slow_tier(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        clock = FakeClock()
+        slow = SlowForecaster(
+            ConstantForecaster(ds.horizon, 0.5), 0.05, sleep=clock.advance
+        )
+        service = _service(
+            ds,
+            [("Slow", slow), ("Floor", ConstantForecaster(ds.horizon, 0.1))],
+            clock=clock,
+        )
+        # First request teaches the EWMA that "Slow" takes ~50ms.
+        service.predict_one(raw_windows[0], deadline_seconds=0.01)
+        assert service.estimated_latency("Slow") == pytest.approx(0.05)
+
+        # Second request is predicted to miss, so the slow tier never runs
+        # and the floor answers *within* the deadline.
+        second = service.predict_one(raw_windows[1], deadline_seconds=0.01)
+        assert second.tier == "Floor"
+        assert second.degraded
+        assert not second.deadline_missed
+        assert any(REASON_PREDICTED_DEADLINE in skip for skip in second.skips)
+
+    def test_already_expired_deadline_skips_primary(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        primary = ConstantForecaster(ds.horizon, 0.5)
+        service = _service(
+            ds, [("Primary", primary), ("Floor", ConstantForecaster(ds.horizon, 0.1))]
+        )
+        response = service.predict_one(raw_windows[0], deadline_seconds=-1.0)
+        assert response.tier == "Floor"
+        assert response.degraded
+        assert primary.calls == 0  # the expensive tier never ran
+        assert any(REASON_DEADLINE in skip for skip in response.skips)
+
+    def test_floor_answers_even_past_deadline(self, serve_dataset, raw_windows):
+        """The last tier never demotes: a late answer beats no answer."""
+        ds = serve_dataset
+        clock = FakeClock()
+        slow_floor = SlowForecaster(
+            ConstantForecaster(ds.horizon, 0.1), 0.05, sleep=clock.advance
+        )
+        service = _service(ds, [("Floor", slow_floor)], clock=clock)
+        response = service.predict_one(raw_windows[0], deadline_seconds=0.01)
+        assert response.tier == "Floor"
+        assert not response.degraded  # nothing above it was skipped
+        assert response.deadline_missed
+
+
+class TestValidationAndMetrics:
+    def test_rejects_unfitted_scaler(self, serve_dataset):
+        ds = serve_dataset
+        with pytest.raises(RuntimeError, match="fitted"):
+            ForecastService(
+                [("Floor", ConstantForecaster(ds.horizon, 0.1))],
+                MinMaxScaler(),
+                history=ds.history,
+                horizon=ds.horizon,
+                grid_shape=ds.grid_shape,
+                num_features=ds.num_features,
+            )
+
+    def test_rejects_duplicate_tier_names(self, serve_dataset):
+        ds = serve_dataset
+        stub = ConstantForecaster(ds.horizon, 0.1)
+        with pytest.raises(ValueError, match="unique"):
+            _service(ds, [("Same", stub), ("Same", stub)])
+
+    def test_rejects_wrong_window_shape(self, serve_dataset):
+        ds = serve_dataset
+        service = _service(ds, [("Floor", ConstantForecaster(ds.horizon, 0.1))])
+        with pytest.raises(ValueError, match="shape"):
+            service.predict_one(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            service.predict_batch(np.zeros((3, 2, 2)))
+
+    def test_request_and_degradation_counters(self, serve_dataset, raw_windows):
+        ds = serve_dataset
+        obs_metrics.reset()
+        service = _service(
+            ds,
+            [("Broken", FailingForecaster()),
+             ("Floor", ConstantForecaster(ds.horizon, 0.1))],
+        )
+        service.predict_batch(np.array(raw_windows[:3]))
+        assert obs_metrics.counter("serve_requests_total", tier="Floor").value == 3
+        assert (
+            obs_metrics.counter(
+                "serve_degradations_total", tier="Broken", reason=REASON_ERROR
+            ).value
+            == 3
+        )
+        assert obs_metrics.histogram("serve_latency_seconds", tier="Floor").count == 3
+
+    def test_warm_up_runs_every_tier_and_batch_size(self, serve_dataset):
+        ds = serve_dataset
+        tiers = [
+            ("A", ConstantForecaster(ds.horizon, 0.5)),
+            ("B", ConstantForecaster(ds.horizon, 0.1)),
+        ]
+        service = _service(ds, tiers)
+        assert service.warm_up(batch_sizes=(1, 4)) == 4
+        assert tiers[0][1].calls == 2
+        assert tiers[1][1].calls == 2

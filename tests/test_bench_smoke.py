@@ -44,3 +44,66 @@ def test_bench_module_smoke(module, tmp_path):
     assert result.returncode == 0, (
         f"{module} smoke run failed:\n{result.stdout}\n{result.stderr}"
     )
+
+
+@pytest.mark.parametrize(
+    "extra",
+    [
+        [],  # happy path
+        ["--fault-rate", "0.5"],  # degraded traffic still answers
+    ],
+    ids=["clean", "degraded"],
+)
+def test_serve_bench_smoke(extra, tmp_path):
+    """``python -m repro.serve.bench`` end to end, tiny geometry.
+
+    Covers the acceptance loop: the CLI must run, write BENCH_serve.json
+    with the gauges bench_compare diffs, and — with faults injected — keep
+    answering through the degradation chain instead of erroring out.
+    """
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_RUNLOG"] = "0"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.bench",
+            "--requests", "12",
+            "--clients", "3",
+            "--grid", "4", "4",
+            "--history", "5",
+            "--horizon", "2",
+            "--features", "3",
+            "--slots", "40",
+            "--max-batch", "4",
+            *extra,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"serve bench smoke failed:\n{result.stdout}\n{result.stderr}"
+    )
+    with open(tmp_path / "BENCH_serve.json") as handle:
+        payload = json.load(handle)
+    gauges = payload["gauges"]
+    for key in (
+        "bench_serve_latency_mean_seconds",
+        "bench_serve_latency_p50_seconds",
+        "bench_serve_latency_p99_seconds",
+        "bench_serve_throughput_rps",
+        "bench_serve_degraded_fraction",
+    ):
+        assert key in gauges, key
+    assert payload["requests"] == 12
+    assert gauges["bench_serve_throughput_rps"] > 0
+    if extra:  # fault injection must actually exercise the fallback tier
+        assert gauges["bench_serve_degraded_fraction"] > 0
+        assert payload["tier_counts"].get("Persistence", 0) > 0
