@@ -9,7 +9,6 @@ and the module writes a ``results/BENCH_substrate.json`` snapshot on exit
 perf-trajectory file series tracked across PRs.
 """
 
-import json
 import os
 
 import numpy as np
@@ -19,6 +18,7 @@ from repro.core import BikeCAP, BikeCAPConfig, SpatialTemporalRouting, squash
 from repro.nn import Tensor, engine, ops
 from repro.nn.ops.conv import conv3d_forward, conv3d_input_grad, conv3d_weight_grad
 from repro.obs import metrics as obs_metrics
+from repro.obs.artifacts import atomic_write_json
 
 
 def _record(benchmark, kernel: str) -> None:
@@ -41,8 +41,7 @@ def _bench_snapshot():
         return
     directory = os.environ.get("REPRO_BENCH_DIR", "results")
     os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, "BENCH_substrate.json"), "w") as handle:
-        json.dump(snapshot, handle, indent=2, sort_keys=True)
+    atomic_write_json(os.path.join(directory, "BENCH_substrate.json"), snapshot, sort_keys=True)
 
 
 @pytest.fixture(scope="module")

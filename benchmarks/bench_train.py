@@ -14,7 +14,6 @@ speedups — the second file in the ``BENCH_*.json`` perf-trajectory series
 ``scripts/bench_compare.py``.
 """
 
-import json
 import os
 
 import numpy as np
@@ -25,6 +24,7 @@ from repro.nn import Trainer
 from repro.nn import config as nn_config
 from repro.nn import engine
 from repro.obs import metrics as obs_metrics
+from repro.obs.artifacts import atomic_write_json
 
 # Reference timings measured on this machine at the commit immediately
 # before the engine PR (float64 substrate — the only mode that existed;
@@ -88,8 +88,7 @@ def _bench_snapshot():
     }
     directory = os.environ.get("REPRO_BENCH_DIR", "results")
     os.makedirs(directory, exist_ok=True)
-    with open(os.path.join(directory, "BENCH_train.json"), "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    atomic_write_json(os.path.join(directory, "BENCH_train.json"), payload, sort_keys=True)
 
 
 @pytest.fixture()

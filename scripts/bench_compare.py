@@ -20,6 +20,10 @@ older baseline diff.
 On a busy or single-core machine the mean is easily inflated by scheduler
 noise; pass ``--stat min`` to compare best-observed times instead, which is
 far more robust for detecting genuine kernel regressions.
+
+A missing or unparseable *baseline* file exits 0 with a notice (first run
+of a pipeline has no snapshot yet; a torn file must not fail CI forever) —
+only a readable baseline that then regresses can fail the comparison.
 """
 
 from __future__ import annotations
@@ -58,10 +62,25 @@ def load_throughputs(path: str) -> dict:
 
 
 def compare(before_path: str, after_path: str, threshold: float, stat: str = "mean") -> int:
-    before = load_means(before_path, stat)
-    after = load_means(after_path, stat)
-    before_tp = load_throughputs(before_path)
-    after_tp = load_throughputs(after_path)
+    try:
+        before = load_means(before_path, stat)
+        before_tp = load_throughputs(before_path)
+    except (OSError, ValueError) as exc:
+        # A missing or damaged baseline is the normal first-run state (no
+        # snapshot committed yet, or a crash tore the file): there is
+        # nothing to regress against, so report and succeed instead of
+        # failing fresh CI pipelines with a traceback.
+        print(
+            f"notice: no usable baseline at {before_path} ({exc}); "
+            "skipping comparison — commit a fresh snapshot to enable it"
+        )
+        return 0
+    try:
+        after = load_means(after_path, stat)
+        after_tp = load_throughputs(after_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read candidate snapshot {after_path}: {exc}", file=sys.stderr)
+        return 2
     shared = sorted(set(before) & set(after))
     shared_tp = sorted(set(before_tp) & set(after_tp))
     if not shared and not shared_tp:

@@ -3,25 +3,34 @@
 
 The stack (see docs/ARCHITECTURE.md) is, bottom to top::
 
-    obs / pipeline-leaves  →  nn / city / graph / boosting / data / metrics
-                           →  core / baselines  →  pipeline
-                           →  experiments | serve   (siblings, no cross-import)
+    faults / obs / pipeline-leaves
+        →  nn / city / graph / boosting / data / metrics
+        →  resilience
+        →  core / baselines  →  pipeline
+        →  experiments | serve   (siblings, no cross-import)
 
 Rules enforced (each import must point *down* the stack):
 
-1. ``repro.pipeline.seeding`` and ``repro.pipeline.forecast`` are
-   dependency-free leaves: they import no other ``repro`` module. They are
-   the one sanctioned exception that lets every layer share the central
-   RNG policy and forecast protocol without an import cycle.
+1. ``repro.pipeline.seeding``, ``repro.pipeline.forecast`` and
+   ``repro.faults`` are dependency-free leaves: they import no other
+   ``repro`` module. They are the sanctioned exceptions that let every
+   layer share the central RNG policy, the forecast protocol and the
+   fault-injection hooks without an import cycle.
 2. The substrate layers (``nn``, ``obs``, ``city``, ``graph``,
-   ``boosting``, ``data``, ``metrics``) must not import ``core``,
-   ``baselines``, ``experiments`` or any non-leaf ``pipeline`` module.
-3. The model layers (``core``, ``baselines``) must not import
+   ``boosting``, ``data``, ``metrics``) must not import ``resilience``,
+   ``core``, ``baselines``, ``experiments`` or any non-leaf ``pipeline``
+   module.
+3. ``resilience`` sits just above the substrate: it may import ``nn``,
+   ``obs``, ``repro.faults`` and the pipeline leaves, but never
+   ``core``/``baselines``, non-leaf ``pipeline`` modules,
+   ``experiments`` or ``serve`` (the pipeline builds *on* recovery, not
+   the other way around).
+4. The model layers (``core``, ``baselines``) must not import
    ``experiments`` or non-leaf ``pipeline`` modules.
-4. ``pipeline`` must not import ``experiments``.
-5. ``experiments`` must not import ``baselines`` or ``core``: every model
+5. ``pipeline`` must not import ``experiments``.
+6. ``experiments`` must not import ``baselines`` or ``core``: every model
    is constructed through the pipeline registry + RunSpec.
-6. ``serve`` sits beside ``experiments`` at the top of the stack: it may
+7. ``serve`` sits beside ``experiments`` at the top of the stack: it may
    import ``pipeline``, ``obs`` and the substrate, but never
    ``experiments`` — and, like experiments, never ``core``/``baselines``
    directly (models come from the registry). ``experiments`` must not
@@ -40,6 +49,9 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SOURCE_ROOT = os.path.join(REPO_ROOT, "src", "repro")
 
 PIPELINE_LEAVES = {"repro.pipeline.seeding", "repro.pipeline.forecast"}
+# Dependency-free leaf *modules* directly under repro (importable from any
+# layer; themselves import no repro code).
+ROOT_LEAVES = {"repro.faults"}
 SUBSTRATE = {"nn", "obs", "city", "graph", "boosting", "data", "metrics"}
 MODEL_LAYERS = {"core", "baselines"}
 
@@ -71,10 +83,12 @@ def _imported_modules(path: str):
             if node.level:  # relative imports are not used in this repo
                 continue
             if node.module and node.module.startswith("repro"):
-                if node.module == "repro.pipeline":
+                if node.module in ("repro", "repro.pipeline"):
                     # Resolve the imported names so leaf submodules
-                    # (seeding/forecast) can be told apart from the
-                    # top-of-stack ones (registry/spec/runner/...).
+                    # (faults, seeding/forecast) can be told apart from
+                    # package-level / top-of-stack imports — `from repro
+                    # import faults` must lint as repro.faults, not as the
+                    # unclassifiable bare package.
                     for alias in node.names:
                         imported.add(f"{node.module}.{alias.name}")
                 else:
@@ -117,7 +131,13 @@ def check(source_root: str = SOURCE_ROOT):
 
             for target in sorted(imported):
                 target_layer = _subpackage(target)
-                if module in PIPELINE_LEAVES:
+                if module in ROOT_LEAVES:
+                    forbid(
+                        True,
+                        target,
+                        f"{module} is a dependency-free leaf (numpy/stdlib only)",
+                    )
+                elif module in PIPELINE_LEAVES:
                     forbid(
                         target not in PIPELINE_LEAVES and target != "repro.pipeline",
                         target,
@@ -125,7 +145,7 @@ def check(source_root: str = SOURCE_ROOT):
                     )
                 elif layer in SUBSTRATE:
                     forbid(
-                        target_layer in MODEL_LAYERS | {"experiments", "serve"},
+                        target_layer in MODEL_LAYERS | {"experiments", "serve", "resilience"},
                         target,
                         f"substrate layer '{layer}' must not import model/top layers",
                     )
@@ -133,6 +153,16 @@ def check(source_root: str = SOURCE_ROOT):
                         _is_nonleaf_pipeline(target),
                         target,
                         f"substrate layer '{layer}' may only use pipeline leaves",
+                    )
+                elif layer == "resilience":
+                    forbid(
+                        target_layer
+                        in MODEL_LAYERS | {"experiments", "serve", "pipeline"}
+                        and not (
+                            target in PIPELINE_LEAVES or target == "repro.pipeline"
+                        ),
+                        target,
+                        "resilience may import only nn/obs/faults and pipeline leaves",
                     )
                 elif layer in MODEL_LAYERS:
                     forbid(

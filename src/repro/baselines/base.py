@@ -23,7 +23,7 @@ forward pass, instead of hand-rolling its own loop.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,13 +58,18 @@ class Forecaster(abc.ABC):
         epochs: int = 10,
         verbose: bool = False,
         checkpoint_path: Optional[str] = None,
-        resume_from: Optional[str] = None,
+        resume_from: Optional[object] = None,
+        observers: Optional[Sequence] = None,
     ) -> Dict:
         """Train on the dataset's train split; returns a history dict.
 
         ``checkpoint_path``/``resume_from`` enable full-state autosave and
-        bit-exact resume for trainer-backed models; models without an
-        iterative training loop accept and ignore them.
+        bit-exact resume for trainer-backed models (``resume_from`` takes a
+        path or an in-memory ``TrainingCheckpoint``); ``observers`` are
+        :class:`~repro.obs.observers.TrainingObserver` instances attached
+        to the training loop (how ``repro.resilience`` watches a fit).
+        Models without an iterative training loop accept and ignore all
+        three.
         """
 
     @abc.abstractmethod
@@ -120,7 +125,8 @@ class SupervisedForecaster(Forecaster):
         epochs: int = 10,
         verbose: bool = False,
         checkpoint_path: Optional[str] = None,
-        resume_from: Optional[str] = None,
+        resume_from: Optional[object] = None,
+        observers: Optional[Sequence] = None,
     ) -> Dict:
         train_x, train_y, val_x, val_y = self.training_arrays(dataset)
         history = self.trainer.fit(
@@ -132,6 +138,7 @@ class SupervisedForecaster(Forecaster):
             verbose=verbose,
             checkpoint_path=checkpoint_path,
             resume_from=resume_from,
+            observers=observers,
         )
         return history.as_dict()
 

@@ -8,7 +8,7 @@ pure diurnal periodicity.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -30,7 +30,8 @@ class PersistenceForecaster(Forecaster):
         epochs: int = 0,
         verbose: bool = False,
         checkpoint_path: Optional[str] = None,
-        resume_from: Optional[str] = None,
+        resume_from: Optional[object] = None,
+        observers: Optional[Sequence] = None,
     ) -> Dict:
         return {}
 
@@ -71,7 +72,8 @@ class SeasonalAverageForecaster(Forecaster):
         epochs: int = 0,
         verbose: bool = False,
         checkpoint_path: Optional[str] = None,
-        resume_from: Optional[str] = None,
+        resume_from: Optional[object] = None,
+        observers: Optional[Sequence] = None,
     ) -> Dict:
         y = dataset.split.train_y  # (N, p, G1, G2), window i starts at slot i+h
         totals = np.zeros((self.slots_per_day,) + tuple(self.grid_shape))

@@ -12,7 +12,7 @@ all channels lets the recursion rebuild a complete input window.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -63,10 +63,11 @@ class XGBoostForecaster(RecursiveFrameForecaster):
         epochs: int = 10,
         verbose: bool = False,
         checkpoint_path: Optional[str] = None,
-        resume_from: Optional[str] = None,
+        resume_from: Optional[object] = None,
+        observers: Optional[Sequence] = None,
     ) -> Dict:
         del epochs  # boosting rounds are fixed by n_estimators
-        del checkpoint_path, resume_from  # no iterative loop to checkpoint
+        del checkpoint_path, resume_from, observers  # no iterative loop to checkpoint
         x = dataset.split.train_x
         if len(x) < 2:
             raise ValueError("XGBoost baseline needs at least 2 training windows")

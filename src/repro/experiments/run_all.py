@@ -30,6 +30,8 @@ from repro.experiments.runner import ExperimentContext
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
+from repro.nn.divergence import DivergenceError
+from repro.obs.artifacts import atomic_write_json, atomic_write_text
 from repro.pipeline import registry
 
 
@@ -137,12 +139,22 @@ def run_all(
                 _LOGGER.info("[%s skipped: %s exists]", name, artifact_path)
             continue
         artifact_start = time.time()
-        result = runner()
+        try:
+            result = runner()
+        except DivergenceError as exc:
+            # One unrecoverable divergence must not take down the other
+            # artifacts: record the failure, keep the file absent (so a
+            # --resume retries this artifact), and move on.
+            elapsed = time.time() - artifact_start
+            failure = f"[{name} FAILED after {elapsed:.1f}s: {exc}]"
+            sections.append(failure)
+            payload.setdefault("failures", {})[name] = str(exc)
+            _LOGGER.warning("%s", failure)
+            continue
         elapsed = time.time() - artifact_start
         rendered = result.render()
         sections.append(rendered + f"\n[{name}: {elapsed:.1f}s]")
-        with open(artifact_path, "w") as handle:
-            handle.write(rendered + "\n")
+        atomic_write_text(artifact_path, rendered + "\n")
         if hasattr(result, "results"):
             payload[name] = _mean_std_tree(result.results)
         if name == "table3":
@@ -159,10 +171,11 @@ def run_all(
             _LOGGER.info("[%s done in %.1fs]", name, elapsed)
 
     summary = "\n\n".join(sections) + f"\n\ntotal: {time.time() - started:.1f}s\n"
-    with open(os.path.join(output_dir, "summary.txt"), "w") as handle:
-        handle.write(summary)
-    with open(os.path.join(output_dir, "results.json"), "w") as handle:
-        json.dump(payload, handle, indent=2, default=str)
+    atomic_write_text(os.path.join(output_dir, "summary.txt"), summary)
+    atomic_write_text(
+        os.path.join(output_dir, "results.json"),
+        json.dumps(payload, indent=2, default=str) + "\n",
+    )
     if verbose:
         _LOGGER.info("%s", summary)
     return payload

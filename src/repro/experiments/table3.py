@@ -9,13 +9,14 @@ PTS ≥ 5 despite losing to the graph models at PTS = 2–3.
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence
 
 from repro.experiments.profiles import ExperimentProfile, get_profile
 from repro.experiments.reporting import flatten_metric, format_table
 from repro.experiments.runner import ExperimentContext
 from repro.metrics.evaluation import MeanStd
+from repro.nn.divergence import DivergenceError
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -26,6 +27,10 @@ class Table3Result:
 
     profile: str
     results: Dict[str, Dict[int, Dict[str, MeanStd]]]
+    # Models whose training diverged beyond recovery: name -> error text.
+    # They are excluded from results/degradation instead of aborting the
+    # whole table (per-model failure isolation).
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def metric_table(self, metric: str) -> Dict[str, Dict[str, object]]:
         return {
@@ -42,6 +47,9 @@ class Table3Result:
                 f"Table III ({metric}) — profile {self.profile}\n"
                 + format_table(rows, list(columns), row_header="model")
             )
+        if self.failures:
+            lines = [f"  {model}: {error}" for model, error in sorted(self.failures.items())]
+            sections.append("failed models (training diverged):\n" + "\n".join(lines))
         return "\n\n".join(sections)
 
     def degradation(self, metric: str = "MAE") -> Dict[str, float]:
@@ -85,21 +93,30 @@ def run_table3(
     run_epochs = epochs if epochs is not None else profile.epochs
 
     results: Dict[str, Dict[int, Dict[str, MeanStd]]] = {}
+    failures: Dict[str, str] = {}
     for model in models:
-        if registry.protocol_of(model) == forecast.RECURSIVE:
-            per_pts = _run_recursive_model(
-                model, context, horizons, run_epochs, profile.seeds
-            )
-        else:
-            per_pts = {
-                pts: context.run_model(model, pts, epochs=epochs) for pts in horizons
-            }
+        try:
+            if registry.protocol_of(model) == forecast.RECURSIVE:
+                per_pts = _run_recursive_model(
+                    model, context, horizons, run_epochs, profile.seeds
+                )
+            else:
+                per_pts = {
+                    pts: context.run_model(model, pts, epochs=epochs) for pts in horizons
+                }
+        except DivergenceError as exc:
+            # Recovery (rollback + LR backoff) already ran inside the
+            # pipeline and gave up; losing one model must not lose the
+            # whole comparison table.
+            failures[model] = str(exc)
+            _LOGGER.warning("%s failed (training diverged): %s", model, exc)
+            continue
         results[model] = per_pts
         if verbose:
             for pts in horizons:
                 cell = per_pts[pts]
                 _LOGGER.info("%s PTS=%s: MAE=%s RMSE=%s", model, pts, cell["MAE"], cell["RMSE"])
-    return Table3Result(profile=profile.name, results=results)
+    return Table3Result(profile=profile.name, results=results, failures=failures)
 
 
 def _run_recursive_model(model, context, horizons, epochs, seeds):

@@ -1,0 +1,272 @@
+"""Deterministic fault injection, shared by serving and training.
+
+Two fault families live here so both halves of the stack test recovery
+against the *same* primitives (see docs/RESILIENCE.md):
+
+- **Serving faults** — :class:`FaultInjectingForecaster` poisons a
+  configurable fraction of request windows (pure CRC32 function of the
+  window bytes, so a failure reproduces identically inside a batch, on
+  retry, and across runs) and :class:`SlowForecaster` adds fixed latency
+  for deadline tests.
+- **Training chaos** — a :class:`FaultPlan` installed process-globally
+  (:func:`active` / :func:`install`) that the training stack consults at
+  well-defined points: poison gradients with NaN at the K-th optimizer
+  step (:func:`poison_gradients`), or kill a checkpoint write mid-stream
+  (:func:`kill_checkpoint_write`), leaving a deliberately truncated temp
+  file behind exactly as a SIGKILL would. Every fault fires a bounded
+  number of times (default once), so a recovery policy that rolls back and
+  retries can be shown to *complete* — not just to fail deterministically.
+
+File-corruption helpers (:func:`corrupt_file`, :func:`truncate_file`) are
+seeded and byte-deterministic for checkpoint-validation tests.
+
+Layering note: this is a deliberately dependency-free *leaf* module (numpy
+and stdlib only, enforced by ``scripts/check_layering.py``) so any layer —
+``nn``, ``serve``, ``resilience`` — may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a fault plan standing in for a SIGKILL mid-operation."""
+
+
+# ----------------------------------------------------------------------
+# Training chaos: the process-global fault plan.
+# ----------------------------------------------------------------------
+@dataclass
+class FaultPlan:
+    """Declarative description of the faults one test wants injected.
+
+    Counters are 1-based and *stateful*: ``grad_nan_at_step=3`` poisons the
+    gradients of the third optimizer step seen after installation, then —
+    after ``grad_nan_times`` firings — never again, so a rolled-back retry
+    of the same step passes. ``kill_checkpoint_write_at=2`` makes the
+    second checkpoint write truncate its temp file and raise
+    :class:`SimulatedCrash` before the atomic rename.
+    """
+
+    grad_nan_at_step: Optional[int] = None
+    grad_nan_times: int = 1
+    kill_checkpoint_write_at: Optional[int] = None
+    kill_checkpoint_write_times: int = 1
+
+    # Internal firing state (not part of the declarative surface).
+    _steps_seen: int = field(default=0, repr=False)
+    _grad_nan_fired: int = field(default=0, repr=False)
+    _writes_seen: int = field(default=0, repr=False)
+    _kills_fired: int = field(default=0, repr=False)
+
+    def take_grad_nan(self) -> bool:
+        """Advance the optimizer-step counter; True when this step poisons."""
+        if self.grad_nan_at_step is None:
+            return False
+        self._steps_seen += 1
+        if self._grad_nan_fired >= self.grad_nan_times:
+            return False
+        if self._steps_seen >= self.grad_nan_at_step:
+            self._grad_nan_fired += 1
+            return True
+        return False
+
+    def take_checkpoint_kill(self) -> bool:
+        """Advance the checkpoint-write counter; True when this write dies."""
+        if self.kill_checkpoint_write_at is None:
+            return False
+        self._writes_seen += 1
+        if self._kills_fired >= self.kill_checkpoint_write_times:
+            return False
+        if self._writes_seen >= self.kill_checkpoint_write_at:
+            self._kills_fired += 1
+            return True
+        return False
+
+    @property
+    def fired(self) -> dict:
+        """How often each fault actually triggered (for test assertions)."""
+        return {
+            "grad_nan": self._grad_nan_fired,
+            "checkpoint_kill": self._kills_fired,
+        }
+
+
+_PLAN: Optional[FaultPlan] = None
+
+
+def install(plan: Optional[FaultPlan]) -> None:
+    """Install (or, with ``None``, clear) the process-global fault plan."""
+    global _PLAN
+    _PLAN = plan
+
+
+def clear() -> None:
+    install(None)
+
+
+def current() -> Optional[FaultPlan]:
+    return _PLAN
+
+
+class active:
+    """Context manager installing a plan for the duration of a block."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        self._previous = current()
+        install(self.plan)
+        return self.plan
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        install(self._previous)
+
+
+# ----------------------------------------------------------------------
+# Hooks the instrumented code calls. All are near-free when no plan is
+# installed (one None check).
+# ----------------------------------------------------------------------
+def poison_gradients(parameters: Iterator) -> bool:
+    """Overwrite the first live gradient with NaN when the plan says so.
+
+    Called by ``Trainer.train_step`` between backward and clipping; returns
+    whether a fault fired (so callers may log it).
+    """
+    plan = _PLAN
+    if plan is None or not plan.take_grad_nan():
+        return False
+    for param in parameters:
+        grad = getattr(param, "grad", None)
+        if grad is not None:
+            grad[...] = np.nan
+            return True
+    return False
+
+
+def kill_checkpoint_write(tmp_path: str) -> None:
+    """Truncate a half-written temp file and die, when the plan says so.
+
+    Called by the checkpoint writer *after* the temp file is complete but
+    *before* the atomic rename — the moment a real SIGKILL hurts most. The
+    final checkpoint path is never touched, which is exactly the guarantee
+    the crash-safety tests pin.
+    """
+    plan = _PLAN
+    if plan is None or not plan.take_checkpoint_kill():
+        return
+    truncate_file(tmp_path, keep_fraction=0.5)
+    raise SimulatedCrash(f"injected kill during checkpoint write of {tmp_path}")
+
+
+# ----------------------------------------------------------------------
+# Byte-level corruption helpers (deterministic, for validation tests).
+# ----------------------------------------------------------------------
+def corrupt_file(path: str, nbytes: int = 64, seed: int = 0) -> List[int]:
+    """XOR-flip ``nbytes`` deterministic positions in ``path``; returns them.
+
+    Positions and flip masks are a pure function of ``seed`` and the file
+    size, so a corruption test never flakes on which bytes happened to be
+    hit.
+    """
+    rng = np.random.default_rng(seed)
+    with open(path, "r+b") as handle:
+        handle.seek(0, 2)
+        size = handle.tell()
+        if size == 0:
+            return []
+        count = min(int(nbytes), size)
+        offsets = sorted(int(o) for o in rng.choice(size, size=count, replace=False))
+        for offset in offsets:
+            handle.seek(offset)
+            original = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([original ^ 0xFF]))
+    return offsets
+
+
+def truncate_file(path: str, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to a fraction of its size; returns the new size."""
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    with open(path, "r+b") as handle:
+        handle.seek(0, 2)
+        size = handle.tell()
+        new_size = int(size * keep_fraction)
+        handle.truncate(new_size)
+    return new_size
+
+
+# ----------------------------------------------------------------------
+# Serving-side injectors (promoted from repro.serve.faults).
+# ----------------------------------------------------------------------
+class FaultInjectingForecaster:
+    """Forecaster wrapper that fails deterministically on ~``rate`` of windows.
+
+    A batch containing a poisoned window raises (as a real model bug
+    would), and the serving layer's per-window retry then fails for exactly
+    the poisoned windows. Poisoning is a pure function of the window's
+    bytes (CRC32), so the same window fails identically inside a batch, on
+    retry, and across runs — no hidden RNG state to make a failure test
+    flake.
+    """
+
+    def __init__(self, inner, rate: float, salt: int = 0):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        self.inner = inner
+        self.rate = float(rate)
+        self.salt = int(salt)
+
+    def is_poisoned(self, window: np.ndarray) -> bool:
+        digest = zlib.crc32(np.ascontiguousarray(window).tobytes()) ^ self.salt
+        return (digest % 10_000) / 10_000.0 < self.rate
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        poisoned = sum(self.is_poisoned(window) for window in np.asarray(x))
+        if poisoned:
+            raise RuntimeError(f"injected fault: {poisoned} poisoned window(s) in batch")
+        return self.inner.predict(x)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class SlowForecaster:
+    """Forecaster wrapper that sleeps before answering (deadline tests/bench)."""
+
+    def __init__(self, inner, delay_seconds: float, sleep=None):
+        self.inner = inner
+        self.delay_seconds = float(delay_seconds)
+        self._sleep = sleep if sleep is not None else time.sleep
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        self._sleep(self.delay_seconds)
+        return self.inner.predict(x)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+__all__ = [
+    "FaultInjectingForecaster",
+    "FaultPlan",
+    "SimulatedCrash",
+    "SlowForecaster",
+    "active",
+    "clear",
+    "corrupt_file",
+    "current",
+    "install",
+    "kill_checkpoint_write",
+    "poison_gradients",
+    "truncate_file",
+]

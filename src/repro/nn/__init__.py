@@ -6,8 +6,9 @@ environment ships no deep-learning framework; see DESIGN.md for the
 substitution rationale.
 """
 
-from repro.nn import config, engine, init, layers, losses, ops, optim
+from repro.nn import config, divergence, engine, init, layers, losses, ops, optim
 from repro.nn.config import no_grad, set_dtype, set_engine_mode
+from repro.nn.divergence import DivergenceError
 from repro.nn.gradcheck import check_gradients, gradcheck_module
 from repro.nn.layers import (
     LSTM,
@@ -31,11 +32,15 @@ from repro.nn.layers import (
 from repro.nn.losses import get_loss, huber_loss, l1_loss, mse_loss
 from repro.nn.optim import SGD, Adam, clip_grad_norm, make_optimizer
 from repro.nn.serialization import (
+    CheckpointCorruptError,
     TrainingCheckpoint,
+    build_checkpoint,
     load_checkpoint,
     load_weights,
+    quarantine,
     save_checkpoint,
     save_weights,
+    write_checkpoint,
 )
 from repro.nn.tensor import Tensor, as_tensor
 from repro.nn.training import Trainer, TrainingHistory, iterate_minibatches
@@ -44,6 +49,8 @@ __all__ = [
     "Activation",
     "Adam",
     "CausalLSTMCell",
+    "CheckpointCorruptError",
+    "DivergenceError",
     "Conv2D",
     "Conv3D",
     "ConvLSTM2DCell",
@@ -65,9 +72,11 @@ __all__ = [
     "TrainingCheckpoint",
     "TrainingHistory",
     "as_tensor",
+    "build_checkpoint",
     "check_gradients",
     "clip_grad_norm",
     "config",
+    "divergence",
     "engine",
     "get_loss",
     "gradcheck_module",
@@ -84,8 +93,10 @@ __all__ = [
     "no_grad",
     "ops",
     "optim",
+    "quarantine",
     "save_checkpoint",
     "save_weights",
     "set_dtype",
     "set_engine_mode",
+    "write_checkpoint",
 ]

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List
 import numpy as np
 
 from repro.nn import engine
+from repro.nn.divergence import NON_FINITE_GRAD_NORM, DivergenceError
 from repro.nn.layers.base import Parameter
 
 
@@ -231,10 +232,20 @@ def make_optimizer(name: str, parameters: Iterable[Parameter], lr: float = 1e-3,
 def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the pre-clipping norm.
+    Returns the pre-clipping norm. A non-finite norm (any NaN/Inf gradient)
+    raises :class:`~repro.nn.divergence.DivergenceError` rather than scaling
+    the poison into every gradient — NaN / total is NaN, so one bad entry
+    would otherwise corrupt all parameters in a single step. An all-zero
+    gradient is returned as norm 0.0 without touching anything (no 0/0).
     """
     params = [p for p in parameters if p.grad is not None]
     total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if not np.isfinite(total):
+        raise DivergenceError(
+            NON_FINITE_GRAD_NORM,
+            f"gradient norm is {total} before clipping",
+            value=total,
+        )
     if total > max_norm and total > 0.0:
         scale = max_norm / total
         for param in params:

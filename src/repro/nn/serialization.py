@@ -17,21 +17,61 @@ Two file kinds share the npz container:
 Both loaders are strict: missing keys, unexpected keys, and shape
 mismatches raise a single error listing every problem, instead of silently
 misloading a partially-matching archive.
+
+Crash safety (see docs/RESILIENCE.md): checkpoints are written atomically
+(temp file + ``os.replace``) and the previous generation is rotated to
+``<path>.prev`` instead of being destroyed, so there is always a loadable
+resume point even if the newest file is later found damaged. The metadata
+carries a per-array CRC32/shape/dtype manifest; :func:`load_checkpoint`
+verifies it and raises :class:`CheckpointCorruptError` (as it does for
+truncated or otherwise unreadable archives), and :func:`quarantine` moves
+a bad file aside to ``*.corrupt`` so discovery never trips over it again.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import struct
+import zipfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import faults
 from repro.nn.layers.base import Module
 
 CHECKPOINT_META_KEY = "__checkpoint_meta__"
 CHECKPOINT_FORMAT_VERSION = 1
+CORRUPT_SUFFIX = ".corrupt"
+PREVIOUS_SUFFIX = ".prev"
+
+# What flipped bits in an npz actually raise: zipfile alone surfaces
+# BadZipFile, NotImplementedError (garbage version/compression fields) and
+# struct.error (torn headers), numpy adds ValueError/KeyError for mangled
+# .npy members, zlib.error for bad deflate streams, OSError for truncation.
+_DAMAGE_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    NotImplementedError,
+    struct.error,
+    zipfile.BadZipFile,
+    zlib.error,
+)
+
+
+class CheckpointCorruptError(ValueError):
+    """A checkpoint file exists but cannot be trusted.
+
+    Raised for unreadable archives (truncated zip, bad header), metadata
+    that fails to parse, and arrays whose bytes no longer match the CRC32
+    manifest recorded at save time. Distinct from the plain ``ValueError``
+    of "this is a weights file, not a checkpoint", which is a caller
+    mistake rather than damage.
+    """
 
 
 def _ensure_parent(path: str) -> None:
@@ -135,6 +175,113 @@ class TrainingCheckpoint:
         return which
 
 
+def build_checkpoint(
+    model: Module,
+    optimizer=None,
+    epoch: int = 0,
+    history: Optional[Dict] = None,
+    best_val: float = float("inf"),
+    stale: int = 0,
+    stopped: bool = False,
+    rng_state: Optional[Dict] = None,
+    best_state: Optional[Dict[str, np.ndarray]] = None,
+    loss: Optional[str] = None,
+    extra: Optional[Dict] = None,
+) -> TrainingCheckpoint:
+    """Capture the trainer's exact position as an in-memory checkpoint.
+
+    Array state is deep-copied (``Module.state_dict`` copies; optimizer
+    slots are copied here), so the snapshot stays good while in-place
+    optimizer updates keep mutating the live buffers — this is what the
+    recovery policy rolls back to without touching disk.
+    """
+    optimizer_state = None
+    if optimizer is not None:
+        state = optimizer.state_dict()  # state_dict already copies buffers
+        state["hyper"] = dict(state.get("hyper", {}))
+        optimizer_state = state
+    return TrainingCheckpoint(
+        model_state=model.state_dict(),
+        optimizer_state=optimizer_state,
+        best_state={k: np.array(v) for k, v in best_state.items()} if best_state else None,
+        epoch=int(epoch),
+        history=json.loads(json.dumps(history or {})),
+        best_val=float(best_val),
+        stale=int(stale),
+        stopped=bool(stopped),
+        rng_state=json.loads(json.dumps(rng_state)) if rng_state is not None else None,
+        loss=loss,
+        model_class=type(model).__name__,
+        extra=dict(extra or {}),
+    )
+
+
+def _crc(array: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(array).tobytes())
+
+
+def write_checkpoint(path: str, checkpoint: TrainingCheckpoint) -> None:
+    """Serialize a checkpoint to ``path`` atomically, rotating the old file.
+
+    The archive embeds a per-array CRC32/shape/dtype manifest that
+    :func:`load_checkpoint` verifies. An existing file at ``path`` is moved
+    to ``<path>.prev`` before the rename, so a later-discovered corruption
+    of the newest autosave can still fall back one generation
+    (``repro.pipeline.checkpoint.validated_restore``).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for name, value in checkpoint.model_state.items():
+        arrays[f"model/{name}"] = np.asarray(value)
+    if checkpoint.best_state is not None:
+        for name, value in checkpoint.best_state.items():
+            arrays[f"best/{name}"] = np.asarray(value)
+    optimizer_meta = None
+    if checkpoint.optimizer_state is not None:
+        state = dict(checkpoint.optimizer_state)
+        for slot, buffers in state.pop("slots").items():
+            for index, buffer in enumerate(buffers):
+                arrays[f"optim/{slot}/{index}"] = np.asarray(buffer)
+        optimizer_meta = state  # type / step_count / hyper
+    manifest = {
+        key: {
+            "crc": _crc(value),
+            "shape": list(value.shape),
+            "dtype": np.dtype(value.dtype).str,
+        }
+        for key, value in arrays.items()
+    }
+    best_val = checkpoint.best_val
+    meta = {
+        "format": CHECKPOINT_FORMAT_VERSION,
+        "epoch": checkpoint.epoch,
+        "history": checkpoint.history,
+        "best_val": None if best_val == float("inf") else float(best_val),
+        "stale": checkpoint.stale,
+        "stopped": checkpoint.stopped,
+        "rng_state": checkpoint.rng_state,
+        "optimizer": optimizer_meta,
+        "loss": checkpoint.loss,
+        "model_class": checkpoint.model_class,
+        "extra": checkpoint.extra,
+        "manifest": manifest,
+    }
+    arrays[CHECKPOINT_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    _ensure_parent(path)
+    tmp = path + ".tmp"
+    np.savez(tmp, **arrays)
+    # np.savez appends .npz to extension-less paths; follow where it wrote.
+    written = tmp if os.path.exists(tmp) else tmp + ".npz"
+    # Chaos hook: a planned "SIGKILL mid-write" truncates the temp file and
+    # raises here — after the bytes, before the rename — so the final path
+    # below is provably never left half-written.
+    faults.kill_checkpoint_write(written)
+    if os.path.exists(path):
+        os.replace(path, path + PREVIOUS_SUFFIX)
+    os.replace(written, path)
+
+
 def save_checkpoint(
     path: str,
     model: Module,
@@ -150,56 +297,80 @@ def save_checkpoint(
     extra: Optional[Dict] = None,
 ) -> None:
     """Write one self-contained resume point (atomic: temp file + rename)."""
-    arrays: Dict[str, np.ndarray] = {}
-    for name, value in model.state_dict().items():
-        arrays[f"model/{name}"] = value
-    if best_state is not None:
-        for name, value in best_state.items():
-            arrays[f"best/{name}"] = np.asarray(value)
-    optimizer_meta = None
-    if optimizer is not None:
-        state = optimizer.state_dict()
-        for slot, buffers in state.pop("slots").items():
-            for index, buffer in enumerate(buffers):
-                arrays[f"optim/{slot}/{index}"] = buffer
-        optimizer_meta = state  # type / step_count / hyper
-    meta = {
-        "format": CHECKPOINT_FORMAT_VERSION,
-        "epoch": int(epoch),
-        "history": history or {},
-        "best_val": None if best_val == float("inf") else float(best_val),
-        "stale": int(stale),
-        "stopped": bool(stopped),
-        "rng_state": rng_state,
-        "optimizer": optimizer_meta,
-        "loss": loss,
-        "model_class": type(model).__name__,
-        "extra": extra or {},
-    }
-    arrays[CHECKPOINT_META_KEY] = np.frombuffer(
-        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    write_checkpoint(
+        path,
+        build_checkpoint(
+            model,
+            optimizer=optimizer,
+            epoch=epoch,
+            history=history,
+            best_val=best_val,
+            stale=stale,
+            stopped=stopped,
+            rng_state=rng_state,
+            best_state=best_state,
+            loss=loss,
+            extra=extra,
+        ),
     )
-    _ensure_parent(path)
-    tmp = path + ".tmp"
-    np.savez(tmp, **arrays)
-    # np.savez appends .npz to extension-less paths; follow where it wrote.
-    written = tmp if os.path.exists(tmp) else tmp + ".npz"
-    os.replace(written, path)
+
+
+def _verify_manifest(path: str, key: str, array: np.ndarray, entry: Dict) -> None:
+    problems: List[str] = []
+    shape = list(np.asarray(array).shape)
+    dtype = np.dtype(array.dtype).str
+    if entry.get("shape") is not None and list(entry["shape"]) != shape:
+        problems.append(f"shape {shape} != manifest {list(entry['shape'])}")
+    if entry.get("dtype") is not None and entry["dtype"] != dtype:
+        problems.append(f"dtype {dtype} != manifest {entry['dtype']}")
+    if entry.get("crc") is not None and int(entry["crc"]) != _crc(array):
+        problems.append("CRC32 mismatch")
+    if problems:
+        raise CheckpointCorruptError(
+            f"checkpoint {path}: array {key!r} fails validation "
+            f"({'; '.join(problems)}); the file is damaged"
+        )
 
 
 def load_checkpoint(path: str) -> TrainingCheckpoint:
-    """Parse a file written by :func:`save_checkpoint`."""
-    with np.load(path, allow_pickle=False) as archive:
+    """Parse a file written by :func:`save_checkpoint`.
+
+    Raises :class:`CheckpointCorruptError` for archives that are unreadable
+    (truncated zip, bad member) or whose arrays no longer match the
+    embedded CRC32/shape/dtype manifest. Checkpoints written before the
+    manifest existed load unverified — the manifest is checked only when
+    present, so the on-disk format version is unchanged.
+    """
+    try:
+        archive_ctx = np.load(path, allow_pickle=False)
+    except _DAMAGE_ERRORS as exc:
+        raise CheckpointCorruptError(
+            f"checkpoint {path} is unreadable ({exc}); the file is damaged or truncated"
+        ) from exc
+    with archive_ctx as archive:
         if CHECKPOINT_META_KEY not in archive.files:
             raise ValueError(
                 f"{path} is not a training checkpoint (no metadata record); "
                 "bare weight files load with repro.nn.serialization.load_weights"
             )
-        meta = json.loads(archive[CHECKPOINT_META_KEY].tobytes().decode("utf-8"))
+        try:
+            meta = json.loads(archive[CHECKPOINT_META_KEY].tobytes().decode("utf-8"))
+        except _DAMAGE_ERRORS as exc:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} has an unparseable metadata record ({exc})"
+            ) from exc
         if meta.get("format") != CHECKPOINT_FORMAT_VERSION:
             raise ValueError(
                 f"checkpoint {path} has format {meta.get('format')!r}; "
                 f"this build reads format {CHECKPOINT_FORMAT_VERSION}"
+            )
+        manifest = meta.get("manifest") or {}
+        expected = set(manifest) - {CHECKPOINT_META_KEY}
+        present = set(archive.files) - {CHECKPOINT_META_KEY}
+        if manifest and expected - present:
+            raise CheckpointCorruptError(
+                f"checkpoint {path} is missing arrays recorded in its manifest: "
+                f"{sorted(expected - present)}"
             )
         model_state: Dict[str, np.ndarray] = {}
         best_state: Dict[str, np.ndarray] = {}
@@ -207,14 +378,22 @@ def load_checkpoint(path: str) -> TrainingCheckpoint:
         for key in archive.files:
             if key == CHECKPOINT_META_KEY:
                 continue
+            try:
+                array = archive[key]
+            except _DAMAGE_ERRORS as exc:
+                raise CheckpointCorruptError(
+                    f"checkpoint {path}: array {key!r} is unreadable ({exc})"
+                ) from exc
+            if key in manifest:
+                _verify_manifest(path, key, array, manifest[key])
             section, _, rest = key.partition("/")
             if section == "model":
-                model_state[rest] = archive[key]
+                model_state[rest] = array
             elif section == "best":
-                best_state[rest] = archive[key]
+                best_state[rest] = array
             elif section == "optim":
                 slot, _, index = rest.partition("/")
-                slots.setdefault(slot, {})[int(index)] = archive[key]
+                slots.setdefault(slot, {})[int(index)] = array
             else:
                 raise ValueError(f"checkpoint {path} has unrecognized section {key!r}")
     optimizer_state = meta.get("optimizer")
@@ -245,5 +424,18 @@ def is_checkpoint(path: str) -> bool:
     try:
         with np.load(path, allow_pickle=False) as archive:
             return CHECKPOINT_META_KEY in archive.files
-    except (OSError, ValueError):
+    except _DAMAGE_ERRORS:
         return False
+
+
+def quarantine(path: str) -> str:
+    """Move a damaged checkpoint aside to ``<path>.corrupt`` and return it.
+
+    Keeps the evidence for post-mortems while guaranteeing that checkpoint
+    discovery (``find_checkpoint`` / ``newest_checkpoint``) never offers the
+    bad file again. An earlier quarantined generation at the same name is
+    overwritten — the newest corruption is the interesting one.
+    """
+    target = path + CORRUPT_SUFFIX
+    os.replace(path, target)
+    return target

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import faults
 from repro.nn import config, engine, serialization
+from repro.nn.divergence import DivergenceError
 from repro.nn.layers.base import Module
 from repro.nn.losses import get_loss
 from repro.nn.optim import Adam, Optimizer, clip_grad_norm, make_optimizer
@@ -127,6 +129,10 @@ class Trainer:
         # default_rng call); unseeded ones share the process generator so a
         # single seeding.seed_everything() pins the whole run.
         self.rng = seeding.rng(seed) if seed is not None else seeding.global_rng()
+        # Last good in-memory resume point, refreshed at fit start and each
+        # epoch end; repro.resilience rolls back to it after a divergence
+        # without requiring a checkpoint file.
+        self.last_checkpoint: Optional[serialization.TrainingCheckpoint] = None
 
     def _run_info(self, epochs: int, train_count: int, val_count: int) -> Dict:
         return {
@@ -155,14 +161,16 @@ class Trainer:
         observers: Optional[Sequence[TrainingObserver]] = None,
         checkpoint_path: Optional[str] = None,
         checkpoint_every: int = 1,
-        resume_from: Optional[str] = None,
+        resume_from: Optional[Union[str, serialization.TrainingCheckpoint]] = None,
     ) -> TrainingHistory:
         """Run the training loop; early-stops on validation loss if asked.
 
         ``checkpoint_path`` autosaves a full resume point (weights +
         optimizer + RNG + epoch bookkeeping) every ``checkpoint_every``
-        epochs; ``resume_from`` restores one and continues mid-training
-        bit-exactly — the resumed run's weights and loss curves match an
+        epochs; ``resume_from`` restores one — from a path or directly from
+        an in-memory :class:`~repro.nn.serialization.TrainingCheckpoint`
+        (how the recovery policy rolls back) — and continues mid-training
+        bit-exactly: the resumed run's weights and loss curves match an
         uninterrupted run to the last bit.
         """
         watchers: List[TrainingObserver] = list(observers) if observers else []
@@ -174,7 +182,10 @@ class Trainer:
         stale = 0
         start_epoch = 0
         if resume_from is not None:
-            checkpoint = serialization.load_checkpoint(resume_from)
+            if isinstance(resume_from, serialization.TrainingCheckpoint):
+                checkpoint = resume_from
+            else:
+                checkpoint = serialization.load_checkpoint(resume_from)
             start_epoch, best_val, stale, best_state = self._restore_checkpoint(checkpoint)
             history = TrainingHistory.from_dict(checkpoint.history)
             if checkpoint.stopped:
@@ -190,6 +201,8 @@ class Trainer:
             run_info["resumed_at_epoch"] = start_epoch
         for watcher in watchers:
             watcher.on_fit_start(run_info)
+        self.last_checkpoint = self._capture(start_epoch, history, best_val, stale, best_state)
+        step = 0
         for epoch in range(start_epoch, epochs):
             start = time.perf_counter()
             epoch_losses = []
@@ -197,8 +210,27 @@ class Trainer:
             for batch_x, batch_y in iterate_minibatches(
                 train_x, train_y, self.batch_size, rng=self.rng
             ):
-                loss = self.train_step(batch_x, batch_y)
+                try:
+                    loss = self.train_step(batch_x, batch_y)
+                except DivergenceError as exc:
+                    if exc.step is None and exc.epoch is None:
+                        # Substrate raisers (clip_grad_norm) don't know the
+                        # loop position; re-raise with it for the recovery
+                        # policy's rollback record.
+                        raise DivergenceError(
+                            exc.reason,
+                            str(exc),
+                            step=step + 1,
+                            epoch=epoch + 1,
+                            value=exc.value,
+                        ) from exc
+                    raise
                 epoch_losses.append(loss)
+                step += 1
+                if watchers:
+                    step_info = {"step": step, "epoch": epoch + 1, "loss": loss}
+                    for watcher in watchers:
+                        watcher.on_step(step_info)
             history.train_loss.append(float(np.mean(epoch_losses)))
             history.epoch_seconds.append(time.perf_counter() - start)
 
@@ -231,20 +263,15 @@ class Trainer:
                 watcher.on_epoch(epoch_info)
             runlog.emit("epoch", **epoch_info)
 
+            self.last_checkpoint = self._capture(
+                epoch + 1, history, best_val, stale, best_state, stopped=stopped_early
+            )
             if checkpoint_path is not None and (
                 (epoch + 1) % checkpoint_every == 0
                 or stopped_early
                 or epoch + 1 == epochs
             ):
-                self.save_checkpoint(
-                    checkpoint_path,
-                    epoch=epoch + 1,
-                    history=history,
-                    best_val=best_val,
-                    stale=stale,
-                    best_state=best_state,
-                    stopped=stopped_early,
-                )
+                serialization.write_checkpoint(checkpoint_path, self.last_checkpoint)
 
             if stopped_early:
                 stop_info = {
@@ -272,6 +299,34 @@ class Trainer:
     # ------------------------------------------------------------------
     # Full-state checkpointing.
     # ------------------------------------------------------------------
+    def _capture(
+        self,
+        epoch: int,
+        history: TrainingHistory,
+        best_val: float = float("inf"),
+        stale: int = 0,
+        best_state=None,
+        stopped: bool = False,
+        extra: Optional[Dict] = None,
+    ) -> serialization.TrainingCheckpoint:
+        """Snapshot this trainer's exact position as an in-memory checkpoint."""
+        payload = {"seed": self.seed}
+        if extra:
+            payload.update(extra)
+        return serialization.build_checkpoint(
+            self.model,
+            optimizer=self.optimizer,
+            epoch=epoch,
+            history=history.as_dict() if isinstance(history, TrainingHistory) else history,
+            best_val=best_val,
+            stale=stale,
+            stopped=stopped,
+            rng_state=seeding.get_state(self.rng),
+            best_state=best_state,
+            loss=self.loss_name,
+            extra=payload,
+        )
+
     def save_checkpoint(
         self,
         path: str,
@@ -284,22 +339,17 @@ class Trainer:
         extra: Optional[Dict] = None,
     ) -> None:
         """Write a resume point capturing this trainer's exact position."""
-        payload = {"seed": self.seed}
-        if extra:
-            payload.update(extra)
-        serialization.save_checkpoint(
+        serialization.write_checkpoint(
             path,
-            self.model,
-            optimizer=self.optimizer,
-            epoch=epoch,
-            history=history.as_dict() if isinstance(history, TrainingHistory) else history,
-            best_val=best_val,
-            stale=stale,
-            stopped=stopped,
-            rng_state=seeding.get_state(self.rng),
-            best_state=best_state,
-            loss=self.loss_name,
-            extra=payload,
+            self._capture(
+                epoch,
+                history,
+                best_val=best_val,
+                stale=stale,
+                best_state=best_state,
+                stopped=stopped,
+                extra=extra,
+            ),
         )
 
     def _restore_checkpoint(self, checkpoint: serialization.TrainingCheckpoint):
@@ -324,6 +374,7 @@ class Trainer:
             prediction = self.model(Tensor(batch_x))
             loss = self.loss_fn(prediction, Tensor(batch_y))
             loss.backward()
+            faults.poison_gradients(self.optimizer.parameters)
             if self.max_grad_norm is not None:
                 clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
             self.optimizer.step()
@@ -332,6 +383,7 @@ class Trainer:
         loss_value = self._sharded_loss_and_grads(
             batch_x, batch_y, shards=workers, use_pool=True
         )
+        faults.poison_gradients(self.optimizer.parameters)
         if self.max_grad_norm is not None:
             clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
         self.optimizer.step()

@@ -1,0 +1,56 @@
+"""Atomic artifact writes: results files are whole or absent, never torn.
+
+Every ``results/*.json`` / ``*.txt`` the experiment scripts produce is a
+downstream input — the benchmark comparator, the report renderer, a human
+diffing two runs. A process killed mid-``json.dump`` would otherwise leave
+a half-written file that *parses as damage* only at the worst time: on the
+next run's read. These helpers stage the content in a temp file in the
+same directory (same filesystem, so the final ``os.replace`` is atomic)
+and flush+fsync before renaming; a crash at any point leaves either the
+previous version or nothing — never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+
+def atomic_write_text(path: str, content: str, encoding: str = "utf-8") -> None:
+    """Write ``content`` to ``path`` so readers never observe a torn file."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    descriptor, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding=encoding) as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        # Failed mid-write: drop the temp file, leave any previous version
+        # of the artifact untouched.
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str, payload: Any, indent: Optional[int] = 2, sort_keys: bool = False
+) -> None:
+    """Serialize ``payload`` and atomically write it to ``path``.
+
+    Serialization happens *before* any file is touched, so a
+    non-serializable payload cannot destroy the previous artifact.
+    """
+    content = json.dumps(payload, indent=indent, sort_keys=sort_keys)
+    atomic_write_text(path, content + "\n")
+
+
+__all__ = ["atomic_write_json", "atomic_write_text"]

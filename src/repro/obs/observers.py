@@ -30,6 +30,14 @@ class TrainingObserver:
     def on_fit_start(self, info: Dict) -> None:
         pass
 
+    def on_step(self, info: Dict) -> None:
+        """Per optimizer step — ``{"step", "epoch", "loss"}``.
+
+        Fires once per mini-batch, so overrides must stay cheap; the
+        default observers ignore it. ``repro.resilience.DivergenceSentinel``
+        uses it for loss finiteness and spike detection.
+        """
+
     def on_epoch(self, info: Dict) -> None:
         pass
 

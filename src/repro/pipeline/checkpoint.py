@@ -10,14 +10,19 @@ from __future__ import annotations
 
 import os
 import re
+import warnings
 from typing import Optional
 
 from repro.nn.serialization import (
+    PREVIOUS_SUFFIX,
+    CheckpointCorruptError,
     TrainingCheckpoint,
     is_checkpoint,
     load_checkpoint,
+    quarantine,
     save_checkpoint,
 )
+from repro.obs import runlog
 
 CHECKPOINT_SUFFIX = ".ckpt.npz"
 
@@ -75,8 +80,48 @@ def newest_checkpoint(directory: str, prefix: Optional[str] = None) -> Optional[
     return max(candidates)[1]
 
 
+def validated_restore(path: Optional[str]) -> Optional[str]:
+    """The path of a *loadable* resume point at (or behind) ``path``.
+
+    Crash-safety gate for every resume: the newest autosave is fully
+    parsed and CRC-verified before a run commits to it. A damaged file is
+    quarantined to ``*.corrupt`` (kept for post-mortems, never offered
+    again) and the previous generation ``<path>.prev`` — rotated aside by
+    the checkpoint writer — is validated next. Returns ``None`` when no
+    trustworthy snapshot remains, which callers treat as "start fresh,
+    with a warning" rather than an error: losing an autosave must never
+    lose the run.
+    """
+    if path is None:
+        return None
+    candidates = [path, path + PREVIOUS_SUFFIX]
+    for candidate in candidates:
+        if not os.path.exists(candidate):
+            continue
+        try:
+            load_checkpoint(candidate)
+            return candidate
+        except CheckpointCorruptError as exc:
+            moved = quarantine(candidate)
+            warnings.warn(
+                f"checkpoint {candidate} failed validation and was quarantined "
+                f"to {moved}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            runlog.emit(
+                "checkpoint_quarantined",
+                path=candidate,
+                quarantined_to=moved,
+                error=str(exc),
+            )
+    return None
+
+
 __all__ = [
     "CHECKPOINT_SUFFIX",
+    "CheckpointCorruptError",
+    "PREVIOUS_SUFFIX",
     "TrainingCheckpoint",
     "checkpoint_filename",
     "checkpoint_path",
@@ -84,5 +129,7 @@ __all__ = [
     "is_checkpoint",
     "load_checkpoint",
     "newest_checkpoint",
+    "quarantine",
     "save_checkpoint",
+    "validated_restore",
 ]

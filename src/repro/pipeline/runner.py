@@ -24,6 +24,7 @@ from repro.obs import runlog, tracing
 from repro.pipeline import checkpoint as ckpt
 from repro.pipeline import registry
 from repro.pipeline.spec import RunSpec
+from repro.resilience import RecoveryPolicy, run_with_recovery
 
 
 @dataclass
@@ -37,6 +38,9 @@ class RunResult:
     forecaster: Any = None
     checkpoint_path: Optional[str] = None
     resumed_from: Optional[str] = None
+    # RecoveryReport.as_dict() of the divergence-recovery loop (neural
+    # runs only; empty rollback list when training stayed healthy).
+    resilience: Optional[Dict[str, Any]] = None
 
 
 @contextlib.contextmanager
@@ -81,34 +85,73 @@ def execute(
 
     With ``checkpoint_dir`` set, neural models autosave full training state
     each epoch to ``<dir>/<label>-seed<seed>.ckpt.npz``; with ``resume``
-    also set, an existing file there is restored first so an interrupted
+    also set, an existing file there is *validated* (CRC manifest; a
+    damaged autosave is quarantined to ``*.corrupt`` and the rotated
+    ``*.prev`` generation tried instead) and restored, so an interrupted
     run continues bit-exactly where it stopped.
+
+    Neural runs train under a divergence-recovery policy (see
+    :mod:`repro.resilience`): a NaN/Inf loss, gradient or weight — or a
+    loss spike past the policy's threshold — rolls the trainer back to its
+    last good epoch snapshot, halves the learning rate, and retries.
+    ``spec.resilience`` tunes or disables this
+    (``{"enabled": False}`` for raise-immediately behavior); the
+    result's ``resilience`` field records what the policy saw and did.
     """
     label = label or spec.label(default_horizon=dataset.horizon)
     with _engine_overrides(spec):
         forecaster = registry.build(spec, dataset)
+        neural = registry.is_neural(spec.model)
         checkpoint_path = None
         resume_from = None
-        if checkpoint_dir is not None and registry.is_neural(spec.model):
+        if checkpoint_dir is not None and neural:
             os.makedirs(checkpoint_dir, exist_ok=True)
             checkpoint_path = ckpt.checkpoint_path(checkpoint_dir, label, spec.seed)
             if resume:
-                resume_from = ckpt.find_checkpoint(checkpoint_dir, label, spec.seed)
+                resume_from = ckpt.validated_restore(
+                    ckpt.find_checkpoint(checkpoint_dir, label, spec.seed)
+                )
 
+        policy = RecoveryPolicy.from_dict(spec.resilience)
+        report = None
         logger = runlog.start_run(label, seed=spec.seed, config=run_config(spec, log_config))
         try:
             with tracing.span(f"experiment.{label}"):
-                history = forecaster.fit(
-                    dataset,
-                    epochs=spec.epochs,
-                    verbose=verbose,
-                    checkpoint_path=checkpoint_path,
-                    resume_from=resume_from,
-                )
+                trainer = getattr(forecaster, "trainer", None)
+                if neural and trainer is not None:
+
+                    def fit_once(resume_point, watchers):
+                        return forecaster.fit(
+                            dataset,
+                            epochs=spec.epochs,
+                            verbose=verbose,
+                            checkpoint_path=checkpoint_path,
+                            resume_from=resume_point,
+                            observers=watchers,
+                        )
+
+                    history, report = run_with_recovery(
+                        trainer,
+                        fit_once,
+                        policy=policy,
+                        model_label=label,
+                        initial_resume=resume_from,
+                    )
+                else:
+                    history = forecaster.fit(
+                        dataset,
+                        epochs=spec.epochs,
+                        verbose=verbose,
+                        checkpoint_path=checkpoint_path,
+                        resume_from=resume_from,
+                    )
                 metrics = evaluate_forecaster(forecaster, dataset)
             if logger is not None:
+                close_info: Dict[str, Any] = dict(metrics)
+                if report is not None and report.rollback_count:
+                    close_info["rollbacks"] = report.rollback_count
                 logger.event("eval", split="test", **metrics)
-                logger.close(status="ok", **metrics)
+                logger.close(status="ok", **close_info)
                 logger = None
         finally:
             if logger is not None:
@@ -122,6 +165,7 @@ def execute(
         forecaster=forecaster,
         checkpoint_path=checkpoint_path,
         resumed_from=resume_from,
+        resilience=report.as_dict() if report is not None else None,
     )
 
 

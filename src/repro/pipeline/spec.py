@@ -40,6 +40,11 @@ class RunSpec:
     engine_mode: Optional[str] = None
     dtype: Optional[str] = None
     tag: Optional[str] = None
+    # Divergence-recovery options (repro.resilience.RecoveryPolicy.from_dict
+    # keys, e.g. {"max_retries": 3, "lr_backoff": 0.25}); None means the
+    # runner's defaults. Kept as a plain dict so specs stay JSON-round-trip
+    # without this layer importing upward into resilience.
+    resilience: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if not self.model:
@@ -47,6 +52,13 @@ class RunSpec:
         if self.epochs < 0:
             raise ValueError(f"RunSpec.epochs must be >= 0, got {self.epochs}")
         self.hparams = dict(self.hparams)
+        if self.resilience is not None:
+            if not isinstance(self.resilience, dict):
+                raise ValueError(
+                    "RunSpec.resilience must be a dict of RecoveryPolicy options "
+                    f"or None, got {type(self.resilience).__name__}"
+                )
+            self.resilience = dict(self.resilience)
 
     # ------------------------------------------------------------------
     def with_overrides(self, **changes: Any) -> "RunSpec":

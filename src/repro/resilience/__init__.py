@@ -1,0 +1,42 @@
+"""``repro.resilience`` — divergence detection and rollback-and-retry training.
+
+Long training runs fail in two characteristic ways: the optimization
+itself diverges (NaN loss, exploding gradients, weights leaving the land
+of finite numbers), or the process dies mid-write and leaves damaged
+artifacts behind. This package handles the first kind; crash-safe
+checkpoint files are :mod:`repro.nn.serialization` +
+:mod:`repro.pipeline.checkpoint`. See docs/RESILIENCE.md for the whole
+story.
+
+- :class:`DivergenceSentinel` — a :class:`~repro.obs.observers.TrainingObserver`
+  that checks loss finiteness and a windowed loss-spike rule every
+  optimizer step, and weight finiteness every epoch, raising a typed
+  :class:`~repro.nn.divergence.DivergenceError`.
+- :class:`RecoveryPolicy` / :func:`fit_with_recovery` — catch the
+  divergence, roll the trainer back to its last good in-memory
+  checkpoint, cut the learning rate by a backoff factor, and retry up to
+  a bounded number of times; every decision is emitted as run-log events
+  (``divergence_detected`` / ``rollback`` / ``retry``) and counted in
+  metrics (``training_divergences_total``, ``training_rollbacks_total``).
+
+Layering: this sits between the substrate and the pipeline — it imports
+``repro.nn`` / ``repro.obs`` / ``repro.faults`` only, and
+``repro.pipeline.runner`` builds on it (never the other way around;
+enforced by ``scripts/check_layering.py``).
+"""
+
+from repro.resilience.policy import (
+    RecoveryPolicy,
+    RecoveryReport,
+    fit_with_recovery,
+    run_with_recovery,
+)
+from repro.resilience.sentinel import DivergenceSentinel
+
+__all__ = [
+    "DivergenceSentinel",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "fit_with_recovery",
+    "run_with_recovery",
+]

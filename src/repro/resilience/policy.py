@@ -1,0 +1,248 @@
+"""Rollback-and-retry recovery around ``Trainer.fit``.
+
+:func:`fit_with_recovery` runs a fit with a :class:`DivergenceSentinel`
+attached; when a :class:`~repro.nn.divergence.DivergenceError` escapes
+(from the sentinel, or straight from the substrate via
+``clip_grad_norm``), it rolls the trainer back to its last good
+in-memory checkpoint (``Trainer.last_checkpoint``, captured at every
+epoch boundary), cuts the learning rate by ``lr_backoff``, and retries —
+up to ``max_retries`` times, after which the error propagates with the
+full story recorded in the :class:`RecoveryReport`.
+
+Everything observable goes through ``repro.obs``:
+
+- run-log events ``divergence_detected`` (every catch), ``rollback``
+  (each successful state restore) and ``retry`` (each re-entry into
+  ``fit``);
+- metrics ``training_divergences_total{reason}`` and
+  ``training_rollbacks_total{model,reason}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.divergence import DivergenceError
+from repro.nn.training import Trainer, TrainingHistory
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog
+from repro.obs.observers import TrainingObserver
+from repro.resilience.sentinel import DivergenceSentinel
+
+
+@dataclass
+class RecoveryPolicy:
+    """What to watch for and how hard to fight back.
+
+    Defaults are conservative on detection (a 100x median spike over a
+    20-step window never trips on healthy warm-up noise) and gentle on
+    recovery (halve the LR, two retries), because the pipeline enables
+    this policy for every neural run by default.
+    """
+
+    enabled: bool = True
+    max_retries: int = 2
+    lr_backoff: float = 0.5
+    min_lr: float = 1e-6
+    window: int = 20
+    spike_factor: float = 100.0
+    check_weights: bool = True
+    check_grads: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 < self.lr_backoff <= 1.0:
+            raise ValueError(f"lr_backoff must be in (0, 1], got {self.lr_backoff}")
+        if self.min_lr < 0.0:
+            raise ValueError(f"min_lr must be >= 0, got {self.min_lr}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.spike_factor <= 1.0:
+            raise ValueError(f"spike_factor must be > 1, got {self.spike_factor}")
+
+    @classmethod
+    def from_dict(cls, payload: Optional[Dict[str, Any]]) -> "RecoveryPolicy":
+        """Build from a ``RunSpec.resilience`` block; unknown keys are errors."""
+        payload = payload or {}
+        known = set(cls.__dataclass_fields__)
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown resilience option(s) {unknown}; valid: {sorted(known)}"
+            )
+        return cls(**payload)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "max_retries": self.max_retries,
+            "lr_backoff": self.lr_backoff,
+            "min_lr": self.min_lr,
+            "window": self.window,
+            "spike_factor": self.spike_factor,
+            "check_weights": self.check_weights,
+            "check_grads": self.check_grads,
+        }
+
+    def sentinel(self, model=None) -> DivergenceSentinel:
+        """A sentinel configured with this policy's detection thresholds."""
+        return DivergenceSentinel(
+            model=model,
+            window=self.window,
+            spike_factor=self.spike_factor,
+            check_weights_each_epoch=self.check_weights,
+            check_grads_each_step=self.check_grads,
+        )
+
+
+@dataclass
+class RecoveryReport:
+    """What the policy saw and did during one recovered fit."""
+
+    rollbacks: List[Dict[str, Any]] = field(default_factory=list)
+    gave_up: bool = False
+
+    @property
+    def rollback_count(self) -> int:
+        return len(self.rollbacks)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rollbacks": [dict(r) for r in self.rollbacks],
+            "rollback_count": self.rollback_count,
+            "gave_up": self.gave_up,
+        }
+
+
+def _current_lr(trainer: Trainer) -> Optional[float]:
+    lr = getattr(trainer.optimizer, "lr", None)
+    return None if lr is None else float(lr)
+
+
+def run_with_recovery(
+    trainer: Trainer,
+    fit_once,
+    policy: Optional[RecoveryPolicy] = None,
+    model_label: Optional[str] = None,
+    initial_resume: Optional[object] = None,
+) -> Tuple[Any, RecoveryReport]:
+    """Run ``fit_once(resume_from, observers)`` under the recovery loop.
+
+    The generic engine behind :func:`fit_with_recovery`:
+    ``fit_once`` is any callable that runs one training attempt through
+    ``trainer`` — directly, or via a forecaster's ``fit`` (how
+    ``repro.pipeline.runner`` hooks in) — attaching the given observers
+    and resuming from the given checkpoint. Returns ``(result, report)``.
+
+    With ``policy.enabled=False`` this is a plain fit (divergences
+    propagate immediately, report stays empty). When retries are
+    exhausted — or the trainer has no good snapshot to roll back to — the
+    last :class:`DivergenceError` propagates and ``report.gave_up`` tells
+    the caller recovery was attempted.
+
+    Retries resume from the in-memory snapshot's epoch with a reduced
+    learning rate, so a recovered run still performs every remaining
+    epoch; determinism is preserved given the same seed and fault plan
+    because rollback restores the shuffle RNG along with the weights.
+    """
+    policy = policy or RecoveryPolicy()
+    label = model_label or type(trainer.model).__name__
+    report = RecoveryReport()
+    watchers: List[TrainingObserver] = []
+    if policy.enabled:
+        watchers.append(policy.sentinel(model=trainer.model))
+    resume = initial_resume
+    attempt = 0
+    while True:
+        try:
+            result = fit_once(resume, watchers)
+            return result, report
+        except DivergenceError as exc:
+            obs_metrics.counter("training_divergences_total", reason=exc.reason).inc()
+            runlog.emit(
+                "divergence_detected",
+                model=label,
+                reason=exc.reason,
+                step=exc.step,
+                epoch=exc.epoch,
+                value=exc.value,
+                attempt=attempt,
+                message=str(exc),
+            )
+            snapshot = trainer.last_checkpoint
+            if not policy.enabled or attempt >= policy.max_retries or snapshot is None:
+                report.gave_up = policy.enabled
+                raise
+            attempt += 1
+            lr_before = _current_lr(trainer)
+            lr_after = lr_before
+            if lr_before is not None:
+                lr_after = max(lr_before * policy.lr_backoff, policy.min_lr)
+                trainer.optimizer.lr = lr_after
+            rollback = {
+                "attempt": attempt,
+                "reason": exc.reason,
+                "failed_step": exc.step,
+                "failed_epoch": exc.epoch,
+                "resumed_epoch": snapshot.epoch,
+                "lr_before": lr_before,
+                "lr_after": lr_after,
+            }
+            report.rollbacks.append(rollback)
+            obs_metrics.counter(
+                "training_rollbacks_total", model=label, reason=exc.reason
+            ).inc()
+            runlog.emit("rollback", model=label, **rollback)
+            runlog.emit(
+                "retry",
+                model=label,
+                attempt=attempt,
+                retries_left=policy.max_retries - attempt,
+            )
+            resume = snapshot
+
+
+def fit_with_recovery(
+    trainer: Trainer,
+    train_x: np.ndarray,
+    train_y: np.ndarray,
+    epochs: int,
+    policy: Optional[RecoveryPolicy] = None,
+    observers: Optional[Sequence[TrainingObserver]] = None,
+    model_label: Optional[str] = None,
+    **fit_kwargs,
+) -> Tuple[TrainingHistory, RecoveryReport]:
+    """``trainer.fit`` under a divergence-recovery policy.
+
+    Convenience wrapper over :func:`run_with_recovery` for callers holding
+    a bare :class:`~repro.nn.training.Trainer`; see there for semantics.
+    Extra keyword arguments (``val_x``, ``patience``, ``checkpoint_path``,
+    ``resume_from``…) pass through to ``trainer.fit``.
+    """
+    base: List[TrainingObserver] = list(observers) if observers else []
+    initial_resume = fit_kwargs.pop("resume_from", None)
+
+    def fit_once(resume_from, watchers):
+        return trainer.fit(
+            train_x,
+            train_y,
+            epochs,
+            observers=base + list(watchers),
+            resume_from=resume_from,
+            **fit_kwargs,
+        )
+
+    return run_with_recovery(
+        trainer,
+        fit_once,
+        policy=policy,
+        model_label=model_label,
+        initial_resume=initial_resume,
+    )
+
+
+__all__ = ["RecoveryPolicy", "RecoveryReport", "fit_with_recovery", "run_with_recovery"]

@@ -1,0 +1,111 @@
+"""Divergence detection as a training observer.
+
+The sentinel rides the ``Trainer.fit`` observer protocol: ``on_step``
+checks every mini-batch loss, ``on_epoch`` sweeps the model weights. It
+only *detects* — raising :class:`~repro.nn.divergence.DivergenceError`
+out of the training loop — and deliberately emits no events or metrics
+itself; the recovery policy catching the error is the single place that
+records what happened, so a divergence is never double-counted.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.nn.divergence import (
+    LOSS_SPIKE,
+    DivergenceError,
+    check_grads,
+    check_loss,
+    check_weights,
+)
+from repro.obs.observers import TrainingObserver
+
+
+class DivergenceSentinel(TrainingObserver):
+    """Raise :class:`DivergenceError` when training leaves sane territory.
+
+    Three rules, cheapest first:
+
+    - every step: the batch loss must be finite (``non_finite_loss``);
+    - every step, once ``window`` losses are banked: the loss must stay
+      under ``spike_factor`` x the window median (``loss_spike``) — the
+      median is robust to the noisy per-batch curve, and the factor is
+      deliberately large so ordinary warm-up wobble never trips it;
+    - every epoch (with a ``model`` and ``check_weights_each_epoch``):
+      all parameters must be finite (``non_finite_weights``) — a backstop
+      for NaNs that slipped into weights without a NaN loss, e.g. via an
+      Inf*0 in the backward pass.
+
+    Gradient finiteness is normally enforced by
+    :func:`repro.nn.optim.clip_grad_norm` (any trainer with
+    ``max_grad_norm`` set); ``check_grads_each_step=True`` adds the same
+    sweep here for trainers that clip nothing.
+
+    The loss window is per-fit state: :meth:`reset` clears it, and the
+    sentinel resets itself on ``on_fit_start`` so one instance can watch
+    a rollback-retry sequence without the pre-divergence window biasing
+    the retry.
+    """
+
+    def __init__(
+        self,
+        model=None,
+        window: int = 20,
+        spike_factor: float = 100.0,
+        check_weights_each_epoch: bool = True,
+        check_grads_each_step: bool = False,
+    ):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if spike_factor <= 1.0:
+            raise ValueError(f"spike_factor must be > 1, got {spike_factor}")
+        self.model = model
+        self.window = int(window)
+        self.spike_factor = float(spike_factor)
+        self.check_weights_each_epoch = bool(check_weights_each_epoch)
+        self.check_grads_each_step = bool(check_grads_each_step)
+        self._losses: deque = deque(maxlen=self.window)
+
+    def reset(self) -> None:
+        """Forget banked losses (called automatically at each fit start)."""
+        self._losses.clear()
+
+    # ------------------------------------------------------------------
+    # Observer hooks.
+    # ------------------------------------------------------------------
+    def on_fit_start(self, info: Dict) -> None:
+        self.reset()
+
+    def on_step(self, info: Dict) -> None:
+        step: Optional[int] = info.get("step")
+        epoch: Optional[int] = info.get("epoch")
+        loss = check_loss(info["loss"], step=step, epoch=epoch)
+        if len(self._losses) == self.window:
+            baseline = float(np.median(self._losses))
+            if baseline > 0.0 and loss > self.spike_factor * baseline:
+                raise DivergenceError(
+                    LOSS_SPIKE,
+                    f"loss {loss:.6g} exceeds {self.spike_factor:g}x the median "
+                    f"{baseline:.6g} of the last {self.window} steps",
+                    step=step,
+                    epoch=epoch,
+                    value=loss,
+                )
+        self._losses.append(loss)
+        if self.check_grads_each_step and self.model is not None:
+            check_grads(
+                (param for _, param in self.model.named_parameters()),
+                step=step,
+                epoch=epoch,
+            )
+
+    def on_epoch(self, info: Dict) -> None:
+        if self.check_weights_each_epoch and self.model is not None:
+            check_weights(self.model, epoch=info.get("epoch"))
+
+
+__all__ = ["DivergenceSentinel"]

@@ -30,6 +30,7 @@ import numpy as np
 from repro.data.datasets import dataset_from_tensor
 from repro.nn import engine
 from repro.obs import runlog
+from repro.obs.artifacts import atomic_write_json
 from repro.obs.metrics import Histogram
 from repro.pipeline import registry
 from repro.pipeline.loading import load_forecaster
@@ -237,8 +238,7 @@ def main(argv: Optional[list] = None) -> int:
     payload = summarize(responses, elapsed, batch_sizes, args)
     os.makedirs(args.out, exist_ok=True)
     path = os.path.join(args.out, "BENCH_serve.json")
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
+    atomic_write_json(path, payload, sort_keys=True)
 
     gauges = payload["gauges"]
     print(f"serve bench: {payload['requests']} requests in {elapsed:.3f}s")

@@ -1,59 +1,14 @@
-"""Deterministic fault injection for exercising the degradation path.
+"""Compatibility shim: serving fault injectors now live in :mod:`repro.faults`.
 
-Wraps any forecaster so a configurable fraction of windows "poison" it:
-a batch containing a poisoned window raises (as a real model bug would),
-and the per-window retry then fails for exactly the poisoned windows.
-Poisoning is a pure function of the window's bytes (CRC32), so the same
-window fails identically inside a batch, on retry, and across runs — no
-hidden RNG state to make a failure test flake.
+The injectors were promoted to the shared, dependency-free ``repro.faults``
+leaf so the training chaos harness (``repro.resilience``) and the serving
+degradation tests exercise the same primitives. Import from
+``repro.faults`` in new code; this module keeps the historical
+``repro.serve.faults`` import path working.
 """
 
 from __future__ import annotations
 
-import time
-import zlib
-
-import numpy as np
-
-
-class FaultInjectingForecaster:
-    """Forecaster wrapper that fails deterministically on ~``rate`` of windows."""
-
-    def __init__(self, inner, rate: float, salt: int = 0):
-        if not 0.0 <= rate <= 1.0:
-            raise ValueError(f"rate must be in [0, 1], got {rate}")
-        self.inner = inner
-        self.rate = float(rate)
-        self.salt = int(salt)
-
-    def is_poisoned(self, window: np.ndarray) -> bool:
-        digest = zlib.crc32(np.ascontiguousarray(window).tobytes()) ^ self.salt
-        return (digest % 10_000) / 10_000.0 < self.rate
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        poisoned = sum(self.is_poisoned(window) for window in np.asarray(x))
-        if poisoned:
-            raise RuntimeError(f"injected fault: {poisoned} poisoned window(s) in batch")
-        return self.inner.predict(x)
-
-    def __getattr__(self, name):
-        return getattr(self.inner, name)
-
-
-class SlowForecaster:
-    """Forecaster wrapper that sleeps before answering (deadline tests/bench)."""
-
-    def __init__(self, inner, delay_seconds: float, sleep=None):
-        self.inner = inner
-        self.delay_seconds = float(delay_seconds)
-        self._sleep = sleep if sleep is not None else time.sleep
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        self._sleep(self.delay_seconds)
-        return self.inner.predict(x)
-
-    def __getattr__(self, name):
-        return getattr(self.inner, name)
-
+from repro.faults import FaultInjectingForecaster, SlowForecaster
 
 __all__ = ["FaultInjectingForecaster", "SlowForecaster"]

@@ -1,0 +1,45 @@
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.data.datasets import dataset_from_tensor
+from repro.nn import Linear, Sequential, Trainer
+from repro.nn.layers import Activation
+
+
+@pytest.fixture(autouse=True)
+def _no_runlog(monkeypatch):
+    """Resilience tests must not litter results/runs/."""
+    monkeypatch.setenv("REPRO_RUNLOG", "0")
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_fault_plan():
+    """A test that forgets to clear its fault plan must not poison the next."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A 5×5-grid, 4-feature dataset small enough to train in seconds."""
+    rng = np.random.default_rng(42)
+    tensor = rng.random((60, 5, 5, 4))
+    return dataset_from_tensor(tensor, history=6, horizon=2)
+
+
+def make_model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(6, 8, rng=rng), Activation("relu"), Linear(8, 3, rng=rng))
+
+
+def make_data():
+    rng = np.random.default_rng(99)
+    x = rng.random((40, 6))
+    y = rng.random((40, 3))
+    return x[:32], y[:32], x[32:], y[32:]
+
+
+def make_trainer(seed=11, model_seed=0, **kwargs):
+    return Trainer(make_model(model_seed), batch_size=8, seed=seed, **kwargs)

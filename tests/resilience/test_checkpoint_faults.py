@@ -1,0 +1,165 @@
+"""Crash-safe checkpoints: a killed write, a corrupted autosave, and a
+truncated archive must never cost more than one generation of progress —
+and never produce an unloadable training state (ISSUE acceptance)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.nn.serialization import (
+    CORRUPT_SUFFIX,
+    PREVIOUS_SUFFIX,
+    CheckpointCorruptError,
+    is_checkpoint,
+    load_checkpoint,
+    quarantine,
+)
+from repro.obs.artifacts import atomic_write_json
+from repro.pipeline import checkpoint as ckpt
+from repro.pipeline.runner import execute
+from repro.pipeline.spec import RunSpec
+
+from .conftest import make_data, make_trainer
+
+
+def _fit(trainer, path, epochs):
+    train_x, train_y, _, _ = make_data()
+    return trainer.fit(train_x, train_y, epochs=epochs, checkpoint_path=path)
+
+
+class TestKilledCheckpointWrite:
+    def test_final_path_is_never_torn(self, tmp_path):
+        path = str(tmp_path / "run.ckpt.npz")
+        trainer = make_trainer()
+        with faults.active(faults.FaultPlan(kill_checkpoint_write_at=2)) as plan:
+            with pytest.raises(faults.SimulatedCrash):
+                _fit(trainer, path, epochs=3)
+        assert plan.fired["checkpoint_kill"] == 1
+        # The epoch-2 write died after its temp bytes, before the rename:
+        # the published path still holds the complete epoch-1 snapshot.
+        assert is_checkpoint(path)
+        assert load_checkpoint(path).epoch == 1
+
+    def test_training_resumes_from_the_surviving_snapshot(self, tmp_path):
+        path = str(tmp_path / "run.ckpt.npz")
+        with faults.active(faults.FaultPlan(kill_checkpoint_write_at=2)):
+            with pytest.raises(faults.SimulatedCrash):
+                _fit(make_trainer(), path, epochs=3)
+        resumed = make_trainer()
+        train_x, train_y, _, _ = make_data()
+        history = resumed.fit(
+            train_x, train_y, epochs=3, checkpoint_path=path, resume_from=path
+        )
+        assert len(history.train_loss) == 3
+        assert np.all(np.isfinite(history.train_loss))
+        assert load_checkpoint(path).epoch == 3
+
+
+class TestCorruptDetection:
+    def _checkpointed(self, tmp_path, epochs=2):
+        path = str(tmp_path / "run.ckpt.npz")
+        _fit(make_trainer(), path, epochs=epochs)
+        return path
+
+    def test_bit_flips_fail_the_crc_manifest(self, tmp_path):
+        path = self._checkpointed(tmp_path)
+        assert load_checkpoint(path).epoch == 2
+        faults.corrupt_file(path, seed=1)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+
+    def test_truncated_archive_is_corrupt_not_a_crash(self, tmp_path):
+        path = self._checkpointed(tmp_path)
+        faults.truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+        assert not is_checkpoint(path)
+
+    def test_quarantine_moves_the_evidence_aside(self, tmp_path):
+        path = self._checkpointed(tmp_path)
+        target = quarantine(path)
+        assert target == path + CORRUPT_SUFFIX
+        assert os.path.exists(target) and not os.path.exists(path)
+
+
+class TestValidatedRestore:
+    def _checkpointed(self, tmp_path, epochs=2):
+        path = str(tmp_path / "run.ckpt.npz")
+        _fit(make_trainer(), path, epochs=epochs)
+        return path
+
+    def test_healthy_newest_wins(self, tmp_path):
+        path = self._checkpointed(tmp_path)
+        assert ckpt.validated_restore(path) == path
+
+    def test_corrupt_newest_falls_back_one_generation(self, tmp_path):
+        path = self._checkpointed(tmp_path)
+        previous = path + PREVIOUS_SUFFIX
+        assert os.path.exists(previous)  # rotated by the epoch-2 write
+        faults.corrupt_file(path, seed=1)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            chosen = ckpt.validated_restore(path)
+        assert chosen == previous
+        assert load_checkpoint(chosen).epoch == 1
+        assert os.path.exists(path + CORRUPT_SUFFIX)
+        assert not os.path.exists(path)
+
+    def test_both_generations_corrupt_means_fresh_start(self, tmp_path):
+        path = self._checkpointed(tmp_path)
+        previous = path + PREVIOUS_SUFFIX
+        faults.corrupt_file(path, seed=1)
+        faults.truncate_file(previous, keep_fraction=0.3)
+        with pytest.warns(RuntimeWarning):
+            assert ckpt.validated_restore(path) is None
+        assert os.path.exists(path + CORRUPT_SUFFIX)
+        assert os.path.exists(previous + CORRUPT_SUFFIX)
+
+    def test_none_passes_through(self):
+        assert ckpt.validated_restore(None) is None
+
+
+class TestExecuteResumeSurvivesCorruption:
+    def test_resume_uses_previous_generation(self, tiny_dataset, tmp_path):
+        spec = RunSpec(model="STGCN", epochs=2, seed=1, hparams={"hidden_channels": 2})
+        first = execute(spec, tiny_dataset, checkpoint_dir=str(tmp_path))
+        assert first.checkpoint_path is not None
+        faults.corrupt_file(first.checkpoint_path, seed=1)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            second = execute(spec, tiny_dataset, checkpoint_dir=str(tmp_path), resume=True)
+        assert second.resumed_from == first.checkpoint_path + PREVIOUS_SUFFIX
+        assert all(np.isfinite(v) for v in second.metrics.values())
+
+    def test_resume_starts_fresh_when_nothing_survives(self, tiny_dataset, tmp_path):
+        spec = RunSpec(model="STGCN", epochs=1, seed=1, hparams={"hidden_channels": 2})
+        first = execute(spec, tiny_dataset, checkpoint_dir=str(tmp_path))
+        # A 1-epoch run wrote once: no .prev generation exists to fall
+        # back to, so a damaged autosave must mean "fresh start", not a crash.
+        faults.truncate_file(first.checkpoint_path, keep_fraction=0.4)
+        with pytest.warns(RuntimeWarning):
+            second = execute(spec, tiny_dataset, checkpoint_dir=str(tmp_path), resume=True)
+        assert second.resumed_from is None
+        assert all(np.isfinite(v) for v in second.metrics.values())
+
+
+class TestAtomicArtifacts:
+    def test_write_then_read_round_trips(self, tmp_path):
+        path = str(tmp_path / "results" / "summary.json")
+        atomic_write_json(path, {"rmse": 1.25, "models": ["STGCN"]})
+        import json
+
+        with open(path) as handle:
+            assert json.load(handle) == {"rmse": 1.25, "models": ["STGCN"]}
+        assert not [n for n in os.listdir(os.path.dirname(path)) if n != "summary.json"]
+
+    def test_unserializable_payload_leaves_existing_file_intact(self, tmp_path):
+        path = str(tmp_path / "summary.json")
+        atomic_write_json(path, {"ok": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})
+        import json
+
+        with open(path) as handle:
+            assert json.load(handle) == {"ok": 1}
+        assert [n for n in os.listdir(tmp_path)] == ["summary.json"]

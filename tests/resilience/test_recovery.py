@@ -1,0 +1,176 @@
+"""Rollback-and-retry recovery: the chaos tests from docs/RESILIENCE.md.
+
+The acceptance scenario (ISSUE): a gradient poisoned with NaN at a
+deterministic optimizer step must not kill the run — ``runner.execute``
+under the default :class:`RecoveryPolicy` rolls back to the last good
+epoch, halves the learning rate, retries, and completes with a finite
+final loss and the rollback on record.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.nn.divergence import NON_FINITE_GRAD_NORM, DivergenceError
+from repro.pipeline.runner import execute
+from repro.pipeline.spec import RunSpec
+from repro.resilience import RecoveryPolicy, RecoveryReport, fit_with_recovery
+
+from .conftest import make_data, make_trainer
+
+BASE_LR = 1e-3
+
+
+def _state(trainer):
+    return {name: np.array(value) for name, value in trainer.model.state_dict().items()}
+
+
+class TestRecoveryPolicy:
+    def test_defaults_are_enabled_and_bounded(self):
+        policy = RecoveryPolicy()
+        assert policy.enabled and policy.max_retries == 2
+        assert policy.lr_backoff == 0.5
+
+    def test_from_dict_round_trip(self):
+        policy = RecoveryPolicy.from_dict({"max_retries": 5, "lr_backoff": 0.25})
+        assert policy.max_retries == 5
+        assert RecoveryPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown resilience option"):
+            RecoveryPolicy.from_dict({"retires": 3})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(lr_backoff=0.0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(spike_factor=0.5)
+
+
+class TestFitWithRecovery:
+    def test_healthy_fit_reports_no_rollbacks(self):
+        train_x, train_y, _, _ = make_data()
+        history, report = fit_with_recovery(make_trainer(), train_x, train_y, epochs=2)
+        assert isinstance(report, RecoveryReport)
+        assert report.rollback_count == 0 and not report.gave_up
+        assert len(history.train_loss) == 2
+
+    def test_nan_gradient_recovers_with_rollback_and_lr_backoff(self):
+        train_x, train_y, _, _ = make_data()
+        trainer = make_trainer()
+        # 32 samples / batch 8 = 4 steps per epoch: step 6 is epoch 2.
+        with faults.active(faults.FaultPlan(grad_nan_at_step=6)) as plan:
+            history, report = fit_with_recovery(trainer, train_x, train_y, epochs=3)
+        assert plan.fired["grad_nan"] == 1
+        assert report.rollback_count == 1 and not report.gave_up
+        rollback = report.rollbacks[0]
+        assert rollback["reason"] == NON_FINITE_GRAD_NORM
+        assert rollback["failed_epoch"] == 2
+        assert rollback["resumed_epoch"] == 1
+        assert rollback["lr_before"] == pytest.approx(BASE_LR)
+        assert rollback["lr_after"] == pytest.approx(BASE_LR * 0.5)
+        assert trainer.optimizer.lr == pytest.approx(BASE_LR * 0.5)
+        # The recovered run still performed every epoch, all losses finite.
+        assert len(history.train_loss) == 3
+        assert np.all(np.isfinite(history.train_loss))
+        assert all(np.all(np.isfinite(v)) for v in _state(trainer).values())
+
+    def test_recovered_run_is_deterministic(self):
+        train_x, train_y, _, _ = make_data()
+        results = []
+        for _ in range(2):
+            trainer = make_trainer()
+            with faults.active(faults.FaultPlan(grad_nan_at_step=6)):
+                history, report = fit_with_recovery(trainer, train_x, train_y, epochs=3)
+            assert report.rollback_count == 1
+            results.append((history.train_loss, _state(trainer)))
+        assert results[0][0] == results[1][0]
+        for name in results[0][1]:
+            np.testing.assert_array_equal(results[0][1][name], results[1][1][name])
+
+    def test_retry_exhaustion_propagates_with_gave_up(self):
+        train_x, train_y, _, _ = make_data()
+        trainer = make_trainer()
+        policy = RecoveryPolicy(max_retries=2)
+        # Poison every step: no amount of rolling back helps.
+        plan = faults.FaultPlan(grad_nan_at_step=1, grad_nan_times=10**6)
+        with faults.active(plan):
+            with pytest.raises(DivergenceError):
+                fit_with_recovery(trainer, train_x, train_y, epochs=2, policy=policy)
+        # Initial attempt + two retries, each dying on its first step.
+        assert plan.fired["grad_nan"] == 3
+
+    def test_disabled_policy_raises_immediately(self):
+        train_x, train_y, _, _ = make_data()
+        policy = RecoveryPolicy(enabled=False)
+        plan = faults.FaultPlan(grad_nan_at_step=2)
+        with faults.active(plan):
+            with pytest.raises(DivergenceError):
+                fit_with_recovery(
+                    make_trainer(), train_x, train_y, epochs=2, policy=policy
+                )
+        assert plan.fired["grad_nan"] == 1
+
+    def test_observers_are_preserved_alongside_the_sentinel(self):
+        train_x, train_y, _, _ = make_data()
+        seen = []
+
+        class Spy:
+            def on_fit_start(self, info):
+                seen.append("start")
+
+            def on_step(self, info):
+                pass
+
+            def on_epoch(self, info):
+                seen.append(info["epoch"])
+
+            def on_eval(self, info):
+                pass
+
+            def on_early_stop(self, info):
+                pass
+
+            def on_fit_end(self, info):
+                seen.append("end")
+
+        fit_with_recovery(
+            make_trainer(), train_x, train_y, epochs=2, observers=[Spy()]
+        )
+        assert seen == ["start", 1, 2, "end"]
+
+
+class TestPipelineAcceptance:
+    """ISSUE acceptance: chaos through the real ``runner.execute`` funnel."""
+
+    def _spec(self, **resilience):
+        return RunSpec(
+            model="STGCN",
+            epochs=2,
+            seed=1,
+            hparams={"hidden_channels": 2},
+            resilience=resilience or None,
+        )
+
+    def test_execute_completes_through_injected_nan(self, tiny_dataset):
+        # The tiny dataset's train split fits in one batch: step 2 is the
+        # second epoch's (only) optimizer step.
+        with faults.active(faults.FaultPlan(grad_nan_at_step=2)) as plan:
+            result = execute(self._spec(), tiny_dataset)
+        assert plan.fired["grad_nan"] == 1
+        assert result.resilience is not None
+        assert result.resilience["rollback_count"] >= 1
+        assert not result.resilience["gave_up"]
+        assert all(np.isfinite(v) for v in result.metrics.values())
+        assert np.all(np.isfinite(result.history["train_loss"]))
+
+    def test_execute_records_empty_report_on_healthy_run(self, tiny_dataset):
+        result = execute(self._spec(), tiny_dataset)
+        assert result.resilience == {"rollbacks": [], "rollback_count": 0, "gave_up": False}
+
+    def test_spec_can_disable_recovery(self, tiny_dataset):
+        with faults.active(faults.FaultPlan(grad_nan_at_step=2)):
+            with pytest.raises(DivergenceError):
+                execute(self._spec(enabled=False), tiny_dataset)

@@ -1,0 +1,139 @@
+"""DivergenceSentinel detection rules and the substrate-level raisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn.divergence import (
+    LOSS_SPIKE,
+    NON_FINITE_GRAD,
+    NON_FINITE_GRAD_NORM,
+    NON_FINITE_LOSS,
+    NON_FINITE_WEIGHTS,
+    DivergenceError,
+    check_loss,
+    first_nonfinite,
+)
+from repro.nn.optim import clip_grad_norm
+from repro.resilience import DivergenceSentinel
+
+from .conftest import make_model
+
+
+def _step(step, loss, epoch=1):
+    return {"step": step, "epoch": epoch, "loss": loss}
+
+
+class TestDivergenceError:
+    def test_unknown_reason_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown divergence reason"):
+            DivergenceError("melted")
+
+    def test_message_locates_the_detection_point(self):
+        err = DivergenceError(NON_FINITE_LOSS, step=7, epoch=2, value=float("nan"))
+        assert "epoch 2" in str(err) and "step 7" in str(err)
+        assert err.reason == NON_FINITE_LOSS
+        assert np.isnan(err.value)
+
+
+class TestLossChecks:
+    def test_finite_loss_passes_through(self):
+        assert check_loss(0.25) == 0.25
+
+    def test_nan_loss_raises(self):
+        with pytest.raises(DivergenceError) as excinfo:
+            check_loss(float("nan"), step=3, epoch=1)
+        assert excinfo.value.reason == NON_FINITE_LOSS
+
+    def test_first_nonfinite_names_the_offender(self):
+        arrays = [("ok", np.ones(3)), ("bad", np.array([1.0, np.inf])), ("skip", None)]
+        assert first_nonfinite(arrays) == "bad"
+        assert first_nonfinite([("ok", np.ones(3))]) is None
+
+
+class TestSentinel:
+    def test_nan_step_loss_raises(self):
+        sentinel = DivergenceSentinel(window=5)
+        with pytest.raises(DivergenceError) as excinfo:
+            sentinel.on_step(_step(1, float("nan")))
+        assert excinfo.value.reason == NON_FINITE_LOSS
+
+    def test_spike_over_full_window_raises(self):
+        sentinel = DivergenceSentinel(window=5, spike_factor=100.0)
+        for step in range(1, 6):
+            sentinel.on_step(_step(step, 1.0))
+        with pytest.raises(DivergenceError) as excinfo:
+            sentinel.on_step(_step(6, 500.0))
+        assert excinfo.value.reason == LOSS_SPIKE
+        assert excinfo.value.value == 500.0
+
+    def test_moderate_growth_does_not_trip(self):
+        sentinel = DivergenceSentinel(window=5, spike_factor=100.0)
+        for step in range(1, 20):
+            sentinel.on_step(_step(step, 1.0 + 0.5 * step))
+
+    def test_no_spike_before_window_fills(self):
+        sentinel = DivergenceSentinel(window=10, spike_factor=2.0)
+        sentinel.on_step(_step(1, 1.0))
+        sentinel.on_step(_step(2, 1e6))  # only 1 banked loss: no baseline yet
+
+    def test_fit_start_resets_the_window(self):
+        sentinel = DivergenceSentinel(window=3, spike_factor=10.0)
+        for step in range(1, 4):
+            sentinel.on_step(_step(step, 1.0))
+        sentinel.on_fit_start({})
+        sentinel.on_step(_step(1, 1e6))  # fresh window: passes
+
+    def test_nonfinite_weights_caught_at_epoch(self):
+        model = make_model(seed=0)
+        sentinel = DivergenceSentinel(model=model)
+        sentinel.on_epoch({"epoch": 1})
+        name, param = next(iter(model.named_parameters()))
+        param.data[0] = np.nan
+        with pytest.raises(DivergenceError) as excinfo:
+            sentinel.on_epoch({"epoch": 2})
+        assert excinfo.value.reason == NON_FINITE_WEIGHTS
+        assert name in str(excinfo.value)
+
+    def test_optional_grad_sweep(self):
+        model = make_model(seed=0)
+        sentinel = DivergenceSentinel(model=model, check_grads_each_step=True)
+        for param in model.parameters():
+            param.grad = np.zeros_like(param.data)
+        sentinel.on_step(_step(1, 0.5))
+        next(iter(model.parameters())).grad[...] = np.inf
+        with pytest.raises(DivergenceError) as excinfo:
+            sentinel.on_step(_step(2, 0.5))
+        assert excinfo.value.reason == NON_FINITE_GRAD
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DivergenceSentinel(window=0)
+        with pytest.raises(ValueError):
+            DivergenceSentinel(spike_factor=1.0)
+
+
+class TestClipGradNorm:
+    def _tensors(self, *grads):
+        out = []
+        for grad in grads:
+            tensor = Tensor(np.zeros_like(np.asarray(grad, dtype=float)))
+            tensor.grad = np.asarray(grad, dtype=float)
+            out.append(tensor)
+        return out
+
+    def test_nonfinite_total_norm_raises_typed_error(self):
+        params = self._tensors([1.0, np.nan])
+        with pytest.raises(DivergenceError) as excinfo:
+            clip_grad_norm(params, max_norm=1.0)
+        assert excinfo.value.reason == NON_FINITE_GRAD_NORM
+
+    def test_zero_norm_is_not_divided(self):
+        params = self._tensors([0.0, 0.0])
+        clip_grad_norm(params, max_norm=1.0)
+        assert np.all(params[0].grad == 0.0)
+
+    def test_finite_clipping_still_works(self):
+        params = self._tensors([3.0, 4.0])
+        clip_grad_norm(params, max_norm=1.0)
+        assert np.linalg.norm(params[0].grad) == pytest.approx(1.0)

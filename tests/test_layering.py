@@ -99,6 +99,69 @@ class TestRulesFire:
         )
         assert checker.check(root)
 
+    def test_faults_leaf_must_stay_dependency_free(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"faults.py": "from repro.obs import metrics\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "dependency-free" in violations[0]
+
+    def test_substrate_importing_resilience_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"nn/bad.py": "from repro.resilience import RecoveryPolicy\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.resilience" in violations[0]
+
+    def test_resilience_importing_experiments_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"resilience/bad.py": "from repro.experiments.table3 import run_table3\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.experiments" in violations[0]
+
+    def test_resilience_importing_nonleaf_pipeline_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "resilience/good.py": "from repro.pipeline import seeding\n",
+                "resilience/bad.py": "from repro.pipeline import runner\n",
+            },
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "bad.py" in violations[0]
+
+    def test_resilience_may_import_nn_obs_faults(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "resilience/good.py": (
+                    "from repro import faults\n"
+                    "from repro.nn.divergence import DivergenceError\n"
+                    "from repro.obs import runlog\n"
+                ),
+            },
+        )
+        assert checker.check(root) == []
+
+    def test_from_repro_import_is_resolved_to_submodule(self, tmp_path):
+        # `from repro import experiments` must not slip past the lint as an
+        # unclassifiable bare-package import.
+        root = _tree(
+            tmp_path,
+            {"nn/bad.py": "from repro import experiments\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.experiments" in violations[0]
+
     def test_clean_tree_passes(self, tmp_path):
         root = _tree(
             tmp_path,
