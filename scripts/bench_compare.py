@@ -34,6 +34,11 @@ import sys
 
 
 THROUGHPUT_NEEDLE = "_throughput_rps"
+# Absolute budget gauges: checked against a fixed ceiling on the candidate
+# snapshot alone (no baseline needed). bench_serve_trace_overhead_fraction
+# is the throughput cost of running the serve bench with trace recording on
+# (--trace-overhead); tracing must stay within 5% of the untraced run.
+BUDGET_GAUGES = {"bench_serve_trace_overhead_fraction": 0.05}
 
 
 def load_means(path: str, stat: str = "mean") -> dict:
@@ -59,6 +64,24 @@ def load_throughputs(path: str) -> dict:
         for key, value in gauges.items()
         if key.endswith(THROUGHPUT_NEEDLE) and isinstance(value, (int, float))
     }
+
+
+def check_budgets(path: str, budgets: dict = None) -> list:
+    """Budget-gauge violations in one snapshot: ``[(gauge, value, limit)]``.
+
+    Missing gauges never violate — the budgets only bind when the bench was
+    run in the mode that produces them.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    gauges = data.get("gauges", data)
+    budgets = BUDGET_GAUGES if budgets is None else budgets
+    violations = []
+    for key, limit in sorted(budgets.items()):
+        value = gauges.get(key)
+        if isinstance(value, (int, float)) and float(value) > limit:
+            violations.append((key, float(value), limit))
+    return violations
 
 
 def compare(before_path: str, after_path: str, threshold: float, stat: str = "mean") -> int:
@@ -120,6 +143,13 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
     for key in sorted((set(before) ^ set(after)) | (set(before_tp) ^ set(after_tp))):
         side = "before only" if key in before or key in before_tp else "after only"
         print(f"{key.ljust(width)}  ({side})")
+
+    for key, value, limit in check_budgets(after_path):
+        regressions.append((key, value))
+        print(
+            f"{key.ljust(width)}  {value * 100:7.1f}%  over absolute budget "
+            f"{limit * 100:.0f}%  << REGRESSION"
+        )
 
     if regressions:
         worst = max(regressions, key=lambda item: abs(item[1]))

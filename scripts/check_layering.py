@@ -35,6 +35,13 @@ Rules enforced (each import must point *down* the stack):
    ``experiments`` — and, like experiments, never ``core``/``baselines``
    directly (models come from the registry). ``experiments`` must not
    import ``serve`` either: offline and online stay decoupled.
+8. ``repro.obs.drift`` is a dependency-free leaf like ``repro.faults``:
+   pure detector math (stdlib only), so any layer — including a future
+   online fine-tune trigger — can score drift without pulling in the rest
+   of ``obs``. The runlog/metrics wiring lives in ``repro.serve.monitor``.
+9. ``serve`` must not import ``repro.obs.report``: report is the offline
+   run-log renderer; the online path exposes state through
+   ``repro.obs.serve_metrics`` instead.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -52,6 +59,8 @@ PIPELINE_LEAVES = {"repro.pipeline.seeding", "repro.pipeline.forecast"}
 # Dependency-free leaf *modules* directly under repro (importable from any
 # layer; themselves import no repro code).
 ROOT_LEAVES = {"repro.faults"}
+# Dependency-free leaves nested inside a substrate package (rule 8).
+NESTED_LEAVES = {"repro.obs.drift"}
 SUBSTRATE = {"nn", "obs", "city", "graph", "boosting", "data", "metrics"}
 MODEL_LAYERS = {"core", "baselines"}
 
@@ -83,7 +92,7 @@ def _imported_modules(path: str):
             if node.level:  # relative imports are not used in this repo
                 continue
             if node.module and node.module.startswith("repro"):
-                if node.module in ("repro", "repro.pipeline"):
+                if node.module in ("repro", "repro.pipeline", "repro.obs"):
                     # Resolve the imported names so leaf submodules
                     # (faults, seeding/forecast) can be told apart from
                     # package-level / top-of-stack imports — `from repro
@@ -131,7 +140,7 @@ def check(source_root: str = SOURCE_ROOT):
 
             for target in sorted(imported):
                 target_layer = _subpackage(target)
-                if module in ROOT_LEAVES:
+                if module in ROOT_LEAVES or module in NESTED_LEAVES:
                     forbid(
                         True,
                         target,
@@ -202,6 +211,12 @@ def check(source_root: str = SOURCE_ROOT):
                         target_layer in MODEL_LAYERS,
                         target,
                         "serve constructs models via the pipeline registry only",
+                    )
+                    forbid(
+                        target == "repro.obs.report",
+                        target,
+                        "serve exposes live state via obs.serve_metrics, "
+                        "not the offline report renderer",
                     )
     return violations
 

@@ -207,50 +207,53 @@ class Trainer:
             start = time.perf_counter()
             epoch_losses = []
             self.model.train()
-            for batch_x, batch_y in iterate_minibatches(
-                train_x, train_y, self.batch_size, rng=self.rng
-            ):
-                try:
-                    loss = self.train_step(batch_x, batch_y)
-                except DivergenceError as exc:
-                    if exc.step is None and exc.epoch is None:
-                        # Substrate raisers (clip_grad_norm) don't know the
-                        # loop position; re-raise with it for the recovery
-                        # policy's rollback record.
-                        raise DivergenceError(
-                            exc.reason,
-                            str(exc),
-                            step=step + 1,
-                            epoch=epoch + 1,
-                            value=exc.value,
-                        ) from exc
-                    raise
-                epoch_losses.append(loss)
-                step += 1
-                if watchers:
-                    step_info = {"step": step, "epoch": epoch + 1, "loss": loss}
-                    for watcher in watchers:
-                        watcher.on_step(step_info)
-            history.train_loss.append(float(np.mean(epoch_losses)))
-            history.epoch_seconds.append(time.perf_counter() - start)
-
             stopped_early = False
-            if val_x is not None and val_y is not None:
-                val = self.evaluate(val_x, val_y)
-                history.val_loss.append(val)
-                eval_info = {"epoch": epoch + 1, "val_loss": val}
-                for watcher in watchers:
-                    watcher.on_eval(eval_info)
-                runlog.emit("eval", **eval_info)
-                if val < best_val - 1e-9:
-                    best_val = val
-                    stale = 0
-                    if patience is not None:
-                        best_state = self.model.state_dict()
-                else:
-                    stale += 1
-                    if patience is not None and stale > patience:
-                        stopped_early = True
+            with tracing.span("train.epoch", epoch=epoch + 1):
+                for batch_x, batch_y in iterate_minibatches(
+                    train_x, train_y, self.batch_size, rng=self.rng
+                ):
+                    with tracing.span("train.step", step=step + 1, epoch=epoch + 1):
+                        try:
+                            loss = self.train_step(batch_x, batch_y)
+                        except DivergenceError as exc:
+                            if exc.step is None and exc.epoch is None:
+                                # Substrate raisers (clip_grad_norm) don't
+                                # know the loop position; re-raise with it
+                                # for the recovery policy's rollback record.
+                                raise DivergenceError(
+                                    exc.reason,
+                                    str(exc),
+                                    step=step + 1,
+                                    epoch=epoch + 1,
+                                    value=exc.value,
+                                ) from exc
+                            raise
+                    epoch_losses.append(loss)
+                    step += 1
+                    if watchers:
+                        step_info = {"step": step, "epoch": epoch + 1, "loss": loss}
+                        for watcher in watchers:
+                            watcher.on_step(step_info)
+                history.train_loss.append(float(np.mean(epoch_losses)))
+                history.epoch_seconds.append(time.perf_counter() - start)
+
+                if val_x is not None and val_y is not None:
+                    with tracing.span("train.eval", epoch=epoch + 1):
+                        val = self.evaluate(val_x, val_y)
+                    history.val_loss.append(val)
+                    eval_info = {"epoch": epoch + 1, "val_loss": val}
+                    for watcher in watchers:
+                        watcher.on_eval(eval_info)
+                    runlog.emit("eval", **eval_info)
+                    if val < best_val - 1e-9:
+                        best_val = val
+                        stale = 0
+                        if patience is not None:
+                            best_state = self.model.state_dict()
+                    else:
+                        stale += 1
+                        if patience is not None and stale > patience:
+                            stopped_early = True
 
             epoch_info = {
                 "epoch": epoch + 1,
@@ -422,9 +425,12 @@ class Trainer:
         """
         count = len(batch_x)
         slices = self._shard_slices(count, shards)
+        # Shards run on pool threads whose span stacks are empty; capture the
+        # dispatching thread's context so their spans stay in this trace.
+        parent = tracing.current_context()
 
         def run_shard(shard: slice):
-            with tracing.span("train.shard"):
+            with tracing.span("train.shard", parent=parent):
                 prediction = self.model(Tensor(batch_x[shard]))
                 loss = self.loss_fn(prediction, Tensor(batch_y[shard]))
                 sink: Dict = {}

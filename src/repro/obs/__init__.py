@@ -1,19 +1,29 @@
 """`repro.obs` — zero-dependency observability for the whole stack.
 
-Four pieces (see ``docs/OBSERVABILITY.md``):
+Six pieces (see ``docs/OBSERVABILITY.md``):
 
 - :mod:`repro.obs.metrics` — counters/gauges/histograms with labels in a
-  process-global registry (snapshot/reset).
+  process-global registry (snapshot/reset); histograms keep a bounded
+  reservoir so long runs stay O(1) in memory.
 - :mod:`repro.obs.tracing` — nestable ``span("name")`` wall-clock spans
-  with total/self-time aggregation.
+  with total/self-time aggregation, plus opt-in request-scoped trace
+  *recording* (trace/span ids, parent links, cross-thread contexts) with
+  JSONL and Chrome-trace/Perfetto exporters.
 - :mod:`repro.obs.profiler` — opt-in op-level and per-``Module`` timing
   hooks over ``repro.nn`` ("top ops by self time").
 - :mod:`repro.obs.runlog` / :mod:`repro.obs.observers` — structured JSONL
   run logs plus the ``Trainer.fit`` observer callbacks (console, metrics,
   JSONL); rendered by ``python -m repro.obs.report``.
+- :mod:`repro.obs.drift` — dependency-free drift detectors (EWMA +
+  Page–Hinkley) and SLO budget tracking; wired to live services by
+  :mod:`repro.serve.monitor`.
+- :mod:`repro.obs.serve_metrics` — ``python -m repro.obs.serve_metrics``:
+  a stdlib HTTP exporter serving Prometheus text, JSON snapshots, and
+  recent traces while a run is alive.
 """
 
-from repro.obs import metrics, profiler, runlog, tracing
+from repro.obs import drift, metrics, profiler, runlog, serve_metrics, tracing
+from repro.obs.drift import DriftDetector, SloSpec, SloTracker
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.observers import (
     ConsoleObserver,
@@ -29,17 +39,32 @@ from repro.obs.profiler import (
     top_ops,
 )
 from repro.obs.runlog import RunLogger, read_events
-from repro.obs.tracing import Tracer, get_tracer, span
+from repro.obs.serve_metrics import TelemetryServer, render_prometheus, start_exporter
+from repro.obs.tracing import (
+    TraceContext,
+    Tracer,
+    get_tracer,
+    span,
+    start_recording,
+    stop_recording,
+    use_context,
+)
 
 __all__ = [
     "ConsoleObserver",
+    "DriftDetector",
     "JsonlObserver",
     "MetricsObserver",
     "MetricsRegistry",
     "RunLogger",
+    "SloSpec",
+    "SloTracker",
+    "TelemetryServer",
+    "TraceContext",
     "Tracer",
     "TrainingObserver",
     "disable_op_profiling",
+    "drift",
     "enable_op_profiling",
     "get_registry",
     "get_tracer",
@@ -48,8 +73,13 @@ __all__ = [
     "profile_ops",
     "profiler",
     "read_events",
+    "render_prometheus",
     "runlog",
+    "serve_metrics",
     "span",
-    "top_ops",
+    "start_exporter",
+    "start_recording",
+    "stop_recording",
     "tracing",
+    "use_context",
 ]

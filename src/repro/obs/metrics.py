@@ -7,20 +7,58 @@ instrumented library code writes to; :meth:`MetricsRegistry.snapshot`
 freezes everything into plain dicts for JSON serialization, and
 :meth:`MetricsRegistry.reset` clears it between runs.
 
+Label hygiene: label *names* must be identifiers and label *values* are
+backslash-escaped inside the flattened instrument key, so values containing
+``,``, ``=``, ``{`` or ``}`` cannot collide with each other or with other
+label sets. Instruments remember their structured ``base_name``/``labels``
+too, which is what the Prometheus renderer in
+:mod:`repro.obs.serve_metrics` consumes.
+
+Histograms are **bounded**: beyond ``max_observations`` (default 8192) they
+switch to uniform reservoir sampling — count/sum/min/max stay exact,
+percentiles become estimates over the reservoir — so an always-on serving
+process cannot grow memory without limit.
+
 Everything here is stdlib-only so the instrumentation layer can be imported
 from anywhere in the stack (including ``repro.nn``) without cycles.
 """
 
 from __future__ import annotations
 
+import random
+import re
 import threading
-from typing import Dict, List, Optional, Tuple
+import zlib
+from typing import Dict, List
+
+# Beyond this many observations a histogram keeps a uniform sample instead
+# of every value (Algorithm R), bounding always-on serving memory.
+DEFAULT_HISTOGRAM_CAP = 8192
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Characters that would make a flattened `name{a=b,c=d}` key ambiguous.
+_ESCAPES = {"\\": "\\\\", ",": "\\,", "=": "\\=", "{": "\\{", "}": "\\}", "\n": "\\n"}
+
+
+def escape_label_value(value: object) -> str:
+    """Backslash-escape a label value for the flattened metric key."""
+    text = str(value)
+    if not any(ch in text for ch in _ESCAPES):
+        return text
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
 
 
 def _metric_key(name: str, labels: Dict[str, object]) -> str:
     if not labels:
         return name
-    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    for key in labels:
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(
+                f"invalid label name {key!r} for metric {name!r}: "
+                "label names must be identifiers ([a-zA-Z_][a-zA-Z0-9_]*)"
+            )
+    inner = ",".join(f"{key}={escape_label_value(labels[key])}" for key in sorted(labels))
     return f"{name}{{{inner}}}"
 
 
@@ -29,6 +67,8 @@ class Counter:
 
     def __init__(self, name: str):
         self.name = name
+        self.base_name = name
+        self.labels: Dict[str, str] = {}
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
@@ -42,6 +82,8 @@ class Gauge:
 
     def __init__(self, name: str):
         self.name = name
+        self.base_name = name
+        self.labels: Dict[str, str] = {}
         self.value = 0.0
 
     def set(self, value: float) -> None:
@@ -52,34 +94,74 @@ class Gauge:
 
 
 class Histogram:
-    """An observed-value distribution with exact percentile math.
+    """An observed-value distribution with bounded memory.
 
-    Observations are retained (this is an in-process debugging tool, not a
-    telemetry wire format), so percentiles are exact linear-interpolation
-    quantiles over everything observed since the last reset.
+    Below ``max_observations`` every value is retained and percentiles are
+    exact linear-interpolation quantiles. Beyond the cap the retained
+    values become a uniform reservoir sample (Algorithm R, deterministic
+    per-instrument seed) — ``count``/``sum``/``min``/``max`` stay exact,
+    percentiles become estimates over the reservoir.
     """
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, max_observations: int = DEFAULT_HISTOGRAM_CAP):
+        if max_observations < 1:
+            raise ValueError(f"max_observations must be >= 1, got {max_observations}")
         self.name = name
+        self.base_name = name
+        self.labels: Dict[str, str] = {}
+        self.max_observations = int(max_observations)
         self.values: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        # Deterministic per-name seed so sampled percentiles reproduce
+        # across runs (hash() is salted per process; crc32 is not).
+        self._rng = random.Random(zlib.crc32(name.encode()))
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self.values) < self.max_observations:
+            self.values.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_observations:
+                self.values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def sum(self) -> float:
-        return float(sum(self.values))
+        return self._sum
+
+    @property
+    def sampled(self) -> bool:
+        """True once the reservoir has dropped observations."""
+        return self._count > self.max_observations
 
     def percentile(self, q: float) -> float:
-        """Linear-interpolated percentile ``q`` in [0, 100]."""
+        """Linear-interpolated percentile ``q`` in [0, 100].
+
+        Exact below the reservoir cap; an estimate over the uniform sample
+        beyond it (with exact 0/100 endpoints preserved).
+        """
         if not self.values:
             return float("nan")
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if self.sampled:
+            if q == 0.0:
+                return self._min
+            if q == 100.0:
+                return self._max
         ordered = sorted(self.values)
         rank = (q / 100.0) * (len(ordered) - 1)
         low = int(rank)
@@ -90,16 +172,19 @@ class Histogram:
     def summary(self) -> Dict[str, float]:
         if not self.values:
             return {"count": 0}
-        return {
+        summary = {
             "count": self.count,
             "sum": self.sum,
-            "min": min(self.values),
-            "max": max(self.values),
-            "mean": self.sum / self.count,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / self._count,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
             "p99": self.percentile(99),
         }
+        if self.sampled:
+            summary["sampled"] = True
+        return summary
 
 
 class MetricsRegistry:
@@ -117,6 +202,8 @@ class MetricsRegistry:
             instrument = store.get(key)
             if instrument is None:
                 instrument = store[key] = cls(key)
+                instrument.base_name = name
+                instrument.labels = {k: str(v) for k, v in sorted(labels.items())}
             return instrument
 
     def counter(self, name: str, **labels) -> Counter:
@@ -136,6 +223,50 @@ class MetricsRegistry:
                 "gauges": {key: g.value for key, g in self._gauges.items()},
                 "histograms": {key: h.summary() for key, h in self._histograms.items()},
             }
+
+    def export_rows(self) -> List[Dict]:
+        """Structured rows for wire renderers (kind, name, labels, data).
+
+        Unlike :meth:`snapshot` (keyed by the flattened string), each row
+        carries the instrument's base name and label dict, so a Prometheus
+        or JSON renderer never has to re-parse escaped keys.
+        """
+        with self._lock:
+            rows: List[Dict] = []
+            for counter in self._counters.values():
+                rows.append(
+                    {
+                        "kind": "counter",
+                        "name": counter.base_name,
+                        "labels": dict(counter.labels),
+                        "value": counter.value,
+                    }
+                )
+            for gauge in self._gauges.values():
+                rows.append(
+                    {
+                        "kind": "gauge",
+                        "name": gauge.base_name,
+                        "labels": dict(gauge.labels),
+                        "value": gauge.value,
+                    }
+                )
+            for histogram in self._histograms.values():
+                rows.append(
+                    {
+                        "kind": "histogram",
+                        "name": histogram.base_name,
+                        "labels": dict(histogram.labels),
+                        "summary": histogram.summary(),
+                        "quantiles": {
+                            q: histogram.percentile(q * 100.0)
+                            for q in (0.5, 0.9, 0.99)
+                        }
+                        if histogram.count
+                        else {},
+                    }
+                )
+        return rows
 
     def reset(self) -> None:
         with self._lock:

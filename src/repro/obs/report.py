@@ -78,6 +78,46 @@ def ops_table(events: List[Dict], limit: int = 15) -> Optional[str]:
     return format_rows(["op", "calls", "total_s", "self_s", "self%"], rows)
 
 
+def event_counts(events: List[Dict]) -> Dict[str, int]:
+    """How many of each event type the log carries (lifecycle excluded)."""
+    counts: Dict[str, int] = {}
+    for event in events:
+        name = event.get("event")
+        if name in (None, "run_start", "run_end"):
+            continue
+        counts[name] = counts.get(name, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def summarize_run(events: List[Dict]) -> Dict:
+    """A machine-readable digest of one run log (``--format json``)."""
+    start = next((e for e in events if e.get("event") == "run_start"), None)
+    end = next((e for e in events if e.get("event") == "run_end"), None)
+    epochs = [event for event in events if event.get("event") == "epoch"]
+    return {
+        "run_id": (start or {}).get("run_id"),
+        "seed": (start or {}).get("seed"),
+        "config": (start or {}).get("config"),
+        "status": (end or {}).get("status"),
+        "duration_seconds": (end or {}).get("ts"),
+        "events": event_counts(events),
+        "epochs": [
+            {
+                "epoch": event.get("epoch"),
+                "train_loss": event.get("train_loss"),
+                "val_loss": event.get("val_loss"),
+                "seconds": event.get("seconds"),
+            }
+            for event in epochs
+        ],
+        "alerts": [
+            event
+            for event in events
+            if event.get("event") in ("drift_detected", "slo_burn", "early_stop")
+        ],
+    }
+
+
 def render_run(events: List[Dict], limit: int = 15) -> str:
     """The full text report for one run log."""
     sections = []
@@ -90,7 +130,22 @@ def render_run(events: List[Dict], limit: int = 15) -> str:
         if start.get("config"):
             sections.append("config: " + json.dumps(start["config"], default=str))
     epochs = epoch_table(events)
-    sections.append("== epochs ==\n" + (epochs or "(no epoch events)"))
+    if epochs is not None:
+        sections.append("== epochs ==\n" + epochs)
+    else:
+        # Serve/bench-style logs have no training loop; show what they DO
+        # carry instead of an empty table.
+        counts = event_counts(events)
+        listing = (
+            "\n".join(f"{name}  x{count}" for name, count in counts.items())
+            if counts
+            else "(no events)"
+        )
+        sections.append("== events (no epoch events) ==\n" + listing)
+    for event in events:
+        if event.get("event") in ("drift_detected", "slo_burn"):
+            fields = {k: v for k, v in event.items() if k not in ("event", "ts")}
+            sections.append(f"{event['event']}: " + json.dumps(fields, default=str))
     extras = [
         event
         for event in events
@@ -126,11 +181,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="+", help="JSONL run log file(s)")
     parser.add_argument("--top", type=int, default=15, help="op-table row limit")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="json emits one digest document per log (see summarize_run)",
+    )
     args = parser.parse_args(argv)
     status = 0
+    digests = []
     for index, path in enumerate(args.paths):
-        if index:
-            print("\n" + "=" * 72 + "\n")
         try:
             events = read_events(path)
         except OSError as error:
@@ -141,7 +201,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {path} is not a JSONL run log ({error})", file=sys.stderr)
             status = 1
             continue
-        print(render_run(events, limit=args.top))
+        if args.format == "json":
+            digests.append({"path": path, **summarize_run(events)})
+        else:
+            if index:
+                print("\n" + "=" * 72 + "\n")
+            print(render_run(events, limit=args.top))
+    if args.format == "json":
+        print(json.dumps(digests if len(args.paths) > 1 else digests[0] if digests else {}, default=str, indent=2))
     return status
 
 

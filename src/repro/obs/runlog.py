@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -47,6 +48,9 @@ class RunLogger:
         self.config = config
         self._handle = None
         self._t0 = 0.0
+        # Serializes writers: concurrent event() calls (service worker,
+        # client threads, monitors) must each land as one intact JSON line.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -97,12 +101,22 @@ class RunLogger:
             _ACTIVE.remove(self)
         except ValueError:
             pass
-        self._handle.close()
-        self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+            self._handle = None
 
     def _write(self, record: Dict) -> None:
-        self._handle.write(json.dumps(record, default=str) + "\n")
-        self._handle.flush()
+        # Serialize the line outside the lock (the expensive part), then
+        # write-and-flush atomically so concurrent emitters interleave at
+        # line granularity only. A writer racing close() drops the event
+        # instead of crashing the run.
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            if self._handle is None:
+                return
+            self._handle.write(line)
+            self._handle.flush()
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "RunLogger":

@@ -1,0 +1,260 @@
+"""Live telemetry over HTTP: ``python -m repro.obs.serve_metrics``.
+
+A stdlib-only (``http.server``) endpoint that renders the process-global
+observability state *while the process runs* — the first half of the
+ROADMAP's always-on serving gateway:
+
+- ``/metrics`` — Prometheus text exposition of the
+  :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges, histogram
+  quantile summaries);
+- ``/metrics.json`` — the registry snapshot plus tracing aggregates as one
+  JSON document;
+- ``/traces`` — recent recorded spans (``?limit=N``) as JSON;
+- ``/trace.json`` — the same spans as a Chrome trace-event document
+  (download and load into Perfetto / ``chrome://tracing``);
+- ``/healthz`` — liveness probe.
+
+Run standalone (``--port 9109``) next to a training run, or embed:
+:func:`start_exporter` binds an ephemeral port and serves from a daemon
+thread (``python -m repro.serve.bench --telemetry-port 0`` and
+``runner.execute`` under ``REPRO_TELEMETRY_PORT`` both do this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
+
+TELEMETRY_PORT_ENV = "REPRO_TELEMETRY_PORT"
+
+_INDEX = """repro live telemetry
+/metrics       Prometheus text exposition
+/metrics.json  JSON snapshot (metrics + tracing aggregates)
+/traces        recent trace spans (?limit=N)
+/trace.json    Chrome trace events (load in Perfetto)
+/healthz       liveness
+"""
+
+
+def _prometheus_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _sanitize_name(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch in "_:" else "_" for ch in name)
+
+
+def _label_block(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_prometheus_escape(str(value))}"' for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: Optional[obs_metrics.MetricsRegistry] = None) -> str:
+    """The registry as Prometheus text exposition format (version 0.0.4).
+
+    Histograms render as summaries: ``<name>{quantile="0.5"}`` lines plus
+    ``<name>_sum`` / ``<name>_count`` — exact below the reservoir cap,
+    estimates beyond it (see :class:`~repro.obs.metrics.Histogram`).
+    """
+    registry = registry or obs_metrics.get_registry()
+    lines: List[str] = []
+    typed = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for row in registry.export_rows():
+        name = _sanitize_name(row["name"])
+        labels = row["labels"]
+        if row["kind"] == "counter":
+            declare(name, "counter")
+            lines.append(f"{name}{_label_block(labels)} {row['value']:.17g}")
+        elif row["kind"] == "gauge":
+            declare(name, "gauge")
+            lines.append(f"{name}{_label_block(labels)} {row['value']:.17g}")
+        else:  # histogram -> summary
+            declare(name, "summary")
+            summary = row["summary"]
+            for q, value in sorted(row["quantiles"].items()):
+                lines.append(
+                    f"{name}{_label_block(labels, {'quantile': repr(q)})} {value:.17g}"
+                )
+            lines.append(f"{name}_sum{_label_block(labels)} {summary.get('sum', 0.0):.17g}")
+            lines.append(f"{name}_count{_label_block(labels)} {summary.get('count', 0)}")
+    return "\n".join(lines) + "\n"
+
+
+def telemetry_snapshot(registry: Optional[obs_metrics.MetricsRegistry] = None) -> Dict:
+    """Everything ``/metrics.json`` serves, as a plain dict."""
+    registry = registry or obs_metrics.get_registry()
+    return {
+        "metrics": registry.snapshot(),
+        "tracing": {
+            "aggregates": tracing.snapshot(),
+            "recording": tracing.is_recording(),
+        },
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry/1.0"
+
+    def _send(self, body: str, content_type: str, status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                self._send(
+                    render_prometheus(self.server.registry),
+                    "text/plain; version=0.0.4; charset=utf-8",
+                )
+            elif route in ("/metrics.json", "/snapshot"):
+                self._send(
+                    json.dumps(telemetry_snapshot(self.server.registry), default=str),
+                    "application/json",
+                )
+            elif route == "/traces":
+                params = parse_qs(parsed.query)
+                limit = int(params.get("limit", ["200"])[0])
+                self._send(
+                    json.dumps({"spans": tracing.recent(limit)}, default=str),
+                    "application/json",
+                )
+            elif route == "/trace.json":
+                self._send(json.dumps(tracing.chrome_trace(), default=str), "application/json")
+            elif route == "/healthz":
+                self._send("ok\n", "text/plain")
+            elif route == "/":
+                self._send(_INDEX, "text/plain")
+            else:
+                self._send("not found\n", "text/plain", status=404)
+        except BrokenPipeError:  # client went away mid-scrape; not our problem
+            pass
+
+    def log_message(self, format, *args):  # noqa: A002 - http.server API
+        pass  # scrapes must not spam the serving process's stdout
+
+
+class TelemetryServer:
+    """A threaded HTTP exporter bound to ``host:port`` (0 = ephemeral)."""
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[obs_metrics.MetricsRegistry] = None,
+    ):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.registry = registry  # None -> handler uses the default
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-telemetry",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def start_exporter(
+    port: int = 0,
+    host: str = "127.0.0.1",
+    registry: Optional[obs_metrics.MetricsRegistry] = None,
+) -> TelemetryServer:
+    """Bind and start serving from a daemon thread; returns the server."""
+    return TelemetryServer(port=port, host=host, registry=registry).start()
+
+
+_EMBEDDED: Optional[TelemetryServer] = None
+_EMBEDDED_LOCK = threading.Lock()
+
+
+def ensure_exporter_from_env() -> Optional[TelemetryServer]:
+    """Start (once) the process-wide exporter when ``REPRO_TELEMETRY_PORT``
+    is set; returns it, or None when the env var is absent/empty."""
+    import os
+
+    global _EMBEDDED
+    value = os.environ.get(TELEMETRY_PORT_ENV)
+    if not value:
+        return None
+    with _EMBEDDED_LOCK:
+        if _EMBEDDED is None:
+            _EMBEDDED = start_exporter(port=int(value))
+        return _EMBEDDED
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.serve_metrics", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--port", type=int, default=9109)
+    parser.add_argument("--host", default="127.0.0.1")
+    args = parser.parse_args(argv)
+    server = TelemetryServer(port=args.port, host=args.host)
+    print(f"telemetry at {server.url} (/metrics /metrics.json /traces /trace.json)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

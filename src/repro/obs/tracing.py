@@ -1,4 +1,4 @@
-"""Nestable wall-clock spans with total/self-time aggregation.
+"""Wall-clock spans: aggregated self-time stats plus request-scoped traces.
 
 ``with span("bikecap.routing"): ...`` records one timed interval into the
 process-global :class:`Tracer`. Spans nest: a span's *self time* is its
@@ -6,15 +6,114 @@ elapsed wall-clock minus the elapsed time of the spans opened inside it, so
 an aggregated snapshot answers "where does the time actually go" without
 double counting parent/child pairs.
 
-The span stack is thread-local; aggregates are shared across threads. A
-span always records on exit, including when the body raises.
+On top of the aggregates sits an opt-in **trace recorder**: while
+:func:`start_recording` is active, every closed span also lands in a
+bounded in-memory ring buffer as a :class:`SpanRecord` — trace id, span id,
+parent link, wall/monotonic start, duration, attributes, thread name — so a
+single slow request can be inspected rather than averaged away. Recording
+is off by default and the aggregate math is byte-for-byte the same either
+way, which is what keeps the profiler/report paths untouched.
+
+Context propagation: a span's parent is normally the innermost open span on
+the same thread. Work handed to another thread carries its origin along
+explicitly — capture :func:`current_context` at the hand-off point and
+either open the remote span with ``span(name, parent=ctx)`` or wrap the
+remote block in ``with use_context(ctx): ...``. Manual (non-stack) spans
+for request lifecycles that start on one thread and finish on another come
+from :func:`start_span` / ``handle.end()``.
+
+Recorded traces export two ways: :func:`dump_jsonl` (one span per line,
+beside run logs) and :func:`chrome_trace` / :func:`dump_chrome_trace`
+(Chrome trace-event JSON — load it in Perfetto or ``chrome://tracing``;
+each trace renders as its own track with spans nested by time).
+
+The span stack is thread-local; aggregates and the ring are shared across
+threads. A span always records on exit, including when the body raises.
 """
 
 from __future__ import annotations
 
+import itertools
+import json
+import os
 import threading
 import time
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Dict, List, NamedTuple, Optional
+
+TRACE_ENV = "REPRO_TRACE"
+TRACE_CAPACITY_ENV = "REPRO_TRACE_CAPACITY"
+DEFAULT_RING_CAPACITY = 4096
+
+_IDS = itertools.count(1)
+
+
+def _new_id(prefix: str) -> str:
+    return f"{prefix}{next(_IDS):08x}"
+
+
+class TraceContext(NamedTuple):
+    """A position inside a trace: enough to parent remote work to it."""
+
+    trace_id: str
+    span_id: str
+
+
+class SpanRecord:
+    """One finished span (or instant event) in the trace ring buffer."""
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "start_wall",
+        "start_s",
+        "duration_s",
+        "thread",
+        "status",
+        "attributes",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_wall: float,
+        start_s: float,
+        duration_s: float,
+        thread: str,
+        status: str = "ok",
+        attributes: Optional[Dict] = None,
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_wall = start_wall
+        self.start_s = start_s
+        self.duration_s = duration_s
+        self.thread = thread
+        self.status = status
+        self.attributes = attributes or {}
+
+    def as_dict(self) -> Dict:
+        record = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_wall": self.start_wall,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "thread": self.thread,
+            "status": self.status,
+        }
+        if self.attributes:
+            record["attributes"] = dict(self.attributes)
+        return record
 
 
 class SpanStats:
@@ -37,18 +136,55 @@ class SpanStats:
         }
 
 
+def _resolve_parent(parent) -> Optional[TraceContext]:
+    """Normalize a parent argument to a TraceContext (or None)."""
+    if parent is None:
+        return None
+    if isinstance(parent, TraceContext):
+        return parent
+    context = getattr(parent, "context", None)
+    if isinstance(context, TraceContext):
+        return context
+    raise TypeError(f"parent must be a TraceContext or span handle, got {parent!r}")
+
+
 class _Span:
     """Context manager pushed on the tracer's thread-local stack."""
 
-    __slots__ = ("_tracer", "_name", "_start", "_child_s")
+    __slots__ = (
+        "_tracer",
+        "_name",
+        "_start",
+        "_child_s",
+        "_ctx",
+        "_parent",
+        "_attrs",
+        "_wall",
+        "_parent_id",
+    )
 
-    def __init__(self, tracer: "Tracer", name: str):
+    def __init__(self, tracer: "Tracer", name: str, parent=None, attrs: Optional[Dict] = None):
         self._tracer = tracer
         self._name = name
         self._start = 0.0
         self._child_s = 0.0
+        self._ctx: Optional[TraceContext] = None
+        self._parent = parent
+        self._attrs = attrs
+
+    @property
+    def context(self) -> Optional[TraceContext]:
+        """This span's trace position (None unless recording was on at enter)."""
+        return self._ctx
 
     def __enter__(self) -> "_Span":
+        if self._tracer._recording:
+            # Resolved before the push below, so "current" is the parent.
+            parent = _resolve_parent(self._parent) or self._tracer.current_context()
+            trace_id = parent.trace_id if parent is not None else _new_id("t")
+            self._parent_id = parent.span_id if parent is not None else None
+            self._ctx = TraceContext(trace_id, _new_id("s"))
+            self._wall = time.time()
         self._tracer._stack().append(self)
         self._start = time.perf_counter()
         return self
@@ -64,15 +200,112 @@ class _Span:
         if stack:
             stack[-1]._child_s += elapsed
         self._tracer._record(self._name, elapsed, elapsed - self._child_s)
+        if self._ctx is not None:
+            self._tracer._append_record(
+                SpanRecord(
+                    name=self._name,
+                    trace_id=self._ctx.trace_id,
+                    span_id=self._ctx.span_id,
+                    parent_id=self._parent_id,
+                    start_wall=self._wall,
+                    start_s=self._start,
+                    duration_s=elapsed,
+                    thread=threading.current_thread().name,
+                    status="error" if exc_type is not None else "ok",
+                    attributes=self._attrs,
+                )
+            )
+
+
+class _ManualSpan:
+    """A detached span: started on one thread, ended (maybe) on another.
+
+    Never touches the thread-local stack and never contributes to the
+    aggregated :class:`SpanStats` — it exists purely as a trace record for
+    request lifecycles that cross threads (queue → worker → response).
+    """
+
+    __slots__ = ("_tracer", "_name", "_ctx", "_parent_id", "_wall", "_start", "_attrs", "_ended")
+
+    def __init__(self, tracer, name, ctx, parent_id, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._ctx = ctx
+        self._parent_id = parent_id
+        self._wall = time.time()
+        self._start = time.perf_counter()
+        self._attrs = dict(attrs) if attrs else {}
+        self._ended = False
+
+    @property
+    def context(self) -> TraceContext:
+        return self._ctx
+
+    def end(self, status: str = "ok", **attributes) -> None:
+        """Close the span and append its record; idempotent."""
+        if self._ended:
+            return
+        self._ended = True
+        if attributes:
+            self._attrs.update(attributes)
+        self._tracer._append_record(
+            SpanRecord(
+                name=self._name,
+                trace_id=self._ctx.trace_id,
+                span_id=self._ctx.span_id,
+                parent_id=self._parent_id,
+                start_wall=self._wall,
+                start_s=self._start,
+                duration_s=time.perf_counter() - self._start,
+                thread=threading.current_thread().name,
+                status=status,
+                attributes=self._attrs,
+            )
+        )
+
+
+class _NullHandle:
+    """Stand-in returned by start_span when recording is off."""
+
+    __slots__ = ()
+    context = None
+
+    def end(self, status: str = "ok", **attributes) -> None:
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+class _AttachedContext:
+    """``with use_context(ctx):`` — adopt a remote trace position."""
+
+    __slots__ = ("_tracer", "_ctx", "_previous")
+
+    def __init__(self, tracer: "Tracer", ctx: Optional[TraceContext]):
+        self._tracer = tracer
+        self._ctx = ctx
+        self._previous = None
+
+    def __enter__(self):
+        local = self._tracer._local
+        self._previous = getattr(local, "attached", None)
+        local.attached = self._ctx
+        return self._ctx
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer._local.attached = self._previous
 
 
 class Tracer:
-    """Aggregates spans by name; produces sorted snapshots."""
+    """Aggregates spans by name; optionally records full trace spans."""
 
-    def __init__(self):
+    def __init__(self, ring_capacity: int = DEFAULT_RING_CAPACITY):
         self._local = threading.local()
         self._lock = threading.Lock()
         self._stats: Dict[str, SpanStats] = {}
+        self._recording = False
+        self._ring: deque = deque(maxlen=ring_capacity)
 
     def _stack(self) -> List[_Span]:
         stack = getattr(self._local, "stack", None)
@@ -89,9 +322,85 @@ class Tracer:
             stats.total_s += elapsed
             stats.self_s += self_time
 
+    def _append_record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._ring.append(record)
+
     # ------------------------------------------------------------------
-    def span(self, name: str) -> _Span:
-        return _Span(self, name)
+    # Trace recording control.
+    # ------------------------------------------------------------------
+    @property
+    def recording(self) -> bool:
+        return self._recording
+
+    def start_recording(self, capacity: Optional[int] = None) -> "Tracer":
+        """Begin keeping full span records in the ring buffer."""
+        with self._lock:
+            if capacity is not None and capacity != self._ring.maxlen:
+                self._ring = deque(self._ring, maxlen=int(capacity))
+            self._recording = True
+        return self
+
+    def stop_recording(self) -> None:
+        self._recording = False
+
+    def clear_records(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost open span's context on this thread, else the
+        context attached with :meth:`use_context`, else None."""
+        for open_span in reversed(self._stack()):
+            if open_span._ctx is not None:
+                return open_span._ctx
+        return getattr(self._local, "attached", None)
+
+    def use_context(self, ctx: Optional[TraceContext]) -> _AttachedContext:
+        """Adopt ``ctx`` as this thread's trace position for a block."""
+        return _AttachedContext(self, _resolve_parent(ctx))
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, parent=None, **attributes) -> _Span:
+        """Open a stack span; ``parent`` overrides the thread-local link.
+
+        ``attributes`` are stored on the trace record only (ignored — and
+        free — while recording is off).
+        """
+        return _Span(self, name, parent=parent, attrs=attributes or None)
+
+    def start_span(self, name: str, parent=None, **attributes):
+        """A detached span handle: ``.context`` to parent children to it,
+        ``.end()`` (any thread) to record it. No-op handle when not
+        recording."""
+        if not self._recording:
+            return _NULL_HANDLE
+        parent_ctx = _resolve_parent(parent) or self.current_context()
+        trace_id = parent_ctx.trace_id if parent_ctx is not None else _new_id("t")
+        ctx = TraceContext(trace_id, _new_id("s"))
+        return _ManualSpan(
+            self, name, ctx, parent_ctx.span_id if parent_ctx else None, attributes
+        )
+
+    def event(self, name: str, parent=None, **attributes) -> None:
+        """Record an instant (zero-duration) marker; no-op when not recording."""
+        if not self._recording:
+            return
+        parent_ctx = _resolve_parent(parent) or self.current_context()
+        trace_id = parent_ctx.trace_id if parent_ctx is not None else _new_id("t")
+        self._append_record(
+            SpanRecord(
+                name=name,
+                trace_id=trace_id,
+                span_id=_new_id("s"),
+                parent_id=parent_ctx.span_id if parent_ctx else None,
+                start_wall=time.time(),
+                start_s=time.perf_counter(),
+                duration_s=0.0,
+                thread=threading.current_thread().name,
+                attributes=attributes or None,
+            )
+        )
 
     def depth(self) -> int:
         """Current nesting depth on this thread (0 outside any span)."""
@@ -108,6 +417,14 @@ class Tracer:
         rows.sort(key=lambda row: row["self_s"], reverse=True)
         return rows
 
+    def recent(self, limit: Optional[int] = None) -> List[Dict]:
+        """Recorded spans as dicts, oldest first (bounded by the ring)."""
+        with self._lock:
+            records = list(self._ring)
+        if limit is not None and limit >= 0:
+            records = records[-limit:]
+        return [record.as_dict() for record in records]
+
     def get(self, name: str) -> Optional[SpanStats]:
         with self._lock:
             return self._stats.get(name)
@@ -115,8 +432,90 @@ class Tracer:
     def reset(self) -> None:
         with self._lock:
             self._stats.clear()
+            self._ring.clear()
 
 
+# ----------------------------------------------------------------------
+# Exporters.
+# ----------------------------------------------------------------------
+def chrome_trace(records: Optional[List[Dict]] = None, tracer: Optional[Tracer] = None) -> Dict:
+    """Chrome trace-event JSON (Perfetto / ``chrome://tracing`` loadable).
+
+    Each *trace* (request) gets its own synthetic thread track, so the spans
+    of one request nest visually by time containment regardless of which OS
+    thread executed them; real thread names survive in ``args.thread``.
+    """
+    if records is None:
+        records = (tracer or _DEFAULT).recent()
+    track_by_trace: Dict[str, int] = {}
+    events = []
+    pid = os.getpid()
+    for record in records:
+        trace_id = record["trace_id"]
+        tid = track_by_trace.get(trace_id)
+        if tid is None:
+            tid = track_by_trace[trace_id] = len(track_by_trace) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"trace {trace_id}"},
+                }
+            )
+        args = {
+            "trace_id": trace_id,
+            "span_id": record["span_id"],
+            "parent_id": record.get("parent_id"),
+            "thread": record.get("thread"),
+            "status": record.get("status", "ok"),
+        }
+        args.update(record.get("attributes") or {})
+        event = {
+            "name": record["name"],
+            "cat": "span",
+            "pid": pid,
+            "tid": tid,
+            "ts": record["start_s"] * 1e6,
+            "args": args,
+        }
+        if record.get("duration_s", 0.0) > 0.0:
+            event["ph"] = "X"
+            event["dur"] = record["duration_s"] * 1e6
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(path: str, tracer: Optional[Tracer] = None) -> str:
+    """Write the ring buffer as a Chrome trace JSON file; returns the path."""
+    payload = chrome_trace(tracer=tracer)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def dump_jsonl(path: str, tracer: Optional[Tracer] = None) -> str:
+    """Write the ring buffer as JSONL (one span per line); returns the path."""
+    records = (tracer or _DEFAULT).recent()
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Module-level sugar over the process-global tracer.
+# ----------------------------------------------------------------------
 _DEFAULT = Tracer()
 
 
@@ -125,9 +524,49 @@ def get_tracer() -> Tracer:
     return _DEFAULT
 
 
-def span(name: str) -> _Span:
+def span(name: str, parent=None, **attributes) -> _Span:
     """Open a span on the default tracer: ``with span("phase"): ...``."""
-    return _DEFAULT.span(name)
+    return _DEFAULT.span(name, parent=parent, **attributes)
+
+
+def start_span(name: str, parent=None, **attributes):
+    return _DEFAULT.start_span(name, parent=parent, **attributes)
+
+
+def event(name: str, parent=None, **attributes) -> None:
+    _DEFAULT.event(name, parent=parent, **attributes)
+
+
+def current_context() -> Optional[TraceContext]:
+    return _DEFAULT.current_context()
+
+
+def use_context(ctx: Optional[TraceContext]) -> _AttachedContext:
+    return _DEFAULT.use_context(ctx)
+
+
+def start_recording(capacity: Optional[int] = None) -> Tracer:
+    if capacity is None:
+        env = os.environ.get(TRACE_CAPACITY_ENV)
+        capacity = int(env) if env else None
+    return _DEFAULT.start_recording(capacity)
+
+
+def stop_recording() -> None:
+    _DEFAULT.stop_recording()
+
+
+def is_recording() -> bool:
+    return _DEFAULT.recording
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_TRACE`` asks for trace recording."""
+    return os.environ.get(TRACE_ENV, "0") not in ("0", "", "false")
+
+
+def recent(limit: Optional[int] = None) -> List[Dict]:
+    return _DEFAULT.recent(limit)
 
 
 def snapshot(prefix: Optional[str] = None) -> List[Dict[str, float]]:

@@ -20,7 +20,7 @@ import numpy as np
 from repro.data.datasets import BikeDemandDataset
 from repro.metrics.evaluation import evaluate_forecaster
 from repro.nn import config as nn_config
-from repro.obs import runlog, tracing
+from repro.obs import runlog, serve_metrics, tracing
 from repro.pipeline import checkpoint as ckpt
 from repro.pipeline import registry
 from repro.pipeline.spec import RunSpec
@@ -114,7 +114,21 @@ def execute(
 
         policy = RecoveryPolicy.from_dict(spec.resilience)
         report = None
+        # Opt-in live telemetry + request-scoped tracing: REPRO_TELEMETRY_PORT
+        # exposes /metrics while the run is alive; REPRO_TRACE records real
+        # spans and persists them beside the run log on completion.
+        serve_metrics.ensure_exporter_from_env()
+        tracing_run = tracing.env_enabled() and not tracing.is_recording()
+        if tracing_run:
+            tracing.start_recording()
         logger = runlog.start_run(label, seed=spec.seed, config=run_config(spec, log_config))
+        trace_base = None
+        if tracing_run:
+            trace_base = (
+                os.path.splitext(logger.path)[0]
+                if logger is not None
+                else os.path.join(runlog.default_dir(), f"trace-{label}-{os.getpid()}")
+            )
         try:
             with tracing.span(f"experiment.{label}"):
                 trainer = getattr(forecaster, "trainer", None)
@@ -156,6 +170,12 @@ def execute(
         finally:
             if logger is not None:
                 logger.close(status="error")
+            if trace_base is not None:
+                # Persist whatever spans the run recorded beside its run log,
+                # in both the raw JSONL form and the Perfetto-loadable one.
+                tracing.dump_jsonl(trace_base + ".trace.jsonl")
+                tracing.dump_chrome_trace(trace_base + ".chrome.json")
+                tracing.stop_recording()
 
     return RunResult(
         spec=spec,

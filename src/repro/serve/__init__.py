@@ -18,9 +18,15 @@ package is that loop, built on the pipeline's offline artifacts:
   ``experiments`` entirely).
 - :mod:`repro.serve.faults` — deterministic fault/latency injection for
   degradation tests and the bench's degraded-traffic mode.
+- :mod:`repro.serve.monitor` — :class:`DriftMonitor` / :class:`SloMonitor`:
+  feed the :mod:`repro.obs.drift` detectors from a live service and publish
+  ``forecast_drift_score`` gauges plus ``drift_detected`` / ``slo_burn``
+  run-log events.
 - :mod:`repro.serve.bench` — ``python -m repro.serve.bench``: closed-loop
   load generator writing ``results/BENCH_serve.json`` (throughput, p50/p99
-  latency, degraded fraction).
+  latency, degraded fraction); ``--trace`` records request-scoped spans,
+  ``--telemetry-port`` serves live ``/metrics``, ``--drift-samples`` replays
+  ground truth through the drift monitor.
 
 Request lifecycle and degradation tiers are documented in
 docs/ARCHITECTURE.md; BENCH_serve.json fields in docs/PERFORMANCE.md.
@@ -29,6 +35,7 @@ docs/ARCHITECTURE.md; BENCH_serve.json fields in docs/PERFORMANCE.md.
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
 from repro.serve.loader import DEFAULT_FALLBACKS, load_service, service_from_dataset
+from repro.serve.monitor import DriftMonitor, SloMonitor
 from repro.serve.service import (
     REASON_DEADLINE,
     REASON_ERROR,
@@ -40,10 +47,12 @@ from repro.serve.service import (
 
 __all__ = [
     "DEFAULT_FALLBACKS",
+    "DriftMonitor",
     "FaultInjectingForecaster",
     "ForecastResponse",
     "ForecastService",
     "MicroBatcher",
+    "SloMonitor",
     "REASON_DEADLINE",
     "REASON_ERROR",
     "REASON_PREDICTED_DEADLINE",

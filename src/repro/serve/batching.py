@@ -25,6 +25,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import tracing
 from repro.serve.service import ForecastResponse, ForecastService
 
 
@@ -34,6 +35,10 @@ class _Submission:
     deadline: Optional[float]  # absolute monotonic seconds
     start: float  # monotonic enqueue time
     future: Future
+    # Request-lifecycle trace span: started on the submitting thread, ended
+    # on the worker once the response lands, so the recorded span covers
+    # queue wait + coalesced inference — exactly the caller's latency.
+    span: object = None
 
 
 class MicroBatcher:
@@ -83,7 +88,14 @@ class MicroBatcher:
         now = self._clock()
         deadline = now + float(deadline_seconds) if deadline_seconds is not None else None
         submission = _Submission(
-            window=window, deadline=deadline, start=now, future=Future()
+            window=window,
+            deadline=deadline,
+            start=now,
+            future=Future(),
+            # A no-op handle unless trace recording is on; parents to the
+            # submitting thread's current span so end-to-end traces cross
+            # the hand-off into the worker thread.
+            span=tracing.start_span("serve.request"),
         )
         with self._arrived:
             if self._closed:
@@ -152,14 +164,21 @@ class MicroBatcher:
                 np.stack([submission.window for submission in batch]),
                 deadlines=[submission.deadline for submission in batch],
                 starts=[submission.start for submission in batch],
+                contexts=[submission.span.context for submission in batch],
             )
         except Exception as error:  # noqa: BLE001 - propagate to the waiters
             for submission in batch:
+                submission.span.end(status="error", error=str(error))
                 if not submission.future.set_running_or_notify_cancel():
                     continue
                 submission.future.set_exception(error)
             return
         for submission, response in zip(batch, responses):
+            submission.span.end(
+                tier=response.tier,
+                degraded=response.degraded,
+                deadline_missed=response.deadline_missed,
+            )
             if not submission.future.set_running_or_notify_cancel():
                 continue
             submission.future.set_result(response)

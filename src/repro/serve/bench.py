@@ -29,7 +29,8 @@ import numpy as np
 
 from repro.data.datasets import dataset_from_tensor
 from repro.nn import engine
-from repro.obs import runlog
+from repro.obs import drift as obs_drift
+from repro.obs import runlog, serve_metrics, tracing
 from repro.obs.artifacts import atomic_write_json
 from repro.obs.metrics import Histogram
 from repro.pipeline import registry
@@ -37,6 +38,7 @@ from repro.pipeline.loading import load_forecaster
 from repro.pipeline.spec import RunSpec
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
+from repro.serve.monitor import DriftMonitor, SloMonitor
 from repro.serve.service import ForecastService
 
 # Small-but-real BikeCAP geometry: big enough to exercise every kernel,
@@ -115,9 +117,11 @@ def build_service(args) -> tuple:
         target_feature=dataset.target_feature,
     )
     # Raw request traffic: the test split, denormalized back to counts —
-    # exactly what an online caller would send.
+    # exactly what an online caller would send. The matching realized demand
+    # feeds the drift monitor's ground-truth replay.
     raw_windows = dataset.scaler.inverse_transform(dataset.split.test_x)
-    return service, raw_windows
+    raw_actuals = dataset.denormalize_target(dataset.split.test_y)
+    return service, raw_windows, raw_actuals
 
 
 def run_load(service, raw_windows, args):
@@ -164,6 +168,42 @@ def run_load(service, raw_windows, args):
     if errors:
         raise RuntimeError(f"{len(errors)} request(s) errored; first: {errors[0]!r}")
     return responses, elapsed, batch_sizes
+
+
+def drift_pass(service, raw_windows, raw_actuals, args) -> DriftMonitor:
+    """Sequential ground-truth replay through the forecast-drift monitor.
+
+    Cycles the test windows until ``--drift-samples`` errors have been
+    scored; from the halfway point on, realized demand is scaled by
+    ``1 + --drift-shift`` — a deterministic regime change, so a nonzero
+    shift fires ``drift_detected`` exactly once (the detector re-baselines
+    after firing and the shifted stream is stable thereafter).
+    """
+    monitor = DriftMonitor(service, label="serve-bench")
+    count = len(raw_windows)
+    shift_from = args.drift_samples // 2
+    for sample in range(args.drift_samples):
+        index = sample % count
+        actual = raw_actuals[index]
+        if args.drift_shift and sample >= shift_from:
+            actual = actual * (1.0 + args.drift_shift)
+        monitor.feed(raw_windows[index], actual)
+    return monitor
+
+
+def slo_pass(responses, args):
+    """Replay the answered responses through the SLO budget tracker."""
+    spec = obs_drift.SloSpec(
+        p99_latency_seconds=args.slo_p99_ms / 1e3,
+        window=max(len(responses), 1),
+        # The bench scores one window over the whole run; a tiny run must
+        # still yield a verdict rather than silently dropping the section.
+        min_samples=max(1, min(20, len(responses))),
+    )
+    monitor = SloMonitor(spec, label="serve-bench", evaluate_every=len(responses) + 1)
+    for response in responses:
+        monitor.observe(response)
+    return monitor.evaluate()
 
 
 def summarize(responses, elapsed, batch_sizes, args) -> dict:
@@ -220,25 +260,92 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--fault-rate", type=float, default=0.0)
     parser.add_argument("--slow-ms", type=float, default=0.0, help="primary-tier added latency")
     parser.add_argument(
+        "--trace", action="store_true", help="record request-scoped traces during the load"
+    )
+    parser.add_argument(
+        "--trace-overhead",
+        action="store_true",
+        help="run an untraced reference load first and report the throughput cost of tracing",
+    )
+    parser.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        help="serve live /metrics during the run (0 = ephemeral port)",
+    )
+    parser.add_argument(
+        "--drift-samples",
+        type=int,
+        default=0,
+        help=">0 replays this many ground-truth slots through the drift monitor",
+    )
+    parser.add_argument(
+        "--drift-shift",
+        type=float,
+        default=0.0,
+        help="scale realized demand by 1+shift for the second half of the drift replay",
+    )
+    parser.add_argument("--slo-p99-ms", type=float, default=500.0, help="SLO latency target")
+    parser.add_argument(
         "--out", default=os.environ.get("REPRO_BENCH_DIR", "results"), help="output directory"
     )
     args = parser.parse_args(argv)
     args.grid = tuple(args.grid)
+    if args.trace_overhead:
+        args.trace = True
 
-    service, raw_windows = build_service(args)
+    service, raw_windows, raw_actuals = build_service(args)
+    exporter = None
+    if args.telemetry_port is not None:
+        exporter = serve_metrics.start_exporter(port=args.telemetry_port)
+        print(f"telemetry live at {exporter.url}/metrics")
     logger = runlog.start_run(
         "serve-bench", seed=args.seed, config={"bench": "serve", "spec_model": args.model}
     )
+    baseline_throughput = None
+    drift_monitor = None
+    slo_status = None
     try:
+        if args.trace_overhead:
+            # Reference pass with recording off; the measured pass below is
+            # identical except for the trace ring, so the throughput delta
+            # *is* the tracing tax.
+            reference, reference_elapsed, _ = run_load(service, raw_windows, args)
+            if reference and reference_elapsed > 0:
+                baseline_throughput = len(reference) / reference_elapsed
+        if args.trace:
+            tracing.start_recording()
         responses, elapsed, batch_sizes = run_load(service, raw_windows, args)
+        slo_status = slo_pass(responses, args)
+        if args.drift_samples > 0:
+            drift_monitor = drift_pass(service, raw_windows, raw_actuals, args)
     finally:
         if logger is not None:
             logger.close(status="ok")
 
     payload = summarize(responses, elapsed, batch_sizes, args)
+    gauges = payload["gauges"]
+    if baseline_throughput:
+        overhead = max(0.0, 1.0 - gauges["bench_serve_throughput_rps"] / baseline_throughput)
+        gauges["bench_serve_trace_overhead_fraction"] = overhead
+    if slo_status is not None:
+        payload["slo"] = slo_status.as_dict()
+    if drift_monitor is not None:
+        payload["drift"] = {
+            "events": len(drift_monitor.detections),
+            "samples": args.drift_samples,
+            "shift": args.drift_shift,
+        }
     os.makedirs(args.out, exist_ok=True)
     path = os.path.join(args.out, "BENCH_serve.json")
     atomic_write_json(path, payload, sort_keys=True)
+    if args.trace:
+        trace_path = tracing.dump_chrome_trace(os.path.join(args.out, "BENCH_serve.trace.json"))
+        tracing.dump_jsonl(os.path.join(args.out, "BENCH_serve.trace.jsonl"))
+        tracing.stop_recording()
+        print(f"  trace  {trace_path} (load into Perfetto / chrome://tracing)")
+    if exporter is not None:
+        exporter.stop()
 
     gauges = payload["gauges"]
     print(f"serve bench: {payload['requests']} requests in {elapsed:.3f}s")

@@ -1,0 +1,151 @@
+"""Online monitors: forecast-error drift and SLO budgets for a service.
+
+The :mod:`repro.obs.drift` leaf computes *whether* something shifted; this
+module is the glue that feeds it from a live :class:`ForecastService` and
+publishes the verdicts — ``forecast_drift_score`` gauges,
+``drift_detected`` / ``slo_burn`` run-log events, counters — so the rest
+of the stack (dashboards scraping :mod:`repro.obs.serve_metrics`, and the
+warm-start fine-tune trigger of ROADMAP item 2) sees them without knowing
+the detector math.
+
+Typical loop, as each held-out slot's ground truth arrives::
+
+    monitor = DriftMonitor(service)
+    report = monitor.feed(window, actual_demand)   # predict, score, emit
+    if report.drifted:
+        ...  # schedule a warm-start fine-tune
+
+``DriftMonitor.feed`` answers through the service's normal degradation
+chain (so the error stream reflects what callers actually received) and
+scores the mean absolute error of the returned multi-step demand against
+the realized demand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.obs import drift as obs_drift
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog
+from repro.serve.service import ForecastResponse, ForecastService
+
+
+class DriftMonitor:
+    """Rolling forecast-error drift tracking for one service."""
+
+    def __init__(
+        self,
+        service: Optional[ForecastService] = None,
+        detector: Optional[obs_drift.DriftDetector] = None,
+        label: str = "service",
+    ):
+        self.service = service
+        self.detector = detector or obs_drift.DriftDetector()
+        self.label = label
+
+    @property
+    def detections(self):
+        return self.detector.detections
+
+    def feed(self, window: np.ndarray, actual: np.ndarray) -> obs_drift.DriftReport:
+        """Predict one raw window, score it against realized demand.
+
+        ``actual`` is the raw ``(p, G1, G2)`` demand that materialized for
+        the window's horizon; the error fed to the detector is the mean
+        absolute error over all horizon steps and cells.
+        """
+        if self.service is None:
+            raise RuntimeError("DriftMonitor.feed needs a service; use observe_error otherwise")
+        response = self.service.predict_one(window)
+        actual = np.asarray(actual, dtype=float)
+        if actual.shape != response.demand.shape:
+            raise ValueError(
+                f"actual demand shape {actual.shape} does not match "
+                f"forecast shape {response.demand.shape}"
+            )
+        error = float(np.mean(np.abs(response.demand - actual)))
+        return self.observe_error(error, tier=response.tier)
+
+    def observe_error(self, error: float, tier: Optional[str] = None) -> obs_drift.DriftReport:
+        """Feed one precomputed forecast error; publishes score + events."""
+        report = self.detector.update(error)
+        obs_metrics.gauge("forecast_drift_score", service=self.label).set(report.score)
+        obs_metrics.gauge("forecast_error_ewma", service=self.label).set(
+            report.ewma if report.ewma is not None else 0.0
+        )
+        if report.drifted:
+            obs_metrics.counter("forecast_drift_events_total", service=self.label).inc()
+            runlog.emit(
+                "drift_detected",
+                service=self.label,
+                detector=report.detector,
+                score=report.score,
+                error=report.error,
+                baseline=report.baseline,
+                ewma=report.ewma,
+                sample=report.samples,
+                tier=tier,
+            )
+        return report
+
+
+class SloMonitor:
+    """Rolling SLO accounting over :class:`ForecastResponse` streams."""
+
+    def __init__(
+        self,
+        spec: Optional[obs_drift.SloSpec] = None,
+        label: str = "service",
+        evaluate_every: int = 32,
+    ):
+        if evaluate_every < 1:
+            raise ValueError(f"evaluate_every must be >= 1, got {evaluate_every}")
+        self.tracker = obs_drift.SloTracker(spec)
+        self.label = label
+        self.evaluate_every = int(evaluate_every)
+        self.burn_events = 0
+        self._last_breaches: tuple = ()
+
+    def observe(self, response: ForecastResponse) -> Optional[obs_drift.SloStatus]:
+        """Track one answered request; evaluates every ``evaluate_every``."""
+        self.tracker.observe(
+            response.latency_seconds,
+            deadline_missed=response.deadline_missed,
+            degraded=response.degraded,
+        )
+        if self.tracker.total % self.evaluate_every == 0:
+            return self.evaluate()
+        return None
+
+    def evaluate(self) -> Optional[obs_drift.SloStatus]:
+        """Score the window now; publish gauges and edge-triggered events.
+
+        A ``slo_burn`` run-log event fires when the breach set *changes*
+        (new objective starts burning), not on every evaluation, so a
+        sustained breach is one event rather than a flood.
+        """
+        status = self.tracker.status()
+        if status is None:
+            return None
+        gauge = obs_metrics.gauge
+        gauge("slo_p99_latency_seconds", service=self.label).set(status.p99_latency_seconds)
+        gauge("slo_deadline_miss_fraction", service=self.label).set(
+            status.deadline_miss_fraction
+        )
+        gauge("slo_degraded_fraction", service=self.label).set(status.degraded_fraction)
+        gauge("slo_latency_burn", service=self.label).set(status.latency_burn)
+        gauge("slo_deadline_miss_burn", service=self.label).set(status.deadline_miss_burn)
+        gauge("slo_degraded_burn", service=self.label).set(status.degraded_burn)
+        breaches = tuple(status.breaches)
+        if breaches and breaches != self._last_breaches:
+            self.burn_events += 1
+            obs_metrics.counter("slo_burn_events_total", service=self.label).inc()
+            runlog.emit("slo_burn", service=self.label, **status.as_dict())
+        self._last_breaches = breaches
+        return status
+
+
+__all__ = ["DriftMonitor", "SloMonitor"]

@@ -40,7 +40,7 @@ import numpy as np
 from repro.data.normalization import MinMaxScaler
 from repro.nn import engine
 from repro.obs import metrics as obs_metrics
-from repro.obs import runlog
+from repro.obs import runlog, tracing
 
 # Degradation reasons recorded in metrics, run logs and responses.
 REASON_ERROR = "error"
@@ -81,6 +81,10 @@ class _PendingRequest:
     deadline: Optional[float]  # absolute monotonic seconds, None = no deadline
     start: float
     skips: List[str] = field(default_factory=list)
+    # Trace position of the request's lifecycle span (MicroBatcher hand-off);
+    # per-request tier retries and skip markers parent to it so a degraded
+    # request's whole story nests under one span in the trace.
+    ctx: Optional[tracing.TraceContext] = None
 
 
 class ForecastService:
@@ -166,15 +170,18 @@ class ForecastService:
         windows: np.ndarray,
         deadlines: Optional[Sequence[Optional[float]]] = None,
         starts: Optional[Sequence[float]] = None,
+        contexts: Optional[Sequence[Optional[tracing.TraceContext]]] = None,
     ) -> List[ForecastResponse]:
         """Answer a batch of raw windows in one coalesced pass.
 
         ``deadlines`` are absolute monotonic timestamps (``None`` entries
         mean unbounded); ``starts`` are the monotonic enqueue times used for
-        latency accounting (defaulting to "now" for direct callers). The
-        whole batch goes through the primary tier in **one** forward pass;
-        only requests the primary fails (or whose deadline rules it out)
-        walk down the chain.
+        latency accounting (defaulting to "now" for direct callers);
+        ``contexts`` are optional per-request trace positions (the
+        MicroBatcher passes its request-lifecycle spans) that per-request
+        trace records parent to. The whole batch goes through the primary
+        tier in **one** forward pass; only requests the primary fails (or
+        whose deadline rules it out) walk down the chain.
         """
         windows = np.asarray(windows, dtype=float)
         if windows.ndim != len(self.window_shape) + 1 or windows.shape[1:] != self.window_shape:
@@ -187,42 +194,47 @@ class ForecastService:
             deadlines = [None] * count
         if starts is None:
             starts = [now] * count
-        if len(deadlines) != count or len(starts) != count:
-            raise ValueError("windows, deadlines and starts must align")
+        if contexts is None:
+            contexts = [None] * count
+        if len(deadlines) != count or len(starts) != count or len(contexts) != count:
+            raise ValueError("windows, deadlines, starts and contexts must align")
 
         obs_metrics.counter("serve_batches_total").inc()
         obs_metrics.histogram("serve_batch_size").observe(count)
 
         normalized = np.clip(self.scaler.transform(windows), 0.0, None)
         pending = [
-            _PendingRequest(index=i, deadline=deadlines[i], start=starts[i])
+            _PendingRequest(
+                index=i, deadline=deadlines[i], start=starts[i], ctx=contexts[i]
+            )
             for i in range(count)
         ]
         responses: List[Optional[ForecastResponse]] = [None] * count
 
-        for position, tier in enumerate(self.tiers):
-            if not pending:
-                break
-            is_floor = position == len(self.tiers) - 1
-            if is_floor:
-                attempt, pending = pending, []
-            else:
-                attempt, pending = self._partition_by_deadline(tier, pending)
-            if not attempt:
-                continue
-            answered, failed = self._attempt_tier(
-                tier, normalized, attempt, demote_late=not is_floor
-            )
-            for request, prediction in answered:
-                responses[request.index] = self._finish(
-                    tier, request, prediction, degraded=position > 0
+        with tracing.span("serve.batch", batch=count):
+            for position, tier in enumerate(self.tiers):
+                if not pending:
+                    break
+                is_floor = position == len(self.tiers) - 1
+                if is_floor:
+                    attempt, pending = pending, []
+                else:
+                    attempt, pending = self._partition_by_deadline(tier, pending)
+                if not attempt:
+                    continue
+                answered, failed = self._attempt_tier(
+                    tier, normalized, attempt, demote_late=not is_floor
                 )
-            if failed and is_floor:
-                # Nothing left to degrade to; surface the floor's error.
-                request, error = failed[0]
-                raise error
-            pending.extend(request for request, _error in failed)
-            pending.sort(key=lambda request: request.index)
+                for request, prediction in answered:
+                    responses[request.index] = self._finish(
+                        tier, request, prediction, degraded=position > 0
+                    )
+                if failed and is_floor:
+                    # Nothing left to degrade to; surface the floor's error.
+                    request, error = failed[0]
+                    raise error
+                pending.extend(request for request, _error in failed)
+                pending.sort(key=lambda request: request.index)
 
         assert all(response is not None for response in responses)
         return responses  # type: ignore[return-value]
@@ -259,7 +271,8 @@ class ForecastService:
         batch = normalized[[request.index for request in requests]]
         began = self._clock()
         try:
-            predictions = np.asarray(tier.forecaster.predict(batch))
+            with tracing.span("serve.tier", tier=tier.name, batch=len(requests)):
+                predictions = np.asarray(tier.forecaster.predict(batch))
             outcomes = [(request, predictions[i]) for i, request in enumerate(requests)]
             errors = []
         except Exception:
@@ -269,9 +282,12 @@ class ForecastService:
             outcomes, errors = [], []
             for request in requests:
                 try:
-                    single = np.asarray(
-                        tier.forecaster.predict(normalized[request.index][None])
-                    )
+                    with tracing.span(
+                        "serve.tier.retry", parent=request.ctx, tier=tier.name
+                    ):
+                        single = np.asarray(
+                            tier.forecaster.predict(normalized[request.index][None])
+                        )
                     outcomes.append((request, single[0]))
                 except Exception as error:  # noqa: BLE001 - tier errors degrade
                     self._record_skip(tier, request, REASON_ERROR, error=error)
@@ -320,6 +336,7 @@ class ForecastService:
         obs_metrics.counter(
             "serve_degradations_total", tier=tier.name, reason=reason
         ).inc()
+        tracing.event("serve.skip", parent=request.ctx, tier=tier.name, reason=reason)
         runlog.emit("serve_degraded", tier=tier.name, reason=reason, detail=detail)
 
     def _update_ewma(self, tier_name: str, per_window_seconds: float) -> None:

@@ -1,0 +1,146 @@
+"""The drift/SLO leaf: deterministic detectors, exact firing semantics."""
+
+import math
+
+import pytest
+
+from repro.obs.drift import (
+    DriftDetector,
+    Ewma,
+    PageHinkley,
+    SloSpec,
+    SloTracker,
+)
+
+
+class TestEwma:
+    def test_first_sample_seeds_value(self):
+        ewma = Ewma(alpha=0.5)
+        assert ewma.value is None
+        assert ewma.update(4.0) == 4.0
+
+    def test_smoothing_math(self):
+        ewma = Ewma(alpha=0.5)
+        ewma.update(0.0)
+        assert ewma.update(2.0) == pytest.approx(1.0)
+        assert ewma.update(2.0) == pytest.approx(1.5)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+
+class TestPageHinkley:
+    def test_stable_stream_never_fires(self):
+        ph = PageHinkley(delta=0.01, threshold=1.0, min_samples=5)
+        assert not any(ph.update(1.0) for _ in range(100))
+
+    def test_upward_shift_fires(self):
+        ph = PageHinkley(delta=0.01, threshold=1.0, min_samples=5)
+        for _ in range(20):
+            ph.update(1.0)
+        fired = [ph.update(3.0) for _ in range(20)]
+        assert any(fired)
+
+    def test_min_samples_suppresses_early_fire(self):
+        ph = PageHinkley(delta=0.0, threshold=0.001, min_samples=50)
+        assert not any(ph.update(value) for value in [0.0, 100.0, 100.0])
+
+
+class TestDriftDetector:
+    def _run(self, detector, stream):
+        return [detector.update(value) for value in stream]
+
+    def test_warmup_never_fires(self):
+        detector = DriftDetector(warmup=8)
+        reports = self._run(detector, [1.0, 50.0, 1.0, 80.0, 1.0, 2.0, 1.0, 1.0])
+        assert not any(report.drifted for report in reports)
+        assert all(report.score == 0.0 for report in reports)
+
+    def test_sustained_shift_fires_exactly_once(self):
+        detector = DriftDetector(warmup=8)
+        stream = [1.0] * 24 + [3.0] * 40
+        reports = self._run(detector, stream)
+        assert sum(report.drifted for report in reports) == 1
+        assert len(detector.detections) == 1
+        fired = next(report for report in reports if report.drifted)
+        assert fired.detector in ("ewma", "page_hinkley")
+        assert fired.baseline == pytest.approx(1.0)
+
+    def test_stable_stream_never_fires(self):
+        detector = DriftDetector(warmup=8)
+        reports = self._run(detector, [2.0] * 200)
+        assert not any(report.drifted for report in reports)
+
+    def test_rearms_and_detects_a_second_shift(self):
+        detector = DriftDetector(warmup=8)
+        stream = [1.0] * 24 + [3.0] * 40 + [9.0] * 40
+        self._run(detector, stream)
+        assert len(detector.detections) == 2
+        # The second detection re-baselined on the post-first-shift level.
+        assert detector.detections[1]["baseline"] == pytest.approx(3.0)
+
+    def test_rejects_non_finite_errors(self):
+        detector = DriftDetector()
+        with pytest.raises(ValueError):
+            detector.update(float("nan"))
+        with pytest.raises(ValueError):
+            detector.update(math.inf)
+
+    def test_score_is_fractional_ewma_inflation(self):
+        detector = DriftDetector(warmup=2, ewma_alpha=1.0, score_threshold=10.0)
+        detector.update(1.0)
+        detector.update(1.0)
+        report = detector.update(1.5)
+        assert report.score == pytest.approx(0.5)
+
+
+class TestSloTracker:
+    def test_below_min_samples_returns_none(self):
+        tracker = SloTracker(SloSpec(min_samples=5))
+        for _ in range(4):
+            tracker.observe(0.01)
+        assert tracker.status() is None
+
+    def test_healthy_window_has_no_breaches(self):
+        tracker = SloTracker(SloSpec(p99_latency_seconds=1.0, min_samples=5))
+        for _ in range(10):
+            tracker.observe(0.01)
+        status = tracker.status()
+        assert status.breaches == []
+        assert status.latency_burn == pytest.approx(0.01)
+
+    def test_breaches_and_burn_rates(self):
+        spec = SloSpec(
+            p99_latency_seconds=0.1,
+            deadline_miss_budget=0.1,
+            degraded_budget=0.1,
+            min_samples=5,
+        )
+        tracker = SloTracker(spec)
+        for _ in range(10):
+            tracker.observe(0.5, deadline_missed=True, degraded=True)
+        status = tracker.status()
+        assert set(status.breaches) == {"p99_latency", "deadline_miss", "degraded"}
+        assert status.deadline_miss_burn == pytest.approx(10.0)
+        assert status.degraded_burn == pytest.approx(10.0)
+        assert status.latency_burn == pytest.approx(5.0)
+
+    def test_window_is_rolling(self):
+        tracker = SloTracker(SloSpec(window=10, degraded_budget=0.5, min_samples=5))
+        for _ in range(10):
+            tracker.observe(0.01, degraded=True)
+        for _ in range(10):
+            tracker.observe(0.01, degraded=False)
+        status = tracker.status()
+        assert status.degraded_fraction == 0.0
+        assert tracker.total == 20
+
+    def test_status_as_dict_is_json_shaped(self):
+        tracker = SloTracker(SloSpec(min_samples=1))
+        tracker.observe(0.01)
+        payload = tracker.status().as_dict()
+        assert payload["samples"] == 1
+        assert isinstance(payload["breaches"], list)

@@ -1,0 +1,104 @@
+"""Histogram memory bounds and label-key hygiene (regression tests)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_HISTOGRAM_CAP,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+)
+
+
+class TestHistogramReservoir:
+    def test_default_cap(self):
+        assert Histogram("h").max_observations == DEFAULT_HISTOGRAM_CAP
+
+    def test_below_cap_percentiles_are_exact(self):
+        histogram = Histogram("h", max_observations=100)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert not histogram.sampled
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == pytest.approx(49.5)
+        assert histogram.percentile(100) == 99.0
+        assert "sampled" not in histogram.summary()
+
+    def test_memory_is_bounded_past_cap(self):
+        histogram = Histogram("h", max_observations=64)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert len(histogram.values) == 64
+        assert histogram.sampled
+
+    def test_exact_aggregates_survive_sampling(self):
+        histogram = Histogram("h", max_observations=32)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert histogram.sum == pytest.approx(sum(range(1000)))
+        summary = histogram.summary()
+        assert summary["min"] == 0.0
+        assert summary["max"] == 999.0
+        assert summary["mean"] == pytest.approx(499.5)
+        assert summary["sampled"] is True
+
+    def test_sampled_percentiles_are_reasonable_estimates(self):
+        histogram = Histogram("h", max_observations=512)
+        for value in range(20_000):
+            histogram.observe(float(value))
+        # Uniform stream: the sampled median should sit near the true one.
+        assert histogram.percentile(50) == pytest.approx(10_000, rel=0.25)
+        # Endpoints stay exact even when sampled.
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(100) == 19_999.0
+
+    def test_sampling_is_deterministic_per_name(self):
+        def run(name):
+            histogram = Histogram(name, max_observations=16)
+            for value in range(500):
+                histogram.observe(float(value))
+            return list(histogram.values)
+
+        assert run("same") == run("same")
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", max_observations=0)
+
+
+class TestLabelEscaping:
+    def test_adversarial_values_do_not_collide(self):
+        registry = MetricsRegistry()
+        # Without escaping these two flatten to the same key.
+        first = registry.counter("c", a="x,b=y")
+        second = registry.counter("c", a="x", b="y")
+        first.inc(1)
+        second.inc(10)
+        snapshot = registry.snapshot()["counters"]
+        assert len(snapshot) == 2
+        assert sorted(snapshot.values()) == [1.0, 10.0]
+
+    def test_braces_and_backslashes_escape(self):
+        assert escape_label_value("a{b}") == "a\\{b\\}"
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("plain") == "plain"
+
+    def test_newline_escapes(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", note="line1\nline2").set(1.0)
+        (key,) = registry.snapshot()["gauges"]
+        assert "\n" not in key
+
+    def test_invalid_label_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="label name"):
+            registry.counter("c", **{"bad-name": "x"})
+
+    def test_instruments_keep_structured_labels(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g", service="a,b=c")
+        assert gauge.base_name == "g"
+        assert gauge.labels == {"service": "a,b=c"}
+        (row,) = registry.export_rows()
+        assert row["labels"] == {"service": "a,b=c"}

@@ -1,9 +1,11 @@
 """JSONL run logs: write → read round trip, dispatch, and the report CLI."""
 
+import json
+
 import pytest
 
 from repro.obs import runlog
-from repro.obs.report import main as report_main, render_run
+from repro.obs.report import event_counts, main as report_main, render_run, summarize_run
 from repro.obs.runlog import RunLogger, read_events
 
 
@@ -124,3 +126,77 @@ class TestReportCli:
             logger.event("epoch", epoch=1, epochs=1, train_loss=1.0, seconds=0.1)
         report_main([str(path)])
         assert "no op trace recorded" in capsys.readouterr().out
+
+
+class TestServeStyleRuns:
+    """Logs with zero epoch events (serve bench, monitors) must still render."""
+
+    def _write_serve_run(self, path):
+        with RunLogger(str(path), seed=11, config={"bench": "serve"}) as logger:
+            for _ in range(3):
+                logger.event("request", tier="Primary")
+            logger.event(
+                "drift_detected",
+                service="serve-bench",
+                detector="ewma",
+                score=1.5,
+                baseline=1.0,
+            )
+            logger.event("slo_burn", service="serve-bench", breaches=["degraded"])
+
+    def test_zero_epoch_log_lists_event_counts(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        self._write_serve_run(path)
+        text = render_run(read_events(str(path)))
+        assert "== events (no epoch events) ==" in text
+        assert "request  x3" in text
+        assert "drift_detected  x1" in text
+
+    def test_drift_and_slo_events_get_detail_lines(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        self._write_serve_run(path)
+        text = render_run(read_events(str(path)))
+        assert 'drift_detected: {"service": "serve-bench"' in text
+        assert "slo_burn:" in text and "degraded" in text
+
+    def test_empty_log_renders_without_crashing(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        with RunLogger(str(path)):
+            pass
+        text = render_run(read_events(str(path)))
+        assert "(no events)" in text
+
+    def test_event_counts_excludes_lifecycle(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        self._write_serve_run(path)
+        counts = event_counts(read_events(str(path)))
+        assert counts == {"drift_detected": 1, "request": 3, "slo_burn": 1}
+
+    def test_summarize_run_digest(self, tmp_path):
+        path = tmp_path / "serve.jsonl"
+        self._write_serve_run(path)
+        digest = summarize_run(read_events(str(path)))
+        assert digest["seed"] == 11
+        assert digest["status"] == "ok"
+        assert digest["epochs"] == []
+        assert [alert["event"] for alert in digest["alerts"]] == [
+            "drift_detected",
+            "slo_burn",
+        ]
+
+    def test_cli_json_format_single_path(self, tmp_path, capsys):
+        path = tmp_path / "serve.jsonl"
+        self._write_serve_run(path)
+        assert report_main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"] == str(path)
+        assert payload["events"]["request"] == 3
+
+    def test_cli_json_format_many_paths(self, tmp_path, capsys):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        self._write_serve_run(first)
+        self._write_serve_run(second)
+        assert report_main([str(first), str(second), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["path"] for entry in payload] == [str(first), str(second)]

@@ -1,0 +1,155 @@
+"""The live telemetry endpoint: Prometheus rendering + HTTP routes."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.serve_metrics import (
+    TelemetryServer,
+    render_prometheus,
+    start_exporter,
+    telemetry_snapshot,
+)
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", tier="primary").inc(3)
+    registry.gauge("queue_depth").set(2.5)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        registry.histogram("latency_seconds").observe(value)
+    return registry
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestPrometheusRendering:
+    def test_counter_and_gauge_lines(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{tier="primary"} 3' in text
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 2.5" in text
+
+    def test_histogram_renders_as_summary(self, registry):
+        text = render_prometheus(registry)
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 2.5' in text
+        assert "latency_seconds_sum 10" in text
+        assert "latency_seconds_count 4" in text
+
+    def test_label_values_are_prometheus_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='a"b\\c').inc()
+        text = render_prometheus(registry)
+        assert 'path="a\\"b\\\\c"' in text
+
+    def test_ends_with_newline(self, registry):
+        assert render_prometheus(registry).endswith("\n")
+
+
+class TestHttpEndpoints:
+    @pytest.fixture
+    def server(self, registry):
+        server = start_exporter(port=0, registry=registry)
+        yield server
+        server.stop()
+
+    def test_metrics_route_serves_prometheus_text(self, server):
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert 'requests_total{tier="primary"} 3' in body
+
+    def test_metrics_json_route(self, server):
+        status, _headers, body = _get(server.url + "/metrics.json")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["metrics"]["gauges"]["queue_depth"] == 2.5
+        assert "recording" in payload["tracing"]
+
+    def test_traces_route_serves_recent_spans(self, server):
+        tracing.start_recording()
+        try:
+            with tracing.span("scraped.span"):
+                pass
+            _status, _headers, body = _get(server.url + "/traces?limit=10")
+            names = [record["name"] for record in json.loads(body)["spans"]]
+            assert "scraped.span" in names
+            _status, _headers, body = _get(server.url + "/trace.json")
+            chrome = json.loads(body)
+            assert any(e.get("name") == "scraped.span" for e in chrome["traceEvents"])
+        finally:
+            tracing.stop_recording()
+            tracing.reset()
+
+    def test_healthz_and_index(self, server):
+        status, _headers, body = _get(server.url + "/healthz")
+        assert (status, body) == (200, "ok\n")
+        status, _headers, body = _get(server.url + "/")
+        assert status == 200
+        assert "/metrics" in body
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_concurrent_scrapes_are_consistent(self, server):
+        results = []
+        lock = threading.Lock()
+
+        def scrape():
+            _status, _headers, body = _get(server.url + "/metrics")
+            with lock:
+                results.append(body)
+
+        threads = [threading.Thread(target=scrape) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        assert all('requests_total{tier="primary"} 3' in body for body in results)
+
+
+class TestEmbedding:
+    def test_context_manager_binds_and_releases(self, registry):
+        with TelemetryServer(port=0, registry=registry) as server:
+            port = server.port
+            status, _headers, _body = _get(server.url + "/healthz")
+            assert status == 200
+        # Port is released after stop: a fresh bind to it must succeed.
+        with TelemetryServer(port=port, registry=registry) as server:
+            assert server.port == port
+
+    def test_ensure_exporter_from_env(self, monkeypatch):
+        import repro.obs.serve_metrics as sm
+
+        monkeypatch.delenv(sm.TELEMETRY_PORT_ENV, raising=False)
+        monkeypatch.setattr(sm, "_EMBEDDED", None)
+        assert sm.ensure_exporter_from_env() is None
+        monkeypatch.setenv(sm.TELEMETRY_PORT_ENV, "0")
+        server = sm.ensure_exporter_from_env()
+        try:
+            assert server is not None
+            # Singleton: a second call returns the same server.
+            assert sm.ensure_exporter_from_env() is server
+            status, _headers, _body = _get(server.url + "/healthz")
+            assert status == 200
+        finally:
+            server.stop()
+            monkeypatch.setattr(sm, "_EMBEDDED", None)
+
+    def test_snapshot_helper_shape(self):
+        payload = telemetry_snapshot()
+        assert set(payload) == {"metrics", "tracing"}

@@ -1,0 +1,244 @@
+"""Request-scoped trace recording: ids, parent links, exporters.
+
+The aggregate SpanStats behavior is covered by test_tracing.py; this file
+pins the opt-in recording layer on top — span records, cross-thread
+context propagation, the bounded ring, and the JSONL / Chrome-trace
+exporters.
+"""
+
+import json
+import threading
+
+from repro.obs import tracing
+
+
+def make_tracer(**kwargs):
+    tracer = tracing.Tracer(**kwargs)
+    tracer.start_recording()
+    return tracer
+
+
+class TestRecordingOffIsFree:
+    def test_span_context_is_none_when_not_recording(self):
+        tracer = tracing.Tracer()
+        with tracer.span("a") as handle:
+            assert handle.context is None
+        assert tracer.recent() == []
+
+    def test_start_span_returns_noop_handle(self):
+        tracer = tracing.Tracer()
+        handle = tracer.start_span("request")
+        assert handle.context is None
+        handle.end(status="error", anything="goes")  # must not raise
+        assert tracer.recent() == []
+
+    def test_aggregates_identical_with_and_without_recording(self):
+        plain, recorded = tracing.Tracer(), make_tracer()
+        for tracer in (plain, recorded):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        for name in ("outer", "inner"):
+            left, right = plain.get(name), recorded.get(name)
+            assert left.count == right.count == 1
+            assert left.name == right.name
+
+    def test_event_is_noop_when_not_recording(self):
+        tracer = tracing.Tracer()
+        tracer.event("marker", reason="x")
+        assert tracer.recent() == []
+
+
+class TestSpanRecords:
+    def test_nested_spans_share_trace_and_link_parents(self):
+        tracer = make_tracer()
+        with tracer.span("request") as outer:
+            with tracer.span("tier") as inner:
+                assert inner.context.trace_id == outer.context.trace_id
+        records = {record["name"]: record for record in tracer.recent()}
+        assert records["tier"]["parent_id"] == records["request"]["span_id"]
+        assert records["request"]["parent_id"] is None
+        assert records["tier"]["trace_id"] == records["request"]["trace_id"]
+
+    def test_sibling_roots_get_distinct_traces(self):
+        tracer = make_tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        first, second = tracer.recent()
+        assert first["trace_id"] != second["trace_id"]
+
+    def test_exception_marks_status_error(self):
+        tracer = make_tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (record,) = tracer.recent()
+        assert record["status"] == "error"
+
+    def test_attributes_land_on_the_record(self):
+        tracer = make_tracer()
+        with tracer.span("tier", tier="BikeCAP", batch=4):
+            pass
+        (record,) = tracer.recent()
+        assert record["attributes"] == {"tier": "BikeCAP", "batch": 4}
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = make_tracer()
+        with tracer.span("request") as request:
+            ctx = request.context
+        with tracer.span("other"):
+            with tracer.span("retry", parent=ctx):
+                pass
+        records = {record["name"]: record for record in tracer.recent()}
+        assert records["retry"]["parent_id"] == records["request"]["span_id"]
+        assert records["retry"]["trace_id"] == records["request"]["trace_id"]
+
+    def test_event_records_zero_duration_instant(self):
+        tracer = make_tracer()
+        with tracer.span("request") as request:
+            tracer.event("skip", parent=request.context, reason="deadline")
+        instant = next(r for r in tracer.recent() if r["name"] == "skip")
+        assert instant["duration_s"] == 0.0
+        assert instant["attributes"] == {"reason": "deadline"}
+
+    def test_ring_is_bounded(self):
+        tracer = tracing.Tracer(ring_capacity=8)
+        tracer.start_recording()
+        for index in range(50):
+            with tracer.span(f"s{index}"):
+                pass
+        records = tracer.recent()
+        assert len(records) == 8
+        assert records[-1]["name"] == "s49"
+
+    def test_recent_limit_returns_newest(self):
+        tracer = make_tracer()
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [r["name"] for r in tracer.recent(2)] == ["s3", "s4"]
+
+
+class TestCrossThreadPropagation:
+    def test_use_context_adopts_remote_position(self):
+        tracer = make_tracer()
+        with tracer.span("origin") as origin:
+            ctx = origin.context
+        done = {}
+
+        def worker():
+            with tracer.use_context(ctx):
+                with tracer.span("remote"):
+                    pass
+            done["ok"] = True
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert done["ok"]
+        records = {record["name"]: record for record in tracer.recent()}
+        assert records["remote"]["parent_id"] == records["origin"]["span_id"]
+        assert records["remote"]["trace_id"] == records["origin"]["trace_id"]
+
+    def test_manual_span_started_and_ended_on_different_threads(self):
+        tracer = make_tracer()
+        handle = tracer.start_span("request")
+
+        def worker():
+            with tracer.span("tier", parent=handle.context):
+                pass
+            handle.end(tier="primary")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        records = {record["name"]: record for record in tracer.recent()}
+        assert records["tier"]["parent_id"] == records["request"]["span_id"]
+        assert records["request"]["attributes"] == {"tier": "primary"}
+
+    def test_manual_span_end_is_idempotent(self):
+        tracer = make_tracer()
+        handle = tracer.start_span("once")
+        handle.end()
+        handle.end(status="error")
+        records = [r for r in tracer.recent() if r["name"] == "once"]
+        assert len(records) == 1
+        assert records[0]["status"] == "ok"
+
+
+class TestExporters:
+    def _populate(self):
+        tracer = make_tracer()
+        with tracer.span("request", client=1):
+            with tracer.span("tier"):
+                pass
+            tracer.event("skip")
+        return tracer
+
+    def test_chrome_trace_nests_by_synthetic_track(self):
+        tracer = self._populate()
+        payload = tracing.chrome_trace(tracer.recent())
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(meta) == 1  # one trace -> one synthetic track
+        assert {e["name"] for e in complete} == {"request", "tier"}
+        assert [e["name"] for e in instants] == ["skip"]
+        # All events of one trace share the synthetic tid.
+        assert len({e["tid"] for e in complete + instants}) == 1
+        request = next(e for e in complete if e["name"] == "request")
+        tier = next(e for e in complete if e["name"] == "tier")
+        # Perfetto nests by time containment on the track.
+        assert request["ts"] <= tier["ts"]
+        assert request["ts"] + request["dur"] >= tier["ts"] + tier["dur"]
+        assert tier["args"]["parent_id"] == request["args"]["span_id"]
+
+    def test_dump_jsonl_roundtrips(self, tmp_path):
+        tracer = self._populate()
+        path = tracing.dump_jsonl(str(tmp_path / "sub" / "trace.jsonl"), tracer=tracer)
+        lines = [json.loads(line) for line in open(path)]
+        assert [line["name"] for line in lines] == ["tier", "skip", "request"]
+
+    def test_dump_chrome_trace_is_loadable_json(self, tmp_path):
+        tracer = self._populate()
+        path = tracing.dump_chrome_trace(str(tmp_path / "trace.json"), tracer=tracer)
+        payload = json.load(open(path))
+        assert payload["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
+class TestModuleLevelRecording:
+    def test_global_start_stop_and_env(self, monkeypatch):
+        assert not tracing.is_recording()
+        monkeypatch.setenv(tracing.TRACE_ENV, "1")
+        assert tracing.env_enabled()
+        monkeypatch.setenv(tracing.TRACE_ENV, "0")
+        assert not tracing.env_enabled()
+        try:
+            tracing.start_recording()
+            with tracing.span("global-span"):
+                pass
+            assert any(r["name"] == "global-span" for r in tracing.recent())
+        finally:
+            tracing.stop_recording()
+            tracing.reset()
+
+    def test_capacity_env_resizes_ring(self, monkeypatch):
+        monkeypatch.setenv(tracing.TRACE_CAPACITY_ENV, "3")
+        try:
+            tracing.start_recording()
+            for index in range(10):
+                with tracing.span(f"c{index}"):
+                    pass
+            assert len(tracing.recent()) == 3
+        finally:
+            # Restore the default ring size on the process-global tracer so
+            # later tests that record aren't capped at 3 spans.
+            tracing.get_tracer().start_recording(capacity=tracing.DEFAULT_RING_CAPACITY)
+            tracing.stop_recording()
+            tracing.reset()

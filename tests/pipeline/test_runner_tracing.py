@@ -1,0 +1,82 @@
+"""`execute` under REPRO_TRACE: trace artifacts land beside the run log."""
+
+import json
+import os
+import urllib.request
+
+import pytest
+
+from repro.obs import tracing
+from repro.pipeline import RunSpec, execute
+
+
+@pytest.fixture
+def traced_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_RUNLOG", "1")
+    monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path / "runs"))
+    monkeypatch.setenv("REPRO_TRACE", "1")
+    return tmp_path / "runs"
+
+
+def _artifacts(run_dir):
+    names = sorted(os.listdir(run_dir))
+    logs = [n for n in names if n.endswith(".jsonl") and ".trace" not in n]
+    traces = [n for n in names if n.endswith(".trace.jsonl")]
+    chromes = [n for n in names if n.endswith(".chrome.json")]
+    return logs, traces, chromes
+
+
+class TestExecuteTracing:
+    def test_trace_artifacts_land_beside_run_log(self, tiny_dataset, traced_env):
+        spec = RunSpec(model="STGCN", epochs=1, seed=5, hparams={"hidden_channels": 2})
+        execute(spec, tiny_dataset)
+        logs, traces, chromes = _artifacts(traced_env)
+        assert len(logs) == len(traces) == len(chromes) == 1
+        base = os.path.splitext(logs[0])[0]
+        assert traces[0] == base + ".trace.jsonl"
+        assert chromes[0] == base + ".chrome.json"
+
+        with open(traced_env / traces[0]) as handle:
+            records = [json.loads(line) for line in handle]
+        names = {record["name"] for record in records}
+        assert "train.epoch" in names
+        assert "train.step" in names
+        epoch = next(r for r in records if r["name"] == "train.epoch")
+        step = next(r for r in records if r["name"] == "train.step")
+        assert step["trace_id"] == epoch["trace_id"]
+        assert step["parent_id"] == epoch["span_id"]
+
+        with open(traced_env / chromes[0]) as handle:
+            chrome = json.load(handle)
+        assert any(
+            event.get("name") == "train.epoch" for event in chrome["traceEvents"]
+        )
+
+    def test_recording_is_stopped_after_execute(self, tiny_dataset, traced_env):
+        execute(RunSpec(model="Persistence", epochs=0), tiny_dataset)
+        assert not tracing.is_recording()
+
+    def test_no_trace_env_means_no_trace_files(self, tiny_dataset, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RUNLOG", "1")
+        monkeypatch.setenv("REPRO_RUNLOG_DIR", str(tmp_path / "runs"))
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        execute(RunSpec(model="Persistence", epochs=0), tiny_dataset)
+        logs, traces, chromes = _artifacts(tmp_path / "runs")
+        assert len(logs) == 1
+        assert traces == [] and chromes == []
+
+    def test_telemetry_env_embeds_exporter(self, tiny_dataset, monkeypatch):
+        import repro.obs.serve_metrics as sm
+
+        monkeypatch.setattr(sm, "_EMBEDDED", None)
+        monkeypatch.setenv(sm.TELEMETRY_PORT_ENV, "0")
+        execute(RunSpec(model="Persistence", epochs=0), tiny_dataset)
+        server = sm._EMBEDDED
+        try:
+            assert server is not None
+            with urllib.request.urlopen(server.url + "/metrics", timeout=5) as response:
+                assert response.status == 200
+        finally:
+            if server is not None:
+                server.stop()
+            monkeypatch.setattr(sm, "_EMBEDDED", None)

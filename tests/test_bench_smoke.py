@@ -107,3 +107,92 @@ def test_serve_bench_smoke(extra, tmp_path):
     if extra:  # fault injection must actually exercise the fallback tier
         assert gauges["bench_serve_degraded_fraction"] > 0
         assert payload["tier_counts"].get("Persistence", 0) > 0
+
+
+def test_serve_bench_traced_faulted_acceptance(tmp_path):
+    """The issue's acceptance run: faults + tracing + drift + telemetry.
+
+    One faulted bench run must leave (a) a Perfetto-loadable chrome trace
+    in which a degraded request's tier-retry span links to its request
+    span, (b) a live /metrics endpoint while it ran, and (c) exactly one
+    drift_detected event from the deterministic injected error shift.
+    """
+    import json
+
+    runlog_dir = tmp_path / "runs"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_RUNLOG"] = "1"
+    env["REPRO_RUNLOG_DIR"] = str(runlog_dir)
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.bench",
+            "--requests", "16",
+            "--clients", "4",
+            "--grid", "4", "4",
+            "--history", "5",
+            "--horizon", "2",
+            "--features", "3",
+            "--slots", "40",
+            "--max-batch", "4",
+            "--fault-rate", "0.5",
+            "--deadline-ms", "50",
+            "--trace",
+            "--telemetry-port", "0",
+            "--drift-samples", "64",
+            "--drift-shift", "1.0",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"traced serve bench failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "telemetry live at" in result.stdout
+
+    with open(tmp_path / "BENCH_serve.json") as handle:
+        payload = json.load(handle)
+    assert payload["drift"]["events"] == 1
+    assert "breaches" in payload["slo"]
+
+    # (a) chrome trace: a degraded request's failed tier-retry span links
+    # back to a serve.request span in the same trace.
+    with open(tmp_path / "BENCH_serve.trace.json") as handle:
+        chrome = json.load(handle)
+    spans = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+    requests = {
+        e["args"]["span_id"]: e for e in spans if e["name"] == "serve.request"
+    }
+    assert requests
+    failed_retries = [
+        e
+        for e in spans
+        if e["name"] == "serve.tier.retry" and e["args"].get("status") == "error"
+    ]
+    assert failed_retries, "faulted run recorded no failed tier retries"
+    # Retries from the drift replay (direct predict_one calls) parent to
+    # tier spans; the batched load's retries must link to request spans.
+    linked = [e for e in failed_retries if e["args"]["parent_id"] in requests]
+    assert linked, "no failed retry linked back to a request span"
+    for retry in linked:
+        parent = requests[retry["args"]["parent_id"]]
+        assert parent["args"]["trace_id"] == retry["args"]["trace_id"]
+
+    # (c) exactly one drift_detected event in the run log.
+    logs = [
+        name
+        for name in os.listdir(runlog_dir)
+        if name.endswith(".jsonl") and ".trace" not in name
+    ]
+    assert len(logs) == 1
+    with open(runlog_dir / logs[0]) as handle:
+        events = [json.loads(line) for line in handle]
+    drift_events = [e for e in events if e.get("event") == "drift_detected"]
+    assert len(drift_events) == 1
+    assert drift_events[0]["service"] == "serve-bench"

@@ -162,6 +162,47 @@ class TestRulesFire:
         assert len(violations) == 1
         assert "repro.experiments" in violations[0]
 
+    def test_drift_leaf_must_stay_dependency_free(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"obs/drift.py": "from repro.obs import metrics\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "dependency-free" in violations[0]
+
+    def test_drift_leaf_rule_resolves_nested_from_import(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"obs/drift.py": "from repro.serve import ForecastService\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.serve" in violations[0]
+
+    def test_serve_importing_report_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/bad.py": "from repro.obs import report\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "report" in violations[0]
+
+    def test_serve_may_use_live_obs_surfaces(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "serve/good.py": (
+                    "from repro.obs import metrics\n"
+                    "from repro.obs import tracing\n"
+                    "from repro.obs import serve_metrics\n"
+                    "from repro.obs.drift import DriftDetector\n"
+                ),
+            },
+        )
+        assert checker.check(root) == []
+
     def test_clean_tree_passes(self, tmp_path):
         root = _tree(
             tmp_path,
