@@ -85,6 +85,22 @@ def _bench_snapshot():
         "gauges": gauges,
         "pre_pr_reference_seconds": PRE_PR_SECONDS,
         "speedup": speedups,
+        # Which reference epoch each speedup denominator refers to —
+        # bench_compare.py prints this next to the ratios. These frozen
+        # numbers predate several engine PRs *and* any machine-speed drift
+        # since they were taken, so treat the ratios as trajectory, not as
+        # the effect of the current commit (docs/PERFORMANCE.md discusses
+        # the measured drift).
+        "speedup_references": {
+            "pre_pr_float64": (
+                "frozen float64 timing from the commit before the engine PR "
+                "(PRE_PR_SECONDS in benchmarks/bench_train.py)"
+            ),
+            "pre_pr_fast32": (
+                "frozen float32 timing of the same pre-engine-PR commit "
+                "(set_dtype(float32) on the old substrate)"
+            ),
+        },
     }
     directory = os.environ.get("REPRO_BENCH_DIR", "results")
     os.makedirs(directory, exist_ok=True)

@@ -21,6 +21,16 @@ On a busy or single-core machine the mean is easily inflated by scheduler
 noise; pass ``--stat min`` to compare best-observed times instead, which is
 far more robust for detecting genuine kernel regressions.
 
+Snapshots may also carry self-describing speedup metadata (the
+``BENCH_model.json`` convention): a ``speedup`` tree of computed ratios, a
+``speedup_references`` map explaining *which reference epoch* each ratio's
+denominator suffix refers to (frozen pre-PR timings vs rows of the same
+snapshot — the distinction matters because a frozen reference silently
+accumulates machine drift), and a ``speedup_floors`` map of
+``<case>.<name> -> minimum``. The candidate's speedups are printed with
+their reference provenance, and any floor violation fails the comparison
+like a timing regression would.
+
 A missing or unparseable *baseline* file exits 0 with a notice (first run
 of a pipeline has no snapshot yet; a torn file must not fail CI forever) —
 only a readable baseline that then regresses can fail the comparison.
@@ -81,6 +91,53 @@ def check_budgets(path: str, budgets: dict = None) -> list:
         value = gauges.get(key)
         if isinstance(value, (int, float)) and float(value) > limit:
             violations.append((key, float(value), limit))
+    return violations
+
+
+def _reference_of(name: str, references: dict) -> str:
+    """The provenance blurb for a ``<mode>_vs_<reference>`` speedup name."""
+    for key in sorted(references, key=len, reverse=True):
+        if name.endswith(f"_vs_{key}"):
+            return references[key]
+    return "reference not described in this snapshot"
+
+
+def report_speedups(path: str) -> list:
+    """Print a snapshot's speedups with provenance; return floor violations.
+
+    Reads the ``speedup`` / ``speedup_references`` / ``speedup_floors``
+    sections (absent in older snapshots — then nothing is printed and
+    nothing can fail). Returns ``[(dotted_name, value, floor)]`` for every
+    speedup below its declared floor.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    speedups = data.get("speedup")
+    if not isinstance(speedups, dict) or not speedups:
+        return []
+    references = data.get("speedup_references") or {}
+    floors = data.get("speedup_floors") or {}
+    violations = []
+    print("\nspeedups in candidate snapshot:")
+    for case in sorted(speedups):
+        entries = speedups[case]
+        if not isinstance(entries, dict):
+            continue
+        for name in sorted(entries):
+            value = entries[name]
+            if not isinstance(value, (int, float)):
+                continue
+            dotted = f"{case}.{name}"
+            floor = floors.get(dotted)
+            marker = ""
+            if isinstance(floor, (int, float)) and float(value) < float(floor):
+                violations.append((dotted, float(value), float(floor)))
+                marker = f"  << BELOW FLOOR {float(floor):.2f}x"
+            floor_note = (
+                f" [floor {float(floor):.2f}x]" if isinstance(floor, (int, float)) else ""
+            )
+            print(f"  {dotted}: {float(value):.2f}x{floor_note}{marker}")
+            print(f"    vs {_reference_of(name, references)}")
     return violations
 
 
@@ -150,6 +207,11 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
             f"{key.ljust(width)}  {value * 100:7.1f}%  over absolute budget "
             f"{limit * 100:.0f}%  << REGRESSION"
         )
+
+    for name, value, floor in report_speedups(after_path):
+        # A speedup below its declared floor fails like a slowdown of the
+        # same relative size would.
+        regressions.append((name, value / floor - 1.0))
 
     if regressions:
         worst = max(regressions, key=lambda item: abs(item[1]))

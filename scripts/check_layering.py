@@ -42,6 +42,11 @@ Rules enforced (each import must point *down* the stack):
 9. ``serve`` must not import ``repro.obs.report``: report is the offline
    run-log renderer; the online path exposes state through
    ``repro.obs.serve_metrics`` instead.
+10. ``repro.nn.fusion`` is a pure executor below the model layers: it may
+    import only ``repro.nn.ops``, ``repro.nn.engine`` and
+    ``repro.nn.tensor``. Fused kernels replay op chains the models build;
+    if fusion ever imported a layer or a model, the "bit-equivalent
+    replacement for an existing subgraph" contract would become circular.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -63,6 +68,9 @@ ROOT_LEAVES = {"repro.faults"}
 NESTED_LEAVES = {"repro.obs.drift"}
 SUBSTRATE = {"nn", "obs", "city", "graph", "boosting", "data", "metrics"}
 MODEL_LAYERS = {"core", "baselines"}
+# Rule 10: the fused-kernel executor may touch only the op/engine/tensor
+# surfaces of its own package.
+NN_FUSION_ALLOWED = {"repro.nn.ops", "repro.nn.engine", "repro.nn.tensor"}
 
 
 def _module_name(path: str, base: str) -> str:
@@ -92,7 +100,7 @@ def _imported_modules(path: str):
             if node.level:  # relative imports are not used in this repo
                 continue
             if node.module and node.module.startswith("repro"):
-                if node.module in ("repro", "repro.pipeline", "repro.obs"):
+                if node.module in ("repro", "repro.pipeline", "repro.obs", "repro.nn"):
                     # Resolve the imported names so leaf submodules
                     # (faults, seeding/forecast) can be told apart from
                     # package-level / top-of-stack imports — `from repro
@@ -151,6 +159,13 @@ def check(source_root: str = SOURCE_ROOT):
                         target not in PIPELINE_LEAVES and target != "repro.pipeline",
                         target,
                         "pipeline leaves must be dependency-free",
+                    )
+                elif module == "repro.nn.fusion":
+                    forbid(
+                        target not in NN_FUSION_ALLOWED,
+                        target,
+                        "nn.fusion is a pure executor: it may import only "
+                        "nn.ops/nn.engine/nn.tensor",
                     )
                 elif layer in SUBSTRATE:
                     forbid(

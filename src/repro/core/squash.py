@@ -9,7 +9,7 @@ to nearly zero (Sabour et al., 2017).
 
 from __future__ import annotations
 
-from repro.nn import ops
+from repro.nn import fusion, ops
 from repro.nn.tensor import Tensor, as_tensor
 
 _EPSILON = 1e-9
@@ -23,6 +23,9 @@ def squash(tensor, axis: int = -1) -> Tensor:
     gradients.
     """
     tensor = as_tensor(tensor)
+    fused = fusion.fused_squash(tensor, axis=axis, epsilon=_EPSILON)
+    if fused is not None:
+        return fused
     squared_norm = ops.sum(ops.mul(tensor, tensor), axis=axis, keepdims=True)
     norm = ops.sqrt(ops.add(squared_norm, _EPSILON))
     scale = ops.div(squared_norm, ops.mul(ops.add(squared_norm, 1.0), norm))

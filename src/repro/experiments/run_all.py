@@ -64,14 +64,18 @@ def run_all(
     engine: str = None,
     only: Optional[Sequence[str]] = None,
     resume: bool = False,
+    jobs: int = 1,
 ) -> Dict:
     """Run every artifact at the named profile; returns the JSON payload.
 
-    ``engine`` (``fast`` | ``precise``) selects the substrate precision for
-    the whole run — ``fast`` trains float32 (see docs/PERFORMANCE.md).
-    ``only`` restricts to a comma-separated (or listed) subset of
-    registered models; ``resume`` skips finished artifacts and continues
-    interrupted training from the autosaved checkpoints.
+    ``engine`` (``fast`` | ``mixed`` | ``precise``) selects the substrate
+    precision for the whole run — ``fast`` trains float32, ``mixed`` adds
+    float64 master weights and dynamic loss scaling (see
+    docs/PERFORMANCE.md). ``only`` restricts to a comma-separated (or
+    listed) subset of registered models; ``resume`` skips finished
+    artifacts and continues interrupted training from the autosaved
+    checkpoints. ``jobs > 1`` trains repeated-seed runs concurrently in
+    worker processes with identical results.
     """
     from repro.nn import config as nn_config
 
@@ -84,6 +88,7 @@ def run_all(
         profile,
         checkpoint_dir=os.path.join(output_dir, "checkpoints"),
         resume=resume,
+        jobs=jobs,
     )
 
     payload: Dict = {
@@ -187,9 +192,18 @@ def main() -> None:
     parser.add_argument("--output", default="results", help="output directory")
     parser.add_argument(
         "--engine",
-        choices=("fast", "precise"),
+        choices=("fast", "mixed", "precise"),
         default=None,
-        help="substrate precision: fast=float32, precise=float64 (default: env REPRO_ENGINE or precise)",
+        help="substrate precision: fast=float32, mixed=float32 compute with "
+        "float64 master weights + dynamic loss scaling, precise=float64 "
+        "(default: env REPRO_ENGINE or precise)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for repeated-seed sweeps (1 = serial; "
+        "results are identical either way)",
     )
     parser.add_argument(
         "--only",
@@ -216,6 +230,7 @@ def main() -> None:
         engine=args.engine,
         only=args.only,
         resume=args.resume,
+        jobs=args.jobs,
     )
 
 

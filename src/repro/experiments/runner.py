@@ -19,8 +19,9 @@ from repro.city.simulator import SyntheticCity, simulate_city
 from repro.data.aggregation import aggregate_city
 from repro.data.datasets import BikeDemandDataset, dataset_from_tensor
 from repro.experiments.profiles import ExperimentProfile
-from repro.metrics.evaluation import MeanStd, repeat_runs
+from repro.metrics.evaluation import MeanStd, aggregate_runs, repeat_runs
 from repro.pipeline import RunSpec
+from repro.pipeline import parallel as pipeline_parallel
 from repro.pipeline import runner as pipeline_runner
 
 
@@ -49,7 +50,9 @@ class ExperimentContext:
 
     ``checkpoint_dir``/``resume`` (when set, e.g. by ``run_all --resume``)
     are threaded into every trained run so interrupted experiments restart
-    from their newest autosave instead of from scratch.
+    from their newest autosave instead of from scratch. ``jobs > 1`` fans
+    repeated-seed sweeps out across worker processes
+    (:mod:`repro.pipeline.parallel`) — results are identical to serial.
     """
 
     def __init__(
@@ -57,10 +60,12 @@ class ExperimentContext:
         profile: ExperimentProfile,
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
+        jobs: int = 1,
     ):
         self.profile = profile
         self.checkpoint_dir = checkpoint_dir
         self.resume = resume
+        self.jobs = max(1, int(jobs))
         self._city: Optional[SyntheticCity] = None
         self._tensor: Optional[np.ndarray] = None
         self._datasets: Dict[int, BikeDemandDataset] = {}
@@ -144,9 +149,28 @@ class ExperimentContext:
         seeds=None,
         **overrides,
     ) -> Dict[str, MeanStd]:
-        """Train+evaluate one model at one horizon over repeated seeds."""
+        """Train+evaluate one model at one horizon over repeated seeds.
+
+        With ``jobs > 1`` the per-seed runs execute concurrently in worker
+        processes; aggregation (and the result, bit for bit) matches the
+        serial path because every run is seeded solely by its spec.
+        """
         dataset = self.dataset(horizon)
         seeds = tuple(seeds) if seeds is not None else self.profile.seeds
+        if self.jobs > 1 and len(seeds) > 1:
+            specs = [
+                self.spec_for(name, horizon, epochs=epochs, seed=int(seed), **overrides)
+                for seed in seeds
+            ]
+            per_run = pipeline_parallel.run_specs(
+                specs,
+                dataset,
+                jobs=self.jobs,
+                log_config={"profile": self.profile.name},
+                checkpoint_dir=self.checkpoint_dir,
+                resume=self.resume,
+            )
+            return aggregate_runs(per_run)
 
         def single_run(seed: int) -> Dict[str, float]:
             spec = self.spec_for(name, horizon, epochs=epochs, seed=seed, **overrides)

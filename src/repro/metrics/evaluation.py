@@ -49,6 +49,23 @@ def evaluate_forecaster(
     return {"MAE": mae(truth, prediction), "RMSE": rmse(truth, prediction)}
 
 
+def aggregate_runs(per_run_metrics: Sequence[Dict[str, float]]) -> Dict[str, MeanStd]:
+    """Aggregate per-run metric dicts to mean±std, keyed like the first run.
+
+    Shared by the serial :func:`repeat_runs` loop and the multiprocess sweep
+    executor (:mod:`repro.pipeline.parallel`), so both report identically.
+    """
+    if not per_run_metrics:
+        raise ValueError("need at least one run")
+    collected: Optional[Dict[str, List[float]]] = None
+    for metrics in per_run_metrics:
+        if collected is None:
+            collected = {key: [] for key in metrics}
+        for key, value in metrics.items():
+            collected[key].append(float(value))
+    return {key: MeanStd.from_samples(values) for key, values in collected.items()}
+
+
 def repeat_runs(
     run: Callable[[int], Dict[str, float]],
     seeds: Sequence[int],
@@ -56,11 +73,4 @@ def repeat_runs(
     """Run ``run(seed)`` for each seed and aggregate each metric to mean±std."""
     if not seeds:
         raise ValueError("need at least one seed")
-    collected: Optional[Dict[str, List[float]]] = None
-    for seed in seeds:
-        metrics = run(int(seed))
-        if collected is None:
-            collected = {key: [] for key in metrics}
-        for key, value in metrics.items():
-            collected[key].append(float(value))
-    return {key: MeanStd.from_samples(values) for key, values in collected.items()}
+    return aggregate_runs([run(int(seed)) for seed in seeds])

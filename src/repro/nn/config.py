@@ -11,13 +11,18 @@ import) control the execution-plan layer in :mod:`repro.nn.engine`:
 knob                            environment variable                     default
 =============================== ======================================== =========
 dtype                           ``REPRO_DTYPE`` (float32|float64)        float64
-engine mode                     ``REPRO_ENGINE`` (fast|precise)          precise
+engine mode                     ``REPRO_ENGINE`` (fast|precise|mixed)    precise
 intra-step worker threads       ``REPRO_NUM_THREADS``                    1
+cross-op fusion on/off          ``REPRO_FUSION`` (1|0)                   1
 FFT dispatch: kernel volume     ``REPRO_CONV_FFT_MIN_KERNEL_VOLUME``     48
 FFT dispatch: im2col elements   ``REPRO_CONV_FFT_MIN_IM2COL_ELEMENTS``   4,000,000
+FFT dispatch: fused f32 im2col  ``REPRO_CONV_FFT_MIN_IM2COL_FUSED``   10,000,000
 GEMM dispatch: im2col elements  ``REPRO_CONV_GEMM_MIN_ELEMENTS``         1,500,000
 plan cache on/off               ``REPRO_PLAN_CACHE`` (1|0)               1
 workspace arena on/off          ``REPRO_ARENA`` (1|0)                    1
+initial dynamic loss scale      ``REPRO_LOSS_SCALE``                     65536
+loss-scale growth interval      ``REPRO_LOSS_SCALE_GROWTH_INTERVAL``     200
+minimum loss scale              ``REPRO_LOSS_SCALE_MIN``                 1.0
 =============================== ======================================== =========
 
 The conv dispatch defaults were recalibrated from ``bench_substrate`` runs
@@ -47,15 +52,21 @@ def _env_flag(name: str, default: bool) -> bool:
 
 
 _DTYPE = np.float64
+_MIXED = False
 _GRAD_ENABLED = True
 _NUM_THREADS = max(1, _env_int("REPRO_NUM_THREADS", 1))
+_FUSION_ENABLED = _env_flag("REPRO_FUSION", True)
 _CONV_FFT_MIN_KERNEL_VOLUME = _env_int("REPRO_CONV_FFT_MIN_KERNEL_VOLUME", 48)
 _CONV_FFT_MIN_IM2COL_ELEMENTS = _env_int(
     "REPRO_CONV_FFT_MIN_IM2COL_ELEMENTS", 4_000_000
 )
+_CONV_FFT_MIN_IM2COL_FUSED = _env_int("REPRO_CONV_FFT_MIN_IM2COL_FUSED", 10_000_000)
 _CONV_GEMM_MIN_ELEMENTS = _env_int("REPRO_CONV_GEMM_MIN_ELEMENTS", 1_500_000)
 _PLAN_CACHE_ENABLED = _env_flag("REPRO_PLAN_CACHE", True)
 _ARENA_ENABLED = _env_flag("REPRO_ARENA", True)
+_LOSS_SCALE_INIT = float(os.environ.get("REPRO_LOSS_SCALE", "") or 65536.0)
+_LOSS_SCALE_GROWTH_INTERVAL = _env_int("REPRO_LOSS_SCALE_GROWTH_INTERVAL", 200)
+_LOSS_SCALE_MIN = float(os.environ.get("REPRO_LOSS_SCALE_MIN", "") or 1.0)
 
 
 def dtype() -> np.dtype:
@@ -73,23 +84,45 @@ def set_dtype(new_dtype) -> None:
 
 
 def engine_mode() -> str:
-    """``"fast"`` when the substrate runs float32, ``"precise"`` for float64."""
-    return "fast" if _DTYPE is np.float32 else "precise"
+    """``"mixed"``/``"fast"`` for float32 compute, ``"precise"`` for float64."""
+    if _DTYPE is np.float32:
+        return "mixed" if _MIXED else "fast"
+    return "precise"
 
 
 def set_engine_mode(mode: str) -> None:
-    """Sugar over :func:`set_dtype`: ``fast`` → float32, ``precise`` → float64.
+    """Sugar over :func:`set_dtype`: ``fast``/``mixed`` → float32, ``precise`` → float64.
 
-    Must be set *before* models are constructed — parameters adopt the
-    ambient dtype at creation time. Gradient checks always run float64
-    regardless of this mode (:mod:`repro.nn.gradcheck` pins it).
+    ``mixed`` additionally arms mixed-precision training: optimizers keep
+    float64 master copies of the float32 parameters and the trainer applies
+    dynamic loss scaling (see :mod:`repro.nn.optim`). Must be set *before*
+    models are constructed — parameters adopt the ambient dtype at creation
+    time. Gradient checks always run float64 regardless of this mode
+    (:mod:`repro.nn.gradcheck` pins it).
     """
+    global _MIXED
     if mode == "fast":
         set_dtype(np.float32)
+        _MIXED = False
+    elif mode == "mixed":
+        set_dtype(np.float32)
+        _MIXED = True
     elif mode == "precise":
         set_dtype(np.float64)
+        _MIXED = False
     else:
-        raise ValueError(f"engine mode must be 'fast' or 'precise', got {mode!r}")
+        raise ValueError(
+            f"engine mode must be 'fast', 'mixed' or 'precise', got {mode!r}"
+        )
+
+
+def mixed_precision() -> bool:
+    """Whether mixed-precision training (master weights + loss scaling) is on.
+
+    Only meaningful while the compute dtype is float32 — pinning float64
+    (e.g. inside a gradcheck ``use_dtype`` block) suspends it.
+    """
+    return _MIXED and _DTYPE is np.float32
 
 
 @contextlib.contextmanager
@@ -147,12 +180,36 @@ def set_num_threads(count: int) -> None:
     _NUM_THREADS = count
 
 
+def fusion_enabled() -> bool:
+    """Whether cross-op fused kernels (:mod:`repro.nn.fusion`) may be used."""
+    return _FUSION_ENABLED
+
+
+def set_fusion_enabled(enabled: bool) -> None:
+    global _FUSION_ENABLED
+    _FUSION_ENABLED = bool(enabled)
+
+
 def conv_fft_min_kernel_volume() -> int:
     return _CONV_FFT_MIN_KERNEL_VOLUME
 
 
 def conv_fft_min_im2col_elements() -> int:
     return _CONV_FFT_MIN_IM2COL_ELEMENTS
+
+
+def conv_fft_min_im2col_fused() -> int:
+    """Fused-regime float32 FFT threshold (im2col elements).
+
+    When fusion is enabled and the compute dtype is float32, the conv
+    planner ranks paths purely by im2col volume (ignoring the legacy
+    kernel-volume rule that forces small-grid pyramid convs onto FFT).
+    Measured on this machine with ``benchmarks/bench_model.py``: GEMM wins
+    up to roughly 10M im2col elements for BikeCAP's kernel shapes — a
+    threshold near the crossover beats both the legacy dispatch and an
+    aggressively early FFT switch (which regresses paper-sized grids ~30%).
+    """
+    return _CONV_FFT_MIN_IM2COL_FUSED
 
 
 def conv_gemm_min_elements() -> int:
@@ -163,20 +220,38 @@ def set_conv_dispatch_thresholds(
     fft_min_kernel_volume: int = None,
     fft_min_im2col_elements: int = None,
     gemm_min_elements: int = None,
+    fft_min_im2col_fused: int = None,
 ) -> None:
     """Override the conv dispatch thresholds (None keeps the current value)."""
     global _CONV_FFT_MIN_KERNEL_VOLUME, _CONV_FFT_MIN_IM2COL_ELEMENTS
-    global _CONV_GEMM_MIN_ELEMENTS
+    global _CONV_GEMM_MIN_ELEMENTS, _CONV_FFT_MIN_IM2COL_FUSED
     if fft_min_kernel_volume is not None:
         _CONV_FFT_MIN_KERNEL_VOLUME = int(fft_min_kernel_volume)
     if fft_min_im2col_elements is not None:
         _CONV_FFT_MIN_IM2COL_ELEMENTS = int(fft_min_im2col_elements)
     if gemm_min_elements is not None:
         _CONV_GEMM_MIN_ELEMENTS = int(gemm_min_elements)
+    if fft_min_im2col_fused is not None:
+        _CONV_FFT_MIN_IM2COL_FUSED = int(fft_min_im2col_fused)
     # Cached dispatch decisions were made under the old thresholds.
     from repro.nn import engine
 
     engine.clear_caches()
+
+
+def loss_scale_init() -> float:
+    """Initial dynamic loss scale for mixed-precision training."""
+    return _LOSS_SCALE_INIT
+
+
+def loss_scale_growth_interval() -> int:
+    """Consecutive finite steps before the loss scale doubles."""
+    return _LOSS_SCALE_GROWTH_INTERVAL
+
+
+def loss_scale_min() -> float:
+    """Floor below which loss-scale collapse is treated as divergence."""
+    return _LOSS_SCALE_MIN
 
 
 def plan_cache_enabled() -> bool:

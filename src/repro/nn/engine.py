@@ -88,13 +88,25 @@ def no_cache():
     Required around code that mutates parameter data in place without an
     optimizer step — the finite-difference gradcheck is the canonical user.
     Pure shape-keyed plans (dispatch decisions, einsum paths) stay active;
-    they are functions of the signature alone and cannot go stale.
+    they are functions of the signature alone and cannot go stale. Fused
+    kernels (:mod:`repro.nn.fusion`) are also disabled inside the block:
+    although bit-equivalent by construction, the bypass guarantees the
+    gradcheck exercises the exact unfused op graph it differentiates.
     """
     _cache_bypass.depth = getattr(_cache_bypass, "depth", 0) + 1
     try:
         yield
     finally:
         _cache_bypass.depth -= 1
+
+
+def fusion_active() -> bool:
+    """Whether fused kernels may replace the unfused op chain right now.
+
+    False whenever the plan cache is bypassed (``no_cache()`` /
+    ``REPRO_PLAN_CACHE=0``) or fusion is disabled (``REPRO_FUSION=0``).
+    """
+    return caches_enabled() and config.fusion_enabled()
 
 
 # ---------------------------------------------------------------------------
@@ -104,6 +116,7 @@ def no_cache():
 _plan_lock = threading.Lock()
 _conv_plans: Dict[Tuple, str] = {}
 _einsum_paths: Dict[Tuple, list] = {}
+_fused_plans: Dict[Tuple, object] = {}
 
 
 def _plan_hit(kind: str) -> None:
@@ -112,6 +125,39 @@ def _plan_hit(kind: str) -> None:
 
 def _plan_miss(kind: str) -> None:
     obs_metrics.counter("engine_plan_cache_misses_total", kind=kind).inc()
+
+
+def fused_plan(key: Tuple, builder: Callable[[], object]):
+    """Shape-keyed cache of compiled fused-kernel plans.
+
+    ``key[0]`` names the fused kernel kind (``lstm_gates``, ``squash``,
+    ``routing``, …) and the rest pins the full shape/dtype signature.
+    Returns ``None`` when fusion is inactive (``no_cache()`` or
+    ``REPRO_FUSION=0``) so call sites fall back to the unfused op chain;
+    hit/miss traffic is exported as ``engine_fusion_cache_*_total``.
+    """
+    if not fusion_active():
+        return None
+    with _plan_lock:
+        plan = _fused_plans.get(key)
+    if plan is not None:
+        obs_metrics.counter("engine_fusion_cache_hits_total", kind=key[0]).inc()
+        return plan
+    plan = builder()
+    with _plan_lock:
+        _fused_plans[key] = plan
+    obs_metrics.counter("engine_fusion_cache_misses_total", kind=key[0]).inc()
+    return plan
+
+
+def _fused_regime(dtype) -> bool:
+    """Whether the aggressive fused-regime float32 dispatch rule applies.
+
+    The recalibrated FFT threshold ships with the fusion work and is gated
+    on the same knob, so ``REPRO_FUSION=0`` reproduces the exact pre-fusion
+    execution plans (the bench baseline and the bit-parity reference).
+    """
+    return np.dtype(dtype).itemsize == 4 and config.fusion_enabled()
 
 
 def _choose_conv_forward_plan(
@@ -133,6 +179,8 @@ def _choose_conv_forward_plan(
         return PLAN_FFT
     im2col_elements = batch * channels * int(np.prod(out_spatial)) * kernel_volume
     if im2col_elements >= config.conv_fft_min_im2col_elements():
+        return PLAN_FFT
+    if _fused_regime(dtype) and im2col_elements >= config.conv_fft_min_im2col_fused():
         return PLAN_FFT
     if (
         tuple(kernel)[0] == 1
@@ -158,11 +206,21 @@ def _choose_conv_weight_grad_plan(
     im2col_elements = batch * channels * int(np.prod(out_spatial)) * kernel_volume
     if im2col_elements >= config.conv_fft_min_im2col_elements():
         return PLAN_FFT
+    if _fused_regime(dtype) and im2col_elements >= config.conv_fft_min_im2col_fused():
+        return PLAN_FFT
     return PLAN_GEMM
 
 
 def conv_forward_plan(batch, channels, out_spatial, kernel, dtype) -> str:
-    key = ("conv_fwd", batch, channels, tuple(out_spatial), tuple(kernel), np.dtype(dtype).str)
+    key = (
+        "conv_fwd",
+        batch,
+        channels,
+        tuple(out_spatial),
+        tuple(kernel),
+        np.dtype(dtype).str,
+        _fused_regime(dtype),
+    )
     with _plan_lock:
         plan = _conv_plans.get(key)
     if plan is not None:
@@ -176,7 +234,15 @@ def conv_forward_plan(batch, channels, out_spatial, kernel, dtype) -> str:
 
 
 def conv_weight_grad_plan(batch, channels, out_spatial, kernel, dtype) -> str:
-    key = ("conv_wgrad", batch, channels, tuple(out_spatial), tuple(kernel), np.dtype(dtype).str)
+    key = (
+        "conv_wgrad",
+        batch,
+        channels,
+        tuple(out_spatial),
+        tuple(kernel),
+        np.dtype(dtype).str,
+        _fused_regime(dtype),
+    )
     with _plan_lock:
         plan = _conv_plans.get(key)
     if plan is not None:
@@ -292,8 +358,61 @@ def clear_caches() -> None:
     with _plan_lock:
         _conv_plans.clear()
         _einsum_paths.clear()
+        _fused_plans.clear()
     _kernel_fft_cache.clear()
     _masked_weight_cache.clear()
+
+
+def _sum_counters(prefix: str) -> float:
+    counters = obs_metrics.get_registry().snapshot()["counters"]
+    return sum(
+        value
+        for key, value in counters.items()
+        if key == prefix or key.startswith(prefix + "{")
+    )
+
+
+def plan_cache_stats() -> Dict[str, object]:
+    """Live plan-cache statistics (entries, hit/miss traffic, arena bytes).
+
+    Entry counts come straight from the cache dicts; hit/miss totals are the
+    accumulated ``engine_*_cache_*_total`` counters (summed over their
+    ``kind`` label); arena bytes cover *this thread's* pooled buffers plus
+    the process-wide reuse counter.
+    """
+    with _plan_lock:
+        entries = {
+            "conv_plans": len(_conv_plans),
+            "einsum_paths": len(_einsum_paths),
+            "fused_kernels": len(_fused_plans),
+        }
+    with _kernel_fft_cache._lock:
+        entries["kernel_fft"] = len(_kernel_fft_cache._entries)
+    with _masked_weight_cache._lock:
+        entries["masked_weight"] = len(_masked_weight_cache._entries)
+    pooled_bytes = sum(
+        buffer.nbytes
+        for stack in getattr(_arena_local, "pools", {}).values()
+        for buffer in stack
+    )
+    return {
+        "entries": entries,
+        "hits": _sum_counters("engine_plan_cache_hits_total"),
+        "misses": _sum_counters("engine_plan_cache_misses_total"),
+        "fusion_hits": _sum_counters("engine_fusion_cache_hits_total"),
+        "fusion_misses": _sum_counters("engine_fusion_cache_misses_total"),
+        "arena_pooled_bytes": pooled_bytes,
+        "arena_bytes_reused": _sum_counters("engine_arena_bytes_reused_total"),
+    }
+
+
+def publish_plan_cache_stats() -> Dict[str, object]:
+    """Export :func:`plan_cache_stats` as ``repro.obs`` gauges and return it."""
+    stats = plan_cache_stats()
+    for kind, count in stats["entries"].items():
+        obs_metrics.gauge("engine_plan_cache_entries", kind=kind).set(count)
+    obs_metrics.gauge("engine_arena_pooled_bytes").set(stats["arena_pooled_bytes"])
+    return stats
 
 
 # ---------------------------------------------------------------------------
@@ -408,17 +527,37 @@ _executor_size = 0
 
 
 def get_executor(workers: int) -> ThreadPoolExecutor:
-    """A process-wide thread pool, rebuilt when the requested size grows."""
+    """A process-wide thread pool, rebuilt when the requested size grows.
+
+    The rebuild waits for the old pool's workers to drain: a non-blocking
+    shutdown would strand threads still chewing on shard work (e.g. after an
+    exception escaped a sharded train step), and repeated rebuilds across
+    recovery retries would leak a pool's worth of threads each time.
+    """
     global _executor, _executor_size
     with _executor_lock:
         if _executor is None or _executor_size < workers:
             if _executor is not None:
-                _executor.shutdown(wait=False)
+                _executor.shutdown(wait=True, cancel_futures=True)
             _executor = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="repro-engine"
             )
             _executor_size = workers
         return _executor
+
+
+def reset_executor(wait: bool = True) -> None:
+    """Shut down the shared shard pool (if any) and forget it.
+
+    ``repro.nn.training`` calls this when an exception escapes a sharded
+    train step: pending shard futures are cancelled and running ones drained
+    so no worker thread survives into the recovery retry with stale work.
+    """
+    global _executor, _executor_size
+    with _executor_lock:
+        executor, _executor, _executor_size = _executor, None, 0
+    if executor is not None:
+        executor.shutdown(wait=wait, cancel_futures=True)
 
 
 def num_threads() -> int:

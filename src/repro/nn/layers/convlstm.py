@@ -6,7 +6,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.nn import ops
+from repro.nn import fusion, ops
 from repro.nn.layers.base import Module
 from repro.nn.layers.conv import Conv2D
 from repro.nn.tensor import Tensor
@@ -38,6 +38,9 @@ class ConvLSTM2DCell(Module):
         combined = ops.concat([x, h_prev], axis=1)
         gates = self.gates(combined)
         n = self.hidden_channels
+        fused = fusion.fused_lstm_step(gates, c_prev, n)
+        if fused is not None:
+            return fused
         i = ops.sigmoid(gates[:, 0 * n : 1 * n])
         f = ops.sigmoid(gates[:, 1 * n : 2 * n])
         g = ops.tanh(gates[:, 2 * n : 3 * n])

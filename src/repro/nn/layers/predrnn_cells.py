@@ -12,7 +12,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.nn import ops
+from repro.nn import fusion, ops
 from repro.nn.layers.base import Module
 from repro.nn.layers.conv import Conv2D
 from repro.nn.tensor import Tensor
@@ -20,6 +20,17 @@ from repro.nn.tensor import Tensor
 
 def _split(gates, n: int, count: int):
     return [gates[:, i * n : (i + 1) * n] for i in range(count)]
+
+
+def _memory_update(gates, prev, n):
+    """``sigmoid(f)*prev + sigmoid(i)*tanh(g)`` from stacked ``[g, i, f]``."""
+    fused = fusion.fused_memory_update(gates, prev, n, order=(0, 1, 2))
+    if fused is not None:
+        return fused
+    g, i, f = _split(gates, n, 3)
+    return ops.add(
+        ops.mul(ops.sigmoid(f), prev), ops.mul(ops.sigmoid(i), ops.tanh(g))
+    )
 
 
 class STLSTMCell(Module):
@@ -37,18 +48,10 @@ class STLSTMCell(Module):
     def forward(self, x, h_prev, c_prev, m_prev):
         n = self.hidden_channels
         temporal = self.conv_xh(ops.concat([x, h_prev], axis=1))
-        g, i, f = _split(temporal, n, 3)
-        g = ops.tanh(g)
-        i = ops.sigmoid(i)
-        f = ops.sigmoid(f)
-        c = ops.add(ops.mul(f, c_prev), ops.mul(i, g))
+        c = _memory_update(temporal, c_prev, n)
 
         spatial = self.conv_xm(ops.concat([x, m_prev], axis=1))
-        g2, i2, f2 = _split(spatial, n, 3)
-        g2 = ops.tanh(g2)
-        i2 = ops.sigmoid(i2)
-        f2 = ops.sigmoid(f2)
-        m = ops.add(ops.mul(f2, m_prev), ops.mul(i2, g2))
+        m = _memory_update(spatial, m_prev, n)
 
         o = ops.sigmoid(self.conv_o(ops.concat([x, c, m, h_prev], axis=1)))
         h = ops.mul(o, ops.tanh(self.conv_last(ops.concat([c, m], axis=1))))
@@ -75,15 +78,10 @@ class CausalLSTMCell(Module):
     def forward(self, x, h_prev, c_prev, m_prev):
         n = self.hidden_channels
         stage1 = self.conv_stage1(ops.concat([x, h_prev, c_prev], axis=1))
-        g, i, f = _split(stage1, n, 3)
-        c = ops.add(ops.mul(ops.sigmoid(f), c_prev), ops.mul(ops.sigmoid(i), ops.tanh(g)))
+        c = _memory_update(stage1, c_prev, n)
 
         stage2 = self.conv_stage2(ops.concat([x, c, m_prev], axis=1))
-        g2, i2, f2 = _split(stage2, n, 3)
-        m = ops.add(
-            ops.mul(ops.sigmoid(f2), ops.tanh(self.conv_m(m_prev))),
-            ops.mul(ops.sigmoid(i2), ops.tanh(g2)),
-        )
+        m = _memory_update(stage2, ops.tanh(self.conv_m(m_prev)), n)
 
         o = ops.tanh(self.conv_o(ops.concat([x, c, m, h_prev], axis=1)))
         h = ops.mul(o, ops.tanh(self.conv_last(ops.concat([c, m], axis=1))))
@@ -106,6 +104,9 @@ class GHU(Module):
     def forward(self, x, z_prev):
         n = self.channels
         combined = ops.add(self.conv_x(x), self.conv_z(z_prev))
+        fused = fusion.fused_highway(combined, z_prev, n)
+        if fused is not None:
+            return fused
         p = ops.tanh(combined[:, 0 * n : 1 * n])
         s = ops.sigmoid(combined[:, 1 * n : 2 * n])
         one_minus_s = ops.sub(1.0, s)

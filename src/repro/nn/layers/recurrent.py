@@ -6,7 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.nn import init, ops
+from repro.nn import fusion, init, ops
 from repro.nn.layers.base import Module, Parameter
 from repro.nn.tensor import Tensor
 
@@ -34,6 +34,9 @@ class LSTMCell(Module):
         h_prev, c_prev = state
         gates = ops.add(ops.add(ops.matmul(x, self.weight_x), ops.matmul(h_prev, self.weight_h)), self.bias)
         n = self.hidden_size
+        fused = fusion.fused_lstm_step(gates, c_prev, n)
+        if fused is not None:
+            return fused
         i = ops.sigmoid(gates[:, 0 * n : 1 * n])
         f = ops.sigmoid(gates[:, 1 * n : 2 * n])
         g = ops.tanh(gates[:, 2 * n : 3 * n])

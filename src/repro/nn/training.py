@@ -30,7 +30,7 @@ from repro.nn import config, engine, serialization
 from repro.nn.divergence import DivergenceError
 from repro.nn.layers.base import Module
 from repro.nn.losses import get_loss
-from repro.nn.optim import Adam, Optimizer, clip_grad_norm, make_optimizer
+from repro.nn.optim import Adam, GradScaler, Optimizer, clip_grad_norm, make_optimizer
 from repro.nn.tensor import Tensor
 from repro.obs import metrics as obs_metrics
 from repro.obs import runlog, tracing
@@ -133,6 +133,10 @@ class Trainer:
         # epoch end; repro.resilience rolls back to it after a divergence
         # without requiring a checkpoint file.
         self.last_checkpoint: Optional[serialization.TrainingCheckpoint] = None
+        # Mixed precision: dynamic loss scaling (see optim.GradScaler).
+        self.scaler: Optional[GradScaler] = (
+            GradScaler() if config.mixed_precision() else None
+        )
 
     def _run_info(self, epochs: int, train_count: int, val_count: int) -> Dict:
         return {
@@ -314,6 +318,8 @@ class Trainer:
     ) -> serialization.TrainingCheckpoint:
         """Snapshot this trainer's exact position as an in-memory checkpoint."""
         payload = {"seed": self.seed}
+        if self.scaler is not None:
+            payload["scaler"] = self.scaler.state_dict()
         if extra:
             payload.update(extra)
         return serialization.build_checkpoint(
@@ -362,6 +368,9 @@ class Trainer:
             checkpoint.restore_optimizer(self.optimizer)
         if checkpoint.rng_state is not None:
             seeding.set_state(self.rng, checkpoint.rng_state)
+        scaler_state = (checkpoint.extra or {}).get("scaler")
+        if self.scaler is not None and scaler_state:
+            self.scaler.load_state_dict(scaler_state)
         return checkpoint.epoch, checkpoint.best_val, checkpoint.stale, checkpoint.best_state
 
     def train_step(self, batch_x: np.ndarray, batch_y: np.ndarray) -> float:
@@ -370,27 +379,57 @@ class Trainer:
         With ``REPRO_NUM_THREADS > 1`` the mini-batch is sharded across the
         engine's worker pool (numpy/scipy release the GIL); at the default
         of 1 this is the plain serial loop, byte-for-byte.
+
+        Under mixed precision (``self.scaler`` set) the backward pass runs
+        on the scaled loss; an overflowed step is skipped (gradients
+        dropped, scale halved) and the *finite* unscaled batch loss is
+        returned, so a skipped step never trips the divergence sentinel.
         """
         workers = config.num_threads()
         if workers <= 1 or len(batch_x) < 2:
             self.optimizer.zero_grad()
             prediction = self.model(Tensor(batch_x))
             loss = self.loss_fn(prediction, Tensor(batch_y))
-            loss.backward()
-            faults.poison_gradients(self.optimizer.parameters)
-            if self.max_grad_norm is not None:
-                clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
-            self.optimizer.step()
-            return float(loss.data)
-        self.optimizer.zero_grad()
-        loss_value = self._sharded_loss_and_grads(
-            batch_x, batch_y, shards=workers, use_pool=True
-        )
+            if self.scaler is not None:
+                self.scaler.scale_loss(loss).backward()
+            else:
+                loss.backward()
+            loss_value = float(loss.data)
+        else:
+            self.optimizer.zero_grad()
+            loss_value = self._sharded_loss_and_grads(
+                batch_x, batch_y, shards=workers, use_pool=True
+            )
         faults.poison_gradients(self.optimizer.parameters)
+        if self._overflow_skipped():
+            return loss_value
         if self.max_grad_norm is not None:
             clip_grad_norm(self.optimizer.parameters, self.max_grad_norm)
         self.optimizer.step()
+        if self.scaler is not None:
+            self.scaler.update()
         return loss_value
+
+    def _overflow_skipped(self) -> bool:
+        """Mixed precision only: skip the step when gradients overflowed.
+
+        On overflow the gradients are dropped and the loss scale halved
+        (``GradScaler.backoff`` raises ``loss_scale_floor`` once the scale
+        cannot back off further). Otherwise gradients are unscaled in
+        place, ready for clipping and the optimizer step.
+        """
+        if self.scaler is None:
+            return False
+        if not self.scaler.found_overflow(self.optimizer.parameters):
+            self.scaler.unscale_(self.optimizer.parameters)
+            obs_metrics.gauge("amp_loss_scale").set(self.scaler.scale)
+            return False
+        self.optimizer.zero_grad()
+        self.scaler.backoff()
+        obs_metrics.counter("amp_overflow_steps_total").inc()
+        obs_metrics.gauge("amp_loss_scale").set(self.scaler.scale)
+        runlog.emit("amp_overflow", scale=self.scaler.scale)
+        return True
 
     @staticmethod
     def _shard_slices(count: int, shards: int) -> List[slice]:
@@ -434,12 +473,24 @@ class Trainer:
                 prediction = self.model(Tensor(batch_x[shard]))
                 loss = self.loss_fn(prediction, Tensor(batch_y[shard]))
                 sink: Dict = {}
-                loss.backward(sink=sink)
+                backprop_root = (
+                    self.scaler.scale_loss(loss) if self.scaler is not None else loss
+                )
+                backprop_root.backward(sink=sink)
                 return float(loss.data), sink
 
         if use_pool:
             executor = engine.get_executor(len(slices))
-            results = list(executor.map(run_shard, slices))
+            try:
+                results = list(executor.map(run_shard, slices))
+            except BaseException:
+                # A shard that raises (fault injection, divergence, OOM)
+                # leaves sibling shards still running against the same
+                # model; tear the pool down — cancelling queued shards and
+                # waiting out in-flight ones — so a rollback-and-retry
+                # never races a zombie worker from the failed step.
+                engine.reset_executor(wait=True)
+                raise
             obs_metrics.counter("train_sharded_steps_total").inc()
         else:
             results = [run_shard(shard) for shard in slices]

@@ -94,6 +94,18 @@ def summarize_run(events: List[Dict]) -> Dict:
     start = next((e for e in events if e.get("event") == "run_start"), None)
     end = next((e for e in events if e.get("event") == "run_end"), None)
     epochs = [event for event in events if event.get("event") == "epoch"]
+    # Engine plan-cache statistics (entries per cache, hit/miss traffic,
+    # arena bytes) are logged once at run close by the pipeline runner;
+    # surface the newest record minus the event envelope.
+    plan_cache = next(
+        (e for e in reversed(events) if e.get("event") == "plan_cache"), None
+    )
+    if plan_cache is not None:
+        plan_cache = {
+            key: value
+            for key, value in plan_cache.items()
+            if key not in ("event", "ts")
+        }
     return {
         "run_id": (start or {}).get("run_id"),
         "seed": (start or {}).get("seed"),
@@ -101,6 +113,7 @@ def summarize_run(events: List[Dict]) -> Dict:
         "status": (end or {}).get("status"),
         "duration_seconds": (end or {}).get("ts"),
         "events": event_counts(events),
+        "plan_cache": plan_cache,
         "epochs": [
             {
                 "epoch": event.get("epoch"),

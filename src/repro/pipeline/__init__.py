@@ -33,6 +33,7 @@ _LAZY = {
     "registry": ("repro.pipeline.registry", None),
     "spec": ("repro.pipeline.spec", None),
     "runner": ("repro.pipeline.runner", None),
+    "parallel": ("repro.pipeline.parallel", None),
     "checkpoint": ("repro.pipeline.checkpoint", None),
     "loading": ("repro.pipeline.loading", None),
     "load_forecaster": ("repro.pipeline.loading", "load_forecaster"),

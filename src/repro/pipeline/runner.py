@@ -165,6 +165,12 @@ def execute(
                 if report is not None and report.rollback_count:
                     close_info["rollbacks"] = report.rollback_count
                 logger.event("eval", split="test", **metrics)
+                # Publish the engine's plan-cache statistics as obs gauges
+                # and record them in the log, so ``obs.report --format
+                # json`` can digest cache effectiveness per run.
+                from repro.nn import engine as nn_engine
+
+                logger.event("plan_cache", **nn_engine.publish_plan_cache_stats())
                 logger.close(status="ok", **close_info)
                 logger = None
         finally:

@@ -1,0 +1,168 @@
+"""Mixed-precision engine mode: float32 compute, float64 masters, loss scaling.
+
+``config.set_engine_mode("mixed")`` keeps every forward/backward kernel in
+float32 (bit-identical compute to fast mode) while optimizers update
+float64 master copies of the weights and a :class:`GradScaler` applies
+power-of-two dynamic loss scaling. Power-of-two scaling is exact in IEEE
+arithmetic short of overflow, so step 1's unscaled gradients must equal the
+unscaled fast-mode gradients *bitwise* — that, plus curve-level agreement
+with fast training, overflow-skip semantics, the loss-scale floor, and
+checkpoint round-tripping of scaler + master state, is what this module
+pins down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BikeCAP, BikeCAPConfig
+from repro.nn import Trainer
+from repro.nn import config, engine
+from repro.nn.divergence import LOSS_SCALE_FLOOR, DivergenceError
+from repro.nn.optim import GradScaler
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    previous = config.engine_mode()
+    yield
+    config.set_engine_mode(previous)
+    engine.clear_caches()
+
+
+def _tiny_trainer(seed=0):
+    cfg = BikeCAPConfig(
+        grid=(6, 6),
+        history=4,
+        horizon=2,
+        features=2,
+        pyramid_size=2,
+        capsule_dim=2,
+        future_capsule_dim=2,
+        decoder_hidden=4,
+        seed=seed,
+    )
+    model = BikeCAP(cfg)
+    trainer = Trainer(model, loss="l1", batch_size=4, seed=seed)
+    rng = np.random.default_rng(seed)
+    dtype = config.dtype()
+    x = rng.random((8, 4, 6, 6, 2)).astype(dtype)
+    y = rng.random((8, 2, 6, 6)).astype(dtype)
+    return trainer, x, y
+
+
+class TestMixedMode:
+    def test_mode_wiring(self):
+        config.set_engine_mode("mixed")
+        assert config.dtype() == np.float32
+        assert config.mixed_precision()
+        trainer, _, _ = _tiny_trainer()
+        assert trainer.scaler is not None
+        for param, master in zip(
+            trainer.optimizer.parameters, trainer.optimizer._master
+        ):
+            assert param.data.dtype == np.float32
+            assert master.dtype == np.float64
+            assert np.array_equal(master.astype(np.float32), param.data)
+
+    def test_step_one_grads_bitwise_equal_fast(self):
+        """Power-of-two loss scaling must not change the unscaled gradients."""
+        grads = {}
+        for mode in ("fast", "mixed"):
+            config.set_engine_mode(mode)
+            engine.clear_caches()
+            trainer, x, y = _tiny_trainer(seed=3)
+            trainer.optimizer.zero_grad()
+            prediction = trainer.model(Tensor(x))
+            loss = trainer.loss_fn(prediction, Tensor(y))
+            if trainer.scaler is not None:
+                trainer.scaler.scale_loss(loss).backward()
+                trainer.scaler.unscale_(trainer.optimizer.parameters)
+            else:
+                loss.backward()
+            grads[mode] = [
+                None if p.grad is None else p.grad.copy()
+                for p in trainer.optimizer.parameters
+            ]
+        for fast_grad, mixed_grad in zip(grads["fast"], grads["mixed"]):
+            if fast_grad is None:
+                assert mixed_grad is None
+                continue
+            assert np.array_equal(fast_grad, mixed_grad)
+
+    def test_mixed_training_matches_fast_curve(self):
+        curves = {}
+        for mode in ("fast", "mixed"):
+            config.set_engine_mode(mode)
+            engine.clear_caches()
+            trainer, x, y = _tiny_trainer(seed=3)
+            history = trainer.fit(x, y, epochs=3)
+            curves[mode] = np.asarray(history.train_loss)
+        assert np.allclose(curves["mixed"], curves["fast"], rtol=2e-2, atol=1e-3)
+        assert int(np.argmin(curves["mixed"])) == int(np.argmin(curves["fast"]))
+
+
+class TestOverflowSkip:
+    def test_overflow_skips_step_and_halves_scale(self):
+        config.set_engine_mode("mixed")
+        engine.clear_caches()
+        trainer, x, y = _tiny_trainer(seed=1)
+        # Force gradient overflow on the next backward: past float32 max
+        # (2**128) the scale factor itself saturates to inf in the float32
+        # graph, so every scaled gradient goes non-finite.
+        trainer.scaler.scale = 2.0**140
+        before_scale = trainer.scaler.scale
+        params_before = [p.data.copy() for p in trainer.optimizer.parameters]
+        masters_before = [m.copy() for m in trainer.optimizer._master]
+        with np.errstate(over="ignore", invalid="ignore"):
+            loss = trainer.train_step(x, y)
+        # The *unscaled* batch loss is finite — a skipped step must never
+        # look like a divergence to the sentinel.
+        assert np.isfinite(loss)
+        assert trainer.scaler.scale == before_scale / 2.0
+        for param, before in zip(trainer.optimizer.parameters, params_before):
+            assert np.array_equal(param.data, before)
+        for master, before in zip(trainer.optimizer._master, masters_before):
+            assert np.array_equal(master, before)
+
+    def test_scale_floor_raises_typed_divergence(self):
+        scaler = GradScaler(init_scale=2.0, min_scale=1.0)
+        scaler.backoff()  # 2.0 -> 1.0
+        assert scaler.scale == 1.0
+        with pytest.raises(DivergenceError) as excinfo:
+            scaler.backoff()
+        assert excinfo.value.reason == LOSS_SCALE_FLOOR
+
+    def test_scale_growth_after_good_steps(self):
+        scaler = GradScaler(init_scale=4.0, growth_interval=2)
+        scaler.update()
+        assert scaler.scale == 4.0
+        scaler.update()
+        assert scaler.scale == 8.0
+
+
+class TestMixedCheckpointing:
+    def test_scaler_and_master_state_roundtrip(self, tmp_path):
+        config.set_engine_mode("mixed")
+        engine.clear_caches()
+        trainer, x, y = _tiny_trainer(seed=2)
+        trainer.train_step(x, y)
+        trainer.scaler.scale = 1024.0
+        path = str(tmp_path / "mixed.ckpt.npz")
+        trainer.fit(x, y, epochs=1, checkpoint_path=path)
+
+        engine.clear_caches()
+        restored, _, _ = _tiny_trainer(seed=9)
+        restored.fit(x, y, epochs=1, resume_from=path)
+        assert restored.scaler.scale == trainer.scaler.scale
+        state = trainer.optimizer.state_dict()
+        assert "master" in state["slots"]
+        for master_a, master_b in zip(
+            trainer.optimizer._master, restored.optimizer._master
+        ):
+            assert master_a.dtype == np.float64
+            assert np.array_equal(master_a, master_b)
+        for param_a, param_b in zip(
+            trainer.optimizer.parameters, restored.optimizer.parameters
+        ):
+            assert np.array_equal(param_a.data, param_b.data)

@@ -1,0 +1,105 @@
+"""Chaos test: a crash inside a sharded train step must not leak pool workers.
+
+``REPRO_NUM_THREADS > 1`` runs each mini-batch sharded across the engine's
+shared thread pool. When one shard raises (fault injection, divergence,
+OOM), the rollback-and-retry machinery in :mod:`repro.resilience` will call
+``train_step`` again — if the failed step's pool survived with zombie
+workers still chewing on stale shards, every retry would race them against
+the rolled-back model and each rebuild would leak a pool's worth of
+threads. ``Trainer`` tears the pool down (cancel + drain) on any exception
+escaping the sharded path; these tests hammer that contract.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.nn import Linear, Sequential, Trainer
+from repro.nn import config as nn_config
+from repro.nn import engine
+from repro.nn.layers.base import Module
+
+
+def _engine_threads():
+    """Live threads belonging to the engine's shard pool."""
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name.startswith("repro-engine")
+    ]
+
+
+class _Sabotage(Module):
+    """Identity layer that raises a simulated crash on demand."""
+
+    def __init__(self):
+        super().__init__()
+        self.crash = False
+
+    def forward(self, x):
+        if self.crash:
+            raise faults.SimulatedCrash("shard sabotage")
+        return x
+
+
+@pytest.fixture()
+def sharded_threads():
+    """Run with a 4-way shard pool; restore and drain it afterwards."""
+    previous = nn_config.num_threads()
+    nn_config.set_num_threads(4)
+    yield 4
+    nn_config.set_num_threads(previous)
+    engine.reset_executor(wait=True)
+
+
+def _make_trainer():
+    sabotage = _Sabotage()
+    model = Sequential(Linear(6, 8), sabotage, Linear(8, 2))
+    trainer = Trainer(model, loss="mse", lr=0.01, seed=0)
+    rng = np.random.default_rng(0)
+    x = rng.random((16, 6)).astype(nn_config.dtype())
+    y = rng.random((16, 2)).astype(nn_config.dtype())
+    return trainer, sabotage, x, y
+
+
+def test_crashing_shard_drains_pool_across_retries(sharded_threads):
+    """Repeated failing steps never accumulate engine worker threads."""
+    engine.reset_executor(wait=True)
+    assert _engine_threads() == []
+    trainer, sabotage, x, y = _make_trainer()
+
+    # A healthy sharded step brings the pool up.
+    loss = trainer.train_step(x, y)
+    assert np.isfinite(loss)
+    assert len(_engine_threads()) <= sharded_threads
+
+    sabotage.crash = True
+    for _ in range(5):  # rollback-and-retry shape: fail, retry, fail, ...
+        with pytest.raises(faults.SimulatedCrash):
+            trainer.train_step(x, y)
+        # The teardown must be synchronous: by the time the exception
+        # reaches the caller, no worker from the failed step survives.
+        assert _engine_threads() == []
+
+    # Recovery after the fault clears: a fresh pool, bounded at one
+    # generation of workers, and a finite step.
+    sabotage.crash = False
+    loss = trainer.train_step(x, y)
+    assert np.isfinite(loss)
+    assert len(_engine_threads()) <= sharded_threads
+
+
+def test_crash_then_serial_step_is_unaffected(sharded_threads):
+    """After a torn-down pool, dropping to serial sharding still works."""
+    trainer, sabotage, x, y = _make_trainer()
+    sabotage.crash = True
+    with pytest.raises(faults.SimulatedCrash):
+        trainer.train_step(x, y)
+    assert _engine_threads() == []
+    sabotage.crash = False
+    nn_config.set_num_threads(1)
+    loss = trainer.train_step(x, y)
+    assert np.isfinite(loss)
+    assert _engine_threads() == []

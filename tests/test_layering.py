@@ -203,6 +203,37 @@ class TestRulesFire:
         )
         assert checker.check(root) == []
 
+    def test_fusion_importing_layers_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"nn/fusion.py": "from repro.nn.layers.convlstm import ConvLSTM2DCell\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "pure executor" in violations[0]
+
+    def test_fusion_importing_other_substrate_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"nn/fusion.py": "from repro.obs import metrics\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.obs.metrics" in violations[0]
+
+    def test_fusion_allowed_surfaces_pass(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "nn/fusion.py": (
+                    "from repro.nn import engine\n"
+                    "from repro.nn import ops\n"
+                    "from repro.nn.tensor import Tensor, make_op\n"
+                ),
+            },
+        )
+        assert checker.check(root) == []
+
     def test_clean_tree_passes(self, tmp_path):
         root = _tree(
             tmp_path,
