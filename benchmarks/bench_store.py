@@ -1,0 +1,158 @@
+"""Chunked window-store benchmarks: build, epoch stream, memory footprint.
+
+Times the two dataflow paths over the same ``(T, G1, G2, F)`` tensor:
+
+- ``eager`` — the historical pipeline: normalize the whole tensor,
+  materialize every window (``make_windows``), shuffle in-memory slices.
+- ``chunked`` — the unified store: slots land in fixed-size chunks, the
+  scaler streams ``partial_fit``, and every epoch batch materializes
+  lazily from the chunk buffer (``O(batch)`` windows live at once).
+
+Both paths produce bit-identical batches (pinned in tests/store); the
+bench quantifies what the laziness costs in time and buys in memory.
+Writes ``results/BENCH_store.json`` (``REPRO_BENCH_DIR`` overrides the
+directory); ``bench_store_*_mean_seconds`` gauges are regression-gated by
+``scripts/bench_compare.py``, the ``*_peak_bytes`` gauges are
+informational.
+"""
+
+import os
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.data.normalization import MinMaxScaler
+from repro.data.windows import make_windows
+from repro.nn.training import iterate_minibatches
+from repro.obs import metrics as obs_metrics
+from repro.obs.artifacts import atomic_write_json
+from repro.store import WindowStore
+
+HISTORY, HORIZON, BATCH = 8, 4, 32
+CASES = {
+    "small": dict(slots=256, grid=(6, 6), features=3),
+    "large": dict(slots=1024, grid=(10, 10), features=4),
+}
+
+
+def _tensor(case):
+    spec = CASES[case]
+    rng = np.random.default_rng(7)
+    return rng.random((spec["slots"], *spec["grid"], spec["features"])) * 20.0
+
+
+def _build_eager(tensor):
+    scaler = MinMaxScaler().fit(tensor)
+    normalized = np.clip(scaler.transform(tensor), 0.0, None)
+    return make_windows(normalized, HISTORY, HORIZON)
+
+
+def _build_chunked(tensor):
+    return WindowStore.from_tensor(tensor, HISTORY, HORIZON, chunk_slots=64)
+
+
+def _epoch_eager(x, y):
+    consumed = 0
+    for bx, _by in iterate_minibatches(x, y, BATCH, rng=np.random.default_rng(3)):
+        consumed += len(bx)
+    return consumed
+
+
+def _epoch_chunked(store):
+    view = store.view()
+    consumed = 0
+    for bx, _by in view.batches(BATCH, rng=np.random.default_rng(3)):
+        consumed += len(bx)
+    return consumed
+
+
+def _record(benchmark, name: str, case: str, path: str) -> None:
+    stats = getattr(benchmark, "stats", None)
+    stats = getattr(stats, "stats", None)
+    if stats is None:  # --benchmark-disable runs have no stats
+        return
+    obs_metrics.gauge(f"bench_store_{name}_mean_seconds", case=case, path=path).set(
+        stats.mean
+    )
+    obs_metrics.gauge(f"bench_store_{name}_min_seconds", case=case, path=path).set(
+        stats.min
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_snapshot():
+    """Persist BENCH_store.json on module exit."""
+    yield
+    snapshot = obs_metrics.snapshot()
+    gauges = {
+        key: value
+        for key, value in snapshot["gauges"].items()
+        if key.startswith("bench_store_")
+    }
+    if not gauges:
+        return
+    payload = {"gauges": gauges, "config": {"history": HISTORY, "horizon": HORIZON, "batch": BATCH, "cases": CASES}}
+    directory = os.environ.get("REPRO_BENCH_DIR", "results")
+    os.makedirs(directory, exist_ok=True)
+    atomic_write_json(os.path.join(directory, "BENCH_store.json"), payload, sort_keys=True)
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_build_eager(benchmark, case):
+    tensor = _tensor(case)
+    x, y = benchmark(_build_eager, tensor)
+    assert len(x) == len(y)
+    _record(benchmark, "build", case, "eager")
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_build_chunked(benchmark, case):
+    tensor = _tensor(case)
+    store = benchmark(_build_chunked, tensor)
+    assert store.num_windows > 0
+    _record(benchmark, "build", case, "chunked")
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_epoch_eager(benchmark, case):
+    x, y = _build_eager(_tensor(case))
+    consumed = benchmark(_epoch_eager, x, y)
+    assert consumed == len(x)
+    _record(benchmark, "epoch", case, "eager")
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_epoch_chunked(benchmark, case):
+    store = _build_chunked(_tensor(case))
+    consumed = benchmark(_epoch_chunked, store)
+    assert consumed == store.num_windows
+    _record(benchmark, "epoch", case, "chunked")
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_epoch_memory_peaks(case):
+    """Not timed: tracemalloc peaks of one epoch, eager vs chunked."""
+    tensor = _tensor(case)
+
+    tracemalloc.start()
+    x, y = _build_eager(tensor)
+    _epoch_eager(x, y)
+    _, eager_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    del x, y
+
+    store = _build_chunked(tensor)
+    tracemalloc.start()
+    _epoch_chunked(store)
+    _, chunked_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    obs_metrics.gauge("bench_store_epoch_peak_bytes", case=case, path="eager").set(
+        float(eager_peak)
+    )
+    obs_metrics.gauge("bench_store_epoch_peak_bytes", case=case, path="chunked").set(
+        float(chunked_peak)
+    )
+    # The chunked epoch must not approach the eager materialized footprint.
+    assert chunked_peak < eager_peak

@@ -3,7 +3,7 @@
 
 The stack (see docs/ARCHITECTURE.md) is, bottom to top::
 
-    faults / obs / pipeline-leaves
+    faults / obs / pipeline-leaves / store
         →  nn / city / graph / boosting / data / metrics
         →  resilience
         →  core / baselines  →  pipeline
@@ -47,6 +47,14 @@ Rules enforced (each import must point *down* the stack):
     ``repro.nn.tensor``. Fused kernels replay op chains the models build;
     if fusion ever imported a layer or a model, the "bit-equivalent
     replacement for an existing subgraph" contract would become circular.
+11. ``repro.store`` is the self-contained window/feature-store leaf
+    package: its modules may import only the stdlib, numpy and each other
+    — any layer may build on the store, the store builds on nothing. And
+    window slicing *routes through it*: the stride-trick primitives
+    (``sliding_window_view`` / ``as_strided``) are banned outside
+    ``repro/store/`` (except ``repro.nn.ops``, whose conv kernels lower to
+    im2col with the same helpers), and ``repro.data.windows`` (the eager
+    compat shim) must import the store rather than re-deriving window math.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -71,6 +79,13 @@ MODEL_LAYERS = {"core", "baselines"}
 # Rule 10: the fused-kernel executor may touch only the op/engine/tensor
 # surfaces of its own package.
 NN_FUSION_ALLOWED = {"repro.nn.ops", "repro.nn.engine", "repro.nn.tensor"}
+# Rule 11: the window/feature store is a leaf package (stdlib + numpy only)
+# and owns the stride-trick *time-window* primitives. repro.nn.ops is the
+# one exemption: conv kernels lower to im2col via the same numpy helpers,
+# which is patch extraction inside a kernel, not supervised window slicing.
+STORE_EXTERNAL_ALLOWED = {"numpy", "__future__"}
+STRIDE_TRICK_NAMES = {"sliding_window_view", "as_strided"}
+STRIDE_TRICK_EXEMPT_PREFIX = "repro.nn.ops"
 
 
 def _module_name(path: str, base: str) -> str:
@@ -113,6 +128,44 @@ def _imported_modules(path: str):
     return imported
 
 
+def _external_imports(path: str):
+    """Top-level names of all non-``repro`` modules a file imports."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    imported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root != "repro":
+                    imported.add(root)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            root = node.module.split(".")[0]
+            if root != "repro":
+                imported.add(root)
+    return imported
+
+
+def _stride_trick_uses(path: str):
+    """Stride-trick identifiers (rule 11) referenced anywhere in a file."""
+    with open(path) as handle:
+        tree = ast.parse(handle.read(), filename=path)
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and node.id in STRIDE_TRICK_NAMES:
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute) and node.attr in STRIDE_TRICK_NAMES:
+            used.add(node.attr)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                name = alias.name.split(".")[-1]
+                if name in STRIDE_TRICK_NAMES:
+                    used.add(name)
+    return used
+
+
 def _subpackage(module: str) -> str:
     parts = module.split(".")
     return parts[1] if len(parts) > 1 else ""
@@ -142,6 +195,22 @@ def check(source_root: str = SOURCE_ROOT):
             imported = _imported_modules(path)
             location = os.path.relpath(path, base)
 
+            if layer == "store":
+                # Rule 11a: the store is a leaf — stdlib + numpy only.
+                for external in sorted(_external_imports(path) - STORE_EXTERNAL_ALLOWED):
+                    if external not in sys.stdlib_module_names:
+                        violations.append(
+                            f"{location}: imports {external} "
+                            "(repro.store allows only the stdlib and numpy)"
+                        )
+            elif not module.startswith(STRIDE_TRICK_EXEMPT_PREFIX):
+                # Rule 11b: stride-trick window primitives live in the store.
+                for name in sorted(_stride_trick_uses(path)):
+                    violations.append(
+                        f"{location}: uses {name} "
+                        "(window stride tricks live only in repro.store)"
+                    )
+
             def forbid(condition, target, rule):
                 if condition:
                     violations.append(f"{location}: imports {target} ({rule})")
@@ -166,6 +235,13 @@ def check(source_root: str = SOURCE_ROOT):
                         target,
                         "nn.fusion is a pure executor: it may import only "
                         "nn.ops/nn.engine/nn.tensor",
+                    )
+                elif layer == "store":
+                    forbid(
+                        target_layer != "store",
+                        target,
+                        "repro.store is a self-contained leaf: it imports "
+                        "only stdlib/numpy and its own modules",
                     )
                 elif layer in SUBSTRATE:
                     forbid(
@@ -233,6 +309,19 @@ def check(source_root: str = SOURCE_ROOT):
                         "serve exposes live state via obs.serve_metrics, "
                         "not the offline report renderer",
                     )
+    # Rule 11c (positive): the eager compat shim routes through the store
+    # instead of re-deriving window math.
+    windows_shim = os.path.join(source_root, "data", "windows.py")
+    if os.path.exists(windows_shim):
+        shim_imports = _imported_modules(windows_shim)
+        if not any(
+            target == "repro.store" or target.startswith("repro.store.")
+            for target in shim_imports
+        ):
+            violations.append(
+                "repro/data/windows.py: does not import repro.store "
+                "(window slicing must route through the store)"
+            )
     return violations
 
 

@@ -113,11 +113,31 @@ class SupervisedForecaster(Forecaster):
             model, loss=loss, optimizer=optimizer, lr=lr, batch_size=batch_size, seed=seed
         )
 
+    #: Direct models whose ``training_arrays`` are exactly the dataset's
+    #: supervised split pairs can stream them from the window store instead
+    #: (bit-identical batches; O(batch) window memory). Recursive/frame
+    #: models derive shifted targets and keep the eager path.
+    streams_supervised_pairs: bool = False
+
     @abc.abstractmethod
     def training_arrays(
         self, dataset: BikeDemandDataset
     ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray], Optional[np.ndarray]]:
         """``(train_x, train_y, val_x, val_y)`` arrays for ``Trainer.fit``."""
+
+    def training_source(self, dataset: BikeDemandDataset):
+        """Store batch source for streamed epochs, or None for eager arrays.
+
+        Streaming engages when the model trains on the plain supervised
+        pairs (``streams_supervised_pairs``) *and* the dataset is
+        store-backed and marked ``streaming`` — the trainer then pulls
+        shuffled batches straight from the chunked store.
+        """
+        if not self.streams_supervised_pairs:
+            return None
+        if not getattr(dataset, "streaming", False) or getattr(dataset, "store", None) is None:
+            return None
+        return dataset.train_source()
 
     def fit(
         self,
@@ -128,7 +148,12 @@ class SupervisedForecaster(Forecaster):
         resume_from: Optional[object] = None,
         observers: Optional[Sequence] = None,
     ) -> Dict:
-        train_x, train_y, val_x, val_y = self.training_arrays(dataset)
+        source = self.training_source(dataset)
+        if source is not None:
+            train_x, train_y = source, None
+            val_x, val_y = dataset.val_view(), None
+        else:
+            train_x, train_y, val_x, val_y = self.training_arrays(dataset)
         history = self.trainer.fit(
             train_x,
             train_y,

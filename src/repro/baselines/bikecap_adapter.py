@@ -20,6 +20,8 @@ from repro.data.datasets import BikeDemandDataset
 class BikeCAPForecaster(SupervisedForecaster):
     """Trainable wrapper around a BikeCAP variant."""
 
+    streams_supervised_pairs = True
+
     def __init__(
         self,
         history: int,

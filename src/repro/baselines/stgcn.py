@@ -121,6 +121,7 @@ class STGCNForecaster(SupervisedForecaster):
     """Direct multi-step STGCN."""
 
     name = "STGCN"
+    streams_supervised_pairs = True
 
     def __init__(
         self,

@@ -120,6 +120,7 @@ class STSGCNForecaster(SupervisedForecaster):
     """Direct multi-step STSGCN."""
 
     name = "STSGCN"
+    streams_supervised_pairs = True
 
     def __init__(
         self,

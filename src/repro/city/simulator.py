@@ -127,20 +127,43 @@ class CitySimulator:
         self.peaks = CommutePeaks()
 
     # ------------------------------------------------------------------
-    def generate(self) -> SyntheticCity:
-        """Run the full simulation."""
+    def iter_day_records(self):
+        """Yield ``(subway_batch, bike_batch)`` one simulated day at a time.
+
+        This is the streaming spine of the simulator: day ``d`` records all
+        carry times ≥ ``d * SECONDS_PER_DAY`` (trips may spill *forward*
+        into later days, never backward), so a consumer can finalize every
+        time slot strictly before a day's start as soon as that day is
+        emitted — the invariant the chunked demand stream
+        (:func:`repro.data.streaming.iter_demand_chunks`) relies on to
+        aggregate a month of a large grid without materializing all trips.
+        The RNG call sequence is identical to the historical monolithic
+        loop, so :meth:`generate` output is bit-for-bit unchanged.
+        """
         commuters = self._sample_commuters()
-        subway_parts: List[SubwayRecordBatch] = []
-        bike_parts: List[BikeRecordBatch] = []
         for day in range(self.config.days):
             weekend = is_weekend(day)
             active = self._active_mask(commuters, weekend)
+            subway_parts: List[SubwayRecordBatch] = []
+            bike_parts: List[BikeRecordBatch] = []
             for morning in (True, False):
                 subway_batch, bike_batch = self._commute_wave(commuters, active, day, morning)
                 subway_parts.append(subway_batch)
                 bike_parts.append(bike_batch)
             subway_parts.append(self._background_subway(day, weekend))
             bike_parts.append(self._background_bike(day, weekend))
+            yield (
+                SubwayRecordBatch.concatenate(subway_parts),
+                BikeRecordBatch.concatenate(bike_parts),
+            )
+
+    def generate(self) -> SyntheticCity:
+        """Run the full simulation."""
+        subway_parts: List[SubwayRecordBatch] = []
+        bike_parts: List[BikeRecordBatch] = []
+        for subway_batch, bike_batch in self.iter_day_records():
+            subway_parts.append(subway_batch)
+            bike_parts.append(bike_batch)
 
         subway_records = SubwayRecordBatch.concatenate(subway_parts).sorted_by_time()
         bike_records = BikeRecordBatch.concatenate(bike_parts).sorted_by_time()

@@ -30,6 +30,7 @@ from repro.data.io import (
 )
 from repro.data.normalization import MinMaxScaler
 from repro.data.splits import Split, chronological_split
+from repro.data.streaming import iter_demand_chunks, streaming_dataset_from_city
 from repro.data.windows import flatten_windows, make_windows
 
 __all__ = [
@@ -51,8 +52,10 @@ __all__ = [
     "dataset_from_city",
     "dataset_from_tensor",
     "flatten_windows",
+    "iter_demand_chunks",
     "load_demand_tensor",
     "make_windows",
+    "streaming_dataset_from_city",
     "num_slots",
     "read_bike_csv",
     "read_subway_csv",

@@ -1,12 +1,17 @@
 """Dataset assembly: simulator output → ready-to-train splits.
 
-``BikeDemandDataset`` bundles normalized windows, the fitted scaler (for
-denormalized evaluation, as the paper does), and grid metadata.
+``BikeDemandDataset`` bundles the fitted scaler (for denormalized
+evaluation, as the paper does), grid metadata and — since the unified
+dataflow refactor — a chunked :class:`repro.store.WindowStore`. The
+``split`` arrays are a *lazy* facade: store-backed datasets materialize
+them on first touch, bit-identical to the historical eager pipeline
+(normalize whole tensor → ``make_windows`` → ``chronological_split``),
+while streaming consumers iterate the store views directly and never hold
+every window at once.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
@@ -16,21 +21,86 @@ from repro.data.aggregation import BIKE_PICKUP, FEATURE_NAMES, aggregate_city
 from repro.data.normalization import MinMaxScaler
 from repro.data.splits import Split, chronological_split
 from repro.data.windows import make_windows
+from repro.store import DEFAULT_CHUNK_SLOTS, WindowStore, WindowView
 
 
-@dataclass
 class BikeDemandDataset:
-    """Supervised multi-step forecasting dataset."""
+    """Supervised multi-step forecasting dataset.
 
-    split: Split
-    scaler: MinMaxScaler
-    grid_shape: Tuple[int, int]
-    history: int
-    horizon: int
-    target_feature: int = BIKE_PICKUP
+    Construct either eagerly (``split=``, the historical shape) or lazily
+    (``store=``); with a store, ``.split`` materializes on first access and
+    the ``*_view()`` accessors expose the underlying lazy window ranges.
+    ``streaming=True`` marks the dataset as preferring chunk-by-chunk
+    iteration — forecasters that support it stream epochs from the store.
+    """
+
+    def __init__(
+        self,
+        split: Optional[Split] = None,
+        scaler: Optional[MinMaxScaler] = None,
+        grid_shape: Optional[Tuple[int, int]] = None,
+        history: Optional[int] = None,
+        horizon: Optional[int] = None,
+        target_feature: int = BIKE_PICKUP,
+        store: Optional[WindowStore] = None,
+        ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+        streaming: bool = False,
+    ):
+        if split is None and store is None:
+            raise ValueError("BikeDemandDataset needs a split or a store")
+        self._split = split
+        self._views: Optional[Tuple[WindowView, WindowView, WindowView]] = None
+        self.store = store
+        self.scaler = scaler if scaler is not None else (store.scaler if store else None)
+        self.grid_shape = grid_shape if grid_shape is not None else store.grid_shape
+        self.history = history if history is not None else store.history
+        self.horizon = horizon if horizon is not None else store.horizon
+        self.target_feature = target_feature
+        self.ratios = ratios
+        self.streaming = streaming
+
+    @property
+    def split(self) -> Split:
+        """The train/val/test arrays; materialized from the store lazily."""
+        if self._split is None:
+            train, val, test = self._split_views()
+            train_x, train_y = train.arrays()
+            val_x, val_y = val.arrays()
+            test_x, test_y = test.arrays()
+            self._split = Split(
+                train_x=train_x,
+                train_y=train_y,
+                val_x=val_x,
+                val_y=val_y,
+                test_x=test_x,
+                test_y=test_y,
+            )
+        return self._split
+
+    def _split_views(self) -> Tuple[WindowView, WindowView, WindowView]:
+        if self.store is None:
+            raise RuntimeError("eager dataset has no store views; use .split")
+        if self._views is None:
+            self._views = self.store.split_views(self.ratios)
+        return self._views
+
+    def train_view(self) -> WindowView:
+        return self._split_views()[0]
+
+    def val_view(self) -> WindowView:
+        return self._split_views()[1]
+
+    def test_view(self) -> WindowView:
+        return self._split_views()[2]
+
+    def train_source(self) -> WindowView:
+        """Batch source for streamed training (trainer batch protocol)."""
+        return self.train_view()
 
     @property
     def num_features(self) -> int:
+        if self.store is not None:
+            return self.store.num_features
         return self.split.train_x.shape[-1]
 
     def denormalize_target(self, values: np.ndarray) -> np.ndarray:
@@ -45,6 +115,8 @@ def dataset_from_tensor(
     target_feature: int = BIKE_PICKUP,
     ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2),
     normalization_quantile: Optional[float] = None,
+    chunk_slots: Optional[int] = DEFAULT_CHUNK_SLOTS,
+    streaming: bool = False,
 ) -> BikeDemandDataset:
     """Normalize an aggregated ``(T, G1, G2, F)`` tensor and window it.
 
@@ -52,20 +124,44 @@ def dataset_from_tensor(
     to avoid test-set leakage through the normalization constants.
     ``normalization_quantile`` switches to robust min-max (see
     :class:`MinMaxScaler`).
+
+    The tensor lands in a chunked :class:`~repro.store.WindowStore`
+    (``chunk_slots`` time slots per chunk) and windows materialize lazily —
+    bit-identical to the historical eager path, which ``chunk_slots=None``
+    still selects for reference/pinning purposes.
     """
     tensor = np.asarray(tensor, dtype=float)
     train_slots = int(tensor.shape[0] * ratios[0])
-    scaler = MinMaxScaler(quantile=normalization_quantile).fit(tensor[: max(train_slots, 1)])
-    normalized = np.clip(scaler.transform(tensor), 0.0, None)
-    x, y = make_windows(normalized, history, horizon, target_feature=target_feature)
-    split = chronological_split(x, y, ratios)
-    return BikeDemandDataset(
-        split=split,
-        scaler=scaler,
-        grid_shape=(tensor.shape[1], tensor.shape[2]),
-        history=history,
-        horizon=horizon,
+    if chunk_slots is None:
+        scaler = MinMaxScaler(quantile=normalization_quantile).fit(
+            tensor[: max(train_slots, 1)]
+        )
+        normalized = np.clip(scaler.transform(tensor), 0.0, None)
+        x, y = make_windows(normalized, history, horizon, target_feature=target_feature)
+        split = chronological_split(x, y, ratios)
+        return BikeDemandDataset(
+            split=split,
+            scaler=scaler,
+            grid_shape=(tensor.shape[1], tensor.shape[2]),
+            history=history,
+            horizon=horizon,
+            target_feature=target_feature,
+            ratios=ratios,
+        )
+    store = WindowStore.from_tensor(
+        tensor,
+        history,
+        horizon,
         target_feature=target_feature,
+        chunk_slots=chunk_slots,
+        scaler=MinMaxScaler(quantile=normalization_quantile),
+        fit_slots=max(train_slots, 1),
+    )
+    return BikeDemandDataset(
+        store=store,
+        target_feature=target_feature,
+        ratios=ratios,
+        streaming=streaming,
     )
 
 

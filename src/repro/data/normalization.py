@@ -1,107 +1,13 @@
-"""Min-max normalization (paper Sec. IV-D).
+"""Min-max normalization (paper Sec. IV-D) — compatibility re-export.
 
-The paper maps all features to [0, 1] with min-max normalization and
-denormalizes predictions before computing MAE/RMSE. The scaler here is
-per-feature (last axis) and explicitly invertible.
+The scaler implementation moved to :mod:`repro.store.normalization` (the
+chunked-dataflow leaf) so offline dataset builds and online serve
+ingestion share one set of incremental statistics. This module keeps the
+historical import path alive; the class is the same object.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from repro.store.normalization import MinMaxScaler
 
-import numpy as np
-
-
-class MinMaxScaler:
-    """Per-feature min-max scaler over the trailing axis.
-
-    ``quantile`` (optional) makes the scaler *robust*: the per-feature
-    "max" is that quantile of the data instead of the absolute maximum, so
-    a single extreme cell does not crush every other value toward zero.
-    The transform stays affine and exactly invertible — values above the
-    quantile simply map above 1. Demand data with one dominant hub is
-    exactly the case this exists for.
-    """
-
-    def __init__(self, quantile: Optional[float] = None):
-        if quantile is not None and not 0.5 < quantile <= 1.0:
-            raise ValueError(f"quantile must be in (0.5, 1], got {quantile}")
-        self.quantile = quantile
-        self.minimum: Optional[np.ndarray] = None
-        self.maximum: Optional[np.ndarray] = None
-
-    @property
-    def fitted(self) -> bool:
-        return self.minimum is not None
-
-    def fit(self, tensor: np.ndarray) -> "MinMaxScaler":
-        """Learn per-feature min/max from ``(..., F)`` data."""
-        tensor = np.asarray(tensor)
-        axes = tuple(range(tensor.ndim - 1))
-        self.minimum = tensor.min(axis=axes)
-        if self.quantile is None:
-            self.maximum = tensor.max(axis=axes)
-        else:
-            flat = tensor.reshape(-1, tensor.shape[-1])
-            self.maximum = np.quantile(flat, self.quantile, axis=0)
-            # Guard degenerate features whose quantile equals the minimum.
-            collapsed = self.maximum <= self.minimum
-            if np.any(collapsed):
-                true_max = flat.max(axis=0)
-                self.maximum = np.where(collapsed, true_max, self.maximum)
-        return self
-
-    def transform(self, tensor: np.ndarray) -> np.ndarray:
-        self._check_fitted()
-        span = self._span()
-        return (np.asarray(tensor) - self.minimum) / span
-
-    def fit_transform(self, tensor: np.ndarray) -> np.ndarray:
-        return self.fit(tensor).transform(tensor)
-
-    def inverse_transform(self, tensor: np.ndarray, feature: Optional[int] = None) -> np.ndarray:
-        """Undo scaling; ``feature`` selects one channel's parameters when the
-        data carries a single feature (e.g. predicted bike pick-ups)."""
-        self._check_fitted()
-        if feature is None:
-            return np.asarray(tensor) * self._span() + self.minimum
-        span = self._span()[feature]
-        return np.asarray(tensor) * span + self.minimum[feature]
-
-    def _span(self) -> np.ndarray:
-        span = self.maximum - self.minimum
-        # Constant features map to 0 rather than dividing by zero.
-        return np.where(span == 0, 1.0, span)
-
-    def _check_fitted(self) -> None:
-        if not self.fitted:
-            raise RuntimeError("scaler must be fitted before use")
-
-    def state(self) -> dict:
-        """Everything needed to rebuild this fitted scaler elsewhere.
-
-        ``quantile`` rides along so a restored robust scaler stays robust if
-        it is ever refitted (a restored scaler that silently became a plain
-        max scaler would renormalize served data differently than training).
-        """
-        self._check_fitted()
-        return {
-            "minimum": self.minimum.copy(),
-            "maximum": self.maximum.copy(),
-            "quantile": self.quantile,
-        }
-
-    @classmethod
-    def from_state(cls, state: dict) -> "MinMaxScaler":
-        missing = sorted({"minimum", "maximum"} - set(state))
-        if missing:
-            raise ValueError(
-                f"MinMaxScaler.from_state: state dict is missing {missing}; "
-                "expected a dict produced by MinMaxScaler.state()"
-            )
-        # Older state dicts predate the "quantile" key; absent means plain
-        # min-max, which is what they were.
-        scaler = cls(quantile=state.get("quantile"))
-        scaler.minimum = np.asarray(state["minimum"])
-        scaler.maximum = np.asarray(state["maximum"])
-        return scaler
+__all__ = ["MinMaxScaler"]

@@ -7,6 +7,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.store.windows import split_bounds
+
 
 @dataclass(frozen=True)
 class Split:
@@ -32,23 +34,13 @@ def chronological_split(
     """Split windows chronologically by the given ratios.
 
     Chronological (not shuffled) splitting avoids leakage between
-    overlapping windows of adjacent time slots.
+    overlapping windows of adjacent time slots. The boundary arithmetic
+    lives in :func:`repro.store.windows.split_bounds` so the store's lazy
+    split views partition identically.
     """
     if len(x) != len(y):
         raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
-    if abs(sum(ratios) - 1.0) > 1e-9:
-        raise ValueError(f"ratios must sum to 1, got {ratios}")
-    if any(r < 0 for r in ratios):
-        raise ValueError(f"ratios must be non-negative, got {ratios}")
-    count = len(x)
-    train_end = int(np.floor(count * ratios[0]))
-    val_end = train_end + int(np.floor(count * ratios[1]))
-    if train_end == 0 or val_end == train_end or val_end == count:
-        if count < 3:
-            raise ValueError(f"need at least 3 windows to split, got {count}")
-        # Degenerate rounding on tiny datasets: guarantee non-empty parts.
-        train_end = max(1, train_end)
-        val_end = max(train_end + 1, min(val_end, count - 1))
+    train_end, val_end = split_bounds(len(x), ratios)
     return Split(
         train_x=x[:train_end],
         train_y=y[:train_end],

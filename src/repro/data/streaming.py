@@ -1,0 +1,158 @@
+"""Chunked demand aggregation: simulator days → store slots, incrementally.
+
+``aggregate_city`` materializes every trip record and the full
+``(T, G1, G2, 4)`` tensor at once. This module streams instead: the
+simulator emits one day of records at a time
+(:meth:`~repro.city.simulator.CitySimulator.iter_day_records`), each day
+is accumulated into a small *carry* buffer, and time slots are emitted in
+``chunk_slots``-sized pieces as soon as they can no longer change — a
+month of a 10× grid never fully materializes.
+
+Finalization leans on the simulator's time invariant: day ``d`` records
+all have times ≥ ``d * SECONDS_PER_DAY`` (trips spill forward only), so
+once day ``d`` has been accumulated, every slot before day ``d + 1``'s
+start is final. Counting is exact (+1.0 increments into float64 zeros),
+so the concatenated chunks are bit-identical to the eager
+``aggregate_city`` tensor — pinned by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.city.profiles import SECONDS_PER_DAY
+from repro.city.records import BikeRecordBatch, SubwayRecordBatch
+from repro.city.simulator import CityConfig, CitySimulator
+from repro.data.aggregation import (
+    BIKE_PICKUP,
+    DEFAULT_SLOT_SECONDS,
+    FEATURE_NAMES,
+    aggregate_bike,
+    aggregate_subway,
+    num_slots,
+)
+from repro.data.datasets import BikeDemandDataset
+from repro.store import DEFAULT_CHUNK_SLOTS, MinMaxScaler, WindowStore
+
+
+def _shift_subway(batch: SubwayRecordBatch, seconds: float) -> SubwayRecordBatch:
+    return SubwayRecordBatch(
+        batch.times - seconds,
+        batch.station_ids,
+        batch.lines,
+        batch.boarding,
+        batch.user_ids,
+    )
+
+
+def _shift_bike(batch: BikeRecordBatch, seconds: float) -> BikeRecordBatch:
+    return BikeRecordBatch(
+        batch.times - seconds,
+        batch.latitudes,
+        batch.longitudes,
+        batch.pickup,
+        batch.user_ids,
+        batch.bike_ids,
+    )
+
+
+def iter_demand_chunks(
+    config: Optional[CityConfig] = None,
+    slot_seconds: int = DEFAULT_SLOT_SECONDS,
+    chunk_slots: int = DEFAULT_CHUNK_SLOTS,
+) -> Iterator[np.ndarray]:
+    """Simulate a city and yield its demand tensor in finalized slot chunks.
+
+    Concatenating every yielded chunk reproduces
+    ``aggregate_city(simulate_city(config))`` bit-for-bit; peak memory is
+    the carry buffer (one day plus trip spill-over) instead of the full
+    ``(T, G1, G2, 4)`` tensor.
+    """
+    simulator = CitySimulator(config)
+    config = simulator.config
+    grid = simulator.grid
+    total_slots = num_slots(config.days * SECONDS_PER_DAY, slot_seconds)
+    features = len(FEATURE_NAMES)
+
+    emitted = 0  # slots already yielded; carry[0] is slot `emitted`
+    carry = np.zeros((0, grid.rows, grid.cols, features))
+
+    def grow(slots_needed: int) -> np.ndarray:
+        nonlocal carry
+        if slots_needed > len(carry):
+            extra = np.zeros((slots_needed - len(carry), grid.rows, grid.cols, features))
+            carry = np.concatenate([carry, extra])
+        return carry
+
+    for day, (subway_batch, bike_batch) in enumerate(simulator.iter_day_records()):
+        # Cover every slot this day's records can touch (spill included),
+        # capped at the simulation horizon exactly like the eager path.
+        latest = 0.0
+        if len(subway_batch):
+            latest = max(latest, float(subway_batch.times.max()))
+        if len(bike_batch):
+            latest = max(latest, float(bike_batch.times.max()))
+        touched = min(int(latest // slot_seconds) + 1, total_slots)
+        grow(max(touched - emitted, 0))
+        # Shifting times by whole emitted slots maps record slot indices to
+        # carry rows exactly (floor commutes with integer-slot shifts);
+        # out-of-range spill is masked by the aggregators, as eagerly.
+        offset = float(emitted) * slot_seconds
+        aggregate_bike(_shift_bike(bike_batch, offset), grid, carry, slot_seconds)
+        aggregate_subway(_shift_subway(subway_batch, offset), simulator.subway, carry, slot_seconds)
+
+        # Slots before the next day's start are now final. A quiet end of
+        # day may leave the carry short of that boundary — those slots are
+        # final *zeros*, so grow before emitting.
+        final = min(int(((day + 1) * SECONDS_PER_DAY) // slot_seconds), total_slots)
+        grow(max(final - emitted, 0))
+        while emitted + chunk_slots <= final:
+            yield carry[:chunk_slots].copy()
+            carry = carry[chunk_slots:]
+            emitted += chunk_slots
+
+    # Tail: quiet slots at the end of the horizon may never be touched.
+    grow(total_slots - emitted)
+    for start in range(0, total_slots - emitted, chunk_slots):
+        yield carry[start : start + chunk_slots].copy()
+
+
+def streaming_dataset_from_city(
+    config: Optional[CityConfig] = None,
+    history: int = 8,
+    horizon: int = 4,
+    target_feature: int = BIKE_PICKUP,
+    ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2),
+    normalization_quantile: Optional[float] = None,
+    slot_seconds: int = DEFAULT_SLOT_SECONDS,
+    chunk_slots: int = DEFAULT_CHUNK_SLOTS,
+) -> BikeDemandDataset:
+    """Build a store-backed dataset from the chunked simulator stream.
+
+    Equivalent to ``build_dataset`` (bit-identical splits) but the demand
+    tensor flows chunk-by-chunk into the :class:`WindowStore` and the
+    scaler is fitted incrementally on the training slots — nothing is ever
+    whole-tensor materialized.
+    """
+    store = WindowStore(
+        history,
+        horizon,
+        target_feature=target_feature,
+        chunk_slots=chunk_slots,
+        scaler=MinMaxScaler(quantile=normalization_quantile),
+    )
+    for chunk in iter_demand_chunks(config, slot_seconds=slot_seconds, chunk_slots=chunk_slots):
+        store.extend(chunk)
+    train_slots = int(store.num_slots * ratios[0])
+    store.fit_scaler(max(train_slots, 1))
+    return BikeDemandDataset(
+        store=store,
+        target_feature=target_feature,
+        ratios=ratios,
+        streaming=True,
+    )
+
+
+__all__ = ["iter_demand_chunks", "streaming_dataset_from_city"]

@@ -2,6 +2,12 @@
 
 The paper uses two hours of history (h = 8 slots of 15 minutes) to predict
 the next p ∈ [2, 8] slots of bike pick-up demand.
+
+``make_windows`` is a compatibility shim over the store's zero-copy
+sliding-window fast path (:func:`repro.store.windows.supervised_pairs`) —
+bit-identical to the historical Python-loop ``np.stack`` implementation,
+O(output) copies instead of O(N·h·G·F) intermediate stacking. All window
+slicing routes through ``repro.store`` (layering rule 11).
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.data.aggregation import BIKE_PICKUP
+from repro.store.windows import supervised_pairs
 
 
 def make_windows(
@@ -26,23 +33,9 @@ def make_windows(
     ``(N, horizon, G1, G2)`` where ``Y`` holds the target feature only.
     Windows are chronological; ``stride`` thins them.
     """
-    tensor = np.asarray(tensor)
-    if tensor.ndim != 4:
-        raise ValueError(f"expected (T, G1, G2, F) tensor, got shape {tensor.shape}")
-    if history < 1 or horizon < 1:
-        raise ValueError("history and horizon must be positive")
-    total = tensor.shape[0]
-    count = total - history - horizon + 1
-    if count <= 0:
-        raise ValueError(
-            f"series of length {total} too short for history={history}, horizon={horizon}"
-        )
-    starts = np.arange(0, count, stride)
-    x = np.stack([tensor[s : s + history] for s in starts])
-    y = np.stack(
-        [tensor[s + history : s + history + horizon, :, :, target_feature] for s in starts]
+    return supervised_pairs(
+        tensor, history, horizon, target_feature=target_feature, stride=stride
     )
-    return x, y
 
 
 def flatten_windows(x: np.ndarray) -> np.ndarray:

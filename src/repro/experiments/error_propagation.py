@@ -98,8 +98,16 @@ def run_error_propagation(
     )
     forecaster = result.forecaster
 
-    x = dataset.split.test_x
-    truth = dataset.denormalize_target(dataset.split.test_y)
+    if dataset.store is not None:
+        # Decode against the store's lazy test view: teacher forcing slices
+        # consecutive windows straight out of the chunked store, identical
+        # values to the eager split arrays.
+        view = dataset.test_view()
+        x = view.x
+        truth = dataset.denormalize_target(np.asarray(view.targets))
+    else:
+        x = dataset.split.test_x
+        truth = dataset.denormalize_target(dataset.split.test_y)
     # Every usable starting window: window i's last teacher-forced step
     # consumes window i + horizon - 1 (same default as the decode loop).
     count = len(x) - horizon + 1

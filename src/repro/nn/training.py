@@ -36,6 +36,7 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import runlog, tracing
 from repro.obs.observers import ConsoleObserver, TrainingObserver
 from repro.pipeline import seeding
+from repro.store.windows import shuffled_batch_indices
 
 
 @dataclass
@@ -87,14 +88,25 @@ def iterate_minibatches(
     batch_size: int,
     rng: Optional[np.random.Generator] = None,
 ):
-    """Yield ``(x, y)`` mini-batches, shuffled when an rng is given."""
-    count = len(inputs)
-    order = np.arange(count)
-    if rng is not None:
-        rng.shuffle(order)
-    for start in range(0, count, batch_size):
-        index = order[start : start + batch_size]
+    """Yield ``(x, y)`` mini-batches, shuffled when an rng is given.
+
+    The index schedule is shared with the window store's streamed batches
+    (:func:`repro.store.windows.shuffled_batch_indices`), so an in-memory
+    epoch and a store-backed epoch consume the RNG identically and yield
+    bit-identical batch sequences.
+    """
+    for index in shuffled_batch_indices(len(inputs), batch_size, rng):
         yield inputs[index], targets[index]
+
+
+def _is_batch_source(candidate: object) -> bool:
+    """Trainer batch-source protocol: ``num_samples`` + ``batches(...)``.
+
+    Satisfied by :class:`repro.store.WindowView` /
+    :class:`repro.store.WindowIterator`; epochs then stream chunk-by-chunk
+    from the store instead of holding every window in memory.
+    """
+    return hasattr(candidate, "batches") and hasattr(candidate, "num_samples")
 
 
 class Trainer:
@@ -155,9 +167,9 @@ class Trainer:
 
     def fit(
         self,
-        train_x: np.ndarray,
-        train_y: np.ndarray,
-        epochs: int,
+        train_x: Union[np.ndarray, object],
+        train_y: Optional[np.ndarray] = None,
+        epochs: int = 1,
         val_x: Optional[np.ndarray] = None,
         val_y: Optional[np.ndarray] = None,
         verbose: bool = False,
@@ -176,7 +188,23 @@ class Trainer:
         (how the recovery policy rolls back) — and continues mid-training
         bit-exactly: the resumed run's weights and loss curves match an
         uninterrupted run to the last bit.
+
+        ``train_x`` may also be a *batch source* (``num_samples`` +
+        ``batches(batch_size, rng)``, e.g. a ``repro.store`` window view)
+        with ``train_y=None``: each epoch then streams batches from the
+        chunked store, bit-identical to the in-memory loop because the
+        source consumes ``self.rng`` through the same shuffle schedule.
+        ``val_x`` may likewise be a view exposing ``arrays()``.
         """
+        streaming = train_y is None and _is_batch_source(train_x)
+        if train_y is None and not streaming:
+            raise TypeError(
+                "fit() needs target arrays, or a batch source "
+                "(num_samples + batches()) as train_x with train_y=None"
+            )
+        if val_x is not None and val_y is None and hasattr(val_x, "arrays"):
+            val_x, val_y = val_x.arrays()
+        train_count = train_x.num_samples if streaming else len(train_x)
         watchers: List[TrainingObserver] = list(observers) if observers else []
         if verbose:
             watchers.append(ConsoleObserver())
@@ -199,7 +227,7 @@ class Trainer:
                     self.model.load_state_dict(best_state)
                 return history
         run_info = self._run_info(
-            epochs, len(train_x), len(val_x) if val_x is not None else 0
+            epochs, train_count, len(val_x) if val_x is not None else 0
         )
         if start_epoch:
             run_info["resumed_at_epoch"] = start_epoch
@@ -212,10 +240,14 @@ class Trainer:
             epoch_losses = []
             self.model.train()
             stopped_early = False
-            with tracing.span("train.epoch", epoch=epoch + 1):
-                for batch_x, batch_y in iterate_minibatches(
+            if streaming:
+                epoch_batches = train_x.batches(self.batch_size, rng=self.rng)
+            else:
+                epoch_batches = iterate_minibatches(
                     train_x, train_y, self.batch_size, rng=self.rng
-                ):
+                )
+            with tracing.span("train.epoch", epoch=epoch + 1):
+                for batch_x, batch_y in epoch_batches:
                     with tracing.span("train.step", step=step + 1, epoch=epoch + 1):
                         try:
                             loss = self.train_step(batch_x, batch_y)

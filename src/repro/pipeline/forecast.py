@@ -84,6 +84,12 @@ def teacher_forced_forecast(
     :func:`recursive_forecast` *is* the accumulated error (offline
     diagnostic only — impossible in deployment).
 
+    ``windows`` may be an eager array or any lazily-materialized window
+    source supporting ``len`` and contiguous slicing — e.g. the ``.x``
+    accessor of a ``repro.store`` window view: the decode only ever touches
+    ``windows[step : step + count]``, so a store-backed decode materializes
+    one slice at a time instead of the whole split.
+
     The default ``count`` uses every usable window: decoding window ``i``
     needs windows ``i … i + horizon - 1``, so ``len(windows) - horizon + 1``
     starting points fit (the last one consumes the final window at its

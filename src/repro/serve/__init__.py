@@ -16,6 +16,12 @@ package is that loop, built on the pipeline's offline artifacts:
   scaler state → a warmed service (models built via the pipeline registry
   only; layering keeps ``serve`` off ``core``/``baselines`` and
   ``experiments`` entirely).
+- :mod:`repro.serve.ingest` — :class:`IngestionPipeline`: live aggregated
+  slots append to the *same* chunked :class:`repro.store.WindowStore` the
+  training dataflow uses; each window whose horizon materializes is scored
+  against realized demand (optionally through the drift monitor), and
+  ``update_scaler=True`` refreshes the shared scaler's running extrema
+  incrementally (``partial_fit``) — no serve-local window slicing.
 - :mod:`repro.serve.faults` — deterministic fault/latency injection for
   degradation tests and the bench's degraded-traffic mode.
 - :mod:`repro.serve.monitor` — :class:`DriftMonitor` / :class:`SloMonitor`:
@@ -34,6 +40,7 @@ docs/ARCHITECTURE.md; BENCH_serve.json fields in docs/PERFORMANCE.md.
 
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
+from repro.serve.ingest import IngestionPipeline, IngestReport, ReadyWindow
 from repro.serve.loader import DEFAULT_FALLBACKS, load_service, service_from_dataset
 from repro.serve.monitor import DriftMonitor, SloMonitor
 from repro.serve.service import (
@@ -51,7 +58,10 @@ __all__ = [
     "FaultInjectingForecaster",
     "ForecastResponse",
     "ForecastService",
+    "IngestReport",
+    "IngestionPipeline",
     "MicroBatcher",
+    "ReadyWindow",
     "SloMonitor",
     "REASON_DEADLINE",
     "REASON_ERROR",

@@ -38,8 +38,10 @@ from repro.pipeline.loading import load_forecaster
 from repro.pipeline.spec import RunSpec
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
+from repro.serve.ingest import IngestionPipeline
 from repro.serve.monitor import DriftMonitor, SloMonitor
 from repro.serve.service import ForecastService
+from repro.store import WindowStore
 
 # Small-but-real BikeCAP geometry: big enough to exercise every kernel,
 # small enough that a smoke run finishes in seconds.
@@ -61,7 +63,7 @@ def _unwrap(forecaster):
 
 
 def build_service(args) -> tuple:
-    """Dataset + spec → (service, raw request windows)."""
+    """Dataset + spec → (service, raw request windows, dataset)."""
     rng = np.random.default_rng(args.seed)
     tensor = rng.random((args.slots, args.grid[0], args.grid[1], args.features)) * 20.0
     dataset = dataset_from_tensor(tensor, history=args.history, horizon=args.horizon)
@@ -116,12 +118,11 @@ def build_service(args) -> tuple:
         num_features=dataset.num_features,
         target_feature=dataset.target_feature,
     )
-    # Raw request traffic: the test split, denormalized back to counts —
-    # exactly what an online caller would send. The matching realized demand
-    # feeds the drift monitor's ground-truth replay.
-    raw_windows = dataset.scaler.inverse_transform(dataset.split.test_x)
-    raw_actuals = dataset.denormalize_target(dataset.split.test_y)
-    return service, raw_windows, raw_actuals
+    # Raw request traffic: the test split's history windows, gathered
+    # straight from the chunked store's raw slots — exactly what an online
+    # caller would send (counts, not normalized values).
+    raw_windows = dataset.test_view().raw_x()
+    return service, raw_windows, dataset
 
 
 def run_load(service, raw_windows, args):
@@ -170,24 +171,47 @@ def run_load(service, raw_windows, args):
     return responses, elapsed, batch_sizes
 
 
-def drift_pass(service, raw_windows, raw_actuals, args) -> DriftMonitor:
-    """Sequential ground-truth replay through the forecast-drift monitor.
+def drift_pass(service, dataset, args) -> DriftMonitor:
+    """Live-ingestion ground-truth replay through the forecast-drift monitor.
 
-    Cycles the test windows until ``--drift-samples`` errors have been
-    scored; from the halfway point on, realized demand is scaled by
-    ``1 + --drift-shift`` — a deterministic regime change, so a nonzero
-    shift fires ``drift_detected`` exactly once (the detector re-baselines
-    after firing and the shifted stream is stable thereafter).
+    Replays the test range's raw slots one at a time through an
+    :class:`IngestionPipeline` backed by a fresh serve-side
+    :class:`~repro.store.WindowStore` — the same append path a live
+    deployment runs. Each slot that completes a window yields that window
+    plus its realized demand, which is scored by the drift monitor; the
+    store is rebuilt and the slots replayed again until ``--drift-samples``
+    errors have been scored. From the halfway point on, realized demand is
+    scaled by ``1 + --drift-shift`` — a deterministic regime change, so a
+    nonzero shift fires ``drift_detected`` exactly once (the detector
+    re-baselines after firing and the shifted stream is stable thereafter).
     """
     monitor = DriftMonitor(service, label="serve-bench")
-    count = len(raw_windows)
+    store = dataset.store
+    if store is None:
+        raise ValueError("drift replay needs a store-backed dataset")
+    test = dataset.test_view()
+    first, total = test.start, store.num_slots
     shift_from = args.drift_samples // 2
-    for sample in range(args.drift_samples):
-        index = sample % count
-        actual = raw_actuals[index]
-        if args.drift_shift and sample >= shift_from:
-            actual = actual * (1.0 + args.drift_shift)
-        monitor.feed(raw_windows[index], actual)
+    scored = 0
+    while scored < args.drift_samples:
+        live = WindowStore(
+            store.history,
+            store.horizon,
+            target_feature=store.target_feature,
+            scaler=service.scaler,
+            normalize=False,
+        )
+        pipeline = IngestionPipeline(live, service=service, label="serve-bench")
+        for slot in range(first, total):
+            report = pipeline.ingest(store.raw_slots(slot, slot + 1))
+            for ready in report.ready:
+                actual = ready.actual
+                if args.drift_shift and scored >= shift_from:
+                    actual = actual * (1.0 + args.drift_shift)
+                monitor.feed(ready.window, actual)
+                scored += 1
+                if scored >= args.drift_samples:
+                    return monitor
     return monitor
 
 
@@ -294,7 +318,7 @@ def main(argv: Optional[list] = None) -> int:
     if args.trace_overhead:
         args.trace = True
 
-    service, raw_windows, raw_actuals = build_service(args)
+    service, raw_windows, dataset = build_service(args)
     exporter = None
     if args.telemetry_port is not None:
         exporter = serve_metrics.start_exporter(port=args.telemetry_port)
@@ -318,7 +342,7 @@ def main(argv: Optional[list] = None) -> int:
         responses, elapsed, batch_sizes = run_load(service, raw_windows, args)
         slo_status = slo_pass(responses, args)
         if args.drift_samples > 0:
-            drift_monitor = drift_pass(service, raw_windows, raw_actuals, args)
+            drift_monitor = drift_pass(service, dataset, args)
     finally:
         if logger is not None:
             logger.close(status="ok")

@@ -1,0 +1,138 @@
+"""Streaming ingestion: live slots → the shared window store → drift scoring.
+
+Serving used to keep its own rolling raw-window state; now live aggregated
+slots append to the *same* chunked :class:`repro.store.WindowStore` the
+training dataflow uses. The pipeline tracks which supervised windows have
+fully materialized (history *and* horizon present), so every completed
+window can be scored against realized demand exactly once, and — with
+``update_scaler=True`` — folds each new slot into the scaler's running
+extrema (``partial_fit``), refreshing normalization incrementally for a
+service that shares the store's scaler.
+
+Lifecycle (see docs/DATAFLOW.md):
+
+1. ``ingest(slots)`` appends raw slots; once ``history`` slots exist the
+   service can answer (:meth:`forecast` / :meth:`current_window`);
+2. each time a window's full horizon lands, ``ingest`` returns it as a
+   :class:`ReadyWindow` (raw history + realized target demand) and — if a
+   :class:`~repro.serve.monitor.DriftMonitor` is attached — feeds it
+   through the monitor, closing the predict → realize → score loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.serve.monitor import DriftMonitor
+from repro.serve.service import ForecastResponse, ForecastService
+from repro.store import WindowStore
+
+
+@dataclass(frozen=True)
+class ReadyWindow:
+    """A window whose full horizon has materialized in the store."""
+
+    index: int  # window index within the store
+    window: np.ndarray  # raw (history, G1, G2, F) model input
+    actual: np.ndarray  # raw (horizon, G1, G2) realized target demand
+    report: Optional[object] = None  # DriftReport when a monitor is attached
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """Outcome of one ``ingest`` call."""
+
+    appended_slots: int
+    ready: List[ReadyWindow] = field(default_factory=list)
+
+
+class IngestionPipeline:
+    """Append live slots to a window store and score completed windows.
+
+    ``store`` should hold *raw* (denormalized) slots — the service applies
+    its own normalization at predict time, so the store is typically built
+    with ``normalize=False``. Pass ``scaler=service.scaler`` and
+    ``update_scaler=True`` to refresh that service's normalization
+    statistics incrementally as demand streams in.
+    """
+
+    def __init__(
+        self,
+        store: WindowStore,
+        service: Optional[ForecastService] = None,
+        monitor: Optional[DriftMonitor] = None,
+        update_scaler: bool = False,
+        label: str = "serve",
+    ):
+        if service is not None:
+            if (store.history, store.horizon) != (service.history, service.horizon):
+                raise ValueError(
+                    f"store geometry (h={store.history}, p={store.horizon}) does not "
+                    f"match service (h={service.history}, p={service.horizon})"
+                )
+            if update_scaler and store.scaler is not service.scaler:
+                raise ValueError(
+                    "update_scaler=True requires the store and service to share "
+                    "one scaler object, or the refreshed statistics never reach "
+                    "the service"
+                )
+        self.store = store
+        self.service = service
+        self.monitor = monitor
+        self.update_scaler = update_scaler
+        self.label = label
+        # Windows scored so far; everything below this index is final.
+        self._scored = store.num_windows
+
+    @property
+    def num_scored(self) -> int:
+        return self._scored
+
+    def ingest(self, slots: np.ndarray) -> IngestReport:
+        """Append ``(n, G1, G2, F)`` raw slots (or one bare slot).
+
+        Returns the newly completed windows; with a monitor attached each
+        one has already been predicted and scored against its realized
+        demand (``report`` holds the drift verdict).
+        """
+        appended = self.store.extend(slots, update_scaler=self.update_scaler)
+        obs_metrics.counter("serve_ingest_slots_total", service=self.label).inc(appended)
+        ready: List[ReadyWindow] = []
+        history, horizon = self.store.history, self.store.horizon
+        target = self.store.target_feature
+        for index in range(self._scored, self.store.num_windows):
+            window = self.store.raw_slots(index, index + history)
+            actual = self.store.raw_slots(index + history, index + history + horizon)[
+                ..., target
+            ]
+            report = self.monitor.feed(window, actual) if self.monitor is not None else None
+            ready.append(ReadyWindow(index=index, window=window, actual=actual, report=report))
+        if ready:
+            self._scored = self.store.num_windows
+            obs_metrics.counter(
+                "serve_ingest_windows_total", service=self.label
+            ).inc(len(ready))
+        return IngestReport(appended_slots=appended, ready=ready)
+
+    def current_window(self) -> Optional[np.ndarray]:
+        """The freshest raw history window, or None before warm-up."""
+        return self.store.latest_raw_window()
+
+    def forecast(self, deadline_seconds: Optional[float] = None) -> ForecastResponse:
+        """Answer a forecast for the store's most recent history window."""
+        if self.service is None:
+            raise RuntimeError("IngestionPipeline.forecast needs a service")
+        window = self.current_window()
+        if window is None:
+            raise RuntimeError(
+                f"not enough slots ingested: have {self.store.num_slots}, "
+                f"need {self.store.history}"
+            )
+        return self.service.predict_one(window, deadline_seconds=deadline_seconds)
+
+
+__all__ = ["IngestReport", "IngestionPipeline", "ReadyWindow"]

@@ -19,6 +19,7 @@ from repro.pipeline import registry
 from repro.pipeline.loading import load_forecaster
 from repro.pipeline.spec import RunSpec
 from repro.serve.service import ForecastService
+from repro.store import WindowStore
 
 DEFAULT_FALLBACKS: Tuple[str, ...] = ("Persistence",)
 
@@ -29,6 +30,7 @@ def load_service(
     *,
     scaler: Optional[MinMaxScaler] = None,
     scaler_state: Optional[dict] = None,
+    store: Optional[WindowStore] = None,
     grid_shape,
     num_features: int,
     history: Optional[int] = None,
@@ -42,14 +44,20 @@ def load_service(
     The primary tier is the spec's model with the checkpoint's serving
     weights; ``fallbacks`` name registered models (cheapest last) appended
     below it, each built fresh from the registry — the default persistence
-    floor needs no training. Exactly one of ``scaler``/``scaler_state``
-    must be given: the service refuses to guess normalization constants,
-    because serving with constants different from training silently skews
-    every answer. ``warm_batch_sizes=None`` skips warm-up.
+    floor needs no training. Exactly one of ``scaler``/``scaler_state``/
+    ``store`` must be given: the service refuses to guess normalization
+    constants, because serving with constants different from training
+    silently skews every answer. Passing a ``store`` shares the window
+    store's scaler *object*, so live ingestion with ``update_scaler=True``
+    (see :class:`repro.serve.ingest.IngestionPipeline`) refreshes the
+    service's normalization in place. ``warm_batch_sizes=None`` skips
+    warm-up.
     """
-    if (scaler is None) == (scaler_state is None):
-        raise ValueError("pass exactly one of scaler= or scaler_state=")
-    if scaler is None:
+    if sum(source is not None for source in (scaler, scaler_state, store)) != 1:
+        raise ValueError("pass exactly one of scaler=, scaler_state= or store=")
+    if store is not None:
+        scaler = store.scaler
+    elif scaler is None:
         scaler = MinMaxScaler.from_state(scaler_state)
     history = history if history is not None else spec.history
     horizon = horizon if horizon is not None else spec.horizon

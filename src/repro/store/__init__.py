@@ -1,0 +1,33 @@
+"""repro.store — the chunked, lazy window/feature store.
+
+Dependency-free leaf (stdlib + numpy only, layering rule 11): training,
+serving and streaming ingestion all slice supervised windows through this
+one dataflow instead of keeping private copies of the window arithmetic.
+See docs/DATAFLOW.md for the store layout and lifecycle.
+"""
+
+from repro.store.chunks import DEFAULT_CHUNK_SLOTS, ChunkBuffer
+from repro.store.normalization import MinMaxScaler
+from repro.store.store import LazyWindows, WindowIterator, WindowStore, WindowView
+from repro.store.windows import (
+    lazy_window_view,
+    shuffled_batch_indices,
+    split_bounds,
+    supervised_pairs,
+    window_count,
+)
+
+__all__ = [
+    "ChunkBuffer",
+    "DEFAULT_CHUNK_SLOTS",
+    "LazyWindows",
+    "MinMaxScaler",
+    "WindowIterator",
+    "WindowStore",
+    "WindowView",
+    "lazy_window_view",
+    "shuffled_batch_indices",
+    "split_bounds",
+    "supervised_pairs",
+    "window_count",
+]

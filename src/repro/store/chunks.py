@@ -1,0 +1,111 @@
+"""Fixed-size time-chunked storage for the demand tensor.
+
+A :class:`ChunkBuffer` holds a growing ``(T, *frame_shape)`` series as a
+list of preallocated chunks of ``chunk_slots`` time slots each. Appends
+amortize to O(1) (no quadratic re-concatenation as slots stream in) and a
+``gather`` that stays inside one chunk is a zero-copy view — the common
+case for batch-sized window slices once ``chunk_slots`` exceeds
+``history + horizon``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+DEFAULT_CHUNK_SLOTS = 256
+
+
+class ChunkBuffer:
+    """Append-only chunked buffer over the leading (time) axis."""
+
+    def __init__(
+        self,
+        frame_shape: Optional[Tuple[int, ...]] = None,
+        chunk_slots: int = DEFAULT_CHUNK_SLOTS,
+        dtype=np.float64,
+    ):
+        if chunk_slots < 1:
+            raise ValueError(f"chunk_slots must be positive, got {chunk_slots}")
+        self.chunk_slots = int(chunk_slots)
+        self.dtype = np.dtype(dtype)
+        self.frame_shape = tuple(frame_shape) if frame_shape is not None else None
+        self._chunks: list[np.ndarray] = []
+        self._filled = 0  # slots used in the last chunk
+
+    def __len__(self) -> int:
+        if not self._chunks:
+            return 0
+        return (len(self._chunks) - 1) * self.chunk_slots + self._filled
+
+    @property
+    def num_slots(self) -> int:
+        return len(self)
+
+    def extend(self, slots: np.ndarray) -> int:
+        """Append ``(n, *frame_shape)`` slots (or one bare frame); return n."""
+        slots = np.asarray(slots, dtype=self.dtype)
+        if self.frame_shape is None:
+            if slots.ndim < 1:
+                raise ValueError("cannot infer frame shape from a scalar")
+            self.frame_shape = tuple(slots.shape[1:]) if slots.ndim > 1 else ()
+        if slots.shape == self.frame_shape:  # a single bare frame
+            slots = slots[np.newaxis]
+        if slots.shape[1:] != self.frame_shape:
+            raise ValueError(
+                f"slot shape {slots.shape[1:]} does not match "
+                f"frame shape {self.frame_shape}"
+            )
+        remaining = slots.shape[0]
+        offset = 0
+        while remaining:
+            if not self._chunks or self._filled == self.chunk_slots:
+                self._chunks.append(
+                    np.empty((self.chunk_slots, *self.frame_shape), dtype=self.dtype)
+                )
+                self._filled = 0
+            take = min(remaining, self.chunk_slots - self._filled)
+            self._chunks[-1][self._filled : self._filled + take] = slots[
+                offset : offset + take
+            ]
+            self._filled += take
+            offset += take
+            remaining -= take
+        return slots.shape[0]
+
+    def gather(self, start: int, stop: int) -> np.ndarray:
+        """Slots ``[start, stop)`` as one array.
+
+        Zero-copy view when the range lies within a single chunk; otherwise
+        the pieces are copied into a fresh array of just ``stop - start``
+        slots (never the whole series).
+        """
+        total = len(self)
+        if not 0 <= start <= stop <= total:
+            raise IndexError(
+                f"slot range [{start}, {stop}) out of bounds for {total} slots"
+            )
+        if start == stop:
+            shape = (0, *(self.frame_shape or ()))
+            return np.empty(shape, dtype=self.dtype)
+        first, first_off = divmod(start, self.chunk_slots)
+        last, last_off = divmod(stop - 1, self.chunk_slots)
+        if first == last:
+            return self._chunks[first][first_off : last_off + 1]
+        out = np.empty((stop - start, *self.frame_shape), dtype=self.dtype)
+        cursor = 0
+        for index in range(first, last + 1):
+            lo = first_off if index == first else 0
+            hi = last_off + 1 if index == last else self.chunk_slots
+            out[cursor : cursor + hi - lo] = self._chunks[index][lo:hi]
+            cursor += hi - lo
+        return out
+
+    def chunk_views(self) -> Iterator[np.ndarray]:
+        """Yield each filled chunk as a zero-copy view, in time order."""
+        for index, chunk in enumerate(self._chunks):
+            if index == len(self._chunks) - 1:
+                yield chunk[: self._filled]
+            else:
+                yield chunk

@@ -1,0 +1,163 @@
+"""Min-max normalization (paper Sec. IV-D) with incremental statistics.
+
+The paper maps all features to [0, 1] with min-max normalization and
+denormalizes predictions before computing MAE/RMSE. The scaler here is
+per-feature (last axis) and explicitly invertible.
+
+This module lives in ``repro.store`` (the chunked-dataflow leaf) so the
+same scaler object can be fitted offline on a full tensor *or* refreshed
+online as slots stream into a :class:`~repro.store.store.WindowStore` —
+``partial_fit`` merges running extrema chunk by chunk and is bit-exactly
+equivalent to one ``fit`` over the concatenated data. ``repro.data``
+re-exports it unchanged for existing callers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+class MinMaxScaler:
+    """Per-feature min-max scaler over the trailing axis.
+
+    ``quantile`` (optional) makes the scaler *robust*: the per-feature
+    "max" is that quantile of the data instead of the absolute maximum, so
+    a single extreme cell does not crush every other value toward zero.
+    The transform stays affine and exactly invertible — values above the
+    quantile simply map above 1. Demand data with one dominant hub is
+    exactly the case this exists for.
+
+    ``count`` tracks how many ``(..., F)`` rows the running extrema have
+    seen, so a restored scaler (:meth:`from_state`) can resume
+    ``partial_fit`` after a service restart.
+    """
+
+    def __init__(self, quantile: Optional[float] = None):
+        if quantile is not None and not 0.5 < quantile <= 1.0:
+            raise ValueError(f"quantile must be in (0.5, 1], got {quantile}")
+        self.quantile = quantile
+        self.minimum: Optional[np.ndarray] = None
+        self.maximum: Optional[np.ndarray] = None
+        self.count: int = 0
+
+    @property
+    def fitted(self) -> bool:
+        return self.minimum is not None
+
+    @staticmethod
+    def _rows(tensor: np.ndarray) -> int:
+        return int(math.prod(tensor.shape[:-1]))
+
+    def fit(self, tensor: np.ndarray) -> "MinMaxScaler":
+        """Learn per-feature min/max from ``(..., F)`` data."""
+        tensor = np.asarray(tensor)
+        axes = tuple(range(tensor.ndim - 1))
+        self.minimum = tensor.min(axis=axes)
+        if self.quantile is None:
+            self.maximum = tensor.max(axis=axes)
+        else:
+            flat = tensor.reshape(-1, tensor.shape[-1])
+            self.maximum = np.quantile(flat, self.quantile, axis=0)
+            # Guard degenerate features whose quantile equals the minimum.
+            collapsed = self.maximum <= self.minimum
+            if np.any(collapsed):
+                true_max = flat.max(axis=0)
+                self.maximum = np.where(collapsed, true_max, self.maximum)
+        self.count = self._rows(tensor)
+        return self
+
+    def partial_fit(self, tensor: np.ndarray) -> "MinMaxScaler":
+        """Merge one chunk of ``(..., F)`` data into the running extrema.
+
+        Running ``np.minimum``/``np.maximum`` merges are bit-exactly the
+        min/max of the concatenated chunks, so any chunking of the same
+        data yields the same fitted state as a single :meth:`fit` — the
+        parity the streaming ingestion path relies on. The robust quantile
+        is a rank statistic over the *full* sample and cannot be merged
+        chunkwise, so quantile mode refuses loudly rather than drifting.
+        """
+        if self.quantile is not None:
+            raise ValueError(
+                "partial_fit supports plain min-max scaling only: the robust "
+                f"quantile ({self.quantile}) is a rank statistic over the full "
+                "sample — gather the data and call fit() instead"
+            )
+        tensor = np.asarray(tensor)
+        if tensor.size == 0:
+            return self
+        axes = tuple(range(tensor.ndim - 1))
+        low = tensor.min(axis=axes)
+        high = tensor.max(axis=axes)
+        if not self.fitted:
+            self.minimum = low
+            self.maximum = high
+            self.count = self._rows(tensor)
+        else:
+            self.minimum = np.minimum(self.minimum, low)
+            self.maximum = np.maximum(self.maximum, high)
+            self.count += self._rows(tensor)
+        return self
+
+    def transform(self, tensor: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        span = self._span()
+        return (np.asarray(tensor) - self.minimum) / span
+
+    def fit_transform(self, tensor: np.ndarray) -> np.ndarray:
+        return self.fit(tensor).transform(tensor)
+
+    def inverse_transform(self, tensor: np.ndarray, feature: Optional[int] = None) -> np.ndarray:
+        """Undo scaling; ``feature`` selects one channel's parameters when the
+        data carries a single feature (e.g. predicted bike pick-ups)."""
+        self._check_fitted()
+        if feature is None:
+            return np.asarray(tensor) * self._span() + self.minimum
+        span = self._span()[feature]
+        return np.asarray(tensor) * span + self.minimum[feature]
+
+    def _span(self) -> np.ndarray:
+        span = self.maximum - self.minimum
+        # Constant features map to 0 rather than dividing by zero.
+        return np.where(span == 0, 1.0, span)
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError("scaler must be fitted before use")
+
+    def state(self) -> dict:
+        """Everything needed to rebuild this fitted scaler elsewhere.
+
+        ``quantile`` rides along so a restored robust scaler stays robust if
+        it is ever refitted (a restored scaler that silently became a plain
+        max scaler would renormalize served data differently than training).
+        ``count`` rides along so a warmed service resumes ``partial_fit``
+        from the statistics it shut down with.
+        """
+        self._check_fitted()
+        return {
+            "minimum": self.minimum.copy(),
+            "maximum": self.maximum.copy(),
+            "quantile": self.quantile,
+            "count": int(self.count),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "MinMaxScaler":
+        missing = sorted({"minimum", "maximum"} - set(state))
+        if missing:
+            raise ValueError(
+                f"MinMaxScaler.from_state: state dict is missing {missing}; "
+                "expected a dict produced by MinMaxScaler.state()"
+            )
+        # Older state dicts predate the "quantile" key; absent means plain
+        # min-max, which is what they were. Likewise "count": absent means
+        # the provenance row count is unknown, and the first partial_fit
+        # after restore still merges correctly (extrema are present).
+        scaler = cls(quantile=state.get("quantile"))
+        scaler.minimum = np.asarray(state["minimum"])
+        scaler.maximum = np.asarray(state["maximum"])
+        scaler.count = int(state.get("count", 0))
+        return scaler

@@ -1,0 +1,122 @@
+"""Zero-copy sliding-window construction for multi-step forecasting.
+
+The paper uses two hours of history (h = 8 slots of 15 minutes) to predict
+the next p ∈ [2, 8] slots of bike pick-up demand.
+
+``lazy_window_view`` wraps ``np.lib.stride_tricks.sliding_window_view``:
+the view shares the source tensor's memory (O(1) regardless of window
+count) and only the batch-slice that is actually consumed gets copied.
+``supervised_pairs`` materializes ``(X, Y)`` pairs from those views and is
+bit-identical to the historical Python-loop ``np.stack`` implementation of
+``repro.data.windows.make_windows`` (pinned by tests), including
+``stride > 1`` thinning — both produce fresh C-contiguous copies of the
+same float values.
+
+Per layering rule 11, this module is the only place in ``src/repro``
+allowed to touch the stride-trick primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+
+def window_count(total: int, history: int, horizon: int) -> int:
+    """Number of supervised windows a series of ``total`` slots yields."""
+    if history < 1 or horizon < 1:
+        raise ValueError("history and horizon must be positive")
+    return max(0, total - history - horizon + 1)
+
+
+def _validate(tensor: np.ndarray, history: int, horizon: int) -> int:
+    if tensor.ndim != 4:
+        raise ValueError(f"expected (T, G1, G2, F) tensor, got shape {tensor.shape}")
+    if history < 1 or horizon < 1:
+        raise ValueError("history and horizon must be positive")
+    total = tensor.shape[0]
+    count = total - history - horizon + 1
+    if count <= 0:
+        raise ValueError(
+            f"series of length {total} too short for history={history}, horizon={horizon}"
+        )
+    return count
+
+
+def lazy_window_view(tensor: np.ndarray, length: int) -> np.ndarray:
+    """``(T, ...)`` → zero-copy ``(T - length + 1, length, ...)`` view.
+
+    Window ``i`` is ``tensor[i : i + length]`` without copying: the result
+    aliases ``tensor``'s buffer via stride tricks (the window axis is moved
+    to position 1, the layout ``sliding_window_view`` hands back puts it
+    last). Slicing the result copies only the slice.
+    """
+    view = sliding_window_view(tensor, length, axis=0)
+    return np.moveaxis(view, -1, 1)
+
+
+def supervised_pairs(
+    tensor: np.ndarray,
+    history: int,
+    horizon: int,
+    target_feature: int = 0,
+    stride: int = 1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Slice ``(T, G1, G2, F)`` into supervised pairs.
+
+    Returns ``X`` of shape ``(N, history, G1, G2, F)`` and ``Y`` of shape
+    ``(N, horizon, G1, G2)`` where ``Y`` holds the target feature only.
+    Windows are chronological; ``stride`` thins them.
+    """
+    tensor = np.asarray(tensor)
+    count = _validate(tensor, history, horizon)
+    starts = np.arange(0, count, stride)
+    x_view = lazy_window_view(tensor, history)
+    y_view = lazy_window_view(tensor[history:, :, :, target_feature], horizon)
+    # Fancy indexing materializes fresh C-contiguous copies, exactly like
+    # the historical per-start np.stack loop.
+    return x_view[starts], y_view[starts]
+
+
+def split_bounds(
+    count: int, ratios: Tuple[float, float, float] = (0.6, 0.2, 0.2)
+) -> Tuple[int, int]:
+    """Chronological split boundaries ``(train_end, val_end)`` over windows.
+
+    Shared by the eager :func:`repro.data.splits.chronological_split` and
+    the store's lazy split views so both partition identically (paper:
+    6:2:2; chronological to avoid leakage between overlapping windows).
+    """
+    if abs(sum(ratios) - 1.0) > 1e-9:
+        raise ValueError(f"ratios must sum to 1, got {ratios}")
+    if any(r < 0 for r in ratios):
+        raise ValueError(f"ratios must be non-negative, got {ratios}")
+    train_end = int(np.floor(count * ratios[0]))
+    val_end = train_end + int(np.floor(count * ratios[1]))
+    if train_end == 0 or val_end == train_end or val_end == count:
+        if count < 3:
+            raise ValueError(f"need at least 3 windows to split, got {count}")
+        # Degenerate rounding on tiny datasets: guarantee non-empty parts.
+        train_end = max(1, train_end)
+        val_end = max(train_end + 1, min(val_end, count - 1))
+    return train_end, val_end
+
+
+def shuffled_batch_indices(
+    count: int, batch_size: int, rng: np.random.Generator = None
+) -> Sequence[np.ndarray]:
+    """Yield index batches exactly like ``nn.training.iterate_minibatches``.
+
+    Same ``np.arange`` + ``rng.shuffle`` call sequence, so a streamed epoch
+    consumes the trainer RNG identically to an in-memory epoch and the two
+    produce bit-identical batch orderings.
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    order = np.arange(count)
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, count, batch_size):
+        yield order[start : start + batch_size]

@@ -1,0 +1,74 @@
+"""Streaming ingestion parity: chunked simulator days ≡ eager aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.city import CityConfig, simulate_city
+from repro.data import build_dataset, iter_demand_chunks, streaming_dataset_from_city
+from repro.data.aggregation import aggregate_city
+
+
+CONFIG = CityConfig(
+    rows=4,
+    cols=4,
+    num_lines=2,
+    num_commuters=120,
+    num_bikes=60,
+    days=3,
+    background_subway_per_day=60,
+    background_bike_per_day=50,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def eager_tensor():
+    return aggregate_city(simulate_city(CONFIG))
+
+
+class TestChunkedAggregationParity:
+    @pytest.mark.parametrize("chunk_slots", [7, 32, 96, 4096])
+    def test_concatenated_chunks_bit_identical_to_eager(self, eager_tensor, chunk_slots):
+        chunks = list(iter_demand_chunks(CONFIG, chunk_slots=chunk_slots))
+        streamed = np.concatenate(chunks)
+        assert streamed.shape == eager_tensor.shape
+        assert streamed.tobytes() == eager_tensor.tobytes()
+
+    def test_chunks_respect_the_requested_size(self, eager_tensor):
+        chunks = list(iter_demand_chunks(CONFIG, chunk_slots=32))
+        assert all(len(chunk) <= 32 for chunk in chunks)
+        assert sum(len(chunk) for chunk in chunks) == eager_tensor.shape[0]
+
+    def test_coarser_slots_also_match(self):
+        eager = aggregate_city(simulate_city(CONFIG), slot_seconds=3600)
+        streamed = np.concatenate(
+            list(iter_demand_chunks(CONFIG, slot_seconds=3600, chunk_slots=16))
+        )
+        assert streamed.tobytes() == eager.tobytes()
+
+
+class TestStreamingDatasetParity:
+    def test_splits_and_scaler_match_eager_build(self):
+        history, horizon = 6, 3
+        eager = build_dataset(CONFIG, history=history, horizon=horizon)
+        streamed = streaming_dataset_from_city(
+            CONFIG, history=history, horizon=horizon, chunk_slots=32
+        )
+        assert streamed.streaming and streamed.store is not None
+        assert np.array_equal(streamed.scaler.minimum, eager.scaler.minimum)
+        assert np.array_equal(streamed.scaler.maximum, eager.scaler.maximum)
+        for part in ("train", "val", "test"):
+            assert np.array_equal(
+                getattr(streamed.split, f"{part}_x"), getattr(eager.split, f"{part}_x")
+            )
+            assert np.array_equal(
+                getattr(streamed.split, f"{part}_y"), getattr(eager.split, f"{part}_y")
+            )
+
+    def test_views_feed_the_trainer_protocol(self):
+        dataset = streaming_dataset_from_city(CONFIG, history=6, horizon=3, chunk_slots=32)
+        source = dataset.train_source()
+        assert source.num_samples == len(dataset.split.train_x)
+        x, y = next(iter(source.batches(8, rng=np.random.default_rng(0))))
+        assert x.shape[1:] == dataset.split.train_x.shape[1:]
+        assert y.shape[1:] == dataset.split.train_y.shape[1:]

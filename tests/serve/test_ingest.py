@@ -1,0 +1,151 @@
+"""Streaming ingestion: live slots → shared WindowStore → drift scoring."""
+
+import numpy as np
+import pytest
+
+from repro.serve.ingest import IngestionPipeline
+from repro.serve.monitor import DriftMonitor
+from repro.serve.service import ForecastService
+from repro.store import MinMaxScaler, WindowStore
+
+from tests.serve.conftest import ConstantForecaster
+
+HISTORY, HORIZON = 5, 2
+
+
+def _slots(n, seed=0):
+    return np.random.default_rng(seed).random((n, 4, 4, 3)) * 30.0
+
+
+def _service(scaler):
+    return ForecastService(
+        [("Constant", ConstantForecaster(HORIZON, 0.5))],
+        scaler,
+        history=HISTORY,
+        horizon=HORIZON,
+        grid_shape=(4, 4),
+        num_features=3,
+    )
+
+
+def _raw_store(scaler=None):
+    return WindowStore(
+        HISTORY, HORIZON, scaler=scaler or MinMaxScaler(), normalize=False
+    )
+
+
+class TestIngest:
+    def test_slot_by_slot_emits_each_window_exactly_once(self):
+        slots = _slots(12)
+        pipeline = IngestionPipeline(_raw_store())
+        seen = []
+        for i in range(len(slots)):
+            report = pipeline.ingest(slots[i])
+            assert report.appended_slots == 1
+            seen.extend(report.ready)
+        assert [ready.index for ready in seen] == list(range(12 - HISTORY - HORIZON + 1))
+        assert pipeline.num_scored == len(seen)
+
+    def test_ready_windows_carry_raw_history_and_realized_demand(self):
+        slots = _slots(10)
+        pipeline = IngestionPipeline(_raw_store())
+        ready = pipeline.ingest(slots).ready
+        first = ready[0]
+        assert np.array_equal(first.window, slots[:HISTORY])
+        assert np.array_equal(
+            first.actual, slots[HISTORY : HISTORY + HORIZON, :, :, 0]
+        )
+
+    def test_bulk_and_incremental_appends_agree(self):
+        slots = _slots(14)
+        bulk = IngestionPipeline(_raw_store())
+        bulk_ready = bulk.ingest(slots).ready
+        drip = IngestionPipeline(_raw_store())
+        drip_ready = []
+        for i in range(len(slots)):
+            drip_ready.extend(drip.ingest(slots[i]).ready)
+        assert len(bulk_ready) == len(drip_ready)
+        for a, b in zip(bulk_ready, drip_ready):
+            assert a.index == b.index
+            assert np.array_equal(a.window, b.window)
+            assert np.array_equal(a.actual, b.actual)
+
+    def test_current_window_is_latest_raw_history(self):
+        slots = _slots(9)
+        pipeline = IngestionPipeline(_raw_store())
+        assert pipeline.current_window() is None
+        pipeline.ingest(slots)
+        assert np.array_equal(pipeline.current_window(), slots[-HISTORY:])
+
+
+class TestScalerRefresh:
+    def test_update_scaler_streams_partial_fit_exactly(self):
+        slots = _slots(20)
+        scaler = MinMaxScaler()
+        pipeline = IngestionPipeline(_raw_store(scaler), update_scaler=True)
+        for start in range(0, 20, 6):
+            pipeline.ingest(slots[start : start + 6])
+        reference = MinMaxScaler().fit(slots)
+        assert np.array_equal(scaler.minimum, reference.minimum)
+        assert np.array_equal(scaler.maximum, reference.maximum)
+        assert scaler.count == reference.count
+
+    def test_shared_scaler_refresh_reaches_the_service(self):
+        warm, live = _slots(8), _slots(8, seed=9) * 4.0  # live regime is hotter
+        store = _raw_store()
+        pipeline = IngestionPipeline(store, update_scaler=True)
+        pipeline.ingest(warm)  # offline warm-up fits the shared scaler
+        service = _service(store.scaler)
+        pipeline.service = service
+        pipeline.ingest(live)
+        # The service normalizes with the very same refreshed statistics:
+        # extrema now cover the hotter live regime, not just the warm-up.
+        assert service.scaler is store.scaler
+        reference = MinMaxScaler().fit(np.concatenate([warm, live]))
+        assert np.array_equal(service.scaler.maximum, reference.maximum)
+        response = service.predict_one(live[-HISTORY:])
+        assert response.demand.shape == (HORIZON, 4, 4)
+
+    def test_update_scaler_with_unshared_scaler_is_rejected(self):
+        store = _raw_store()
+        service = _service(MinMaxScaler().fit(_slots(5)))
+        with pytest.raises(ValueError, match="share"):
+            IngestionPipeline(store, service=service, update_scaler=True)
+
+
+class TestServiceAndMonitorWiring:
+    def test_geometry_mismatch_is_rejected(self):
+        store = WindowStore(HISTORY + 1, HORIZON, normalize=False)
+        service = _service(MinMaxScaler().fit(_slots(5)))
+        with pytest.raises(ValueError, match="geometry"):
+            IngestionPipeline(store, service=service)
+
+    def test_monitor_scores_every_ready_window(self):
+        slots = _slots(12)
+        primary = ConstantForecaster(HORIZON, 0.5)
+        service = ForecastService(
+            [("Constant", primary)],
+            MinMaxScaler().fit(slots),
+            history=HISTORY,
+            horizon=HORIZON,
+            grid_shape=(4, 4),
+            num_features=3,
+        )
+        monitor = DriftMonitor(service, label="ingest-test")
+        pipeline = IngestionPipeline(_raw_store(), service=service, monitor=monitor)
+        ready = pipeline.ingest(slots).ready
+        assert len(ready) == 12 - HISTORY - HORIZON + 1
+        assert primary.calls == len(ready)  # one scored prediction per window
+        assert all(r.report is not None for r in ready)
+
+    def test_forecast_answers_from_the_freshest_window(self):
+        slots = _slots(7)
+        service = _service(MinMaxScaler().fit(slots))
+        pipeline = IngestionPipeline(_raw_store(), service=service)
+        with pytest.raises(RuntimeError, match="not enough slots"):
+            pipeline.forecast()
+        pipeline.ingest(slots)
+        response = pipeline.forecast()
+        assert response.demand.shape == (HORIZON, 4, 4)
+        reference = service.predict_one(slots[-HISTORY:])
+        assert np.array_equal(response.demand, reference.demand)

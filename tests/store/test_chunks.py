@@ -1,0 +1,64 @@
+"""ChunkBuffer: fixed-size time chunks behind the window store."""
+
+import numpy as np
+import pytest
+
+from repro.store import ChunkBuffer
+
+
+def _slots(n, value_from=0):
+    slots = np.zeros((n, 2, 3, 2))
+    slots += np.arange(value_from, value_from + n)[:, None, None, None]
+    return slots
+
+
+class TestExtend:
+    def test_infers_frame_shape_on_first_extend(self):
+        buffer = ChunkBuffer(chunk_slots=4)
+        assert buffer.frame_shape is None
+        buffer.extend(_slots(3))
+        assert buffer.frame_shape == (2, 3, 2)
+        assert len(buffer) == 3
+
+    def test_accepts_single_bare_frame(self):
+        buffer = ChunkBuffer(frame_shape=(2, 3, 2), chunk_slots=4)
+        buffer.extend(np.zeros((2, 3, 2)))
+        assert len(buffer) == 1
+
+    def test_rejects_frame_shape_mismatch(self):
+        buffer = ChunkBuffer(chunk_slots=4)
+        buffer.extend(_slots(2))
+        with pytest.raises(ValueError):
+            buffer.extend(np.zeros((1, 5, 5, 2)))
+
+    def test_spans_multiple_chunks(self):
+        buffer = ChunkBuffer(chunk_slots=4)
+        buffer.extend(_slots(11))
+        assert len(buffer) == 11
+        assert [len(view) for view in buffer.chunk_views()] == [4, 4, 3]
+
+
+class TestGather:
+    def test_values_across_chunk_boundary(self):
+        buffer = ChunkBuffer(chunk_slots=4)
+        slots = _slots(10)
+        buffer.extend(slots)
+        assert np.array_equal(buffer.gather(2, 7), slots[2:7])
+
+    def test_within_chunk_is_a_view(self):
+        buffer = ChunkBuffer(chunk_slots=8)
+        buffer.extend(_slots(6))
+        gathered = buffer.gather(1, 4)
+        assert gathered.base is not None  # zero-copy inside one chunk
+
+    def test_across_chunks_is_a_fresh_copy(self):
+        buffer = ChunkBuffer(chunk_slots=4)
+        buffer.extend(_slots(8))
+        gathered = buffer.gather(2, 6)
+        assert gathered.base is None
+
+    def test_out_of_bounds_raises(self):
+        buffer = ChunkBuffer(chunk_slots=4)
+        buffer.extend(_slots(5))
+        with pytest.raises(IndexError):
+            buffer.gather(3, 9)

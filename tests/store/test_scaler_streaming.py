@@ -1,0 +1,86 @@
+"""Incremental scaler statistics: partial_fit ≡ whole-tensor fit, pinned."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import MinMaxScaler
+
+
+def _tensor(total, seed=0):
+    return np.random.default_rng(seed).random((total, 2, 2, 3)) * 50 - 10
+
+
+class TestPartialFitParity:
+    @settings(max_examples=20, deadline=None)
+    @given(total=st.integers(1, 40), chunk=st.integers(1, 9), seed=st.integers(0, 5))
+    def test_chunked_equals_whole_fit(self, total, chunk, seed):
+        tensor = _tensor(total, seed)
+        whole = MinMaxScaler().fit(tensor)
+        streamed = MinMaxScaler()
+        for start in range(0, total, chunk):
+            streamed.partial_fit(tensor[start : start + chunk])
+        assert np.array_equal(streamed.minimum, whole.minimum)
+        assert np.array_equal(streamed.maximum, whole.maximum)
+        assert streamed.count == whole.count
+
+    def test_transform_after_streaming_is_bit_identical(self):
+        tensor = _tensor(30)
+        whole = MinMaxScaler().fit(tensor)
+        streamed = MinMaxScaler()
+        for start in range(0, 30, 7):
+            streamed.partial_fit(tensor[start : start + 7])
+        assert streamed.transform(tensor).tobytes() == whole.transform(tensor).tobytes()
+
+    def test_empty_tensor_is_a_noop(self):
+        scaler = MinMaxScaler()
+        scaler.partial_fit(_tensor(5))
+        before = (scaler.minimum.copy(), scaler.maximum.copy(), scaler.count)
+        scaler.partial_fit(np.empty((0, 2, 2, 3)))
+        assert np.array_equal(scaler.minimum, before[0])
+        assert np.array_equal(scaler.maximum, before[1])
+        assert scaler.count == before[2]
+
+    def test_quantile_mode_refuses_partial_fit(self):
+        scaler = MinMaxScaler(quantile=0.9)
+        with pytest.raises(ValueError, match="rank statistic"):
+            scaler.partial_fit(_tensor(5))
+
+
+class TestStateRoundTrip:
+    def test_count_survives_the_round_trip(self):
+        scaler = MinMaxScaler()
+        scaler.partial_fit(_tensor(12))
+        clone = MinMaxScaler.from_state(scaler.state())
+        assert clone.count == scaler.count == 12 * 2 * 2
+        assert np.array_equal(clone.minimum, scaler.minimum)
+        assert np.array_equal(clone.maximum, scaler.maximum)
+
+    def test_restored_scaler_resumes_streaming_exactly(self):
+        tensor = _tensor(24)
+        direct = MinMaxScaler()
+        direct.partial_fit(tensor)
+
+        first = MinMaxScaler()
+        first.partial_fit(tensor[:10])
+        resumed = MinMaxScaler.from_state(first.state())
+        resumed.partial_fit(tensor[10:])
+        assert np.array_equal(resumed.minimum, direct.minimum)
+        assert np.array_equal(resumed.maximum, direct.maximum)
+        assert resumed.count == direct.count
+
+    def test_missing_keys_still_rejected_loudly(self):
+        scaler = MinMaxScaler().fit(_tensor(5))
+        state = scaler.state()
+        for key in ("minimum", "maximum"):
+            broken = {k: v for k, v in state.items() if k != key}
+            with pytest.raises((KeyError, ValueError)):
+                MinMaxScaler.from_state(broken)
+
+    def test_legacy_state_without_count_defaults_to_zero(self):
+        state = MinMaxScaler().fit(_tensor(5)).state()
+        state.pop("count")
+        clone = MinMaxScaler.from_state(state)
+        assert clone.count == 0
+        assert clone.fitted

@@ -1,0 +1,174 @@
+"""WindowStore ≡ the eager pipeline, bit for bit.
+
+The whole point of the chunked store is that nothing downstream can tell
+it apart from the historical materialize-everything path: same windows,
+same split boundaries, same scaler, same shuffled batch stream. Every
+test here compares against the eager reference with ``np.array_equal`` /
+``tobytes`` — no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import chronological_split, make_windows
+from repro.data.normalization import MinMaxScaler
+from repro.nn.training import iterate_minibatches
+from repro.store import WindowIterator, WindowStore
+
+
+HISTORY, HORIZON = 5, 3
+
+
+def _tensor(total=41, seed=3):
+    return np.random.default_rng(seed).random((total, 3, 2, 3)) * 25
+
+
+def _eager_reference(tensor, fit_slots=None):
+    """The historical dataset build: fit → clip-transform → window → split."""
+    scaler = MinMaxScaler()
+    scaler.fit(tensor if fit_slots is None else tensor[:fit_slots])
+    normalized = np.clip(scaler.transform(tensor), 0.0, None)
+    x, y = make_windows(normalized, HISTORY, HORIZON)
+    return scaler, normalized, x, y
+
+
+def _store(tensor, chunk_slots=7, fit_slots=None):
+    return WindowStore.from_tensor(
+        tensor, HISTORY, HORIZON, chunk_slots=chunk_slots, fit_slots=fit_slots
+    )
+
+
+class TestWindowParity:
+    @pytest.mark.parametrize("chunk_slots", [3, 7, 64, 256])
+    def test_full_materialization_matches_eager(self, chunk_slots):
+        tensor = _tensor()
+        _, _, ex, ey = _eager_reference(tensor)
+        x, y = _store(tensor, chunk_slots).windows()
+        assert x.tobytes() == ex.tobytes()
+        assert y.tobytes() == ey.tobytes()
+
+    def test_incremental_extends_match_one_shot_build(self):
+        tensor = _tensor()
+        one_shot = _store(tensor)
+        grown = WindowStore(HISTORY, HORIZON, chunk_slots=7)
+        for start in range(0, len(tensor), 5):
+            grown.extend(tensor[start : start + 5])
+        grown.fit_scaler()
+        x1, y1 = one_shot.windows()
+        x2, y2 = grown.windows()
+        assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_scaler_fit_matches_eager_train_range_fit(self):
+        tensor = _tensor()
+        fit_slots = 24
+        eager_scaler, _, _, _ = _eager_reference(tensor, fit_slots=fit_slots)
+        store = _store(tensor, fit_slots=fit_slots)
+        assert np.array_equal(store.scaler.minimum, eager_scaler.minimum)
+        assert np.array_equal(store.scaler.maximum, eager_scaler.maximum)
+
+    def test_windows_at_shuffled_indices_match_eager_rows(self):
+        tensor = _tensor()
+        _, _, ex, ey = _eager_reference(tensor)
+        store = _store(tensor)
+        indices = np.random.default_rng(1).permutation(store.num_windows)[:11]
+        x, y = store.windows_at(indices)
+        assert np.array_equal(x, ex[indices])
+        assert np.array_equal(y, ey[indices])
+
+    def test_stride_matches_eager(self):
+        tensor = _tensor()
+        scaler, normalized, _, _ = _eager_reference(tensor)
+        ex, ey = make_windows(normalized, HISTORY, HORIZON, stride=3)
+        x, y = _store(tensor).windows(stride=3)
+        assert np.array_equal(x, ex) and np.array_equal(y, ey)
+
+
+class TestSplitViewParity:
+    def test_split_views_match_chronological_split(self):
+        tensor = _tensor()
+        _, _, ex, ey = _eager_reference(tensor)
+        split = chronological_split(ex, ey)
+        store = _store(tensor)
+        train, val, test = store.split_views()
+        for view, want_x, want_y in [
+            (train, split.train_x, split.train_y),
+            (val, split.val_x, split.val_y),
+            (test, split.test_x, split.test_y),
+        ]:
+            got_x, got_y = view.arrays()
+            assert np.array_equal(got_x, want_x)
+            assert np.array_equal(got_y, want_y)
+
+    def test_lazy_accessors_match_arrays(self):
+        store = _store(_tensor())
+        _, val, _ = store.split_views()
+        x, y = val.arrays()
+        assert np.array_equal(np.asarray(val.x), x)
+        assert np.array_equal(np.asarray(val.targets), y)
+        assert np.array_equal(val.x[1:3], x[1:3])
+        assert np.array_equal(val.x[-1], x[-1])
+        assert np.array_equal(val.targets[0], y[0])
+
+    def test_lazy_slices_must_be_contiguous(self):
+        store = _store(_tensor())
+        train, _, _ = store.split_views()
+        with pytest.raises(ValueError, match="contiguous"):
+            train.x[::2]
+
+    def test_raw_x_returns_denormalized_slots(self):
+        tensor = _tensor()
+        store = _store(tensor)
+        _, _, test = store.split_views()
+        raw = test.raw_x()
+        assert raw.shape == (len(test), HISTORY, 3, 2, 3)
+        assert np.array_equal(raw[0], tensor[test.start : test.start + HISTORY])
+
+
+class TestBatchStreamParity:
+    def test_streamed_batches_bit_identical_to_iterate_minibatches(self):
+        tensor = _tensor()
+        _, _, ex, ey = _eager_reference(tensor)
+        store = _store(tensor)
+        train, _, _ = store.split_views()
+        eager_x, eager_y = train.arrays()
+        assert np.array_equal(eager_x, ex[: len(train)])
+
+        eager_batches = list(
+            iterate_minibatches(eager_x, eager_y, 8, rng=np.random.default_rng(5))
+        )
+        streamed = list(train.batches(8, rng=np.random.default_rng(5)))
+        assert len(streamed) == len(eager_batches)
+        for (sx, sy), (gx, gy) in zip(streamed, eager_batches):
+            assert sx.tobytes() == gx.tobytes()
+            assert sy.tobytes() == gy.tobytes()
+
+    def test_window_iterator_is_reiterable_and_satisfies_protocol(self):
+        store = _store(_tensor())
+        train, _, _ = store.split_views()
+        iterator = WindowIterator(train, batch_size=8)
+        assert iterator.num_samples == len(train)
+        first = [x.copy() for x, _ in iterator]
+        second = [x.copy() for x, _ in iterator]
+        assert len(first) == len(second) > 1
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+
+
+class TestStoreSurface:
+    def test_empty_store_refuses_shape_queries(self):
+        store = WindowStore(HISTORY, HORIZON)
+        with pytest.raises(RuntimeError, match="store is empty"):
+            store.grid_shape
+
+    def test_window_range_checked(self):
+        store = _store(_tensor())
+        with pytest.raises(IndexError, match="out of bounds"):
+            store.windows(0, store.num_windows + 1)
+
+    def test_latest_raw_window_tracks_the_head(self):
+        tensor = _tensor()
+        store = WindowStore(HISTORY, HORIZON, normalize=False)
+        store.extend(tensor[:4])
+        assert store.latest_raw_window() is None  # too few slots
+        store.extend(tensor[4:9])
+        assert np.array_equal(store.latest_raw_window(), tensor[4:9])

@@ -1,0 +1,131 @@
+"""The store's window primitives, pinned against the historical eager path.
+
+``supervised_pairs`` replaced ``make_windows``'s per-start ``np.stack``
+loop with a zero-copy ``sliding_window_view``; these pins keep the fast
+path bit-identical to the reference implementation (including ``stride``)
+so the swap can never drift.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import (
+    lazy_window_view,
+    shuffled_batch_indices,
+    split_bounds,
+    supervised_pairs,
+    window_count,
+)
+
+
+def _reference_pairs(tensor, history, horizon, target_feature=0, stride=1):
+    """The historical make_windows implementation: per-start np.stack."""
+    total = tensor.shape[0]
+    count = total - history - horizon + 1
+    xs, ys = [], []
+    for start in range(0, count, stride):
+        xs.append(tensor[start : start + history])
+        ys.append(
+            tensor[start + history : start + history + horizon, :, :, target_feature]
+        )
+    return np.stack(xs), np.stack(ys)
+
+
+def _series(total, g1=3, g2=2, features=3, seed=0):
+    return np.random.default_rng(seed).random((total, g1, g2, features)) * 10
+
+
+class TestSupervisedPairsPin:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        history=st.integers(1, 6),
+        horizon=st.integers(1, 5),
+        stride=st.integers(1, 4),
+        target=st.integers(0, 2),
+    )
+    def test_bit_identical_to_reference(self, history, horizon, stride, target):
+        tensor = _series(24)
+        x, y = supervised_pairs(
+            tensor, history, horizon, target_feature=target, stride=stride
+        )
+        rx, ry = _reference_pairs(
+            tensor, history, horizon, target_feature=target, stride=stride
+        )
+        assert x.tobytes() == rx.tobytes()
+        assert y.tobytes() == ry.tobytes()
+        assert x.dtype == rx.dtype and x.shape == rx.shape
+
+    def test_outputs_are_fresh_contiguous_copies(self):
+        x, y = supervised_pairs(_series(12), 4, 2)
+        assert x.flags.c_contiguous and y.flags.c_contiguous
+        assert x.base is None or not np.shares_memory(x, _series(12))
+
+    def test_rejects_bad_rank_with_exact_message(self):
+        with pytest.raises(ValueError, match=r"expected \(T, G1, G2, F\) tensor"):
+            supervised_pairs(np.zeros((10, 2, 2)), 2, 2)
+
+    def test_rejects_short_series_with_exact_message(self):
+        with pytest.raises(ValueError, match="too short for history"):
+            supervised_pairs(_series(4), 4, 3)
+
+    def test_rejects_nonpositive_history(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            supervised_pairs(_series(10), 0, 2)
+
+
+class TestLazyWindowView:
+    def test_is_zero_copy(self):
+        tensor = _series(10)
+        view = lazy_window_view(tensor, 4)
+        assert np.shares_memory(view, tensor)
+        assert view.shape == (7, 4, 3, 2, 3)
+
+    def test_fancy_index_materializes_copies(self):
+        tensor = _series(10)
+        picked = lazy_window_view(tensor, 4)[np.array([0, 3, 5])]
+        assert not np.shares_memory(picked, tensor)
+        assert np.array_equal(picked[1], tensor[3:7])
+
+
+class TestSplitBounds:
+    def test_default_ratios(self):
+        assert split_bounds(10) == (6, 8)
+
+    def test_rejects_too_few_windows(self):
+        with pytest.raises(ValueError, match="need at least 3 windows"):
+            split_bounds(2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(count=st.integers(3, 200))
+    def test_every_split_nonempty(self, count):
+        train_end, val_end = split_bounds(count)
+        assert 0 < train_end < val_end < count
+
+
+class TestShuffledBatchIndices:
+    def test_without_rng_preserves_order(self):
+        batches = list(shuffled_batch_indices(7, 3, None))
+        assert [b.tolist() for b in batches] == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_rng_consumption_matches_trainer_shuffle(self):
+        # Same schedule as iterate_minibatches: one rng.shuffle of arange.
+        reference_rng = np.random.default_rng(7)
+        order = np.arange(10)
+        reference_rng.shuffle(order)
+        batches = list(shuffled_batch_indices(10, 4, np.random.default_rng(7)))
+        assert np.array_equal(np.concatenate(batches), order)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(ValueError):
+            list(shuffled_batch_indices(5, 0, None))
+
+
+class TestWindowCount:
+    @settings(max_examples=20, deadline=None)
+    @given(total=st.integers(0, 30), history=st.integers(1, 6), horizon=st.integers(1, 6))
+    def test_matches_eager_count(self, total, history, horizon):
+        assert window_count(total, history, horizon) == max(
+            total - history - horizon + 1, 0
+        )

@@ -24,6 +24,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
         "benchmarks/bench_substrate.py",
         "benchmarks/bench_train.py",
         "benchmarks/bench_model.py",
+        "benchmarks/bench_store.py",
     ],
 )
 def test_bench_module_smoke(module, tmp_path):

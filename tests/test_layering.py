@@ -234,6 +234,84 @@ class TestRulesFire:
         )
         assert checker.check(root) == []
 
+    def test_store_importing_repro_layers_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"store/bad.py": "from repro.obs import metrics\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "self-contained leaf" in violations[0]
+
+    def test_store_importing_third_party_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"store/bad.py": "import pandas\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "only the stdlib and numpy" in violations[0]
+
+    def test_store_stdlib_numpy_and_internal_imports_pass(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "store/good.py": (
+                    "import math\n"
+                    "import numpy as np\n"
+                    "from repro.store.chunks import ChunkBuffer\n"
+                    "from numpy.lib.stride_tricks import sliding_window_view\n"
+                ),
+            },
+        )
+        assert checker.check(root) == []
+
+    def test_stride_tricks_outside_store_are_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "data/bad.py": (
+                    "import numpy as np\n"
+                    "view = np.lib.stride_tricks.sliding_window_view\n"
+                ),
+                "serve/bad.py": (
+                    "from numpy.lib.stride_tricks import as_strided\n"
+                ),
+            },
+        )
+        violations = checker.check(root)
+        assert len(violations) == 2
+        assert all("repro.store" in line for line in violations)
+
+    def test_stride_tricks_in_nn_ops_kernels_pass(self, tmp_path):
+        # im2col conv lowering is patch extraction inside a kernel, not
+        # supervised window slicing — the sanctioned exemption.
+        root = _tree(
+            tmp_path,
+            {
+                "nn/ops/conv.py": (
+                    "from numpy.lib.stride_tricks import sliding_window_view\n"
+                ),
+            },
+        )
+        assert checker.check(root) == []
+
+    def test_data_windows_must_route_through_store(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"data/windows.py": "import numpy as np\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "route through the store" in violations[0]
+
+    def test_data_windows_importing_store_passes(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"data/windows.py": "from repro.store.windows import supervised_pairs\n"},
+        )
+        assert checker.check(root) == []
+
     def test_clean_tree_passes(self, tmp_path):
         root = _tree(
             tmp_path,
