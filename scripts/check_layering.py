@@ -55,6 +55,13 @@ Rules enforced (each import must point *down* the stack):
     ``repro/store/`` (except ``repro.nn.ops``, whose conv kernels lower to
     im2col with the same helpers), and ``repro.data.windows`` (the eager
     compat shim) must import the store rather than re-deriving window math.
+12. ``repro.serve.gateway`` is the HTTP edge: it speaks stdlib on one side
+    and ``repro.serve`` on the other. Its ``repro`` imports must all live
+    under ``repro.serve`` (observability surfaces are re-exported through
+    ``repro.serve.shard``) and its external imports must be stdlib — not
+    even numpy, so the wire format stays plain JSON lists. ``serve.shard``
+    itself is bound by the ordinary serve rules (rule 7): never
+    ``experiments``, never ``core``/``baselines``.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -86,6 +93,8 @@ NN_FUSION_ALLOWED = {"repro.nn.ops", "repro.nn.engine", "repro.nn.tensor"}
 STORE_EXTERNAL_ALLOWED = {"numpy", "__future__"}
 STRIDE_TRICK_NAMES = {"sliding_window_view", "as_strided"}
 STRIDE_TRICK_EXEMPT_PREFIX = "repro.nn.ops"
+# Rule 12: the HTTP gateway is stdlib + repro.serve only.
+GATEWAY_MODULE = "repro.serve.gateway"
 
 
 def _module_name(path: str, base: str) -> str:
@@ -211,6 +220,16 @@ def check(source_root: str = SOURCE_ROOT):
                         "(window stride tricks live only in repro.store)"
                     )
 
+            if module == GATEWAY_MODULE:
+                # Rule 12a: the gateway's non-repro imports must be stdlib.
+                for external in sorted(_external_imports(path)):
+                    if external not in sys.stdlib_module_names:
+                        violations.append(
+                            f"{location}: imports {external} "
+                            "(serve.gateway allows only stdlib externals — "
+                            "the wire format is plain JSON)"
+                        )
+
             def forbid(condition, target, rule):
                 if condition:
                     violations.append(f"{location}: imports {target} ({rule})")
@@ -293,6 +312,15 @@ def check(source_root: str = SOURCE_ROOT):
                         "experiments (offline) must not import serve (online)",
                     )
                 elif layer == "serve":
+                    # Rule 12b: the gateway reaches everything (obs, numpy
+                    # types) through repro.serve re-exports, nothing else.
+                    forbid(
+                        module == GATEWAY_MODULE
+                        and not target.startswith("repro.serve"),
+                        target,
+                        "serve.gateway imports only repro.serve "
+                        "(obs surfaces are re-exported via serve.shard)",
+                    )
                     forbid(
                         target_layer == "experiments",
                         target,

@@ -28,6 +28,15 @@ package is that loop, built on the pipeline's offline artifacts:
   feed the :mod:`repro.obs.drift` detectors from a live service and publish
   ``forecast_drift_score`` gauges plus ``drift_detected`` / ``slo_burn``
   run-log events.
+- :mod:`repro.serve.shard` — :func:`partition_grid` / :class:`ShardRouter`:
+  the city-scale tier. Contiguous region shards each run their own service
+  (own scaler, own checkpoint) behind their own micro-batcher; the router
+  scatters a full-grid window, gathers the partial demands, and merges
+  degradation honestly (per-shard reports; one degraded shard degrades the
+  merged answer, one failed shard falls back to that shard's floor).
+- :mod:`repro.serve.gateway` — ``python -m repro.serve.gateway``: stdlib
+  JSON/HTTP front door over a router (``/forecast``, ``/healthz``,
+  ``/shards``), traces linking gateway → router → shard spans.
 - :mod:`repro.serve.bench` — ``python -m repro.serve.bench``: closed-loop
   load generator writing ``results/BENCH_serve.json`` (throughput, p50/p99
   latency, degraded fraction); ``--trace`` records request-scoped spans,
@@ -43,12 +52,22 @@ from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
 from repro.serve.ingest import IngestionPipeline, IngestReport, ReadyWindow
 from repro.serve.loader import DEFAULT_FALLBACKS, load_service, service_from_dataset
 from repro.serve.monitor import DriftMonitor, SloMonitor
+from repro.serve.shard import (
+    ShardedResponse,
+    ShardRegion,
+    ShardReport,
+    ShardRouter,
+    load_shard_services,
+    partition_grid,
+    router_from_dataset,
+)
 from repro.serve.service import (
     REASON_DEADLINE,
     REASON_ERROR,
     REASON_PREDICTED_DEADLINE,
     ForecastResponse,
     ForecastService,
+    PartialBatchError,
     ServiceTier,
 )
 
@@ -61,7 +80,12 @@ __all__ = [
     "IngestReport",
     "IngestionPipeline",
     "MicroBatcher",
+    "PartialBatchError",
     "ReadyWindow",
+    "ShardedResponse",
+    "ShardRegion",
+    "ShardReport",
+    "ShardRouter",
     "SloMonitor",
     "REASON_DEADLINE",
     "REASON_ERROR",
@@ -69,5 +93,8 @@ __all__ = [
     "ServiceTier",
     "SlowForecaster",
     "load_service",
+    "load_shard_services",
+    "partition_grid",
+    "router_from_dataset",
     "service_from_dataset",
 ]

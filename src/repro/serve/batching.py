@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import List, Optional
@@ -26,7 +27,7 @@ import numpy as np
 
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing
-from repro.serve.service import ForecastResponse, ForecastService
+from repro.serve.service import ForecastResponse, ForecastService, PartialBatchError
 
 
 @dataclass
@@ -99,6 +100,10 @@ class MicroBatcher:
         )
         with self._arrived:
             if self._closed:
+                # The lifecycle span is already open on this thread; close
+                # it before raising or it dangles and corrupts parent
+                # resolution for every later span the caller starts.
+                submission.span.end(status="error", error="MicroBatcher is closed")
                 raise RuntimeError("MicroBatcher is closed")
             self._queue.append(submission)
             self._arrived.notify()
@@ -111,13 +116,35 @@ class MicroBatcher:
         return self.submit(window, deadline_seconds=deadline_seconds).result()
 
     def close(self, timeout: Optional[float] = 5.0) -> None:
-        """Stop accepting work, drain the queue, and join the worker."""
+        """Stop accepting work, drain the queue, and join the worker.
+
+        A healthy worker drains the queue before exiting, so after the join
+        nothing is usually left. If the worker could *not* be joined in time
+        (wedged in a tier call, or dead), whatever is still queued would
+        block its callers forever — those futures are failed with a
+        "batcher closed" error, and the unjoined worker is surfaced via a
+        :class:`RuntimeWarning` plus ``serve_batcher_unjoined_total``.
+        """
         with self._arrived:
-            if self._closed:
-                return
             self._closed = True
             self._arrived.notify()
         self._worker.join(timeout=timeout)
+        with self._arrived:
+            leftovers = self._queue[:]
+            del self._queue[:]
+        for submission in leftovers:
+            error = RuntimeError("MicroBatcher closed before this request was answered")
+            submission.span.end(status="error", error=str(error))
+            if submission.future.set_running_or_notify_cancel():
+                submission.future.set_exception(error)
+        if self._worker.is_alive():
+            obs_metrics.counter("serve_batcher_unjoined_total").inc()
+            warnings.warn(
+                f"MicroBatcher worker failed to stop within {timeout}s; "
+                f"{len(leftovers)} queued request(s) failed with a closed error",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -166,22 +193,39 @@ class MicroBatcher:
                 starts=[submission.start for submission in batch],
                 contexts=[submission.span.context for submission in batch],
             )
+        except PartialBatchError as error:
+            # The floor failed for a subset of the batch: deliver every
+            # answer that was computed and fail exactly the broken requests,
+            # each with its own underlying error.
+            for i, submission in enumerate(batch):
+                failure = error.errors.get(i)
+                if failure is None:
+                    self._resolve(submission, error.responses[i])
+                else:
+                    self._fail(submission, failure)
+            return
         except Exception as error:  # noqa: BLE001 - propagate to the waiters
             for submission in batch:
-                submission.span.end(status="error", error=str(error))
-                if not submission.future.set_running_or_notify_cancel():
-                    continue
-                submission.future.set_exception(error)
+                self._fail(submission, error)
             return
         for submission, response in zip(batch, responses):
-            submission.span.end(
-                tier=response.tier,
-                degraded=response.degraded,
-                deadline_missed=response.deadline_missed,
-            )
-            if not submission.future.set_running_or_notify_cancel():
-                continue
+            self._resolve(submission, response)
+
+    @staticmethod
+    def _resolve(submission: _Submission, response: ForecastResponse) -> None:
+        submission.span.end(
+            tier=response.tier,
+            degraded=response.degraded,
+            deadline_missed=response.deadline_missed,
+        )
+        if submission.future.set_running_or_notify_cancel():
             submission.future.set_result(response)
+
+    @staticmethod
+    def _fail(submission: _Submission, error: Exception) -> None:
+        submission.span.end(status="error", error=str(error))
+        if submission.future.set_running_or_notify_cancel():
+            submission.future.set_exception(error)
 
 
 __all__ = ["MicroBatcher"]

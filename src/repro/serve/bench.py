@@ -39,20 +39,16 @@ from repro.pipeline.spec import RunSpec
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
 from repro.serve.ingest import IngestionPipeline
+from repro.serve.loader import service_from_dataset
 from repro.serve.monitor import DriftMonitor, SloMonitor
-from repro.serve.service import ForecastService
+from repro.serve.service import ForecastService, ServiceTier
+from repro.serve.shard import DEMO_HPARAMS, ShardRouter, partition_grid
 from repro.store import WindowStore
 
 # Small-but-real BikeCAP geometry: big enough to exercise every kernel,
-# small enough that a smoke run finishes in seconds.
-DEFAULT_HPARAMS = {
-    "BikeCAP": {
-        "pyramid_size": 2,
-        "capsule_dim": 2,
-        "future_capsule_dim": 2,
-        "decoder_hidden": 4,
-    }
-}
+# small enough that a smoke run finishes in seconds (shared with the
+# gateway CLI's demo pool).
+DEFAULT_HPARAMS = DEMO_HPARAMS
 
 
 def _unwrap(forecaster):
@@ -125,6 +121,79 @@ def build_service(args) -> tuple:
     return service, raw_windows, dataset
 
 
+def _inject_faults(service: ForecastService, args) -> None:
+    """Wrap the primary tier with the CLI's latency/fault injectors."""
+    primary = service.tiers[0]
+    forecaster = primary.forecaster
+    if args.slow_ms > 0:
+        forecaster = SlowForecaster(forecaster, args.slow_ms / 1e3)
+    if args.fault_rate > 0:
+        forecaster = FaultInjectingForecaster(forecaster, args.fault_rate)
+    service.tiers = (ServiceTier(primary.name, forecaster),) + service.tiers[1:]
+
+
+def build_sharded(args) -> tuple:
+    """Synthetic city → per-shard datasets/services → (router, raw windows).
+
+    Each region gets its **own** dataset sliced from the full tensor, so
+    each shard fits its own scaler on its own block's extrema — the
+    per-shard normalization a real deployment would persist. With
+    ``--epochs > 0`` each shard also trains its own checkpoint through the
+    pipeline funnel and reloads it exactly as a server would.
+    """
+    rng = np.random.default_rng(args.seed)
+    tensor = rng.random((args.slots, args.grid[0], args.grid[1], args.features)) * 20.0
+    dataset = dataset_from_tensor(tensor, history=args.history, horizon=args.horizon)
+    regions = partition_grid(args.grid, args.shards)
+
+    hparams = dict(DEFAULT_HPARAMS.get(args.model, {}))
+    if args.hparams:
+        hparams.update(json.loads(args.hparams))
+    spec = RunSpec(
+        model=args.model,
+        history=args.history,
+        horizon=args.horizon,
+        epochs=args.epochs,
+        seed=args.seed,
+        hparams=hparams,
+    )
+
+    services = {}
+    for region in regions:
+        shard_dataset = dataset_from_tensor(
+            region.slice_tensor(tensor), history=args.history, horizon=args.horizon
+        )
+        checkpoint_path = None
+        if args.epochs > 0:
+            from repro.pipeline.runner import execute
+
+            result = execute(
+                spec,
+                shard_dataset,
+                checkpoint_dir=os.path.join(
+                    args.out, f"serve-bench-ckpt-{region.name}"
+                ),
+            )
+            checkpoint_path = result.checkpoint_path
+        service = service_from_dataset(
+            spec,
+            shard_dataset,
+            checkpoint_path=checkpoint_path,
+            warm_batch_sizes=(1, args.max_batch),
+        )
+        _inject_faults(service, args)
+        services[region.name] = service
+
+    router = ShardRouter(
+        regions,
+        services,
+        max_batch=args.max_batch,
+        max_wait_seconds=args.max_wait_ms / 1e3,
+    )
+    raw_windows = dataset.test_view().raw_x()
+    return router, raw_windows
+
+
 def run_load(service, raw_windows, args):
     """Drive the batcher closed-loop; returns (responses, elapsed_seconds)."""
     deadline = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
@@ -169,6 +238,105 @@ def run_load(service, raw_windows, args):
     if errors:
         raise RuntimeError(f"{len(errors)} request(s) errored; first: {errors[0]!r}")
     return responses, elapsed, batch_sizes
+
+
+def run_sharded_load(router, raw_windows, args):
+    """Closed-loop clients over ``ShardRouter.forecast``; mirrors run_load."""
+    deadline = args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+    responses = []
+    responses_lock = threading.Lock()
+    errors = []
+    barrier = threading.Barrier(args.clients + 1)
+    per_client = args.requests // args.clients
+    if per_client < 1:
+        raise SystemExit("--requests must be >= --clients")
+
+    def client(offset: int) -> None:
+        barrier.wait()
+        for i in range(per_client):
+            window = raw_windows[(offset + i) % len(raw_windows)]
+            try:
+                response = router.forecast(window, deadline_seconds=deadline)
+            except Exception as error:  # noqa: BLE001 - report, don't hang
+                with responses_lock:
+                    errors.append(error)
+                return
+            with responses_lock:
+                responses.append(response)
+
+    threads = [
+        threading.Thread(target=client, args=(offset,), daemon=True)
+        for offset in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    began = time.monotonic()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - began
+
+    if errors:
+        raise RuntimeError(f"{len(errors)} request(s) errored; first: {errors[0]!r}")
+    return responses, elapsed
+
+
+def summarize_sharded(responses, elapsed, router, args) -> dict:
+    """BENCH_serve.json payload for a ``--shards`` run.
+
+    The throughput gauge ends in ``_throughput_rps`` so
+    ``scripts/bench_compare.py`` gates it (higher is better) without any
+    bench-specific wiring; p50/p99 follow the single-service naming with a
+    ``sharded`` infix.
+    """
+    latency = Histogram("client_latency")
+    degraded = 0
+    missed = 0
+    shard_tier_counts: dict = {}
+    shard_failures: dict = {}
+    for response in responses:
+        latency.observe(response.latency_seconds)
+        degraded += bool(response.degraded)
+        missed += bool(response.deadline_missed)
+        for report in response.shards:
+            tiers = shard_tier_counts.setdefault(report.shard, {})
+            tier = report.tier if report.tier is not None else "<failed>"
+            tiers[tier] = tiers.get(tier, 0) + 1
+            if report.failed:
+                shard_failures[report.shard] = shard_failures.get(report.shard, 0) + 1
+    total = len(responses)
+    stats = latency.summary()
+    batch_sizes = router.batch_sizes
+    all_batches = [size for sizes in batch_sizes.values() for size in sizes]
+    gauges = {
+        "bench_serve_sharded_latency_mean_seconds": stats["mean"],
+        "bench_serve_sharded_latency_p50_seconds": stats["p50"],
+        "bench_serve_sharded_latency_p90_seconds": stats["p90"],
+        "bench_serve_sharded_latency_p99_seconds": stats["p99"],
+        "bench_serve_sharded_throughput_rps": total / elapsed if elapsed > 0 else 0.0,
+        "bench_serve_sharded_degraded_fraction": degraded / total,
+        "bench_serve_sharded_deadline_missed_fraction": missed / total,
+        "bench_serve_sharded_batch_mean_size": (
+            float(np.mean(all_batches)) if all_batches else 0.0
+        ),
+    }
+    return {
+        "config": {
+            key: value for key, value in sorted(vars(args).items()) if key != "out"
+        },
+        "gauges": gauges,
+        "requests": total,
+        "elapsed_seconds": elapsed,
+        "shards": {
+            region.name: {
+                **region.as_dict(),
+                "tier_counts": dict(sorted(shard_tier_counts.get(region.name, {}).items())),
+                "failures": shard_failures.get(region.name, 0),
+                "batches": len(batch_sizes.get(region.name, [])),
+            }
+            for region in router.regions
+        },
+    }
 
 
 def drift_pass(service, dataset, args) -> DriftMonitor:
@@ -278,6 +446,12 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--epochs", type=int, default=0, help=">0 trains + checkpoints first")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--hparams", default=None, help="JSON overrides for the primary")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=">0 runs the region-sharded pool (ShardRouter) instead of one service",
+    )
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
     parser.add_argument("--deadline-ms", type=float, default=None)
@@ -317,6 +491,12 @@ def main(argv: Optional[list] = None) -> int:
     args.grid = tuple(args.grid)
     if args.trace_overhead:
         args.trace = True
+    if args.shards:
+        if args.drift_samples > 0:
+            parser.error("--drift-samples is not supported with --shards")
+        if args.trace_overhead:
+            parser.error("--trace-overhead is not supported with --shards")
+        return _main_sharded(args)
 
     service, raw_windows, dataset = build_service(args)
     exporter = None
@@ -384,6 +564,66 @@ def main(argv: Optional[list] = None) -> int:
     print(
         f"  degraded   {gauges['bench_serve_degraded_fraction'] * 100:5.1f}%   "
         f"tiers {payload['tier_counts']}"
+    )
+    print(f"  wrote {path}")
+    return 0
+
+
+def _main_sharded(args) -> int:
+    """The ``--shards N`` flow: pool build, closed-loop load, sharded gauges."""
+    router, raw_windows = build_sharded(args)
+    exporter = None
+    if args.telemetry_port is not None:
+        exporter = serve_metrics.start_exporter(port=args.telemetry_port)
+        print(f"telemetry live at {exporter.url}/metrics")
+    logger = runlog.start_run(
+        "serve-bench",
+        seed=args.seed,
+        config={"bench": "serve-sharded", "spec_model": args.model, "shards": args.shards},
+    )
+    slo_status = None
+    try:
+        if args.trace:
+            tracing.start_recording()
+        with router:
+            responses, elapsed = run_sharded_load(router, raw_windows, args)
+            slo_status = slo_pass(responses, args)
+            payload = summarize_sharded(responses, elapsed, router, args)
+    finally:
+        if logger is not None:
+            logger.close(status="ok")
+    if slo_status is not None:
+        payload["slo"] = slo_status.as_dict()
+    os.makedirs(args.out, exist_ok=True)
+    path = os.path.join(args.out, "BENCH_serve.json")
+    atomic_write_json(path, payload, sort_keys=True)
+    if args.trace:
+        trace_path = tracing.dump_chrome_trace(
+            os.path.join(args.out, "BENCH_serve.trace.json")
+        )
+        tracing.dump_jsonl(os.path.join(args.out, "BENCH_serve.trace.jsonl"))
+        tracing.stop_recording()
+        print(f"  trace  {trace_path} (load into Perfetto / chrome://tracing)")
+    if exporter is not None:
+        exporter.stop()
+
+    gauges = payload["gauges"]
+    failed = sum(shard["failures"] for shard in payload["shards"].values())
+    print(
+        f"serve bench (sharded ×{args.shards}): "
+        f"{payload['requests']} requests in {elapsed:.3f}s"
+    )
+    print(
+        f"  throughput {gauges['bench_serve_sharded_throughput_rps']:8.1f} req/s   "
+        f"mean shard batch {gauges['bench_serve_sharded_batch_mean_size']:.2f}"
+    )
+    print(
+        f"  latency    p50 {gauges['bench_serve_sharded_latency_p50_seconds'] * 1e3:7.2f}ms   "
+        f"p99 {gauges['bench_serve_sharded_latency_p99_seconds'] * 1e3:7.2f}ms"
+    )
+    print(
+        f"  degraded   {gauges['bench_serve_sharded_degraded_fraction'] * 100:5.1f}%   "
+        f"shard failures {failed}"
     )
     print(f"  wrote {path}")
     return 0

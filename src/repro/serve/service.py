@@ -20,8 +20,11 @@ Degradation semantics, per request:
   would have observed anyway);
 - the **final tier is the floor**: it always runs when reached, deadline or
   not, and is expected to be infallible (persistence is a pure numpy
-  reshuffle). If the floor itself raises, the error propagates — there is
-  nothing left to degrade to.
+  reshuffle). If the floor itself fails for some requests, the batch raises
+  :class:`PartialBatchError` carrying every answer that *was* computed plus
+  the per-request floor errors — one poisoned request never voids its
+  healthy batch-mates (:meth:`~ForecastService.predict_one` unwraps the
+  single underlying error).
 
 Every answer increments ``serve_requests_total{tier=…}`` and observes
 ``serve_latency_seconds{tier=…}``; every tier skip increments
@@ -49,6 +52,27 @@ REASON_PREDICTED_DEADLINE = "predicted_deadline"
 
 # Weight of the newest observation in the per-tier latency EWMA.
 _EWMA_ALPHA = 0.3
+
+
+class PartialBatchError(RuntimeError):
+    """The floor tier failed for *some* requests of a batch.
+
+    ``responses`` aligns with the request batch and holds every
+    :class:`ForecastResponse` that was computed (``None`` at the broken
+    indices); ``errors`` maps each broken index to the exception its floor
+    attempt raised. Batch callers (the :class:`~repro.serve.batching.
+    MicroBatcher`) resolve the survivors and fail only the broken futures.
+    """
+
+    def __init__(self, responses, errors):
+        self.responses: List[Optional["ForecastResponse"]] = list(responses)
+        self.errors: Dict[int, Exception] = dict(errors)
+        broken = ", ".join(str(index) for index in sorted(self.errors))
+        first = next(iter(self.errors.values()))
+        super().__init__(
+            f"floor tier failed for request(s) [{broken}] of a batch of "
+            f"{len(self.responses)}: {first}"
+        )
 
 
 @dataclass(frozen=True)
@@ -163,7 +187,12 @@ class ForecastService:
         deadline = None
         if deadline_seconds is not None:
             deadline = self._clock() + float(deadline_seconds)
-        return self.predict_batch(window[None], deadlines=[deadline])[0]
+        try:
+            return self.predict_batch(window[None], deadlines=[deadline])[0]
+        except PartialBatchError as error:
+            # A batch of one has exactly one underlying floor failure; the
+            # wrapper adds nothing for a single-window caller.
+            raise error.errors[0]
 
     def predict_batch(
         self,
@@ -211,6 +240,7 @@ class ForecastService:
         ]
         responses: List[Optional[ForecastResponse]] = [None] * count
 
+        floor_failures: List[Tuple[_PendingRequest, Exception]] = []
         with tracing.span("serve.batch", batch=count):
             for position, tier in enumerate(self.tiers):
                 if not pending:
@@ -230,32 +260,57 @@ class ForecastService:
                         tier, request, prediction, degraded=position > 0
                     )
                 if failed and is_floor:
-                    # Nothing left to degrade to; surface the floor's error.
-                    request, error = failed[0]
-                    raise error
+                    # Nothing left to degrade to for *these* requests — but
+                    # their batch-mates already have answers. Surface the
+                    # per-request floor errors together after the loop so
+                    # one poisoned request cannot void the whole batch.
+                    floor_failures = failed
+                    break
                 pending.extend(request for request, _error in failed)
                 pending.sort(key=lambda request: request.index)
 
+        if floor_failures:
+            raise PartialBatchError(
+                responses,
+                {request.index: error for request, error in floor_failures},
+            )
         assert all(response is not None for response in responses)
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def _partition_by_deadline(self, tier, pending):
-        """Split requests into (attempt this tier, skip to a cheaper one)."""
+        """Split requests into (attempt this tier, skip to a cheaper one).
+
+        The tier runs its attempt set as **one** batched forward, so the
+        predicted completion time for every attempted request is
+        ``now + per_window_estimate × len(attempt)`` — not ``now +
+        per_window_estimate``. Deadline-carrying requests are dropped
+        tightest-deadline first: each drop shrinks the batch, which can pull
+        the predicted finish back under the remaining deadlines and save
+        the rest from a doomed attempt.
+        """
         now = self._clock()
         estimate = self._latency_ewma.get(tier.name)
-        attempt, skipped = [], []
+        attempt, skipped, bounded = [], [], []
         for request in pending:
-            if request.deadline is None:
-                attempt.append(request)
-            elif now > request.deadline:
+            if request.deadline is not None and now > request.deadline:
                 self._record_skip(tier, request, REASON_DEADLINE)
                 skipped.append(request)
-            elif estimate is not None and now + estimate > request.deadline:
+            elif request.deadline is None or estimate is None:
+                attempt.append(request)
+            else:
+                bounded.append(request)
+        if bounded:
+            bounded.sort(key=lambda request: request.deadline)
+            while bounded:
+                finish = now + estimate * (len(attempt) + len(bounded))
+                if finish <= bounded[0].deadline:
+                    break
+                request = bounded.pop(0)
                 self._record_skip(tier, request, REASON_PREDICTED_DEADLINE)
                 skipped.append(request)
-            else:
-                attempt.append(request)
+            attempt.extend(bounded)
+            attempt.sort(key=lambda request: request.index)
         return attempt, skipped
 
     def _attempt_tier(self, tier, normalized, requests, demote_late: bool = True):
@@ -270,6 +325,12 @@ class ForecastService:
         """
         batch = normalized[[request.index for request in requests]]
         began = self._clock()
+        # Windows actually pushed through the forecaster: the batched
+        # attempt counts len(requests); each per-window retry adds one more.
+        # The EWMA divides elapsed by this, so a retry storm (batched
+        # failure + N singles) reads as ~2× per-window cost instead of being
+        # folded into the batched estimate unweighted.
+        executed_windows = len(requests)
         try:
             with tracing.span("serve.tier", tier=tier.name, batch=len(requests)):
                 predictions = np.asarray(tier.forecaster.predict(batch))
@@ -281,6 +342,7 @@ class ForecastService:
             # through to the next tier.
             outcomes, errors = [], []
             for request in requests:
+                executed_windows += 1
                 try:
                     with tracing.span(
                         "serve.tier.retry", parent=request.ctx, tier=tier.name
@@ -293,8 +355,8 @@ class ForecastService:
                     self._record_skip(tier, request, REASON_ERROR, error=error)
                     errors.append((request, error))
         elapsed = self._clock() - began
-        if requests:
-            self._update_ewma(tier.name, elapsed / len(requests))
+        if executed_windows:
+            self._update_ewma(tier.name, elapsed / executed_windows)
 
         answered, failed = [], list(errors)
         now = self._clock()
@@ -352,6 +414,7 @@ class ForecastService:
 __all__ = [
     "ForecastResponse",
     "ForecastService",
+    "PartialBatchError",
     "REASON_DEADLINE",
     "REASON_ERROR",
     "REASON_PREDICTED_DEADLINE",

@@ -1,0 +1,534 @@
+"""Region-sharded serving: partition the city grid, scatter, gather, merge.
+
+One :class:`~repro.serve.service.ForecastService` per *region shard* is the
+city-scale deployment shape (ROADMAP item 2): each shard owns a contiguous
+``(rows, cols)`` block of the ``(G1, G2)`` grid with its **own** scaler and
+checkpoint — demand extrema differ between downtown and suburb blocks, so
+per-shard normalization is a feature, not an accident. The pieces:
+
+- :func:`partition_grid` — split ``(G1, G2)`` into ``num_shards`` contiguous
+  :class:`ShardRegion` blocks that tile the grid exactly.
+- :func:`load_shard_services` / :func:`router_from_dataset` — per-shard
+  scaler/checkpoint wiring through :func:`~repro.serve.loader.load_service`.
+- :class:`ShardRouter` — scatters a full-grid request window to one
+  :class:`~repro.serve.batching.MicroBatcher` per shard, gathers the partial
+  demands and merges them into one :class:`ShardedResponse`.
+
+Merge semantics are honest by construction:
+
+- the merged response carries a per-shard :class:`ShardReport` (tier, skips,
+  degradation) — nothing is averaged away;
+- **one degraded shard degrades the merged answer** (``degraded=True``),
+  because a consumer rebalancing the whole city must not trust a partially
+  stale grid more than its weakest region;
+- **one failed shard does not fail the city**: its block is filled from the
+  router-level floor (repeat the region's last observed demand slot across
+  the horizon — the same persistence shape the shard's own floor tier would
+  have answered with), the report says ``failed=True`` with the error, and
+  ``serve_shard_failures_total{shard=…}`` counts it.
+
+Tracing: ``ShardRouter.forecast`` opens a ``serve.route`` span on the
+calling thread; each per-shard submission's ``serve.request`` span starts
+under it, so gateway → router → shard spans link into one trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+# Re-exported for repro.serve.gateway, which is layering-restricted to
+# repro.serve + stdlib imports (scripts/check_layering.py rule 12) and
+# reaches the observability surfaces through this module.
+from repro.obs import metrics as obs_metrics
+from repro.obs import runlog, tracing
+from repro.data.datasets import dataset_from_tensor
+from repro.pipeline.spec import RunSpec
+from repro.serve.batching import MicroBatcher
+from repro.serve.loader import DEFAULT_FALLBACKS, load_service
+from repro.serve.service import ForecastResponse, ForecastService
+
+# Small-but-real BikeCAP geometry shared by the serve bench and the gateway
+# CLI demo pool: every kernel exercised, smoke runs finish in seconds.
+DEMO_HPARAMS = {
+    "BikeCAP": {
+        "pyramid_size": 2,
+        "capsule_dim": 2,
+        "future_capsule_dim": 2,
+        "decoder_hidden": 4,
+    }
+}
+
+
+@dataclass(frozen=True)
+class ShardRegion:
+    """One contiguous block of the city grid: ``[rows) × [cols)``."""
+
+    name: str
+    rows: Tuple[int, int]  # half-open [start, stop) over G1
+    cols: Tuple[int, int]  # half-open [start, stop) over G2
+
+    def __post_init__(self) -> None:
+        if self.rows[0] >= self.rows[1] or self.cols[0] >= self.cols[1]:
+            raise ValueError(f"empty shard region {self.name}: {self.rows} × {self.cols}")
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        return (self.rows[1] - self.rows[0], self.cols[1] - self.cols[0])
+
+    def slice_window(self, window: np.ndarray) -> np.ndarray:
+        """This region's block of a full-grid window ``(h, G1, G2, F)``."""
+        return window[:, self.rows[0] : self.rows[1], self.cols[0] : self.cols[1], :]
+
+    def slice_tensor(self, tensor: np.ndarray) -> np.ndarray:
+        """This region's block of a raw slot tensor ``(T, G1, G2, F)``."""
+        return tensor[:, self.rows[0] : self.rows[1], self.cols[0] : self.cols[1], :]
+
+    def place(self, grid: np.ndarray, block: np.ndarray) -> None:
+        """Write this region's demand block into a ``(p, G1, G2)`` grid."""
+        grid[:, self.rows[0] : self.rows[1], self.cols[0] : self.cols[1]] = block
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "rows": list(self.rows), "cols": list(self.cols)}
+
+
+def partition_grid(grid_shape, num_shards: int) -> Tuple[ShardRegion, ...]:
+    """Split ``(G1, G2)`` into ``num_shards`` contiguous blocks tiling it.
+
+    ``num_shards`` is factored into an ``r × c`` block layout (``r`` bands
+    of rows × ``c`` bands of columns); among the factorizations that fit,
+    the one whose blocks are closest to square wins — compact regions keep
+    spatially-correlated demand together, which is what per-shard models
+    want. Band sizes differ by at most one cell, so the tiling is exact for
+    any grid the layout fits.
+    """
+    g1, g2 = int(grid_shape[0]), int(grid_shape[1])
+    num_shards = int(num_shards)
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    layouts = [
+        (r, num_shards // r)
+        for r in range(1, num_shards + 1)
+        if num_shards % r == 0 and r <= g1 and num_shards // r <= g2
+    ]
+    if not layouts:
+        raise ValueError(
+            f"cannot tile a {g1}×{g2} grid with {num_shards} contiguous shards"
+        )
+    # Squarest blocks first; ties prefer more row bands (windows are stored
+    # row-major, so row bands slice contiguously).
+    rows_n, cols_n = min(layouts, key=lambda rc: (abs(g1 / rc[0] - g2 / rc[1]), -rc[0]))
+
+    def bands(extent: int, count: int) -> List[Tuple[int, int]]:
+        base, extra = divmod(extent, count)
+        edges, start = [], 0
+        for i in range(count):
+            stop = start + base + (1 if i < extra else 0)
+            edges.append((start, stop))
+            start = stop
+        return edges
+
+    regions = []
+    for i, rows in enumerate(bands(g1, rows_n)):
+        for j, cols in enumerate(bands(g2, cols_n)):
+            regions.append(
+                ShardRegion(name=f"shard{i * cols_n + j}", rows=rows, cols=cols)
+            )
+    return tuple(regions)
+
+
+@dataclass
+class ShardReport:
+    """What one shard contributed to a merged answer."""
+
+    shard: str
+    tier: Optional[str]  # None when the shard failed outright
+    degraded: bool
+    deadline_missed: bool
+    latency_seconds: float
+    skips: Tuple[str, ...] = ()
+    failed: bool = False
+    error: Optional[str] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "tier": self.tier,
+            "degraded": self.degraded,
+            "deadline_missed": self.deadline_missed,
+            "latency_seconds": self.latency_seconds,
+            "skips": list(self.skips),
+            "failed": self.failed,
+            "error": self.error,
+        }
+
+
+@dataclass
+class ShardedResponse:
+    """One merged full-grid answer assembled from per-shard partials."""
+
+    demand: np.ndarray  # (p, G1, G2) raw demand counts, all regions filled
+    degraded: bool  # any shard degraded OR failed
+    deadline_missed: bool  # any shard missed its deadline
+    latency_seconds: float  # scatter → last gather, as the caller saw it
+    shards: Tuple[ShardReport, ...] = ()
+    failed_shards: Tuple[str, ...] = ()
+
+    @property
+    def tier(self) -> str:
+        """Worst-case tier summary for SLO tooling: the per-shard tiers
+        joined, e.g. ``"BikeCAP|Persistence"`` (order follows the shards)."""
+        return "|".join(report.tier or "<failed>" for report in self.shards)
+
+    def as_dict(self) -> dict:
+        return {
+            "demand": self.demand.tolist(),
+            "degraded": self.degraded,
+            "deadline_missed": self.deadline_missed,
+            "latency_seconds": self.latency_seconds,
+            "shards": [report.as_dict() for report in self.shards],
+            "failed_shards": list(self.failed_shards),
+        }
+
+
+class ShardRouter:
+    """Scatter full-grid windows to per-shard batchers; gather and merge."""
+
+    def __init__(
+        self,
+        regions: Sequence[ShardRegion],
+        services: Mapping[str, ForecastService],
+        *,
+        max_batch: int = 8,
+        max_wait_seconds: float = 0.002,
+        clock=time.monotonic,
+    ):
+        self.regions = tuple(regions)
+        if not self.regions:
+            raise ValueError("ShardRouter needs at least one region")
+        names = [region.name for region in self.regions]
+        if len(set(names)) != len(names):
+            raise ValueError(f"shard names must be unique, got {names}")
+        missing = [name for name in names if name not in services]
+        if missing:
+            raise ValueError(f"no service for shard(s) {missing}")
+        self.services: Dict[str, ForecastService] = {
+            name: services[name] for name in names
+        }
+
+        g1 = max(region.rows[1] for region in self.regions)
+        g2 = max(region.cols[1] for region in self.regions)
+        covered = np.zeros((g1, g2), dtype=int)
+        for region in self.regions:
+            covered[region.rows[0] : region.rows[1], region.cols[0] : region.cols[1]] += 1
+        if not np.all(covered == 1):
+            raise ValueError("shard regions must tile the grid exactly once")
+        self.grid_shape = (g1, g2)
+
+        reference = self.services[names[0]]
+        for region in self.regions:
+            service = self.services[region.name]
+            if tuple(service.grid_shape) != region.grid_shape:
+                raise ValueError(
+                    f"shard {region.name}: service grid {service.grid_shape} != "
+                    f"region grid {region.grid_shape}"
+                )
+            for attribute in ("history", "horizon", "num_features", "target_feature"):
+                if getattr(service, attribute) != getattr(reference, attribute):
+                    raise ValueError(
+                        f"shard {region.name}: {attribute} differs from "
+                        f"shard {names[0]} ({getattr(service, attribute)} != "
+                        f"{getattr(reference, attribute)})"
+                    )
+        self.history = reference.history
+        self.horizon = reference.horizon
+        self.num_features = reference.num_features
+        self.target_feature = reference.target_feature
+        self._clock = clock
+        self._batchers: Dict[str, MicroBatcher] = {
+            region.name: MicroBatcher(
+                self.services[region.name],
+                max_batch=max_batch,
+                max_wait_seconds=max_wait_seconds,
+                clock=clock,
+            )
+            for region in self.regions
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def window_shape(self) -> Tuple[int, ...]:
+        """Shape of one raw full-grid window: ``(h, G1, G2, F)``."""
+        return (self.history,) + self.grid_shape + (self.num_features,)
+
+    @property
+    def batch_sizes(self) -> Dict[str, List[int]]:
+        """Per-shard coalesced batch sizes, for bench reporting."""
+        return {name: list(b.batch_sizes) for name, b in self._batchers.items()}
+
+    def describe(self) -> List[dict]:
+        """Static per-shard facts for the gateway's ``/shards`` route."""
+        return [
+            {
+                **region.as_dict(),
+                "tiers": list(self.services[region.name].tier_names),
+                "window_shape": list(self.services[region.name].window_shape),
+            }
+            for region in self.regions
+        ]
+
+    # ------------------------------------------------------------------
+    def forecast(
+        self, window, deadline_seconds: Optional[float] = None
+    ) -> ShardedResponse:
+        """Answer one full-grid window by scatter → per-shard gather → merge."""
+        window = np.asarray(window, dtype=float)
+        if window.shape != self.window_shape:
+            raise ValueError(
+                f"expected one raw full-grid window of shape {self.window_shape}, "
+                f"got {window.shape}"
+            )
+        began = self._clock()
+        obs_metrics.counter("serve_router_requests_total").inc()
+        with tracing.span("serve.route", shards=len(self.regions)):
+            futures = []
+            for region in self.regions:
+                obs_metrics.counter(
+                    "serve_shard_requests_total", shard=region.name
+                ).inc()
+                futures.append(
+                    self._batchers[region.name].submit(
+                        region.slice_window(window),
+                        deadline_seconds=deadline_seconds,
+                    )
+                )
+
+            demand = np.empty((self.horizon,) + self.grid_shape, dtype=float)
+            reports: List[ShardReport] = []
+            failed: List[str] = []
+            for region, future in zip(self.regions, futures):
+                try:
+                    response: ForecastResponse = future.result()
+                except Exception as error:  # noqa: BLE001 - shard loss degrades
+                    region.place(demand, self._floor(window, region))
+                    reports.append(
+                        ShardReport(
+                            shard=region.name,
+                            tier=None,
+                            degraded=True,
+                            deadline_missed=False,
+                            latency_seconds=self._clock() - began,
+                            skips=(f"{region.name}: failed: {error}",),
+                            failed=True,
+                            error=str(error),
+                        )
+                    )
+                    failed.append(region.name)
+                    obs_metrics.counter(
+                        "serve_shard_failures_total", shard=region.name
+                    ).inc()
+                    tracing.event(
+                        "serve.shard_failed", shard=region.name, error=str(error)
+                    )
+                    runlog.emit(
+                        "serve_shard_failed", shard=region.name, error=str(error)
+                    )
+                    continue
+                region.place(demand, response.demand)
+                reports.append(
+                    ShardReport(
+                        shard=region.name,
+                        tier=response.tier,
+                        degraded=response.degraded,
+                        deadline_missed=response.deadline_missed,
+                        latency_seconds=response.latency_seconds,
+                        skips=response.skips,
+                    )
+                )
+
+        latency = self._clock() - began
+        merged = ShardedResponse(
+            demand=demand,
+            degraded=any(report.degraded or report.failed for report in reports),
+            deadline_missed=any(report.deadline_missed for report in reports),
+            latency_seconds=latency,
+            shards=tuple(reports),
+            failed_shards=tuple(failed),
+        )
+        if merged.degraded:
+            obs_metrics.counter("serve_router_degraded_total").inc()
+        obs_metrics.histogram("serve_router_latency_seconds").observe(latency)
+        return merged
+
+    def _floor(self, window: np.ndarray, region: ShardRegion) -> np.ndarray:
+        """Emergency fill for a shard that failed outright.
+
+        Repeat the region's last observed target-feature slot across the
+        horizon — raw counts in, raw counts out, no scaler, no model: the
+        same persistence shape the shard's own floor tier would have
+        produced, computable even when the shard's service is the thing
+        that broke. Infallible by construction (a pure numpy reshuffle).
+        """
+        last = region.slice_window(window)[-1, :, :, self.target_feature]
+        block = np.broadcast_to(last, (self.horizon,) + last.shape)
+        return np.clip(block, 0.0, None)
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: Optional[float] = 5.0) -> None:
+        for batcher in self._batchers.values():
+            batcher.close(timeout=timeout)
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+def load_shard_services(
+    spec: RunSpec,
+    regions: Sequence[ShardRegion],
+    *,
+    num_features: int,
+    history: Optional[int] = None,
+    horizon: Optional[int] = None,
+    target_feature: int = 0,
+    scaler=None,
+    scaler_states: Optional[Mapping[str, dict]] = None,
+    checkpoint_paths: Optional[Mapping[str, str]] = None,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    warm_batch_sizes: Optional[Sequence[int]] = (1,),
+) -> Dict[str, ForecastService]:
+    """One warmed :class:`ForecastService` per region, through ``load_service``.
+
+    Normalization comes from exactly one of ``scaler`` (one fitted scaler
+    shared by every shard — valid because :class:`MinMaxScaler` is
+    per-feature over *all* cells, so a full-grid fit covers any sub-grid)
+    or ``scaler_states`` (per-shard persisted states, the deployment shape
+    where each shard fit its own extrema). ``checkpoint_paths`` maps shard
+    names to checkpoint archives; shards without an entry build the spec's
+    model fresh from the registry.
+    """
+    if (scaler is None) == (scaler_states is None):
+        raise ValueError("pass exactly one of scaler= or scaler_states=")
+    services: Dict[str, ForecastService] = {}
+    for region in regions:
+        sources = {}
+        if scaler is not None:
+            sources["scaler"] = scaler
+        else:
+            if region.name not in scaler_states:
+                raise ValueError(f"scaler_states is missing shard {region.name!r}")
+            sources["scaler_state"] = scaler_states[region.name]
+        checkpoint = (checkpoint_paths or {}).get(region.name)
+        services[region.name] = load_service(
+            spec,
+            checkpoint,
+            grid_shape=region.grid_shape,
+            num_features=num_features,
+            history=history,
+            horizon=horizon,
+            target_feature=target_feature,
+            fallbacks=fallbacks,
+            warm_batch_sizes=warm_batch_sizes,
+            **sources,
+        )
+    return services
+
+
+def router_from_dataset(
+    spec: RunSpec,
+    dataset,
+    num_shards: int,
+    *,
+    checkpoint_paths: Optional[Mapping[str, str]] = None,
+    fallbacks: Sequence[str] = DEFAULT_FALLBACKS,
+    warm_batch_sizes: Optional[Sequence[int]] = (1,),
+    max_batch: int = 8,
+    max_wait_seconds: float = 0.002,
+) -> ShardRouter:
+    """Partition a full-grid dataset's geometry and stand up the router.
+
+    The dataset's (full-grid) scaler is shared across shards; for
+    per-shard scalers build per-region datasets and use
+    :func:`load_shard_services` directly (the bench's ``--shards`` mode
+    does exactly that).
+    """
+    regions = partition_grid(dataset.grid_shape, num_shards)
+    services = load_shard_services(
+        spec,
+        regions,
+        num_features=dataset.num_features,
+        history=dataset.history,
+        horizon=dataset.horizon,
+        target_feature=dataset.target_feature,
+        scaler=dataset.scaler,
+        checkpoint_paths=checkpoint_paths,
+        fallbacks=fallbacks,
+        warm_batch_sizes=warm_batch_sizes,
+    )
+    return ShardRouter(
+        regions, services, max_batch=max_batch, max_wait_seconds=max_wait_seconds
+    )
+
+
+def synthetic_router(
+    *,
+    model: str = "BikeCAP",
+    grid=(6, 6),
+    num_shards: int = 4,
+    history: int = 6,
+    horizon: int = 3,
+    features: int = 4,
+    slots: int = 80,
+    seed: int = 0,
+    hparams: Optional[dict] = None,
+    max_batch: int = 8,
+    max_wait_seconds: float = 0.002,
+):
+    """Demo pool over a synthetic demand tensor → ``(router, raw_windows)``.
+
+    Used by the gateway CLI and smoke tests: no checkpoints, models built
+    fresh from the registry (``DEMO_HPARAMS`` keeps BikeCAP tiny). A
+    ``Persistence`` primary gets no fallback tier (it would duplicate
+    itself); everything else gets the default persistence floor.
+    """
+    rng = np.random.default_rng(seed)
+    tensor = rng.random((slots, int(grid[0]), int(grid[1]), features)) * 20.0
+    dataset = dataset_from_tensor(tensor, history=history, horizon=horizon)
+    spec = RunSpec(
+        model=model,
+        history=history,
+        horizon=horizon,
+        epochs=0,
+        seed=seed,
+        hparams=dict(hparams if hparams is not None else DEMO_HPARAMS.get(model, {})),
+    )
+    fallbacks = () if model in DEFAULT_FALLBACKS else DEFAULT_FALLBACKS
+    router = router_from_dataset(
+        spec,
+        dataset,
+        num_shards,
+        fallbacks=fallbacks,
+        warm_batch_sizes=(1, max_batch),
+        max_batch=max_batch,
+        max_wait_seconds=max_wait_seconds,
+    )
+    return router, dataset.test_view().raw_x()
+
+
+__all__ = [
+    "DEMO_HPARAMS",
+    "ShardRegion",
+    "ShardReport",
+    "ShardRouter",
+    "ShardedResponse",
+    "load_shard_services",
+    "partition_grid",
+    "router_from_dataset",
+    "synthetic_router",
+]

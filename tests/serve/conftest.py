@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.data.datasets import dataset_from_tensor
 
 
@@ -69,6 +70,72 @@ class ThresholdFaultForecaster:
 
     def __getattr__(self, name):
         return getattr(self.inner, name)
+
+
+class PerWindowSlowForecaster:
+    """Advances a :class:`FakeClock` by ``per_window × len(batch)``.
+
+    Models a tier whose cost scales with batch size — exactly the cost
+    shape the deadline pre-skip has to reason about. Advancing *before*
+    delegating means a poisoned batch (inner raises) still pays for the
+    windows it pushed through the forecaster.
+    """
+
+    def __init__(self, inner, per_window_seconds, clock):
+        self.inner = inner
+        self.per_window_seconds = float(per_window_seconds)
+        self.clock = clock
+
+    def predict(self, x):
+        x = np.asarray(x)
+        self.clock.advance(self.per_window_seconds * len(x))
+        return self.inner.predict(x)
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+def manual_shard_services(dataset, regions, *, poisoned=(), failing=()):
+    """Hand-built per-shard services over the dataset's (full-grid) scaler.
+
+    ``poisoned`` shards get a deterministic :class:`repro.faults`
+    injector on the primary (rate=1.0 → every window degrades to the
+    Floor tier); ``failing`` shards get a single always-raising tier, so
+    the whole shard fails outright.
+    """
+    from repro.serve import ForecastService
+
+    services = {}
+    for region in regions:
+        if region.name in failing:
+            tiers = [("Broken", FailingForecaster("shard down"))]
+        else:
+            primary = ConstantForecaster(dataset.horizon, 0.4)
+            if region.name in poisoned:
+                primary = faults.FaultInjectingForecaster(primary, rate=1.0)
+            tiers = [
+                ("Primary", primary),
+                ("Floor", ConstantForecaster(dataset.horizon, 0.1)),
+            ]
+        services[region.name] = ForecastService(
+            tiers,
+            dataset.scaler,
+            history=dataset.history,
+            horizon=dataset.horizon,
+            grid_shape=region.grid_shape,
+            num_features=dataset.num_features,
+            target_feature=dataset.target_feature,
+        )
+    return services
+
+
+def make_shard_router(dataset, num_shards=2, **kwargs):
+    """A 2-shard router over hand-built services; close it when done."""
+    from repro.serve.shard import ShardRouter, partition_grid
+
+    regions = partition_grid(dataset.grid_shape, num_shards)
+    services = manual_shard_services(dataset, regions, **kwargs)
+    return ShardRouter(regions, services, max_wait_seconds=0.0)
 
 
 class FakeClock:

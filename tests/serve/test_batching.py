@@ -1,9 +1,12 @@
 """MicroBatcher: coalescing, bit-identity with the direct batch call,
 fault isolation inside a coalesced batch, and shutdown semantics."""
 
+import threading
+
 import numpy as np
 import pytest
 
+from repro.obs import tracing
 from repro.pipeline import registry
 from repro.serve import ForecastService, MicroBatcher
 
@@ -152,6 +155,25 @@ class TestFaultIsolation:
                 with pytest.raises(RuntimeError, match="all down"):
                     future.result(timeout=30)
 
+    def test_partial_floor_failure_fails_only_the_poisoned_future(
+        self, serve_dataset, raw_windows
+    ):
+        """With a flaky *floor*, one poisoned request must fail alone: its
+        batch-mates' answers were computed and their futures must resolve,
+        not inherit the poisoned request's floor error."""
+        ds = serve_dataset
+        floor = ThresholdFaultForecaster(ConstantForecaster(ds.horizon, 0.1))
+        service = _service(ds, [("Floor", floor)])
+        windows = [np.array(window) for window in raw_windows[:3]]
+        windows[1][0, 0, 0, 0] = 1e6  # poison exactly one request
+
+        with MicroBatcher(service, max_batch=3, max_wait_seconds=1.0) as batcher:
+            futures = [batcher.submit(window) for window in windows]
+            assert futures[0].result(timeout=30).tier == "Floor"
+            with pytest.raises(RuntimeError, match="poisoned"):
+                futures[1].result(timeout=30)
+            assert futures[2].result(timeout=30).tier == "Floor"
+
 
 class TestLifecycle:
     def test_submit_after_close_raises(self, serve_dataset, raw_windows):
@@ -171,6 +193,72 @@ class TestLifecycle:
         batcher.close()
         for future in futures:
             assert future.result(timeout=1).tier == "Floor"
+
+    def test_closed_submit_ends_its_span_as_error(self, serve_dataset, raw_windows):
+        """``submit`` opens the request-lifecycle span before the closed
+        check; the rejection path must end it, or it dangles on the caller's
+        thread and every later span there parents to a dead request."""
+        ds = serve_dataset
+        service = _service(ds, [("Floor", ConstantForecaster(ds.horizon, 0.1))])
+        batcher = MicroBatcher(service)
+        batcher.close()
+        tracing.start_recording()
+        try:
+            with pytest.raises(RuntimeError, match="closed"):
+                batcher.submit(raw_windows[0])
+            requests = [
+                record
+                for record in tracing.recent()
+                if record["name"] == "serve.request"
+            ]
+            assert len(requests) == 1
+            assert requests[0]["status"] == "error"
+            # Parent resolution on this thread is intact: a fresh span is a
+            # root, not a child of the rejected request.
+            with tracing.span("after-rejection"):
+                pass
+            (after,) = [
+                record
+                for record in tracing.recent()
+                if record["name"] == "after-rejection"
+            ]
+            assert after["parent_id"] is None
+        finally:
+            tracing.stop_recording()
+            tracing.reset()
+
+    def test_close_fails_queued_futures_when_worker_is_stuck(
+        self, serve_dataset, raw_windows
+    ):
+        """If the worker cannot be joined, queued callers must not block
+        forever on futures nobody will resolve: close() fails the backlog
+        and surfaces the unjoined worker as a warning."""
+        ds = serve_dataset
+        entered = threading.Event()
+        release = threading.Event()
+
+        class BlockingForecaster:
+            def predict(self, x):
+                entered.set()
+                release.wait(timeout=30)
+                x = np.asarray(x)
+                return np.zeros((len(x), ds.horizon) + x.shape[2:4])
+
+        service = _service(ds, [("Blocking", BlockingForecaster())])
+        batcher = MicroBatcher(service, max_batch=1, max_wait_seconds=0.0)
+        try:
+            first = batcher.submit(raw_windows[0])
+            assert entered.wait(timeout=5)  # worker is wedged in the tier
+            second = batcher.submit(raw_windows[1])  # stays queued
+            with pytest.warns(RuntimeWarning, match="failed to stop"):
+                batcher.close(timeout=0.2)
+            with pytest.raises(RuntimeError, match="closed before"):
+                second.result(timeout=1)
+        finally:
+            release.set()
+        # The in-flight request was already with the worker; un-wedging the
+        # tier still answers it.
+        assert first.result(timeout=30).tier == "Blocking"
 
     def test_validates_parameters_and_window_shape(self, serve_dataset):
         ds = serve_dataset

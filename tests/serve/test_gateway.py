@@ -1,0 +1,192 @@
+"""End-to-end HTTP tests for the JSON gateway.
+
+The acceptance bar: POSTing a raw full-grid window to ``/forecast`` must
+return merged demand **bit-identical** to calling the per-shard services
+directly — JSON floats round-trip exactly (``repr`` ↔ parse), so HTTP adds
+no numeric drift — including when one shard is fault-injected into its
+degraded tier.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.obs import tracing
+from repro.serve.gateway import ForecastGateway
+
+from .conftest import make_shard_router
+
+
+def _post(url, payload, timeout=30):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+def _get(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as reply:
+        return reply.status, json.loads(reply.read())
+
+
+@pytest.fixture
+def gateway_factory(serve_dataset):
+    """Yields a builder: router kwargs → a live gateway on an ephemeral port."""
+    stack = []
+
+    def build(**router_kwargs):
+        router = make_shard_router(serve_dataset, **router_kwargs)
+        gateway = ForecastGateway(router).start()
+        stack.append((gateway, router))
+        return gateway
+
+    yield build
+    for gateway, router in reversed(stack):
+        gateway.stop()
+        router.close()
+
+
+class TestForecastRoute:
+    def test_post_returns_demand_bit_identical_to_direct_calls(
+        self, gateway_factory, raw_windows
+    ):
+        gateway = gateway_factory()
+        window = raw_windows[0]
+        status, payload = _post(f"{gateway.url}/forecast", {"window": window.tolist()})
+        assert status == 200
+        router = gateway.router
+        served = np.array(payload["demand"])
+        for region in router.regions:
+            direct = router.services[region.name].predict_one(
+                region.slice_window(window)
+            )
+            block = served[
+                :, region.rows[0] : region.rows[1], region.cols[0] : region.cols[1]
+            ]
+            assert np.array_equal(block, direct.demand)
+        assert payload["degraded"] is False
+        assert payload["failed_shards"] == []
+        assert [report["shard"] for report in payload["shards"]] == ["shard0", "shard1"]
+        assert all(report["tier"] == "Primary" for report in payload["shards"])
+
+    def test_fault_injected_shard_degrades_but_stays_bit_identical(
+        self, gateway_factory, raw_windows
+    ):
+        gateway = gateway_factory(poisoned=("shard0",))
+        window = raw_windows[0]
+        status, payload = _post(f"{gateway.url}/forecast", {"window": window.tolist()})
+        assert status == 200
+        assert payload["degraded"] is True
+        assert payload["failed_shards"] == []
+        by_name = {report["shard"]: report for report in payload["shards"]}
+        assert by_name["shard0"]["tier"] == "Floor" and by_name["shard0"]["degraded"]
+        assert by_name["shard1"]["tier"] == "Primary"
+        served = np.array(payload["demand"])
+        router = gateway.router
+        for region in router.regions:
+            direct = router.services[region.name].predict_one(
+                region.slice_window(window)
+            )
+            block = served[
+                :, region.rows[0] : region.rows[1], region.cols[0] : region.cols[1]
+            ]
+            assert np.array_equal(block, direct.demand)
+
+    def test_failed_shard_is_reported_not_fatal(self, gateway_factory, raw_windows):
+        gateway = gateway_factory(failing=("shard0",))
+        status, payload = _post(
+            f"{gateway.url}/forecast", {"window": raw_windows[0].tolist()}
+        )
+        assert status == 200
+        assert payload["failed_shards"] == ["shard0"]
+        assert payload["degraded"] is True
+        assert payload["shards"][0]["failed"] is True
+        assert "shard down" in payload["shards"][0]["error"]
+        assert np.array(payload["demand"]).shape == (2, 4, 4)
+
+    def test_deadline_ms_is_forwarded(self, gateway_factory, raw_windows):
+        gateway = gateway_factory()
+        status, payload = _post(
+            f"{gateway.url}/forecast",
+            {"window": raw_windows[0].tolist(), "deadline_ms": 60_000},
+        )
+        assert status == 200
+        assert payload["deadline_missed"] is False
+
+
+class TestErrorHandling:
+    def test_missing_window_field_is_400(self, gateway_factory):
+        gateway = gateway_factory()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{gateway.url}/forecast", {"deadline_ms": 100})
+        assert excinfo.value.code == 400
+        assert "window" in json.loads(excinfo.value.read())["error"]
+
+    def test_wrong_window_shape_is_400(self, gateway_factory):
+        gateway = gateway_factory()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{gateway.url}/forecast", {"window": [[1.0, 2.0]]})
+        assert excinfo.value.code == 400
+
+    def test_non_json_body_is_400(self, gateway_factory):
+        gateway = gateway_factory()
+        request = urllib.request.Request(
+            f"{gateway.url}/forecast", data=b"not json", headers={}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, gateway_factory):
+        gateway = gateway_factory()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{gateway.url}/nope")
+        assert excinfo.value.code == 404
+
+
+class TestIntrospectionRoutes:
+    def test_healthz_reports_shards_and_grid(self, gateway_factory):
+        gateway = gateway_factory()
+        status, payload = _get(f"{gateway.url}/healthz")
+        assert status == 200
+        assert payload == {"status": "ok", "shards": 2, "grid": [4, 4]}
+
+    def test_shards_route_matches_router_describe(self, gateway_factory):
+        gateway = gateway_factory()
+        status, payload = _get(f"{gateway.url}/shards")
+        assert status == 200
+        assert payload["shards"] == gateway.router.describe()
+
+
+class TestTraceLinkage:
+    def test_gateway_router_shard_spans_nest_into_one_trace(
+        self, gateway_factory, raw_windows
+    ):
+        gateway = gateway_factory()
+        tracing.start_recording()
+        try:
+            _post(f"{gateway.url}/forecast", {"window": raw_windows[0].tolist()})
+            records = tracing.recent()
+        finally:
+            tracing.stop_recording()
+            tracing.reset()
+        by_name = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        (gateway_span,) = by_name["gateway.request"]
+        (route_span,) = by_name["serve.route"]
+        shard_spans = by_name["serve.request"]
+        assert route_span["parent_id"] == gateway_span["span_id"]
+        assert len(shard_spans) == len(gateway.router.regions)
+        assert {span["parent_id"] for span in shard_spans} == {route_span["span_id"]}
+        # The request lifecycle is one trace end to end. (Worker-side
+        # serve.batch/serve.tier spans are deliberate separate roots: one
+        # coalesced batch may serve many traces.)
+        lifecycle = [gateway_span, route_span, *shard_spans]
+        assert {span["trace_id"] for span in lifecycle} == {gateway_span["trace_id"]}

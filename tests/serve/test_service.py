@@ -11,6 +11,7 @@ from repro.serve import (
     REASON_ERROR,
     REASON_PREDICTED_DEADLINE,
     ForecastService,
+    PartialBatchError,
     SlowForecaster,
 )
 
@@ -18,6 +19,7 @@ from .conftest import (
     ConstantForecaster,
     FailingForecaster,
     FakeClock,
+    PerWindowSlowForecaster,
     ThresholdFaultForecaster,
 )
 
@@ -127,6 +129,48 @@ class TestErrorDegradation:
         with pytest.raises(RuntimeError, match="nothing left"):
             service.predict_one(raw_windows[0])
 
+    def test_partial_floor_failure_keeps_the_survivors(
+        self, serve_dataset, raw_windows
+    ):
+        """One poisoned request reaching a flaky floor must not void the
+        answers already computed for its healthy batch-mates: the batch
+        raises ``PartialBatchError`` carrying the survivors' responses plus
+        the per-request floor errors."""
+        ds = serve_dataset
+        floor = ThresholdFaultForecaster(ConstantForecaster(ds.horizon, 0.1))
+        service = _service(
+            ds, [("Broken", FailingForecaster("primary down")), ("Floor", floor)]
+        )
+        windows = np.array(raw_windows[:4])
+        windows[2, 0, 0, 0, 0] = 1e6  # poison exactly one request
+
+        with pytest.raises(PartialBatchError) as excinfo:
+            service.predict_batch(windows)
+        error = excinfo.value
+        assert set(error.errors) == {2}
+        assert "poisoned" in str(error.errors[2])
+        assert [response is not None for response in error.responses] == [
+            True, True, False, True,
+        ]
+        for index in (0, 1, 3):
+            response = error.responses[index]
+            assert response.tier == "Floor"
+            assert response.degraded  # "Broken" was skipped above it
+
+    def test_predict_one_unwraps_the_single_floor_error(
+        self, serve_dataset, raw_windows
+    ):
+        """A batch of one has exactly one underlying error; single-window
+        callers get it directly, not wrapped in PartialBatchError."""
+        ds = serve_dataset
+        floor = ThresholdFaultForecaster(ConstantForecaster(ds.horizon, 0.1))
+        service = _service(ds, [("Floor", floor)])
+        window = np.array(raw_windows[0])
+        window[0, 0, 0, 0] = 1e6
+        with pytest.raises(RuntimeError, match="poisoned") as excinfo:
+            service.predict_one(window)
+        assert not isinstance(excinfo.value, PartialBatchError)
+
 
 class TestDeadlines:
     def test_overrun_falls_back_to_floor(self, serve_dataset, raw_windows):
@@ -180,6 +224,68 @@ class TestDeadlines:
         assert response.degraded
         assert primary.calls == 0  # the expensive tier never ran
         assert any(REASON_DEADLINE in skip for skip in response.skips)
+
+    def test_preskip_scales_the_estimate_by_batch_size(
+        self, serve_dataset, raw_windows
+    ):
+        """The tier runs its attempt set as ONE batched forward, so the
+        pre-skip must predict ``estimate × len(attempt)`` — with the
+        per-window estimate alone all four requests look safe, the batch of
+        four costs 1.0s against 0.5s deadlines, and every answer lands
+        late. Dropping tightest-deadline first shrinks the batch until the
+        survivors genuinely fit."""
+        ds = serve_dataset
+        clock = FakeClock()
+        slow = PerWindowSlowForecaster(ConstantForecaster(ds.horizon, 0.5), 0.25, clock)
+        service = _service(
+            ds,
+            [("Slow", slow), ("Floor", ConstantForecaster(ds.horizon, 0.1))],
+            clock=clock,
+        )
+        # Teach the EWMA: one single-window request costs exactly 0.25s.
+        service.predict_one(raw_windows[0])
+        assert service.estimated_latency("Slow") == pytest.approx(0.25)
+
+        windows = np.array(raw_windows[1:5])
+        deadlines = [clock.now + 0.5] * 4  # each fits 2 windows, not 4
+        responses = service.predict_batch(windows, deadlines=deadlines)
+
+        slow_answers = [r for r in responses if r.tier == "Slow"]
+        floor_answers = [r for r in responses if r.tier == "Floor"]
+        # Two requests were shed so the other two could make their deadline.
+        assert len(slow_answers) == 2
+        assert len(floor_answers) == 2
+        assert not any(response.deadline_missed for response in responses)
+        for response in floor_answers:
+            assert any(
+                REASON_PREDICTED_DEADLINE in skip for skip in response.skips
+            )
+
+    def test_retry_storm_is_weighted_into_the_ewma_per_window(
+        self, serve_dataset, raw_windows
+    ):
+        """A poisoned batch costs batched-attempt + per-window retries
+        (~2× the windows); folding that elapsed time into the EWMA divided
+        only by the batch size would double the tier's estimated per-window
+        cost and starve it of future traffic."""
+        ds = serve_dataset
+        clock = FakeClock()
+        flaky = PerWindowSlowForecaster(
+            ThresholdFaultForecaster(ConstantForecaster(ds.horizon, 0.5)), 1.0, clock
+        )
+        service = _service(
+            ds,
+            [("Flaky", flaky), ("Floor", ConstantForecaster(ds.horizon, 0.1))],
+            clock=clock,
+        )
+        windows = np.array(raw_windows[:4])
+        windows[1, 0, 0, 0, 0] = 1e6  # poison one → batched pass fails
+
+        responses = service.predict_batch(windows)
+        assert responses[1].tier == "Floor"
+        # 8s elapsed (4-window batch + 4 single retries) over 8 executed
+        # windows → 1.0s/window, not 8/4 = 2.0.
+        assert service.estimated_latency("Flaky") == pytest.approx(1.0)
 
     def test_floor_answers_even_past_deadline(self, serve_dataset, raw_windows):
         """The last tier never demotes: a late answer beats no answer."""

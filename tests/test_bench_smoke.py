@@ -165,6 +165,110 @@ def test_serve_bench_smoke(extra, tmp_path):
         assert payload["tier_counts"].get("Persistence", 0) > 0
 
 
+@pytest.mark.parametrize(
+    "extra",
+    [
+        [],  # happy path
+        ["--fault-rate", "0.5", "--deadline-ms", "200"],  # faulted shards
+    ],
+    ids=["clean", "faulted"],
+)
+def test_serve_bench_sharded_smoke(extra, tmp_path):
+    """``python -m repro.serve.bench --shards N`` end to end.
+
+    The sharded closed loop must run clean *and* faulted, writing the
+    sharded throughput/latency/degradation gauges bench_compare gates
+    (``*_throughput_rps`` is auto-gated by suffix) plus the per-shard
+    breakdown.
+    """
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_RUNLOG"] = "0"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.bench",
+            "--shards", "2",
+            "--requests", "12",
+            "--clients", "3",
+            "--grid", "4", "4",
+            "--history", "5",
+            "--horizon", "2",
+            "--features", "3",
+            "--slots", "40",
+            "--max-batch", "4",
+            *extra,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"sharded serve bench smoke failed:\n{result.stdout}\n{result.stderr}"
+    )
+    with open(tmp_path / "BENCH_serve.json") as handle:
+        payload = json.load(handle)
+    gauges = payload["gauges"]
+    for key in (
+        "bench_serve_sharded_latency_mean_seconds",
+        "bench_serve_sharded_latency_p50_seconds",
+        "bench_serve_sharded_latency_p99_seconds",
+        "bench_serve_sharded_throughput_rps",
+        "bench_serve_sharded_degraded_fraction",
+        "bench_serve_sharded_deadline_missed_fraction",
+    ):
+        assert key in gauges, key
+    assert gauges["bench_serve_sharded_throughput_rps"] > 0
+    assert set(payload["shards"]) == {"shard0", "shard1"}
+    for shard in payload["shards"].values():
+        assert shard["batches"] > 0
+    if extra:  # injected faults must surface as merged degradation
+        assert gauges["bench_serve_sharded_degraded_fraction"] > 0
+        assert any(
+            tier != "BikeCAP"
+            for shard in payload["shards"].values()
+            for tier in shard["tier_counts"]
+        )
+
+
+def test_gateway_selfcheck_smoke():
+    """``python -m repro.serve.gateway --selfcheck``: the HTTP front door
+    must come up, answer one real POSTed window, and exit 0."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_RUNLOG"] = "0"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.gateway",
+            "--selfcheck",
+            "--shards", "2",
+            "--grid", "4", "4",
+            "--history", "5",
+            "--horizon", "2",
+            "--features", "3",
+            "--slots", "40",
+            "--model", "Persistence",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"gateway selfcheck failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert "selfcheck ok" in result.stdout
+
+
 def test_serve_bench_traced_faulted_acceptance(tmp_path):
     """The issue's acceptance run: faults + tracing + drift + telemetry.
 

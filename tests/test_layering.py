@@ -312,6 +312,66 @@ class TestRulesFire:
         )
         assert checker.check(root) == []
 
+    def test_gateway_importing_beyond_serve_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/gateway.py": "from repro.data.datasets import dataset_from_tensor\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "serve.gateway imports only repro.serve" in violations[0]
+
+    def test_gateway_importing_obs_directly_is_flagged(self, tmp_path):
+        # Even a layer serve may normally use: the gateway goes through the
+        # serve re-exports so rule 12 stays a one-line import surface.
+        root = _tree(
+            tmp_path,
+            {"serve/gateway.py": "from repro.obs import metrics\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "serve.gateway" in violations[0]
+
+    def test_gateway_importing_numpy_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/gateway.py": "import numpy as np\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "stdlib externals" in violations[0]
+
+    def test_gateway_stdlib_plus_serve_passes(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "serve/gateway.py": (
+                    "import json\n"
+                    "from http.server import ThreadingHTTPServer\n"
+                    "from repro.serve.shard import ShardRouter, tracing\n"
+                ),
+            },
+        )
+        assert checker.check(root) == []
+
+    def test_shard_importing_experiments_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/shard.py": "from repro.experiments.runner import ExperimentContext\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.experiments" in violations[0]
+
+    def test_shard_importing_baselines_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/shard.py": "from repro.baselines.persistence import PersistenceForecaster\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "registry" in violations[0]
+
     def test_clean_tree_passes(self, tmp_path):
         root = _tree(
             tmp_path,
