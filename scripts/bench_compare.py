@@ -13,7 +13,10 @@ Both files must be snapshots of the same bench module (the gauges written by
 prints a per-kernel table and exits non-zero if any kernel's mean slowed
 down by more than ``--threshold`` (default 20%). Throughput gauges
 (``*_throughput_rps``) are higher-is-better and fail on a drop of more
-than the threshold instead. Kernels present in only one snapshot are
+than the threshold instead. Adaptation-recovery gauges from ``--adapt``
+serve-bench runs are gated the same way: the pre/post-swap forecast
+errors are lower-is-better, the recovery improvement fraction
+higher-is-better. Kernels present in only one snapshot are
 reported but never fail the comparison — new benches must not break an
 older baseline diff.
 
@@ -44,6 +47,16 @@ import sys
 
 
 THROUGHPUT_NEEDLE = "_throughput_rps"
+# Adaptation-recovery gauges (``--adapt`` serve bench runs): the post-swap
+# error and the pre-swap error it recovered from are lower-is-better and
+# compare like timings; the improvement fraction is higher-is-better and
+# compares like a throughput. All three are only present when the bench ran
+# the adaptation replay and the candidate actually swapped.
+ADAPT_LOWER_GAUGES = (
+    "serve_adaptation_recovery_pre_swap_error",
+    "serve_adaptation_recovery_post_swap_error",
+)
+ADAPT_HIGHER_GAUGES = ("serve_adaptation_recovery_improvement_fraction",)
 # Absolute budget gauges: checked against a fixed ceiling on the candidate
 # snapshot alone (no baseline needed). bench_serve_trace_overhead_fraction
 # is the throughput cost of running the serve bench with trace recording on
@@ -62,6 +75,29 @@ def load_means(path: str, stat: str = "mean") -> dict:
         for key, value in gauges.items()
         if needle in key and isinstance(value, (int, float))
     }
+
+
+def load_adaptation(path: str) -> tuple:
+    """Adaptation-recovery gauges: ``(lower_is_better, higher_is_better)``.
+
+    Both dicts are empty when the snapshot was not produced by an
+    ``--adapt`` serve-bench run (or the run never swapped) — absent gauges
+    simply opt out of the comparison, same as any other kernel.
+    """
+    with open(path) as handle:
+        data = json.load(handle)
+    gauges = data.get("gauges", data)
+    lower = {
+        key: float(gauges[key])
+        for key in ADAPT_LOWER_GAUGES
+        if isinstance(gauges.get(key), (int, float))
+    }
+    higher = {
+        key: float(gauges[key])
+        for key in ADAPT_HIGHER_GAUGES
+        if isinstance(gauges.get(key), (int, float))
+    }
+    return lower, higher
 
 
 def load_throughputs(path: str) -> dict:
@@ -145,6 +181,7 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
     try:
         before = load_means(before_path, stat)
         before_tp = load_throughputs(before_path)
+        before_lo, before_hi = load_adaptation(before_path)
     except (OSError, ValueError) as exc:
         # A missing or damaged baseline is the normal first-run state (no
         # snapshot committed yet, or a crash tore the file): there is
@@ -158,12 +195,15 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
     try:
         after = load_means(after_path, stat)
         after_tp = load_throughputs(after_path)
+        after_lo, after_hi = load_adaptation(after_path)
     except (OSError, ValueError) as exc:
         print(f"error: cannot read candidate snapshot {after_path}: {exc}", file=sys.stderr)
         return 2
     shared = sorted(set(before) & set(after))
     shared_tp = sorted(set(before_tp) & set(after_tp))
-    if not shared and not shared_tp:
+    shared_lo = sorted(set(before_lo) & set(after_lo))
+    shared_hi = sorted(set(before_hi) & set(after_hi))
+    if not shared and not shared_tp and not shared_lo and not shared_hi:
         print(
             f"error: the snapshots share no *_{stat}_seconds or "
             f"*{THROUGHPUT_NEEDLE} gauges",
@@ -172,7 +212,7 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
         return 2
 
     regressions = []
-    width = max(len(key) for key in shared + shared_tp)
+    width = max(len(key) for key in shared + shared_tp + shared_lo + shared_hi)
     print(f"{'kernel'.ljust(width)}  {'before':>10}  {'after':>10}  {'delta':>8}")
     for key in shared:
         old, new = before[key], after[key]
@@ -197,8 +237,36 @@ def compare(before_path: str, after_path: str, threshold: float, stat: str = "me
             f"{key.ljust(width)}  {old:8.1f}r/s  {new:8.1f}r/s  "
             f"{delta * 100:+7.1f}%{marker}"
         )
-    for key in sorted((set(before) ^ set(after)) | (set(before_tp) ^ set(after_tp))):
-        side = "before only" if key in before or key in before_tp else "after only"
+    for key in shared_lo:
+        old, new = before_lo[key], after_lo[key]
+        # Forecast error after the hot-swap: lower is better, same rule as a
+        # timing — growing beyond the threshold is the regression.
+        delta = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if delta > threshold:
+            regressions.append((key, delta))
+            marker = "  << REGRESSION"
+        print(
+            f"{key.ljust(width)}  {old:10.3f}  {new:10.3f}  "
+            f"{delta * 100:+7.1f}%{marker}"
+        )
+    for key in shared_hi:
+        old, new = before_hi[key], after_hi[key]
+        # Recovery improvement fraction: higher is better, same rule as a
+        # throughput — a drop beyond the threshold is the regression.
+        delta = (new - old) / old if old > 0 else 0.0
+        marker = ""
+        if delta < -threshold:
+            regressions.append((key, delta))
+            marker = "  << REGRESSION"
+        print(
+            f"{key.ljust(width)}  {old * 100:9.1f}%  {new * 100:9.1f}%  "
+            f"{delta * 100:+7.1f}%{marker}"
+        )
+    seen_before = {**before, **before_tp, **before_lo, **before_hi}
+    seen_after = {**after, **after_tp, **after_lo, **after_hi}
+    for key in sorted(set(seen_before) ^ set(seen_after)):
+        side = "before only" if key in seen_before else "after only"
         print(f"{key.ljust(width)}  ({side})")
 
     for key, value, limit in check_budgets(after_path):

@@ -62,6 +62,15 @@ Rules enforced (each import must point *down* the stack):
     even numpy, so the wire format stays plain JSON lists. ``serve.shard``
     itself is bound by the ordinary serve rules (rule 7): never
     ``experiments``, never ``core``/``baselines``.
+13. ``repro.serve.adapt`` (the online fine-tune loop) reaches training
+    machinery only through two defined seams: its ``pipeline`` imports are
+    restricted to ``repro.pipeline.loading`` / ``repro.pipeline.spec``
+    (models are rebuilt and warm-started exactly the way the serving
+    loader does — never via the runner or the registry directly), and its
+    recovery imports to the ``repro.resilience`` package surface. This
+    keeps the adaptation loop swappable against the offline funnel: both
+    train through the same recovery policy and build through the same
+    loading path.
 
 Exit status 0 when clean; 1 with one line per violation otherwise.
 """
@@ -95,6 +104,11 @@ STRIDE_TRICK_NAMES = {"sliding_window_view", "as_strided"}
 STRIDE_TRICK_EXEMPT_PREFIX = "repro.nn.ops"
 # Rule 12: the HTTP gateway is stdlib + repro.serve only.
 GATEWAY_MODULE = "repro.serve.gateway"
+# Rule 13: the online-adaptation loop touches training machinery only
+# through the loading/spec and resilience-package seams.
+ADAPT_MODULE = "repro.serve.adapt"
+ADAPT_PIPELINE_ALLOWED = {"repro.pipeline.loading", "repro.pipeline.spec"}
+ADAPT_RESILIENCE_ALLOWED = {"repro.resilience"}
 
 
 def _module_name(path: str, base: str) -> str:
@@ -336,6 +350,24 @@ def check(source_root: str = SOURCE_ROOT):
                         target,
                         "serve exposes live state via obs.serve_metrics, "
                         "not the offline report renderer",
+                    )
+                    # Rule 13: adaptation's training access goes through
+                    # two seams, nothing else.
+                    forbid(
+                        module == ADAPT_MODULE
+                        and target_layer == "pipeline"
+                        and target not in ADAPT_PIPELINE_ALLOWED,
+                        target,
+                        "serve.adapt reaches the pipeline only through the "
+                        "loading/spec seams",
+                    )
+                    forbid(
+                        module == ADAPT_MODULE
+                        and target_layer == "resilience"
+                        and target not in ADAPT_RESILIENCE_ALLOWED,
+                        target,
+                        "serve.adapt reaches recovery only through the "
+                        "repro.resilience package surface",
                     )
     # Rule 11c (positive): the eager compat shim routes through the store
     # instead of re-deriving window math.

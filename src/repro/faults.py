@@ -11,9 +11,11 @@ against the *same* primitives (see docs/RESILIENCE.md):
 - **Training chaos** — a :class:`FaultPlan` installed process-globally
   (:func:`active` / :func:`install`) that the training stack consults at
   well-defined points: poison gradients with NaN at the K-th optimizer
-  step (:func:`poison_gradients`), or kill a checkpoint write mid-stream
+  step (:func:`poison_gradients`), kill a checkpoint write mid-stream
   (:func:`kill_checkpoint_write`), leaving a deliberately truncated temp
-  file behind exactly as a SIGKILL would. Every fault fires a bounded
+  file behind exactly as a SIGKILL would, or crash a serving hot-swap
+  inside its critical section (:func:`crash_hot_swap`) before the new
+  generation becomes visible. Every fault fires a bounded
   number of times (default once), so a recovery policy that rolls back and
   retries can be shown to *complete* — not just to fail deterministically.
 
@@ -58,12 +60,16 @@ class FaultPlan:
     grad_nan_times: int = 1
     kill_checkpoint_write_at: Optional[int] = None
     kill_checkpoint_write_times: int = 1
+    crash_swap_at: Optional[int] = None
+    crash_swap_times: int = 1
 
     # Internal firing state (not part of the declarative surface).
     _steps_seen: int = field(default=0, repr=False)
     _grad_nan_fired: int = field(default=0, repr=False)
     _writes_seen: int = field(default=0, repr=False)
     _kills_fired: int = field(default=0, repr=False)
+    _swaps_seen: int = field(default=0, repr=False)
+    _swap_crashes_fired: int = field(default=0, repr=False)
 
     def take_grad_nan(self) -> bool:
         """Advance the optimizer-step counter; True when this step poisons."""
@@ -89,12 +95,25 @@ class FaultPlan:
             return True
         return False
 
+    def take_swap_crash(self) -> bool:
+        """Advance the hot-swap counter; True when this swap crashes."""
+        if self.crash_swap_at is None:
+            return False
+        self._swaps_seen += 1
+        if self._swap_crashes_fired >= self.crash_swap_times:
+            return False
+        if self._swaps_seen >= self.crash_swap_at:
+            self._swap_crashes_fired += 1
+            return True
+        return False
+
     @property
     def fired(self) -> dict:
         """How often each fault actually triggered (for test assertions)."""
         return {
             "grad_nan": self._grad_nan_fired,
             "checkpoint_kill": self._kills_fired,
+            "swap_crash": self._swap_crashes_fired,
         }
 
 
@@ -150,6 +169,21 @@ def poison_gradients(parameters: Iterator) -> bool:
             grad[...] = np.nan
             return True
     return False
+
+
+def crash_hot_swap(label: str) -> None:
+    """Die inside the swap critical section, when the plan says so.
+
+    Called by ``ForecastService.swap_primary``/``revert_primary`` *inside*
+    the swap lock but *before* the serving state flips — the adaptation
+    analogue of :func:`kill_checkpoint_write`: the crash lands at the worst
+    moment, and the guarantee under test is that the pre-swap generation
+    keeps answering untouched.
+    """
+    plan = _PLAN
+    if plan is None or not plan.take_swap_crash():
+        return
+    raise SimulatedCrash(f"injected crash during hot swap of {label}")
 
 
 def kill_checkpoint_write(tmp_path: str) -> None:
@@ -264,6 +298,7 @@ __all__ = [
     "active",
     "clear",
     "corrupt_file",
+    "crash_hot_swap",
     "current",
     "install",
     "kill_checkpoint_write",

@@ -74,4 +74,54 @@ def load_forecaster(
     return forecaster
 
 
-__all__ = ["load_forecaster"]
+def warm_start_forecaster(
+    spec: RunSpec,
+    *,
+    grid_shape,
+    num_features: int,
+    history: Optional[int] = None,
+    horizon: Optional[int] = None,
+    source_model=None,
+    checkpoint_path: Optional[str] = None,
+    lr: Optional[float] = None,
+):
+    """A fresh forecaster carrying the serving weights, ready to fine-tune.
+
+    The online-adaptation seam: build the spec's model exactly as
+    :func:`load_forecaster` would, then copy weights either from a live
+    serving model (``source_model`` — a :class:`repro.nn.layers.Module`,
+    cloned via its ``state_dict`` so fine-tuning never touches the serving
+    parameters) or from a checkpoint archive (``checkpoint_path``).
+    Exactly one source must be given. ``lr`` overrides the fine-tune
+    learning rate; non-neural specs have no weights to warm-start and are
+    rejected loudly.
+    """
+    if (source_model is None) == (checkpoint_path is None):
+        raise ValueError(
+            "warm_start_forecaster needs exactly one of source_model or "
+            "checkpoint_path"
+        )
+    if not registry.is_neural(spec.model):
+        raise ValueError(
+            f"{spec.model} is not a neural model; there are no weights to "
+            "warm-start a fine-tune from"
+        )
+    forecaster = load_forecaster(
+        spec,
+        checkpoint_path,
+        grid_shape=grid_shape,
+        num_features=num_features,
+        history=history,
+        horizon=horizon,
+    )
+    if source_model is not None:
+        # state_dict() returns copies, so the candidate's parameters are
+        # fully decoupled from the live model's; load_state_dict validates
+        # names/shapes strictly and bumps the engine weight version.
+        forecaster.model.load_state_dict(source_model.state_dict())
+    if lr is not None:
+        forecaster.trainer.optimizer.lr = float(lr)
+    return forecaster
+
+
+__all__ = ["load_forecaster", "warm_start_forecaster"]

@@ -28,6 +28,15 @@ package is that loop, built on the pipeline's offline artifacts:
   feed the :mod:`repro.obs.drift` detectors from a live service and publish
   ``forecast_drift_score`` gauges plus ``drift_detected`` / ``slo_burn``
   run-log events.
+- :mod:`repro.serve.adapt` — :class:`AdaptationController`: the closed
+  online-adaptation loop (ROADMAP item 2). Drift verdicts trigger a
+  warm-started fine-tune on the store's freshest windows (through
+  ``repro.resilience`` recovery), a shadow-validation gate scores the
+  candidate against the live model on held-out recent windows, and only a
+  winner is hot-swapped in — an atomic, generation-numbered,
+  compare-and-swap flip (:meth:`ForecastService.swap_primary`) that
+  in-flight batches never observe mid-request; every failure mode is
+  typed and leaves the original model serving.
 - :mod:`repro.serve.shard` — :func:`partition_grid` / :class:`ShardRouter`:
   the city-scale tier. Contiguous region shards each run their own service
   (own scaler, own checkpoint) behind their own micro-batcher; the router
@@ -47,6 +56,15 @@ Request lifecycle and degradation tiers are documented in
 docs/ARCHITECTURE.md; BENCH_serve.json fields in docs/PERFORMANCE.md.
 """
 
+from repro.serve.adapt import (
+    AdaptationController,
+    AdaptationError,
+    AdaptationPolicy,
+    FineTuneDivergence,
+    GateRejected,
+    ShadowReport,
+    SwapConflict,
+)
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
 from repro.serve.ingest import IngestionPipeline, IngestReport, ReadyWindow
@@ -67,13 +85,22 @@ from repro.serve.service import (
     REASON_PREDICTED_DEADLINE,
     ForecastResponse,
     ForecastService,
+    GenerationConflict,
     PartialBatchError,
     ServiceTier,
 )
 
 __all__ = [
+    "AdaptationController",
+    "AdaptationError",
+    "AdaptationPolicy",
     "DEFAULT_FALLBACKS",
     "DriftMonitor",
+    "FineTuneDivergence",
+    "GateRejected",
+    "GenerationConflict",
+    "ShadowReport",
+    "SwapConflict",
     "FaultInjectingForecaster",
     "ForecastResponse",
     "ForecastService",

@@ -9,6 +9,14 @@ offered load adapts to service speed instead of overrunning it). Optional
 deadline pressure to measure the *degraded* serving path, not just the
 happy one.
 
+``--adapt`` (with a nonzero ``--drift-shift``) appends a deterministic
+regime-change replay through the full online-adaptation loop — drift
+detection triggers a warm-start fine-tune, a shadow gate validates the
+candidate, and an atomic hot-swap flips it in — then reports pre- vs
+post-swap forecast error (``serve_adaptation_recovery_*`` gauges);
+``--adapt-fault`` injects chaos (poisoned fine-tune / crash mid-swap) to
+demonstrate the original model keeps serving.
+
 Writes ``results/BENCH_serve.json`` (``REPRO_BENCH_DIR`` overrides the
 directory); field semantics are documented in docs/PERFORMANCE.md and the
 snapshot diffs with ``scripts/bench_compare.py``, which fails on >20%
@@ -27,6 +35,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import faults
 from repro.data.datasets import dataset_from_tensor
 from repro.nn import engine
 from repro.obs import drift as obs_drift
@@ -36,6 +45,7 @@ from repro.obs.metrics import Histogram
 from repro.pipeline import registry
 from repro.pipeline.loading import load_forecaster
 from repro.pipeline.spec import RunSpec
+from repro.serve.adapt import AdaptationController, AdaptationPolicy
 from repro.serve.batching import MicroBatcher
 from repro.serve.faults import FaultInjectingForecaster, SlowForecaster
 from repro.serve.ingest import IngestionPipeline
@@ -58,16 +68,12 @@ def _unwrap(forecaster):
     return forecaster
 
 
-def build_service(args) -> tuple:
-    """Dataset + spec → (service, raw request windows, dataset)."""
-    rng = np.random.default_rng(args.seed)
-    tensor = rng.random((args.slots, args.grid[0], args.grid[1], args.features)) * 20.0
-    dataset = dataset_from_tensor(tensor, history=args.history, horizon=args.horizon)
-
+def _spec_from_args(args) -> RunSpec:
+    """The one RunSpec every bench mode builds its primary from."""
     hparams = dict(DEFAULT_HPARAMS.get(args.model, {}))
     if args.hparams:
         hparams.update(json.loads(args.hparams))
-    spec = RunSpec(
+    return RunSpec(
         model=args.model,
         history=args.history,
         horizon=args.horizon,
@@ -75,6 +81,15 @@ def build_service(args) -> tuple:
         seed=args.seed,
         hparams=hparams,
     )
+
+
+def build_service(args) -> tuple:
+    """Dataset + spec → (service, raw request windows, dataset)."""
+    rng = np.random.default_rng(args.seed)
+    tensor = rng.random((args.slots, args.grid[0], args.grid[1], args.features)) * 20.0
+    dataset = dataset_from_tensor(tensor, history=args.history, horizon=args.horizon)
+
+    spec = _spec_from_args(args)
 
     checkpoint_path = None
     if args.epochs > 0:
@@ -145,18 +160,7 @@ def build_sharded(args) -> tuple:
     tensor = rng.random((args.slots, args.grid[0], args.grid[1], args.features)) * 20.0
     dataset = dataset_from_tensor(tensor, history=args.history, horizon=args.horizon)
     regions = partition_grid(args.grid, args.shards)
-
-    hparams = dict(DEFAULT_HPARAMS.get(args.model, {}))
-    if args.hparams:
-        hparams.update(json.loads(args.hparams))
-    spec = RunSpec(
-        model=args.model,
-        history=args.history,
-        horizon=args.horizon,
-        epochs=args.epochs,
-        seed=args.seed,
-        hparams=hparams,
-    )
+    spec = _spec_from_args(args)
 
     services = {}
     for region in regions:
@@ -383,6 +387,136 @@ def drift_pass(service, dataset, args) -> DriftMonitor:
     return monitor
 
 
+def adapt_pass(service, dataset, spec, args) -> dict:
+    """Deterministic regime change → drift → fine-tune → hot-swap, measured.
+
+    Unlike :func:`drift_pass` (which shifts only the *scored* ground truth),
+    this replay ingests genuinely shifted slots, so the shared store's
+    freshest windows reflect the new regime — exactly what the
+    :class:`AdaptationController` fine-tunes on. Phase one replays the test
+    range unshifted to settle the detector baseline; phase two replays it
+    scaled by ``1 + --drift-shift`` (cycling the range as needed) until
+    ``--adapt-samples`` shifted windows have been scored. The controller
+    runs inline (``background=False``) with an effectively infinite
+    cooldown, so the replay performs exactly one fine-tune attempt; errors
+    scored before the hot-swap vs. after it are the recovery measurement.
+
+    ``--adapt-fault`` injects chaos through :mod:`repro.faults`:``fine-tune``
+    poisons every fine-tune gradient step (recovery retries exhaust →
+    ``adaptation_failed``), ``swap`` crashes inside the hot-swap critical
+    section — in both cases the pre-swap model keeps answering and the
+    recovery gauges are omitted (there was no recovery).
+    """
+    store = dataset.store
+    if store is None:
+        raise ValueError("adaptation replay needs a store-backed dataset")
+    test = dataset.test_view()
+    first, total = test.start, store.num_slots
+
+    live = WindowStore(
+        store.history,
+        store.horizon,
+        target_feature=store.target_feature,
+        scaler=service.scaler,
+        normalize=False,
+    )
+    monitor = DriftMonitor(service, label="serve-bench")
+    policy = AdaptationPolicy(
+        epochs=args.adapt_epochs,
+        min_windows=4,
+        max_windows=32,
+        holdout_fraction=0.25,
+        # One attempt per replay: the cooldown outlives any bench run.
+        cooldown_seconds=1e9,
+        lr=args.adapt_lr,
+    )
+    controller = AdaptationController(
+        service,
+        live,
+        spec,
+        label="serve-bench",
+        background=False,
+        policy=policy,
+        warm_batch_sizes=(1, args.max_batch),
+    )
+    pipeline = IngestionPipeline(
+        live, service=service, monitor=monitor, label="serve-bench",
+        controller=controller,
+    )
+
+    base_generation = service.generation
+    shift = 1.0 + args.drift_shift
+    pre_errors: list = []
+    post_errors: list = []
+
+    def replay_once(shifted: bool, budget: int) -> int:
+        scored = 0
+        for slot in range(first, total):
+            raw = store.raw_slots(slot, slot + 1)
+            report = pipeline.ingest(raw * shift if shifted else raw)
+            for ready in report.ready:
+                if ready.report is None:
+                    continue
+                scored += 1
+                if shifted:
+                    if service.generation != base_generation:
+                        post_errors.append(ready.report.error)
+                    else:
+                        pre_errors.append(ready.report.error)
+                if scored >= budget:
+                    return scored
+        return scored
+
+    def replay(shifted: bool, budget: int) -> int:
+        # One pass over the test range yields only a handful of completed
+        # windows; cycle it until the budget is met (the store just keeps
+        # appending — same slots, ever-fresher windows).
+        scored = 0
+        while scored < budget:
+            advanced = replay_once(shifted, budget - scored)
+            if advanced == 0:
+                break
+            scored += advanced
+        return scored
+
+    plan = None
+    if args.adapt_fault == "fine-tune":
+        # Poison every optimizer step: recovery rolls back and retries, the
+        # retry poisons again, and the policy exhausts — a fine-tune that
+        # cannot converge, not one that merely hiccups.
+        plan = faults.FaultPlan(grad_nan_at_step=1, grad_nan_times=10_000)
+    elif args.adapt_fault == "swap":
+        plan = faults.FaultPlan(crash_swap_at=1)
+
+    context = faults.active(plan) if plan is not None else None
+    try:
+        if context is not None:
+            context.__enter__()
+        # The baseline phase must outlast the detector's warmup or the
+        # shifted regime would be folded into the frozen baseline.
+        baseline_budget = max(monitor.detector.warmup + 8, args.adapt_samples // 2)
+        replay(shifted=False, budget=baseline_budget)
+        replay(shifted=True, budget=args.adapt_samples)
+    finally:
+        if context is not None:
+            context.__exit__(None, None, None)
+
+    pre = float(np.mean(pre_errors)) if pre_errors else 0.0
+    post = float(np.mean(post_errors)) if post_errors else 0.0
+    improvement = 1.0 - post / pre if pre > 0 and post_errors else 0.0
+    return {
+        "pre_swap_error": pre,
+        "post_swap_error": post,
+        "improvement_fraction": improvement,
+        "pre_samples": len(pre_errors),
+        "post_samples": len(post_errors),
+        "drift_events": len(monitor.detections),
+        "fault": args.adapt_fault,
+        "fault_fired": dict(plan.fired) if plan is not None else {},
+        "status": controller.status(),
+    }
+
+
 def slo_pass(responses, args):
     """Replay the answered responses through the SLO budget tracker."""
     spec = obs_drift.SloSpec(
@@ -483,6 +617,36 @@ def main(argv: Optional[list] = None) -> int:
         default=0.0,
         help="scale realized demand by 1+shift for the second half of the drift replay",
     )
+    parser.add_argument(
+        "--adapt",
+        action="store_true",
+        help="after the load, replay a deterministic regime change through the "
+        "online-adaptation loop (drift → fine-tune → shadow gate → hot-swap) "
+        "and measure post-swap error recovery; needs a nonzero --drift-shift",
+    )
+    parser.add_argument(
+        "--adapt-epochs", type=int, default=8, help="fine-tune epochs per adaptation"
+    )
+    parser.add_argument(
+        "--adapt-lr",
+        type=float,
+        default=0.05,
+        help="fine-tune learning rate (a regime change needs a more "
+        "aggressive step than offline training)",
+    )
+    parser.add_argument(
+        "--adapt-samples",
+        type=int,
+        default=60,
+        help="shifted windows to score during the adaptation replay",
+    )
+    parser.add_argument(
+        "--adapt-fault",
+        choices=("none", "fine-tune", "swap"),
+        default="none",
+        help="inject chaos into the adaptation: poison every fine-tune gradient "
+        "step, or crash inside the hot-swap critical section",
+    )
     parser.add_argument("--slo-p99-ms", type=float, default=500.0, help="SLO latency target")
     parser.add_argument(
         "--out", default=os.environ.get("REPRO_BENCH_DIR", "results"), help="output directory"
@@ -491,11 +655,15 @@ def main(argv: Optional[list] = None) -> int:
     args.grid = tuple(args.grid)
     if args.trace_overhead:
         args.trace = True
+    if args.adapt and not args.drift_shift:
+        parser.error("--adapt needs a nonzero --drift-shift (the regime change)")
     if args.shards:
         if args.drift_samples > 0:
             parser.error("--drift-samples is not supported with --shards")
         if args.trace_overhead:
             parser.error("--trace-overhead is not supported with --shards")
+        if args.adapt:
+            parser.error("--adapt is not supported with --shards")
         return _main_sharded(args)
 
     service, raw_windows, dataset = build_service(args)
@@ -509,6 +677,7 @@ def main(argv: Optional[list] = None) -> int:
     baseline_throughput = None
     drift_monitor = None
     slo_status = None
+    adaptation = None
     try:
         if args.trace_overhead:
             # Reference pass with recording off; the measured pass below is
@@ -523,6 +692,10 @@ def main(argv: Optional[list] = None) -> int:
         slo_status = slo_pass(responses, args)
         if args.drift_samples > 0:
             drift_monitor = drift_pass(service, dataset, args)
+        if args.adapt:
+            # After the latency measurement: the replay mutates the service
+            # (hot-swap) and must not contaminate the load numbers.
+            adaptation = adapt_pass(service, dataset, _spec_from_args(args), args)
     finally:
         if logger is not None:
             logger.close(status="ok")
@@ -540,6 +713,20 @@ def main(argv: Optional[list] = None) -> int:
             "samples": args.drift_samples,
             "shift": args.drift_shift,
         }
+    if adaptation is not None:
+        payload["adaptation"] = adaptation
+        if adaptation["status"]["swapped"] and adaptation["post_samples"]:
+            # Gated by scripts/bench_compare.py: the error gauges must not
+            # creep up, the improvement fraction must not creep down.
+            gauges["serve_adaptation_recovery_pre_swap_error"] = adaptation[
+                "pre_swap_error"
+            ]
+            gauges["serve_adaptation_recovery_post_swap_error"] = adaptation[
+                "post_swap_error"
+            ]
+            gauges["serve_adaptation_recovery_improvement_fraction"] = adaptation[
+                "improvement_fraction"
+            ]
     os.makedirs(args.out, exist_ok=True)
     path = os.path.join(args.out, "BENCH_serve.json")
     atomic_write_json(path, payload, sort_keys=True)
@@ -565,6 +752,19 @@ def main(argv: Optional[list] = None) -> int:
         f"  degraded   {gauges['bench_serve_degraded_fraction'] * 100:5.1f}%   "
         f"tiers {payload['tier_counts']}"
     )
+    if adaptation is not None:
+        status = adaptation["status"]
+        print(
+            f"  adaptation triggered={status['triggered']} "
+            f"swapped={status['swapped']} rejected={status['rejected']} "
+            f"failed={status['failed']} generation={status['generation']}"
+        )
+        if status["swapped"] and adaptation["post_samples"]:
+            print(
+                f"  recovery   pre-swap err {adaptation['pre_swap_error']:.3f} → "
+                f"post-swap err {adaptation['post_swap_error']:.3f} "
+                f"({adaptation['improvement_fraction']:+.1%})"
+            )
     print(f"  wrote {path}")
     return 0
 

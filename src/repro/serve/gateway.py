@@ -9,7 +9,10 @@ thread per connection, same shape as the telemetry exporter) that turns
   :class:`~repro.serve.shard.ShardedResponse` as JSON: full-grid ``demand``
   plus the per-shard reports, degradation and failed-shard list, verbatim;
 - ``GET /healthz`` — liveness plus shard count;
-- ``GET /shards`` — the router's static shard map (regions, tiers).
+- ``GET /shards`` — the router's static shard map (regions, tiers);
+- ``GET /adaptation`` — per-shard online-adaptation state (serving
+  generations plus each attached controller's trigger/swap/failure
+  counts; ``{"enabled": false, ...}`` when no controller is attached).
 
 Every request runs under a ``gateway.request`` span, so recorded traces
 nest gateway → ``serve.route`` → per-shard ``serve.request`` spans, and
@@ -72,6 +75,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 }
             elif route == "/shards":
                 status, payload = 200, {"shards": router.describe()}
+            elif route == "/adaptation":
+                status, payload = 200, router.adaptation_status()
             else:
                 status, payload = 404, {"error": f"unknown route {route!r}"}
         self._send_json(payload, status)

@@ -27,6 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.obs import metrics as obs_metrics
+from repro.obs import runlog
 from repro.serve.monitor import DriftMonitor
 from repro.serve.service import ForecastResponse, ForecastService
 from repro.store import WindowStore
@@ -67,6 +68,7 @@ class IngestionPipeline:
         monitor: Optional[DriftMonitor] = None,
         update_scaler: bool = False,
         label: str = "serve",
+        controller=None,
     ):
         if service is not None:
             if (store.history, store.horizon) != (service.history, service.horizon):
@@ -83,6 +85,10 @@ class IngestionPipeline:
         self.store = store
         self.service = service
         self.monitor = monitor
+        # An AdaptationController (duck-typed: anything with observe(ready))
+        # sees every ReadyWindow after scoring — drift verdicts reach the
+        # fine-tune trigger without the caller writing the loop by hand.
+        self.controller = controller
         self.update_scaler = update_scaler
         self.label = label
         # Windows scored so far; everything below this index is final.
@@ -109,13 +115,45 @@ class IngestionPipeline:
             actual = self.store.raw_slots(index + history, index + history + horizon)[
                 ..., target
             ]
-            report = self.monitor.feed(window, actual) if self.monitor is not None else None
-            ready.append(ReadyWindow(index=index, window=window, actual=actual, report=report))
-        if ready:
-            self._scored = self.store.num_windows
-            obs_metrics.counter(
-                "serve_ingest_windows_total", service=self.label
-            ).inc(len(ready))
+            report = None
+            if self.monitor is not None:
+                try:
+                    report = self.monitor.feed(window, actual)
+                except Exception as error:  # noqa: BLE001 - isolate scoring
+                    # One poisoned window must not wedge ingestion: the
+                    # window stays ready (report=None) and later windows
+                    # still get scored.
+                    obs_metrics.counter(
+                        "serve_ingest_monitor_errors_total", service=self.label
+                    ).inc()
+                    runlog.emit(
+                        "ingest_monitor_error",
+                        service=self.label,
+                        window=index,
+                        error=str(error),
+                    )
+            # Advance per window — not after the loop — so a monitor
+            # exception mid-stream cannot re-score (and double-emit drift
+            # events for) windows already handled on the next ingest call.
+            self._scored = index + 1
+            obs_metrics.counter("serve_ingest_windows_total", service=self.label).inc()
+            completed = ReadyWindow(
+                index=index, window=window, actual=actual, report=report
+            )
+            ready.append(completed)
+            if self.controller is not None:
+                try:
+                    self.controller.observe(completed)
+                except Exception as error:  # noqa: BLE001 - isolate triggers
+                    obs_metrics.counter(
+                        "serve_ingest_controller_errors_total", service=self.label
+                    ).inc()
+                    runlog.emit(
+                        "ingest_controller_error",
+                        service=self.label,
+                        window=index,
+                        error=str(error),
+                    )
         return IngestReport(appended_slots=appended, ready=ready)
 
     def current_window(self) -> Optional[np.ndarray]:

@@ -23,7 +23,7 @@ the realized demand.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -34,21 +34,48 @@ from repro.serve.service import ForecastResponse, ForecastService
 
 
 class DriftMonitor:
-    """Rolling forecast-error drift tracking for one service."""
+    """Rolling forecast-error drift tracking for one service.
+
+    Only *model-tier* errors update the drift detector: an answer produced
+    by a degraded fallback (persistence after a latency demotion, say)
+    carries that tier's error profile, not the model's, and feeding it to
+    the detector makes an operational hiccup masquerade as model drift.
+    ``model_tiers`` pins which tiers count as the model; by default the
+    service's primary tier does (every tier when no service is attached,
+    matching bare ``observe_error`` use). Excluded samples are still
+    visible — the ``forecast_drift_score`` gauge is labelled by tier and
+    ``forecast_drift_excluded_total`` counts what the detector skipped —
+    they just cannot trigger a fine-tune.
+    """
 
     def __init__(
         self,
         service: Optional[ForecastService] = None,
         detector: Optional[obs_drift.DriftDetector] = None,
         label: str = "service",
+        model_tiers: Optional[Sequence[str]] = None,
     ):
         self.service = service
         self.detector = detector or obs_drift.DriftDetector()
         self.label = label
+        self.model_tiers = tuple(model_tiers) if model_tiers is not None else None
+        self.excluded_samples = 0
 
     @property
     def detections(self):
         return self.detector.detections
+
+    def includes(self, tier: Optional[str]) -> bool:
+        """Whether a tier's errors feed the drift detector."""
+        if tier is None:
+            return True
+        if self.model_tiers is not None:
+            return tier in self.model_tiers
+        if self.service is not None:
+            # The primary is read dynamically so a hot-swap that renames
+            # the tier keeps the monitor honest without reconfiguration.
+            return tier == self.service.tiers[0].name
+        return True
 
     def feed(self, window: np.ndarray, actual: np.ndarray) -> obs_drift.DriftReport:
         """Predict one raw window, score it against realized demand.
@@ -70,12 +97,41 @@ class DriftMonitor:
         return self.observe_error(error, tier=response.tier)
 
     def observe_error(self, error: float, tier: Optional[str] = None) -> obs_drift.DriftReport:
-        """Feed one precomputed forecast error; publishes score + events."""
+        """Feed one precomputed forecast error; publishes score + events.
+
+        Non-model tiers (see :meth:`includes`) are counted and labelled but
+        never update the detector: the returned report carries the
+        detector's *current* score, unchanged and never drifted.
+        """
+        tier_label = tier if tier is not None else "model"
+        if not self.includes(tier):
+            self.excluded_samples += 1
+            obs_metrics.counter(
+                "forecast_drift_excluded_total", service=self.label, tier=tier_label
+            ).inc()
+            detector = self.detector
+            ewma = detector.ewma.value
+            score = 0.0
+            if detector.baseline is not None and ewma is not None:
+                score = max(0.0, ewma / detector.baseline - 1.0)
+            return obs_drift.DriftReport(
+                error=float(error),
+                score=score,
+                drifted=False,
+                baseline=detector.baseline,
+                ewma=ewma,
+                samples=detector.samples,
+            )
         report = self.detector.update(error)
+        obs_metrics.gauge(
+            "forecast_drift_score", service=self.label, tier=tier_label
+        ).set(report.score)
+        # Unlabelled back-compat gauge: the score of the model-error stream.
         obs_metrics.gauge("forecast_drift_score", service=self.label).set(report.score)
-        obs_metrics.gauge("forecast_error_ewma", service=self.label).set(
-            report.ewma if report.ewma is not None else 0.0
-        )
+        if report.ewma is not None:
+            # Publishing 0.0 while the EWMA is still unfed would be
+            # indistinguishable from a true zero-error stream.
+            obs_metrics.gauge("forecast_error_ewma", service=self.label).set(report.ewma)
         if report.drifted:
             obs_metrics.counter("forecast_drift_events_total", service=self.label).inc()
             runlog.emit(

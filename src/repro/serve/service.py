@@ -26,6 +26,21 @@ Degradation semantics, per request:
   healthy batch-mates (:meth:`~ForecastService.predict_one` unwraps the
   single underlying error).
 
+Hot-swap semantics (the online-adaptation loop, docs/RESILIENCE.md):
+
+The tier chain and scaler live together in one immutable, generation-
+numbered serving state. ``predict_batch`` reads that state exactly once at
+entry, so an in-flight batch finishes wholly on the generation it started
+on — normalize, predict and denormalize never mix generations — and every
+response carries the ``generation`` that answered it. ``swap_primary``
+flips in a new primary (and optionally a new scaler) under a lock with
+compare-and-swap semantics (``expected_generation`` mismatches raise
+:class:`GenerationConflict` and change nothing); ``revert_primary``
+restores the previous generation the same way. The swap consults
+:func:`repro.faults.crash_hot_swap` inside the critical section *before*
+publishing, so an injected crash provably leaves the old generation
+serving.
+
 Every answer increments ``serve_requests_total{tier=…}`` and observes
 ``serve_latency_seconds{tier=…}``; every tier skip increments
 ``serve_degradations_total{tier=…,reason=…}`` and emits a
@@ -34,12 +49,14 @@ Every answer increments ``serve_requests_total{tier=…}`` and observes
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import faults
 from repro.data.normalization import MinMaxScaler
 from repro.nn import engine
 from repro.obs import metrics as obs_metrics
@@ -75,12 +92,33 @@ class PartialBatchError(RuntimeError):
         )
 
 
+class GenerationConflict(RuntimeError):
+    """A compare-and-swap hot-swap lost the race: the serving generation
+    moved between the caller pinning it and the swap taking the lock."""
+
+    def __init__(self, expected: int, actual: int):
+        self.expected = int(expected)
+        self.actual = int(actual)
+        super().__init__(
+            f"serving generation moved: expected {expected}, now {actual}"
+        )
+
+
 @dataclass(frozen=True)
 class ServiceTier:
     """One rung of the degradation ladder: a name plus a forecaster."""
 
     name: str
     forecaster: object  # anything with .predict((N, h, G1, G2, F)) -> (N, p, G1, G2)
+
+
+@dataclass(frozen=True)
+class _Generation:
+    """One immutable serving state: everything a batch must see together."""
+
+    number: int
+    tiers: Tuple[ServiceTier, ...]
+    scaler: MinMaxScaler
 
 
 @dataclass
@@ -92,6 +130,7 @@ class ForecastResponse:
     degraded: bool  # True when a tier above `tier` was skipped
     latency_seconds: float
     deadline_missed: bool = False  # answer landed after the deadline
+    generation: int = 0  # serving generation that produced this answer
     # Human-readable trail of every tier skipped above the answering one,
     # e.g. ("BikeCAP: error: boom",).
     skips: Tuple[str, ...] = ()
@@ -131,11 +170,13 @@ class ForecastService:
             raise ValueError("ForecastService needs at least one tier")
         if not scaler.fitted:
             raise RuntimeError("ForecastService needs a fitted scaler")
-        self.tiers = tuple(ServiceTier(name, forecaster) for name, forecaster in tiers)
-        names = [tier.name for tier in self.tiers]
+        built = tuple(ServiceTier(name, forecaster) for name, forecaster in tiers)
+        names = [tier.name for tier in built]
         if len(set(names)) != len(names):
             raise ValueError(f"tier names must be unique, got {names}")
-        self.scaler = scaler
+        self._serving = _Generation(number=0, tiers=built, scaler=scaler)
+        self._previous: Optional[_Generation] = None
+        self._swap_lock = threading.Lock()
         self.history = int(history)
         self.horizon = int(horizon)
         self.grid_shape = tuple(grid_shape)
@@ -146,6 +187,137 @@ class ForecastService:
         self._latency_ewma: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
+    # Serving state: `tiers`/`scaler` delegate to the current generation.
+    # The setters exist for pre-serving mutation (the bench wraps the
+    # primary with injectors after construction); they republish the state
+    # without bumping the generation number — a *swap* is the only thing
+    # that advances it.
+    @property
+    def tiers(self) -> Tuple[ServiceTier, ...]:
+        return self._serving.tiers
+
+    @tiers.setter
+    def tiers(self, value: Sequence[ServiceTier]) -> None:
+        with self._swap_lock:
+            current = self._serving
+            self._serving = _Generation(
+                number=current.number, tiers=tuple(value), scaler=current.scaler
+            )
+
+    @property
+    def scaler(self) -> MinMaxScaler:
+        return self._serving.scaler
+
+    @scaler.setter
+    def scaler(self, value: MinMaxScaler) -> None:
+        with self._swap_lock:
+            current = self._serving
+            self._serving = _Generation(
+                number=current.number, tiers=current.tiers, scaler=value
+            )
+
+    @property
+    def generation(self) -> int:
+        """The current serving generation number (0 at construction)."""
+        return self._serving.number
+
+    def snapshot(self) -> _Generation:
+        """The current immutable serving state (generation, tiers, scaler).
+
+        One atomic attribute read — the same pin ``predict_batch`` takes at
+        entry. Adaptation callers use it so the generation they later pass
+        as ``expected_generation`` and the model/scaler they fine-tuned
+        from are guaranteed to be the *same* state.
+        """
+        return self._serving
+
+    @property
+    def previous_generation(self) -> Optional[int]:
+        """Generation number a :meth:`revert_primary` would restore."""
+        previous = self._previous
+        return None if previous is None else previous.number
+
+    def swap_primary(
+        self,
+        forecaster: object,
+        *,
+        scaler: Optional[MinMaxScaler] = None,
+        expected_generation: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> int:
+        """Atomically replace the primary tier (and optionally the scaler).
+
+        The flip is lock-scoped compare-and-swap: with
+        ``expected_generation`` set, a generation that moved since the
+        caller pinned it raises :class:`GenerationConflict` and changes
+        nothing. In-flight batches keep the state they snapshotted at
+        entry; batches entering after the flip see only the new state. The
+        displaced generation is retained for :meth:`revert_primary`.
+        Returns the new generation number.
+        """
+        with self._swap_lock:
+            current = self._serving
+            if expected_generation is not None and expected_generation != current.number:
+                obs_metrics.counter(
+                    "serve_generation_swaps_total", kind="conflict"
+                ).inc()
+                raise GenerationConflict(expected_generation, current.number)
+            # The injected crash fires *inside* the critical section but
+            # before anything is published — the worst real moment.
+            faults.crash_hot_swap(current.tiers[0].name)
+            new_scaler = scaler if scaler is not None else current.scaler
+            if not new_scaler.fitted:
+                raise RuntimeError("swap_primary needs a fitted scaler")
+            primary = ServiceTier(
+                name if name is not None else current.tiers[0].name, forecaster
+            )
+            tiers = (primary,) + current.tiers[1:]
+            names = [tier.name for tier in tiers]
+            if len(set(names)) != len(names):
+                raise ValueError(f"tier names must be unique, got {names}")
+            self._previous = current
+            self._serving = _Generation(
+                number=current.number + 1, tiers=tiers, scaler=new_scaler
+            )
+            obs_metrics.counter("serve_generation_swaps_total", kind="swap").inc()
+            tracing.event(
+                "serve.swap", generation=self._serving.number, primary=primary.name
+            )
+            return self._serving.number
+
+    def revert_primary(self, expected_generation: Optional[int] = None) -> int:
+        """Restore the generation displaced by the last swap.
+
+        Same lock + compare-and-swap discipline as :meth:`swap_primary`;
+        the revert itself advances the generation number (state history is
+        linear, never reused), and the reverted-away state becomes the new
+        ``.prev`` so a revert can itself be reverted. Returns the new
+        generation number.
+        """
+        with self._swap_lock:
+            current = self._serving
+            if expected_generation is not None and expected_generation != current.number:
+                obs_metrics.counter(
+                    "serve_generation_swaps_total", kind="conflict"
+                ).inc()
+                raise GenerationConflict(expected_generation, current.number)
+            previous = self._previous
+            if previous is None:
+                raise RuntimeError("no previous generation to revert to")
+            faults.crash_hot_swap(current.tiers[0].name)
+            self._previous = current
+            self._serving = _Generation(
+                number=current.number + 1, tiers=previous.tiers, scaler=previous.scaler
+            )
+            obs_metrics.counter("serve_generation_swaps_total", kind="revert").inc()
+            tracing.event(
+                "serve.swap",
+                generation=self._serving.number,
+                primary=previous.tiers[0].name,
+                reverted_from=current.number,
+            )
+            return self._serving.number
+
     @property
     def tier_names(self) -> Tuple[str, ...]:
         return tuple(tier.name for tier in self.tiers)
@@ -231,7 +403,11 @@ class ForecastService:
         obs_metrics.counter("serve_batches_total").inc()
         obs_metrics.histogram("serve_batch_size").observe(count)
 
-        normalized = np.clip(self.scaler.transform(windows), 0.0, None)
+        # One atomic read: the whole batch — normalize, tier walk,
+        # denormalize — runs against this generation even if a hot-swap
+        # publishes a new one mid-flight.
+        serving = self._serving
+        normalized = np.clip(serving.scaler.transform(windows), 0.0, None)
         pending = [
             _PendingRequest(
                 index=i, deadline=deadlines[i], start=starts[i], ctx=contexts[i]
@@ -241,11 +417,11 @@ class ForecastService:
         responses: List[Optional[ForecastResponse]] = [None] * count
 
         floor_failures: List[Tuple[_PendingRequest, Exception]] = []
-        with tracing.span("serve.batch", batch=count):
-            for position, tier in enumerate(self.tiers):
+        with tracing.span("serve.batch", batch=count, generation=serving.number):
+            for position, tier in enumerate(serving.tiers):
                 if not pending:
                     break
-                is_floor = position == len(self.tiers) - 1
+                is_floor = position == len(serving.tiers) - 1
                 if is_floor:
                     attempt, pending = pending, []
                 else:
@@ -257,7 +433,8 @@ class ForecastService:
                 )
                 for request, prediction in answered:
                     responses[request.index] = self._finish(
-                        tier, request, prediction, degraded=position > 0
+                        tier, request, prediction, degraded=position > 0,
+                        serving=serving,
                     )
                 if failed and is_floor:
                     # Nothing left to degrade to for *these* requests — but
@@ -372,8 +549,8 @@ class ForecastService:
                 answered.append((request, prediction))
         return answered, failed
 
-    def _finish(self, tier, request, normalized_prediction, degraded: bool):
-        demand = self.scaler.inverse_transform(
+    def _finish(self, tier, request, normalized_prediction, degraded: bool, serving):
+        demand = serving.scaler.inverse_transform(
             normalized_prediction, feature=self.target_feature
         )
         if self.clip_negative:
@@ -389,6 +566,7 @@ class ForecastService:
             degraded=degraded,
             latency_seconds=latency,
             deadline_missed=missed,
+            generation=serving.number,
             skips=tuple(request.skips),
         )
 
@@ -414,6 +592,7 @@ class ForecastService:
 __all__ = [
     "ForecastResponse",
     "ForecastService",
+    "GenerationConflict",
     "PartialBatchError",
     "REASON_DEADLINE",
     "REASON_ERROR",

@@ -257,6 +257,10 @@ class ShardRouter:
             )
             for region in self.regions
         }
+        # Per-shard AdaptationControllers (repro.serve.adapt), attached
+        # after construction; shards adapt independently — downtown can
+        # drift and fine-tune while the suburbs keep their model.
+        self._adaptation: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -268,6 +272,33 @@ class ShardRouter:
     def batch_sizes(self) -> Dict[str, List[int]]:
         """Per-shard coalesced batch sizes, for bench reporting."""
         return {name: list(b.batch_sizes) for name, b in self._batchers.items()}
+
+    def attach_adaptation(self, controllers: Mapping[str, object]) -> None:
+        """Register per-shard adaptation controllers (name → controller).
+
+        Each value is an :class:`~repro.serve.adapt.AdaptationController`
+        bound to that shard's service and store; a partial mapping is fine
+        (only some shards adapt). Unknown shard names are rejected loudly.
+        """
+        known = {region.name for region in self.regions}
+        unknown = sorted(set(controllers) - known)
+        if unknown:
+            raise ValueError(f"no shard(s) named {unknown}; have {sorted(known)}")
+        self._adaptation.update(controllers)
+
+    def adaptation_status(self) -> dict:
+        """Per-shard adaptation state for the gateway's ``/adaptation``."""
+        return {
+            "enabled": bool(self._adaptation),
+            "shards": {
+                name: controller.status()
+                for name, controller in sorted(self._adaptation.items())
+            },
+            "generations": {
+                region.name: self.services[region.name].generation
+                for region in self.regions
+            },
+        }
 
     def describe(self) -> List[dict]:
         """Static per-shard facts for the gateway's ``/shards`` route."""

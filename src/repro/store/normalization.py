@@ -101,10 +101,15 @@ class MinMaxScaler:
             self.count += self._rows(tensor)
         return self
 
-    def transform(self, tensor: np.ndarray) -> np.ndarray:
+    def transform(self, tensor: np.ndarray, feature: Optional[int] = None) -> np.ndarray:
+        """Scale data; ``feature`` selects one channel's parameters when the
+        tensor carries a single feature (e.g. realized target demand), the
+        exact forward of ``inverse_transform(..., feature=...)``."""
         self._check_fitted()
         span = self._span()
-        return (np.asarray(tensor) - self.minimum) / span
+        if feature is None:
+            return (np.asarray(tensor) - self.minimum) / span
+        return (np.asarray(tensor) - self.minimum[feature]) / span[feature]
 
     def fit_transform(self, tensor: np.ndarray) -> np.ndarray:
         return self.fit(tensor).transform(tensor)

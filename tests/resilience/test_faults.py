@@ -20,7 +20,7 @@ class TestFaultPlan:
         assert [plan.take_grad_nan() for _ in range(6)] == [
             False, False, True, False, False, False,
         ]
-        assert plan.fired == {"grad_nan": 1, "checkpoint_kill": 0}
+        assert plan.fired == {"grad_nan": 1, "checkpoint_kill": 0, "swap_crash": 0}
 
     def test_grad_nan_times_bounds_refiring(self):
         plan = faults.FaultPlan(grad_nan_at_step=1, grad_nan_times=2)

@@ -190,3 +190,50 @@ class TestTraceLinkage:
         # coalesced batch may serve many traces.)
         lifecycle = [gateway_span, route_span, *shard_spans]
         assert {span["trace_id"] for span in lifecycle} == {gateway_span["trace_id"]}
+
+
+class _StubController:
+    """Just enough of an AdaptationController for the status surface."""
+
+    def __init__(self, state="idle", swapped=0):
+        self._state = state
+        self._swapped = swapped
+
+    def status(self):
+        return {"state": self._state, "swapped": self._swapped}
+
+
+class TestAdaptationRoute:
+    def test_without_controllers_reports_disabled(self, gateway_factory):
+        gateway = gateway_factory()
+        status, payload = _get(f"{gateway.url}/adaptation")
+        assert status == 200
+        assert payload["enabled"] is False
+        assert payload["shards"] == {}
+        # Serving generations are reported regardless of adaptation.
+        assert set(payload["generations"]) == {"shard0", "shard1"}
+        assert all(g == 0 for g in payload["generations"].values())
+
+    def test_attached_controllers_surface_their_status(self, gateway_factory):
+        gateway = gateway_factory()
+        gateway.router.attach_adaptation(
+            {"shard0": _StubController(state="cooldown", swapped=2)}
+        )
+        status, payload = _get(f"{gateway.url}/adaptation")
+        assert status == 200
+        assert payload["enabled"] is True
+        assert payload["shards"] == {"shard0": {"state": "cooldown", "swapped": 2}}
+
+    def test_unknown_shard_name_is_rejected(self, gateway_factory):
+        gateway = gateway_factory()
+        with pytest.raises(ValueError, match="no shard"):
+            gateway.router.attach_adaptation({"nope": _StubController()})
+
+    def test_generation_moves_are_visible_per_shard(self, gateway_factory):
+        from .conftest import ConstantForecaster
+
+        gateway = gateway_factory()
+        service = gateway.router.services["shard1"]
+        service.swap_primary(ConstantForecaster(service.horizon, 0.2))
+        _, payload = _get(f"{gateway.url}/adaptation")
+        assert payload["generations"] == {"shard0": 0, "shard1": 1}

@@ -149,3 +149,88 @@ class TestServiceAndMonitorWiring:
         assert response.demand.shape == (HORIZON, 4, 4)
         reference = service.predict_one(slots[-HISTORY:])
         assert np.array_equal(response.demand, reference.demand)
+
+
+class _FlakyMonitor:
+    """Raises on chosen feed calls (1-based), records every window fed."""
+
+    def __init__(self, poison=()):
+        self.poison = set(poison)
+        self.calls = 0
+        self.windows = []
+
+    def feed(self, window, actual):
+        self.calls += 1
+        self.windows.append(np.array(window))
+        if self.calls in self.poison:
+            raise RuntimeError(f"poisoned feed #{self.calls}")
+        return object()
+
+
+class TestScoringIsolation:
+    """A poisoned monitor or controller must not wedge or re-score
+    ingestion (ISSUE 10 satellite 2)."""
+
+    def test_poisoned_window_is_skipped_and_later_windows_still_score(self):
+        slots = _slots(12)  # 6 completed windows
+        monitor = _FlakyMonitor(poison={2})
+        pipeline = IngestionPipeline(_raw_store(), monitor=monitor)
+        ready = pipeline.ingest(slots).ready
+        assert len(ready) == 6
+        assert monitor.calls == 6  # every window was offered exactly once
+        assert ready[1].report is None  # the poisoned one stays unscored
+        assert all(r.report is not None for i, r in enumerate(ready) if i != 1)
+        assert pipeline.num_scored == 6
+
+    def test_no_window_is_rescored_after_a_mid_stream_failure(self):
+        slots = _slots(14)
+        monitor = _FlakyMonitor(poison={3})
+        pipeline = IngestionPipeline(_raw_store(), monitor=monitor)
+        first = pipeline.ingest(slots[:12]).ready
+        second = pipeline.ingest(slots[12:]).ready
+        indices = [r.index for r in first + second]
+        assert indices == sorted(set(indices))  # each window exactly once
+        assert monitor.calls == len(indices)
+        # And the windows fed were the distinct consecutive ones, in order.
+        for offset, fed in enumerate(monitor.windows):
+            assert np.array_equal(fed, slots[offset : offset + HISTORY])
+
+    def test_monitor_failure_increments_the_isolation_counter(self):
+        from repro.obs import metrics as obs_metrics
+
+        before = obs_metrics.counter(
+            "serve_ingest_monitor_errors_total", service="flaky-count"
+        ).value
+        pipeline = IngestionPipeline(
+            _raw_store(), monitor=_FlakyMonitor(poison={1, 2}), label="flaky-count"
+        )
+        pipeline.ingest(_slots(10))  # 4 windows, first two poisoned
+        after = obs_metrics.counter(
+            "serve_ingest_monitor_errors_total", service="flaky-count"
+        ).value
+        assert after - before == 2
+
+    def test_controller_failure_is_isolated_from_ingestion(self):
+        from repro.obs import metrics as obs_metrics
+
+        class ExplodingController:
+            def __init__(self):
+                self.observed = []
+
+            def observe(self, ready):
+                self.observed.append(ready.index)
+                raise RuntimeError("trigger path down")
+
+        controller = ExplodingController()
+        pipeline = IngestionPipeline(
+            _raw_store(), controller=controller, label="ctrl-iso"
+        )
+        report = pipeline.ingest(_slots(12))
+        # Every window still completed, and every one reached the
+        # controller before it blew up.
+        assert len(report.ready) == 6
+        assert controller.observed == [r.index for r in report.ready]
+        counter = obs_metrics.counter(
+            "serve_ingest_controller_errors_total", service="ctrl-iso"
+        )
+        assert counter.value == 6.0

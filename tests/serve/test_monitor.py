@@ -136,3 +136,88 @@ class TestSloMonitor:
         assert obs_metrics.gauge("slo_latency_burn", service="healthy").value == (
             pytest.approx(0.02)
         )
+
+
+class TestTierExclusion:
+    """Only model-tier errors update the drift detector (ISSUE 10 sat. 1)."""
+
+    def test_fallback_tier_error_is_counted_not_detected(self, serve_dataset):
+        monitor = DriftMonitor(_service(serve_dataset), label="excl-basic")
+        report = monitor.observe_error(5.0, tier="Floor")
+        assert monitor.excluded_samples == 1
+        assert monitor.detector.samples == 0  # detector untouched
+        assert report.error == 5.0
+        assert not report.drifted
+        counter = obs_metrics.counter(
+            "forecast_drift_excluded_total", service="excl-basic", tier="Floor"
+        )
+        assert counter.value == 1.0
+        # The primary's errors do feed the detector.
+        monitor.observe_error(5.0, tier="Primary")
+        assert monitor.detector.samples == 1
+        assert monitor.excluded_samples == 1
+
+    def test_excluded_sample_reports_current_score_unchanged(self, serve_dataset):
+        monitor = DriftMonitor(
+            _service(serve_dataset),
+            detector=DriftDetector(warmup=4),
+            label="excl-score",
+        )
+        for _ in range(6):
+            monitor.observe_error(1.0, tier="Primary")
+        armed_samples = monitor.detector.samples
+        # A catastrophic fallback error passes through without inflating
+        # the EWMA: the score it reports is the detector's current one.
+        report = monitor.observe_error(100.0, tier="Floor")
+        assert monitor.detector.samples == armed_samples
+        assert report.score == pytest.approx(0.0)
+        assert report.ewma == pytest.approx(1.0)
+        assert not report.drifted
+
+    def test_model_tiers_pins_the_inclusion_set(self):
+        monitor = DriftMonitor(model_tiers=("BikeCAP",), label="excl-pin")
+        assert monitor.includes("BikeCAP")
+        assert not monitor.includes("Persistence")
+        assert monitor.includes(None)  # bare observe_error is always model
+
+    def test_hot_swap_rename_keeps_the_primary_included(self, serve_dataset):
+        from tests.serve.conftest import ConstantForecaster as Constant
+
+        service = _service(serve_dataset)
+        monitor = DriftMonitor(service, label="excl-swap")
+        assert monitor.includes("Primary")
+        service.swap_primary(
+            Constant(serve_dataset.horizon, 0.4), name="Primary-v2"
+        )
+        assert monitor.includes("Primary-v2")
+        assert not monitor.includes("Primary")
+
+    def test_no_ewma_gauge_before_the_detector_is_fed(self, serve_dataset):
+        monitor = DriftMonitor(_service(serve_dataset), label="excl-fresh")
+        monitor.observe_error(3.0, tier="Floor")  # excluded: EWMA still None
+        # The gauge must not have been set: publishing 0.0 for an unfed
+        # EWMA would be indistinguishable from a true zero-error stream.
+        gauge = obs_metrics.gauge("forecast_error_ewma", service="excl-fresh")
+        assert gauge.value == 0.0
+
+    def test_degraded_answer_in_feed_is_excluded(self, serve_dataset, raw_windows):
+        from repro.serve import ForecastService
+        from tests.serve.conftest import ConstantForecaster as Constant
+        from tests.serve.conftest import FailingForecaster
+
+        ds = serve_dataset
+        service = ForecastService(
+            [("Primary", FailingForecaster()), ("Floor", Constant(ds.horizon, 0.1))],
+            ds.scaler,
+            history=ds.history,
+            horizon=ds.horizon,
+            grid_shape=ds.grid_shape,
+            num_features=ds.num_features,
+            target_feature=ds.target_feature,
+        )
+        monitor = DriftMonitor(service, label="excl-degraded")
+        report = monitor.feed(raw_windows[0], np.zeros((ds.horizon,) + ds.grid_shape))
+        # The Floor answered — an operational hiccup, not model drift.
+        assert monitor.excluded_samples == 1
+        assert monitor.detector.samples == 0
+        assert not report.drifted

@@ -356,3 +356,127 @@ def test_serve_bench_traced_faulted_acceptance(tmp_path):
     drift_events = [e for e in events if e.get("event") == "drift_detected"]
     assert len(drift_events) == 1
     assert drift_events[0]["service"] == "serve-bench"
+
+
+def test_serve_bench_adapt_smoke(tmp_path):
+    """``--adapt``: deterministic drift replay → exactly one warm-start
+    fine-tune → shadow-gated hot-swap, with post-swap error measurably
+    below pre-swap (the ISSUE-10 acceptance loop, end to end)."""
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_RUNLOG"] = "0"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.bench",
+            "--requests", "12",
+            "--clients", "2",
+            "--grid", "4", "4",
+            "--history", "5",
+            "--horizon", "2",
+            "--features", "3",
+            "--slots", "40",
+            "--max-batch", "4",
+            "--adapt",
+            "--drift-shift", "1.5",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"adapt serve bench smoke failed:\n{result.stdout}\n{result.stderr}"
+    )
+    with open(tmp_path / "BENCH_serve.json") as handle:
+        payload = json.load(handle)
+    adaptation = payload["adaptation"]
+    status = adaptation["status"]
+    assert status["triggered"] == 1  # the infinite cooldown allows exactly one
+    assert status["swapped"] == 1
+    assert status["failed"] == status["rejected"] == 0
+    assert status["generation"] == 1
+    assert status["last_shadow"]["passed"] is True
+    assert adaptation["drift_events"] == 1
+    assert adaptation["pre_samples"] > 0 and adaptation["post_samples"] > 0
+    # The fine-tuned generation measurably recovered from the regime shift.
+    assert adaptation["post_swap_error"] < adaptation["pre_swap_error"]
+    assert adaptation["improvement_fraction"] > 0
+    gauges = payload["gauges"]
+    for key in (
+        "serve_adaptation_recovery_pre_swap_error",
+        "serve_adaptation_recovery_post_swap_error",
+        "serve_adaptation_recovery_improvement_fraction",
+    ):
+        assert key in gauges, key
+
+
+@pytest.mark.parametrize("fault", ["fine-tune", "swap"])
+def test_serve_bench_adapt_fault_smoke(fault, tmp_path):
+    """``--adapt-fault``: a poisoned fine-tune (recovery retries exhaust)
+    or a crash inside the hot-swap critical section must leave the
+    original generation serving every request — zero failures, typed
+    ``adaptation_failed`` outcome, and no recovery gauges (nothing
+    recovered)."""
+    import json
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_BENCH_DIR"] = str(tmp_path)
+    env["REPRO_RUNLOG"] = "0"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.bench",
+            "--requests", "12",
+            "--clients", "2",
+            "--grid", "4", "4",
+            "--history", "5",
+            "--horizon", "2",
+            "--features", "3",
+            "--slots", "40",
+            "--max-batch", "4",
+            "--adapt",
+            "--drift-shift", "1.5",
+            "--adapt-fault", fault,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, (
+        f"faulted adapt bench ({fault}) failed:\n{result.stdout}\n{result.stderr}"
+    )
+    with open(tmp_path / "BENCH_serve.json") as handle:
+        payload = json.load(handle)
+    adaptation = payload["adaptation"]
+    status = adaptation["status"]
+    assert status["triggered"] == 1
+    assert status["swapped"] == 0
+    assert status["failed"] == 1
+    assert status["generation"] == 0  # the original model kept serving
+    expected_reason = {
+        "fine-tune": "fine_tune_divergence",
+        "swap": "swap_crash",
+    }[fault]
+    assert status["last_reason"] == expected_reason
+    assert adaptation["fault_fired"], "the injected fault never fired"
+    assert adaptation["post_samples"] == 0  # no swap → no post-swap stream
+    # The load phase before the replay answered everything normally.
+    assert payload["gauges"]["bench_serve_throughput_rps"] > 0
+    # And the recovery gauges are omitted: bench_compare must not diff
+    # misleading zeros from a run that never recovered.
+    for key in (
+        "serve_adaptation_recovery_pre_swap_error",
+        "serve_adaptation_recovery_post_swap_error",
+        "serve_adaptation_recovery_improvement_fraction",
+    ):
+        assert key not in payload["gauges"], key

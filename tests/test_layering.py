@@ -372,6 +372,37 @@ class TestRulesFire:
         assert len(violations) == 1
         assert "registry" in violations[0]
 
+    def test_adapt_importing_pipeline_runner_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/adapt.py": "from repro.pipeline.runner import execute\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "loading/spec" in violations[0]
+
+    def test_adapt_importing_resilience_submodule_is_flagged(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {"serve/adapt.py": "from repro.resilience.policy import run_with_recovery\n"},
+        )
+        violations = checker.check(root)
+        assert len(violations) == 1
+        assert "repro.resilience package surface" in violations[0]
+
+    def test_adapt_allowed_seams_pass(self, tmp_path):
+        root = _tree(
+            tmp_path,
+            {
+                "serve/adapt.py": (
+                    "from repro.pipeline.loading import warm_start_forecaster\n"
+                    "from repro.pipeline.spec import RunSpec\n"
+                    "from repro.resilience import run_with_recovery\n"
+                )
+            },
+        )
+        assert checker.check(root) == []
+
     def test_clean_tree_passes(self, tmp_path):
         root = _tree(
             tmp_path,
